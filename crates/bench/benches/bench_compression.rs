@@ -1,0 +1,53 @@
+//! Compression-backend microbenchmarks: the pre-processing cost of the
+//! four algebraic methods the paper cites, per tile and per matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use tlr_mvm::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
+
+fn kernel(m: usize, n: usize) -> Matrix<C32> {
+    Matrix::from_fn(m, n, |i, j| {
+        let x = i as f32 / m as f32;
+        let y = j as f32 / n as f32;
+        let d = ((x - y) * (x - y) + 0.02).sqrt();
+        C32::from_polar(1.0 / (1.0 + 4.0 * d), -20.0 * d)
+    })
+}
+
+fn bench_tile_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_tile_70x70");
+    let tile = kernel(70, 70);
+    let tol = 1e-4f32 * tile.fro_norm();
+    for method in CompressionMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, &m| {
+                b.iter(|| compress_tile(&tile, tol, m, 7));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matrix_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_matrix_560x490");
+    group.sample_size(10);
+    let a = kernel(560, 490);
+    for nb in [25usize, 50, 70] {
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |b, &nb| {
+            let cfg = CompressionConfig {
+                nb,
+                acc: 1e-4,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            };
+            b.iter(|| compress(&a, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_backends, bench_matrix_compression);
+criterion_main!(benches);

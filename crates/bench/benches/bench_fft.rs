@@ -1,0 +1,43 @@
+//! FFT microbenchmarks: the `F`/`Fᴴ` cost of the MDC operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seismic_fft::{forward_traces, Direction, FftPlan, RealFft};
+use seismic_la::scalar::C64;
+
+fn bench_complex_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complex_fft");
+    for n in [256usize, 1024, 1126, 4096] {
+        // 1126 = the paper's 4.5 s / 4 ms time axis (Bluestein path).
+        let plan = FftPlan::<f64>::new(n);
+        let src: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut buf = src.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&src);
+                plan.process(&mut buf, Direction::Forward);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_fft_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_fft");
+    let nt = 1024;
+    let rf = RealFft::<f64>::new(nt);
+    let sig: Vec<f64> = (0..nt).map(|i| (i as f64 * 0.2).sin()).collect();
+    group.bench_function("single_trace_1024", |b| {
+        b.iter(|| rf.forward(&sig));
+    });
+    let ntr = 256;
+    let traces: Vec<f64> = (0..nt * ntr).map(|i| (i as f64 * 0.01).cos()).collect();
+    group.bench_function("batch_256_traces_1024", |b| {
+        b.iter(|| forward_traces(&traces, nt, ntr));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_complex_fft, bench_real_fft_batch);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! MDD pipeline benchmarks: adjoint vs 30-iteration LSQR inversion on the
+//! laptop-scale dataset (the paper's §6.2 whole-application view).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seis_wave::{DatasetConfig, SyntheticDataset, VelocityModel};
+use seismic_geom::Ordering;
+use seismic_mdd::{compress_dataset, lsqr, LsqrOptions, MdcOperator};
+use seismic_la::scalar::C32;
+use tlr_mvm::{CompressionConfig, CompressionMethod, LinearOperator, ToleranceMode};
+
+fn bench_mdd(c: &mut Criterion) {
+    let ds = SyntheticDataset::generate(
+        DatasetConfig {
+            scale: 20,
+            nt: 128,
+            dt: 0.008,
+            f_flat: 12.0,
+            f_max: 16.0,
+            freq_stride: 3,
+            n_water_multiples: 1,
+            station_spacing: 40.0,
+        },
+        VelocityModel::overthrust(),
+    );
+    let cfg = CompressionConfig {
+        nb: 25,
+        acc: 1e-4,
+        method: CompressionMethod::Svd,
+        mode: ToleranceMode::RelativeTile,
+    };
+    let tlr = compress_dataset(&ds, cfg, Ordering::Hilbert);
+    let op = MdcOperator::new(tlr.iter().collect::<Vec<_>>());
+    let vs = ds.acq.n_receivers() / 2;
+    let (rows, _) = ds.permutations(Ordering::Hilbert);
+    let y: Vec<C32> = ds
+        .observed_data(vs)
+        .iter()
+        .flat_map(|yf| rows.apply(yf))
+        .collect();
+
+    let mut group = c.benchmark_group("mdd");
+    group.sample_size(10);
+    group.bench_function("mdc_forward", |b| {
+        let x = vec![C32::new(1.0, 0.0); op.ncols()];
+        b.iter(|| op.apply(&x));
+    });
+    group.bench_function("adjoint_image", |b| {
+        b.iter(|| op.apply_adjoint(&y));
+    });
+    group.bench_function("lsqr_30_iters", |b| {
+        b.iter(|| {
+            lsqr(
+                &op,
+                &y,
+                LsqrOptions {
+                    max_iters: 30,
+                    rel_tol: 0.0,
+                    damp: 0.0,
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mdd);
+criterion_main!(benches);

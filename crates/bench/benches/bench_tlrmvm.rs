@@ -1,0 +1,91 @@
+//! Host-side kernel microbenchmarks: dense MVM vs the TLR-MVM execution
+//! layouts at the paper's tile sizes — the wall-clock counterpart of the
+//! Fig. 14 / Table 3 bandwidth study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seismic_la::blas::gemv;
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use tlr_mvm::{
+    compress, CommAvoiding, CompressionConfig, CompressionMethod, ThreePhase, ToleranceMode,
+};
+
+fn kernel(m: usize, n: usize) -> Matrix<C32> {
+    Matrix::from_fn(m, n, |i, j| {
+        let x = i as f32 / m as f32;
+        let y = j as f32 / n as f32;
+        let d = ((x - y) * (x - y) + 0.02).sqrt();
+        C32::from_polar(1.0 / (1.0 + 4.0 * d), -25.0 * d)
+    })
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let (m, n) = (1040, 820);
+    let a = kernel(m, n);
+    let x: Vec<C32> = (0..n)
+        .map(|i| C32::new((i as f32 * 0.05).sin(), (i as f32 * 0.03).cos()))
+        .collect();
+
+    let mut group = c.benchmark_group("tlrmvm_layouts");
+    group.bench_function("dense_gemv", |b| {
+        let mut y = vec![C32::new(0.0, 0.0); m];
+        b.iter(|| gemv(&a, &x, &mut y));
+    });
+
+    for nb in [25usize, 50, 70] {
+        let tlr = compress(
+            &a,
+            CompressionConfig {
+                nb,
+                acc: 1e-4,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            },
+        );
+        let tp = ThreePhase::new(&tlr);
+        let ca = CommAvoiding::new(&tlr);
+        group.bench_with_input(BenchmarkId::new("tile_apply", nb), &nb, |b, _| {
+            b.iter(|| tlr.apply(&x));
+        });
+        group.bench_with_input(BenchmarkId::new("three_phase", nb), &nb, |b, _| {
+            b.iter(|| tp.apply(&x));
+        });
+        group.bench_with_input(BenchmarkId::new("comm_avoiding", nb), &nb, |b, _| {
+            b.iter(|| ca.apply(&x));
+        });
+        group.bench_with_input(BenchmarkId::new("adjoint", nb), &nb, |b, _| {
+            let y: Vec<C32> = (0..m).map(|i| C32::new(1.0, i as f32 * 0.01)).collect();
+            b.iter(|| tlr.apply_adjoint(&y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stack_width(c: &mut Criterion) {
+    // The strong-scaling knob: smaller stack widths expose more
+    // concurrency at lower per-chunk arithmetic intensity (Table 4).
+    let a = kernel(700, 560);
+    let tlr = compress(
+        &a,
+        CompressionConfig {
+            nb: 70,
+            acc: 1e-4,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        },
+    );
+    let ca = CommAvoiding::new(&tlr);
+    let x: Vec<C32> = (0..560)
+        .map(|i| C32::new((i as f32 * 0.02).cos(), 0.3))
+        .collect();
+    let mut group = c.benchmark_group("stack_width");
+    for sw in [64usize, 23, 14, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(sw), &sw, |b, &sw| {
+            b.iter(|| ca.apply_chunked(&x, sw));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts, bench_stack_width);
+criterion_main!(benches);

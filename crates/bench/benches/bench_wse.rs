@@ -1,0 +1,67 @@
+//! WSE simulator benchmarks: paper-scale placement/metric computation and
+//! functional chunk execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use tlr_mvm::{compress, CommAvoiding, CompressionConfig, CompressionMethod, ToleranceMode};
+use wse_sim::{
+    choose_stack_width, execute_chunks, place, Cluster, Cs2Config, RankModel, Strategy,
+};
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    let workload = RankModel::paper(70, 1e-4).unwrap().generate();
+    let cluster = Cluster::new(6);
+    let cfg = Cs2Config::default();
+    group.bench_function("rank_model_generate", |b| {
+        let model = RankModel::paper(70, 1e-4).unwrap();
+        b.iter(|| model.generate());
+    });
+    group.bench_function("choose_stack_width", |b| {
+        b.iter(|| choose_stack_width(&workload, cluster.total_pes() as u64, cfg.max_stack_width(70)));
+    });
+    for shards in [6usize, 48] {
+        group.bench_with_input(BenchmarkId::new("place", shards), &shards, |b, &s| {
+            let cl = Cluster::new(s);
+            let strategy = if s == 6 {
+                Strategy::FusedSinglePe
+            } else {
+                Strategy::ScatterEightPes
+            };
+            b.iter(|| place(&workload, 23, strategy, &cl).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_exec(c: &mut Criterion) {
+    let m = 350;
+    let n = 280;
+    let a = Matrix::from_fn(m, n, |i, j| {
+        let d = (i as f32 / m as f32 - j as f32 / n as f32).abs();
+        C32::from_polar(1.0 / (1.0 + 4.0 * d), -20.0 * d)
+    });
+    let tlr = compress(
+        &a,
+        CompressionConfig {
+            nb: 70,
+            acc: 1e-4,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        },
+    );
+    let ca = CommAvoiding::new(&tlr);
+    let chunks = ca.chunks(23);
+    let x: Vec<C32> = (0..n).map(|i| C32::new(1.0, i as f32 * 0.01)).collect();
+    let cfg = Cs2Config::default();
+    let mut group = c.benchmark_group("functional_exec");
+    group.bench_function("execute_chunks_sw23", |b| {
+        b.iter(|| execute_chunks(&chunks, &x, m, 70, Strategy::FusedSinglePe, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_functional_exec);
+criterion_main!(benches);

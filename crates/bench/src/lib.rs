@@ -1,0 +1,21 @@
+//! # seismic-bench
+//!
+//! The reproduction harness: every table and figure of the paper has a
+//! generator here, invoked by the `repro` binary (`repro --help`).
+//!
+//! * [`mdd_experiments`] — Fig. 11 / 12 / 13 on the laptop-scale
+//!   synthetic dataset.
+//! * [`wse_experiments`] — Fig. 14, Tables 1–5, the §7.6 power study, and
+//!   the Fig. 15/16 roofline data through the CS-2 simulator at the
+//!   paper's full scale.
+//! * [`mmm_experiments`] — the §8 TLR-MMM extension: simultaneous
+//!   virtual sources and the re-exacerbated memory wall.
+//! * [`report`] — text tables and JSON output (`target/repro/*.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mdd_experiments;
+pub mod mmm_experiments;
+pub mod report;
+pub mod wse_experiments;

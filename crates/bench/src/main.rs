@@ -1,0 +1,662 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--json]
+//!   experiments: fig11 fig12 fig13 fig14 table1 table2 table3 table4
+//!                table5 fig15 fig16 power all
+//! ```
+
+use seismic_bench::mdd_experiments as mddx;
+use seismic_bench::mmm_experiments as mmmx;
+use seismic_bench::report::{fmt_bytes, fmt_pbs, render_table, write_json};
+use seismic_bench::wse_experiments as wsex;
+
+const USAGE: &str = "\
+repro — regenerate every table and figure of the paper\n\n\
+USAGE: repro <experiment> [--json]\n\n\
+experiments:\n  \
+fig11 fig12 fig13 fig14 — MDD quality & bandwidth figures\n  \
+table1 table2 table3 table4 table5 — CS-2 mapping & scaling tables\n  \
+fig15 fig16 — rooflines\n  \
+power — §7.6 energy;  mmm — §8 TLR-MMM;  io — §6.6 host link\n  \
+appbench — whole-application dense vs TLR;  coupling — §4 ablation\n  \
+precision — bf16 bases;  all — everything\n\n\
+--json additionally writes machine-readable results to target/repro/\n\
+REPRO_SCALE=<n> overrides the dataset downscale factor (default 12)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let all = which == "all";
+    let mut ran = false;
+
+    if all || which == "fig11" {
+        fig11(json);
+        ran = true;
+    }
+    if all || which == "fig12" {
+        fig12(json);
+        ran = true;
+    }
+    if all || which == "fig13" {
+        fig13(json);
+        ran = true;
+    }
+    if all || which == "fig14" {
+        fig14(json);
+        ran = true;
+    }
+    if all || which == "table1" || which == "table2" || which == "table3" {
+        tables123(&which, all, json);
+        ran = true;
+    }
+    if all || which == "table4" {
+        table4(json);
+        ran = true;
+    }
+    if all || which == "table5" {
+        table5(json);
+        ran = true;
+    }
+    if all || which == "fig15" {
+        fig15(json);
+        ran = true;
+    }
+    if all || which == "fig16" {
+        fig16(json);
+        ran = true;
+    }
+    if all || which == "power" {
+        power(json);
+        ran = true;
+    }
+    if all || which == "mmm" {
+        mmm(json);
+        ran = true;
+    }
+    if all || which == "io" {
+        io_study(json);
+        ran = true;
+    }
+    if all || which == "appbench" {
+        appbench(json);
+        ran = true;
+    }
+    if all || which == "coupling" {
+        coupling(json);
+        ran = true;
+    }
+    if all || which == "precision" {
+        precision(json);
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown experiment '{which}'; choose from: fig11 fig12 fig13 fig14 \
+             table1 table2 table3 table4 table5 fig15 fig16 power mmm all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn fig11(json: bool) {
+    println!("\n[Fig 11] MDD panels: adjoint vs inversion vs ground truth (laptop-scale dataset)");
+    let ds = mddx::default_dataset();
+    println!(
+        "  dataset: {} sources x {} receivers x {} frequencies",
+        ds.acq.n_sources(),
+        ds.acq.n_receivers(),
+        ds.n_freqs()
+    );
+    let results = mddx::fig11_with_panels(&ds, json);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.nb.to_string(),
+                format!("{:.0e}", r.acc),
+                format!("{:.4}", r.nmse_adjoint),
+                format!("{:.4}", r.nmse_inverse),
+                r.iterations.to_string(),
+                format!("{:.2}", r.compression_ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig 11 — adjoint (cross-correlation) vs LSQR inversion NMSE",
+            &["nb", "acc", "NMSE adjoint", "NMSE inverse", "iters", "compr. ratio"],
+            &rows
+        )
+    );
+    println!(
+        "  paper shape: inversion removes free-surface effects the adjoint leaves in;\n  \
+         loosening acc from 1e-4 to 7e-4 adds noise to the solution."
+    );
+    if json {
+        write_json("fig11", &results).unwrap();
+    }
+}
+
+fn fig12(json: bool) {
+    println!("\n[Fig 12] Compression threshold vs MDD accuracy");
+    let ds = mddx::default_dataset();
+    let rows_data = mddx::fig12(&ds);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.nb.to_string(),
+                format!("{:.0e}", r.acc),
+                format!("{:.4}", r.nmse),
+                format!("{:+.2}%", r.nmse_change_pct),
+                format!("{:?}", r.region),
+                fmt_bytes(r.compressed_bytes as u64),
+                format!("{:.2}x", r.ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig 12 (top) — % NMSE change vs benchmark (nb=70, acc=1e-4)",
+            &["nb", "acc", "NMSE", "change", "region", "compressed", "ratio"],
+            &rows
+        )
+    );
+    // Fig 12 bottom at paper scale, from the calibrated rank model.
+    let mut scale_rows = Vec::new();
+    for &nb in &[25usize, 50, 70] {
+        for &acc in &[1e-4f32, 3e-4, 5e-4, 7e-4] {
+            if let Some(model) = wse_sim::RankModel::paper(nb, acc) {
+                let w = model.generate();
+                scale_rows.push(vec![
+                    nb.to_string(),
+                    format!("{:.0e}", acc),
+                    fmt_bytes(w.compressed_bytes()),
+                    fmt_bytes(w.bytes_per_freq(10)),
+                    fmt_bytes(w.bytes_per_freq(220)),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig 12 (bottom) — paper-scale compressed sizes (rank model)",
+            &["nb", "acc", "total", "low-freq matrix", "high-freq matrix"],
+            &scale_rows
+        )
+    );
+    if json {
+        write_json("fig12", &rows_data).unwrap();
+    }
+}
+
+fn fig13(json: bool) {
+    println!("\n[Fig 13] Zero-offset sections: full / upgoing / MDD (NMO stack)");
+    let ds = mddx::default_dataset();
+    let result = mddx::fig13_with_panels(&ds, 1, json);
+    println!(
+        "  {} virtual sources along the central crossline",
+        result.n_virtual_sources
+    );
+    println!(
+        "  RMS amplitude: full {:.3e}, upgoing {:.3e}, MDD {:.3e}",
+        result.rms_full, result.rms_upgoing, result.rms_mdd
+    );
+    println!(
+        "  free-surface multiple suppression (upgoing/MDD energy in the first \
+         multiple window): {:.1}x",
+        result.multiple_suppression_ratio
+    );
+    println!("  paper shape: green-arrow multiples present in upgoing data are removed by MDD.");
+    if json {
+        write_json("fig13", &result).unwrap();
+    }
+}
+
+fn fig14(json: bool) {
+    println!("\n[Fig 14] Tile size vs memory bandwidth, constant-size batched MVM, one CS-2");
+    let sizes = [8usize, 16, 24, 32, 48, 64, 96, 128];
+    let rows_data = wsex::fig14(&sizes);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                fmt_pbs(r.rel_bw),
+                fmt_pbs(r.abs_bw),
+                fmt_pbs(r.rel_bw_ideal),
+                fmt_pbs(r.abs_bw_ideal),
+                format!("{:.2}", r.abs_bw / r.rel_bw),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig 14 — bandwidth vs N (modeled 'real' and ideal 'simulated')",
+            &["N", "rel bw", "abs bw", "rel ideal", "abs ideal", "abs/rel"],
+            &rows
+        )
+    );
+    println!("  paper shape: relative bw saturates near 2 PB/s; absolute ≈ 3x relative.");
+    if json {
+        write_json("fig14", &rows_data).unwrap();
+    }
+}
+
+fn tables123(which: &str, all: bool, json: bool) {
+    let rows_data = wsex::six_shard_rows();
+    if all || which == "table1" {
+        let rows: Vec<Vec<String>> = rows_data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nb.to_string(),
+                    format!("{:.4}", r.acc),
+                    format!("{} (paper {})", r.report.stack_width, r.paper.stack_width),
+                    format!("{} (paper {})", r.report.pes_used, r.paper.pes_used),
+                    format!(
+                        "{:.0}% (paper {}%)",
+                        100.0 * r.report.occupancy,
+                        r.paper.occupancy_pct
+                    ),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 1 — configurations delivering proper MDD accuracy (6 CS-2s)",
+                &["nb", "acc", "stack width", "PEs used", "occupancy"],
+                &rows
+            )
+        );
+    }
+    if all || which == "table2" {
+        let rows: Vec<Vec<String>> = rows_data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nb.to_string(),
+                    format!("{:.4}", r.acc),
+                    format!("{} (paper {})", r.report.worst_cycles, r.paper.worst_cycles),
+                    format!(
+                        "{:.2e} (paper {:.2e})",
+                        r.report.relative_bytes as f64, r.paper.relative_bytes
+                    ),
+                    format!(
+                        "{:.2e} (paper {:.2e})",
+                        r.report.absolute_bytes as f64, r.paper.absolute_bytes
+                    ),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 2 — worst cycle count / memory accesses (bytes)",
+                &["nb", "acc", "worst cycles", "relative accesses", "absolute accesses"],
+                &rows
+            )
+        );
+    }
+    if all || which == "table3" {
+        let rows: Vec<Vec<String>> = rows_data
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nb.to_string(),
+                    format!("{:.4}", r.acc),
+                    format!("{:.2} (paper {:.2})", r.report.relative_pbs(), r.paper.rel_pbs),
+                    format!("{:.2} (paper {:.2})", r.report.absolute_pbs(), r.paper.abs_pbs),
+                    format!("{:.2} (paper {:.2})", r.report.pflops(), r.paper.pflops),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Table 3 — aggregate bandwidth on six shards",
+                &["nb", "acc", "rel bw PB/s", "abs bw PB/s", "PFlop/s"],
+                &rows
+            )
+        );
+    }
+    if json {
+        write_json("tables123", &rows_data).unwrap();
+    }
+}
+
+fn table4(json: bool) {
+    let rows_data = wsex::table4();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                r.stack_width.to_string(),
+                format!("{:?}", r.strategy),
+                format!(
+                    "{:.2} (paper {:.2})",
+                    r.report.relative_pbs(),
+                    r.paper_rel_pbs
+                ),
+                format!("{:.2}", r.report.absolute_pbs()),
+                format!("{:.2}", r.report.pflops()),
+                format!("{:.0}%", 100.0 * r.parallel_efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 4 — strong scaling, nb=25 acc=1e-4",
+            &["shards", "stack w", "strategy", "rel bw PB/s", "abs bw PB/s", "PFlop/s", "par. eff"],
+            &rows
+        )
+    );
+    if json {
+        write_json("table4", &rows_data).unwrap();
+    }
+}
+
+fn table5(json: bool) {
+    let rows_data = wsex::table5();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.nb.to_string(),
+                r.stack_width.to_string(),
+                r.shards.to_string(),
+                format!(
+                    "{:.2} (paper {:.2})",
+                    r.report.relative_pbs(),
+                    r.paper_rel_pbs
+                ),
+                format!(
+                    "{:.2} (paper {:.2})",
+                    r.report.absolute_pbs(),
+                    r.paper_abs_pbs
+                ),
+                format!("{:.2} (paper {:.2})", r.report.pflops(), r.paper_pflops),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 5 — 48-shard strategy-2 runs, acc=1e-4",
+            &["nb", "stack w", "shards", "rel bw PB/s", "abs bw PB/s", "PFlop/s"],
+            &rows
+        )
+    );
+    if json {
+        write_json("table5", &rows_data).unwrap();
+    }
+}
+
+fn fig15(json: bool) {
+    let (machines, point) = wsex::fig15();
+    let rows: Vec<Vec<String>> = machines
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                fmt_pbs(m.peak_bw),
+                format!("{:.2} PFlop/s", m.peak_flops / 1e15),
+                format!("{:.3}", m.ridge),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig 15 — roofline ceilings: six CS-2 vs vendor hardware",
+            &["machine", "peak bw", "peak compute", "ridge (F/B)"],
+            &rows
+        )
+    );
+    println!(
+        "  measured point: {} — intensity {:.3} F/B, {} sustained, {:.2} PFlop/s\n  \
+         (paper plots 12.26 PB/s; >3 orders of magnitude above one MI250X)",
+        point.name,
+        point.intensity,
+        fmt_pbs(point.bandwidth),
+        point.flops / 1e15
+    );
+    if json {
+        write_json("fig15", &(machines, point)).unwrap();
+    }
+}
+
+fn fig16(json: bool) {
+    let (machines, points) = wsex::fig16();
+    let rows: Vec<Vec<String>> = machines
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                fmt_pbs(m.peak_bw),
+                format!("{:.1} PFlop/s", m.peak_flops / 1e15),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig 16 — roofline ceilings: Condor Galaxy vs Top-5",
+            &["machine", "peak bw", "peak compute"],
+            &rows
+        )
+    );
+    let prows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                fmt_pbs(p.bandwidth),
+                format!("{:.2} PFlop/s", p.flops / 1e15),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig 16 — measured / estimated points (paper: 92.58 rel, 245.59 abs PB/s)",
+            &["point", "sustained bw", "sustained compute"],
+            &prows
+        )
+    );
+    if json {
+        write_json("fig16", &(machines, points)).unwrap();
+    }
+}
+
+fn mmm(json: bool) {
+    println!("\n[§8 extension] TLR-MMM: simultaneous virtual sources vs the memory wall");
+    let ds = mddx::default_dataset();
+    let rows_data = mmmx::mmm_sweep(&ds, &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.s.to_string(),
+                format!("{:.3}", r.relative_intensity),
+                format!("{:.3}", r.absolute_intensity),
+                if r.cs2_compute_bound { "compute".into() } else { "memory".into() },
+                fmt_bytes(r.panel_bytes_per_pe as u64),
+                if r.fits_sram { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "TLR-MMM sweep (nb=70, stack width 23 chunk geometry)",
+            &["sources", "rel F/B", "abs F/B", "CS-2 regime", "panel B/PE", "fits SRAM"],
+            &rows
+        )
+    );
+    println!(
+        "  §8's claim quantified: relative intensity rises with the source count\n           (bases amortize), but flat SRAM gives no reuse — and the panels exhaust\n           the 48 kB PE, so the memory wall returns as a capacity limit."
+    );
+    if json {
+        write_json("mmm", &rows_data).unwrap();
+    }
+}
+
+fn precision(json: bool) {
+    println!("\n[precision ablation] FP32 vs bf16 base storage (refs [23]/[24])");
+    let ds = mddx::default_dataset();
+    let rows_data = mddx::precision_study(&ds);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.format.clone(),
+                fmt_bytes(r.bytes as u64),
+                format!("{:.4}", r.nmse),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "base-storage precision vs MDD quality",
+            &["format", "operator bytes", "NMSE"],
+            &rows
+        )
+    );
+    println!(
+        "  bf16 bases halve the footprint; the quantization noise (≈4e-3 per\n           entry) sits inside the compression tolerance's quality budget."
+    );
+    if json {
+        write_json("precision", &rows_data).unwrap();
+    }
+}
+
+fn coupling(json: bool) {
+    println!("\n[§4 ablation] joint (time-domain) vs per-frequency decoupled MDD");
+    let ds = mddx::default_dataset();
+    let rows_data = mddx::coupling_study(&ds);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.snr.map_or("clean".to_string(), |s| format!("SNR {s:.0}")),
+                format!("{:.4}", r.nmse_joint),
+                format!("{:.4}", r.nmse_per_frequency),
+                format!("{:.2}", r.worst_frequency_nmse),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "joint vs decoupled inversion quality",
+            &["data", "NMSE joint", "NMSE per-freq", "worst freq NMSE"],
+            &rows
+        )
+    );
+    println!(
+        "  §4's point: the decoupled solve degrades at poorly-excited frequencies\n           once the data are noisy — the joint (time-domain) solve balances them."
+    );
+    if json {
+        write_json("coupling", &rows_data).unwrap();
+    }
+}
+
+fn appbench(json: bool) {
+    println!("\n[§6.2 whole application] dense vs TLR operator in the 30-iteration LSQR");
+    let ds = mddx::default_dataset();
+    let rows_data = mddx::app_bench(&ds);
+    let base = rows_data[0].seconds;
+    let base_bytes = rows_data[0].operator_bytes;
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.operator.clone(),
+                format!("{:.1} ms", r.seconds * 1e3),
+                format!("{:.2}x", base / r.seconds),
+                fmt_bytes(r.operator_bytes as u64),
+                format!("{:.2}x", base_bytes as f64 / r.operator_bytes as f64),
+                format!("{:.4}", r.nmse),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "whole-application MDD on this host",
+            &["operator", "time", "speedup", "memory", "compression", "NMSE"],
+            &rows
+        )
+    );
+    if json {
+        write_json("appbench", &rows_data).unwrap();
+    }
+}
+
+fn io_study(json: bool) {
+    println!("\n[§6.6 study] Host link vs kernel time (double buffering break-even)");
+    let rows_data = wsex::io_study();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.link.clone(),
+                format!("{:.1} us", r.transfer_s * 1e6),
+                format!("{:.1} us", r.compute_s * 1e6),
+                format!("{:.1}x", r.ratio),
+                format!("{:.0}%", 100.0 * r.double_buffer_efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "per-MVM transfer vs compute, six-shard nb=70 configuration",
+            &["link", "transfer", "compute", "transfer/compute", "dbl-buffer eff."],
+            &rows
+        )
+    );
+    println!(
+        "  the paper excludes transfers from its timings and points to double\n           buffering / CXL as mitigations — this quantifies when that works."
+    );
+    if json {
+        write_json("io", &rows_data).unwrap();
+    }
+}
+
+fn power(json: bool) {
+    let p = wsex::power();
+    println!("\n[§7.6] Power assessment (worst-case six-shard configuration)");
+    println!(
+        "  model: {:.1} kW per CS-2 (paper measures {:.0} kW)",
+        p.power_per_system_w / 1e3,
+        p.paper_power_w / 1e3
+    );
+    println!(
+        "  model: {:.2} GFlop/s/W (paper reports {:.2})",
+        p.gflops_per_w, p.paper_gflops_per_w
+    );
+    if json {
+        write_json("power", &p).unwrap();
+    }
+}

@@ -1,0 +1,501 @@
+//! CS-2 performance experiments: Fig. 14 and Tables 1–5, plus the §7.6
+//! power assessment — all on the paper-scale rank model, through the
+//! wse-sim placement and cycle models.
+
+use serde::Serialize;
+use wse_sim::{
+    choose_stack_width, constant_size_bandwidth, energy_report, place, Cluster, Cs2Config,
+    PlacementReport, RankModel, Strategy,
+};
+
+/// The paper's five validated configurations (Table 1 rows).
+pub const VALIDATED_CONFIGS: [(usize, f32); 5] =
+    [(25, 1e-4), (50, 1e-4), (70, 1e-4), (50, 3e-4), (70, 3e-4)];
+
+/// Paper reference values for Tables 1–3 (per validated config).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PaperSixShardRef {
+    /// Stack width (Table 1).
+    pub stack_width: usize,
+    /// PEs used (Table 1).
+    pub pes_used: u64,
+    /// Occupancy % (Table 1).
+    pub occupancy_pct: u32,
+    /// Worst cycle count (Table 2).
+    pub worst_cycles: u64,
+    /// Relative memory accesses in bytes (Table 2).
+    pub relative_bytes: f64,
+    /// Absolute memory accesses in bytes (Table 2).
+    pub absolute_bytes: f64,
+    /// Aggregate relative bandwidth PB/s (Table 3).
+    pub rel_pbs: f64,
+    /// Aggregate absolute bandwidth PB/s (Table 3).
+    pub abs_pbs: f64,
+    /// PFlop/s (Table 3).
+    pub pflops: f64,
+}
+
+/// Paper values per validated config, in `VALIDATED_CONFIGS` order.
+pub fn paper_six_shard_refs() -> [PaperSixShardRef; 5] {
+    [
+        PaperSixShardRef {
+            stack_width: 64,
+            pes_used: 4_417_690,
+            occupancy_pct: 99,
+            worst_cycles: 21_350,
+            relative_bytes: 2.94e11,
+            absolute_bytes: 6.85e11,
+            rel_pbs: 11.24,
+            abs_pbs: 26.19,
+            pflops: 3.77,
+        },
+        PaperSixShardRef {
+            stack_width: 32,
+            pes_used: 4_330_150,
+            occupancy_pct: 97,
+            worst_cycles: 19_214,
+            relative_bytes: 2.60e11,
+            absolute_bytes: 6.71e11,
+            rel_pbs: 11.70,
+            abs_pbs: 30.15,
+            pflops: 4.60,
+        },
+        PaperSixShardRef {
+            stack_width: 23,
+            pes_used: 4_416_383,
+            occupancy_pct: 98,
+            worst_cycles: 19_131,
+            relative_bytes: 2.60e11,
+            absolute_bytes: 6.89e11,
+            rel_pbs: 11.92,
+            abs_pbs: 31.62,
+            pflops: 4.89,
+        },
+        PaperSixShardRef {
+            stack_width: 18,
+            pes_used: 4_445_947,
+            occupancy_pct: 99,
+            worst_cycles: 12_275,
+            relative_bytes: 1.64e11,
+            absolute_bytes: 3.89e11,
+            rel_pbs: 12.26,
+            abs_pbs: 29.05,
+            pflops: 4.16,
+        },
+        PaperSixShardRef {
+            stack_width: 14,
+            pes_used: 4_252_877,
+            occupancy_pct: 95,
+            worst_cycles: 12_999,
+            relative_bytes: 1.64e11,
+            absolute_bytes: 4.06e11,
+            rel_pbs: 11.60,
+            abs_pbs: 28.79,
+            pflops: 4.23,
+        },
+    ]
+}
+
+/// Model results for one validated config on six shards.
+#[derive(Clone, Debug, Serialize)]
+pub struct SixShardRow {
+    /// Tile size.
+    pub nb: usize,
+    /// Accuracy.
+    pub acc: f32,
+    /// The model's placement report.
+    pub report: PlacementReport,
+    /// Paper reference values.
+    pub paper: PaperSixShardRef,
+}
+
+/// Compute the six-shard placement for every validated config — the data
+/// behind Tables 1, 2 and 3.
+pub fn six_shard_rows() -> Vec<SixShardRow> {
+    let cluster = Cluster::new(6);
+    let cfg = Cs2Config::default();
+    let refs = paper_six_shard_refs();
+    VALIDATED_CONFIGS
+        .iter()
+        .zip(refs)
+        .map(|(&(nb, acc), paper)| {
+            let w = RankModel::paper(nb, acc).unwrap().generate();
+            let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(nb));
+            let report = place(&w, sw, Strategy::FusedSinglePe, &cluster)
+                .expect("validated config must place on 6 CS-2s");
+            SixShardRow {
+                nb,
+                acc,
+                report,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 14 sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig14Row {
+    /// Matrix size N (the batched MVM is N × N per PE).
+    pub n: usize,
+    /// Modeled ("real CS-2") relative bandwidth, B/s.
+    pub rel_bw: f64,
+    /// Modeled absolute bandwidth, B/s.
+    pub abs_bw: f64,
+    /// Ideal-performance-model ("simulated") relative bandwidth, B/s.
+    pub rel_bw_ideal: f64,
+    /// Ideal absolute bandwidth, B/s.
+    pub abs_bw_ideal: f64,
+}
+
+/// Fig. 14: constant-size batched MVM bandwidth vs tile size on one CS-2.
+pub fn fig14(sizes: &[usize]) -> Vec<Fig14Row> {
+    let cluster = Cluster::new(1);
+    sizes
+        .iter()
+        .map(|&n| {
+            let (rel_bw, abs_bw) = constant_size_bandwidth(n, &cluster, false);
+            let (rel_bw_ideal, abs_bw_ideal) = constant_size_bandwidth(n, &cluster, true);
+            Fig14Row {
+                n,
+                rel_bw,
+                abs_bw,
+                rel_bw_ideal,
+                abs_bw_ideal,
+            }
+        })
+        .collect()
+}
+
+/// One Table 4 strong-scaling row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table4Row {
+    /// Shard (system) count.
+    pub shards: usize,
+    /// Stack width used.
+    pub stack_width: usize,
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Model placement report.
+    pub report: PlacementReport,
+    /// Parallel efficiency vs the 6-shard baseline.
+    pub parallel_efficiency: f64,
+    /// Paper's aggregate relative bandwidth (PB/s).
+    pub paper_rel_pbs: f64,
+}
+
+/// Table 4: strong scaling of the `nb = 25, acc = 1e-4` configuration.
+pub fn table4() -> Vec<Table4Row> {
+    let w = RankModel::paper(25, 1e-4).unwrap().generate();
+    // Paper rows: (shards, stack width, strategy, paper rel PB/s).
+    let rows = [
+        (6usize, 64usize, Strategy::FusedSinglePe, 11.24),
+        (12, 32, Strategy::FusedSinglePe, 22.13),
+        (16, 24, Strategy::FusedSinglePe, 29.28),
+        (20, 19, Strategy::FusedSinglePe, 35.77),
+        (48, 64, Strategy::ScatterEightPes, 87.73),
+    ];
+    let mut out = Vec::new();
+    let mut base: Option<(usize, f64)> = None;
+    for (shards, sw, strategy, paper_rel) in rows {
+        let cluster = Cluster::new(shards);
+        let report = place(&w, sw, strategy, &cluster).expect("table 4 row must place");
+        let eff = match base {
+            None => {
+                base = Some((shards, report.relative_bw));
+                1.0
+            }
+            Some((s0, bw0)) => (report.relative_bw / bw0) / (shards as f64 / s0 as f64),
+        };
+        out.push(Table4Row {
+            shards,
+            stack_width: sw,
+            strategy,
+            report,
+            parallel_efficiency: eff,
+            paper_rel_pbs: paper_rel,
+        });
+    }
+    out
+}
+
+/// One Table 5 row: 48-shard strategy-2 runs.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table5Row {
+    /// Tile size.
+    pub nb: usize,
+    /// Stack width.
+    pub stack_width: usize,
+    /// Shards (47 for nb = 50 in the paper, 48 otherwise).
+    pub shards: usize,
+    /// Model report.
+    pub report: PlacementReport,
+    /// Paper aggregate relative bandwidth (PB/s).
+    pub paper_rel_pbs: f64,
+    /// Paper aggregate absolute bandwidth (PB/s).
+    pub paper_abs_pbs: f64,
+    /// Paper PFlop/s.
+    pub paper_pflops: f64,
+}
+
+/// Table 5: the headline 48-system runs (`acc = 1e-4`, strategy 2).
+pub fn table5() -> Vec<Table5Row> {
+    let rows = [
+        (25usize, 64usize, 48usize, 87.73, 204.51, 29.40),
+        (50, 32, 47, 91.15, 235.04, 35.86),
+        (70, 23, 48, 92.58, 245.59, 37.95),
+    ];
+    rows.iter()
+        .map(|&(nb, sw, shards, p_rel, p_abs, p_fl)| {
+            let w = RankModel::paper(nb, 1e-4).unwrap().generate();
+            let cluster = Cluster::new(shards);
+            let report =
+                place(&w, sw, Strategy::ScatterEightPes, &cluster).expect("table 5 row must place");
+            Table5Row {
+                nb,
+                stack_width: sw,
+                shards,
+                report,
+                paper_rel_pbs: p_rel,
+                paper_abs_pbs: p_abs,
+                paper_pflops: p_fl,
+            }
+        })
+        .collect()
+}
+
+/// §7.6 power assessment of the worst-case six-shard configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct PowerResult {
+    /// Modeled power per CS-2 (W); paper measures ~16 kW.
+    pub power_per_system_w: f64,
+    /// Modeled energy efficiency (GFlop/s/W); paper reports 36.50.
+    pub gflops_per_w: f64,
+    /// Paper reference values.
+    pub paper_power_w: f64,
+    /// Paper energy efficiency.
+    pub paper_gflops_per_w: f64,
+}
+
+/// Power model on the `nb = 25, acc = 1e-4` six-shard run.
+pub fn power() -> PowerResult {
+    let cluster = Cluster::new(6);
+    let cfg = Cs2Config::default();
+    let w = RankModel::paper(25, 1e-4).unwrap().generate();
+    let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(25));
+    let report = place(&w, sw, Strategy::FusedSinglePe, &cluster).unwrap();
+    let e = energy_report(&report, &cluster);
+    PowerResult {
+        power_per_system_w: e.power_per_system_w,
+        gflops_per_w: e.gflops_per_w,
+        paper_power_w: 16_000.0,
+        paper_gflops_per_w: 36.50,
+    }
+}
+
+/// §6.6 I/O study row: can double buffering hide the host link?
+#[derive(Clone, Debug, Serialize)]
+pub struct IoRow {
+    /// Link label.
+    pub link: String,
+    /// Transfer time per MVM (s).
+    pub transfer_s: f64,
+    /// Compute time per MVM (s).
+    pub compute_s: f64,
+    /// transfer / compute.
+    pub ratio: f64,
+    /// Effective throughput with double buffering.
+    pub double_buffer_efficiency: f64,
+}
+
+/// §6.6: quantify the "slow-bandwidth ethernet … may be mitigated with a
+/// double buffering mechanism or … CXL" remark on the six-shard headline
+/// configuration.
+pub fn io_study() -> Vec<IoRow> {
+    let cluster = Cluster::new(6);
+    let cfg = Cs2Config::default();
+    let w = RankModel::paper(70, 1e-4).unwrap().generate();
+    let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(70));
+    let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster).unwrap();
+    [
+        ("Ethernet (1.2 Tb/s)", wse_sim::HostLink::ethernet()),
+        ("CXL-class (8 Tb/s)", wse_sim::HostLink::cxl()),
+    ]
+    .into_iter()
+    .map(|(name, link)| {
+        let io = wse_sim::io_report(&rep, &w, &link, &cfg);
+        IoRow {
+            link: name.to_string(),
+            transfer_s: io.transfer_s,
+            compute_s: io.compute_s,
+            ratio: io.transfer_over_compute,
+            double_buffer_efficiency: io.double_buffer_efficiency,
+        }
+    })
+    .collect()
+}
+
+/// A roofline point or ceiling for the Fig. 15/16 outputs.
+#[derive(Clone, Debug, Serialize)]
+pub struct RooflinePoint {
+    /// Label.
+    pub name: String,
+    /// Peak memory bandwidth (B/s) — the sloped ceiling.
+    pub peak_bw: f64,
+    /// Peak compute (flop/s) — the flat ceiling.
+    pub peak_flops: f64,
+    /// Ridge intensity (flop/byte).
+    pub ridge: f64,
+}
+
+/// Measured TLR-MVM points placed on a roofline.
+#[derive(Clone, Debug, Serialize)]
+pub struct MeasuredPoint {
+    /// Label.
+    pub name: String,
+    /// Arithmetic intensity (flop/byte).
+    pub intensity: f64,
+    /// Sustained bandwidth (B/s).
+    pub bandwidth: f64,
+    /// Sustained flops (flop/s).
+    pub flops: f64,
+}
+
+/// Fig. 15: six-CS-2 roofline vs vendor hardware, with the model's
+/// measured TLR-MVM point (optimal six-shard configuration).
+pub fn fig15() -> (Vec<RooflinePoint>, MeasuredPoint) {
+    let machines = wse_sim::fig15_machines()
+        .into_iter()
+        .map(|m| RooflinePoint {
+            ridge: m.ridge_intensity(),
+            name: m.name,
+            peak_bw: m.peak_bw,
+            peak_flops: m.peak_flops,
+        })
+        .collect();
+    // Paper plots the optimal 6-shard configuration (nb=50, acc=3e-4).
+    let rows = six_shard_rows();
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            a.report
+                .relative_bw
+                .partial_cmp(&b.report.relative_bw)
+                .unwrap()
+        })
+        .unwrap();
+    let point = MeasuredPoint {
+        name: format!("TLR-MVM on six CS-2 (nb={}, acc={:.0e})", best.nb, best.acc),
+        intensity: best.report.flops as f64 / best.report.relative_bytes as f64,
+        bandwidth: best.report.relative_bw,
+        flops: best.report.flops_per_s,
+    };
+    (machines, point)
+}
+
+/// Fig. 16: 48-CS-2 roofline vs the Top-5, with relative and absolute
+/// measured points plus the paper's constant-rank estimates.
+pub fn fig16() -> (Vec<RooflinePoint>, Vec<MeasuredPoint>) {
+    let machines = wse_sim::fig16_machines()
+        .into_iter()
+        .map(|m| RooflinePoint {
+            ridge: m.ridge_intensity(),
+            name: m.name,
+            peak_bw: m.peak_bw,
+            peak_flops: m.peak_flops,
+        })
+        .collect();
+    let t5 = table5();
+    let best = t5.last().unwrap(); // nb = 70, the paper's headline
+    let mut points = vec![
+        MeasuredPoint {
+            name: "TLR-MVM on 48 CS-2 (Relative)".to_string(),
+            intensity: best.report.flops as f64 / best.report.relative_bytes as f64,
+            bandwidth: best.report.relative_bw,
+            flops: best.report.flops_per_s,
+        },
+        MeasuredPoint {
+            name: "TLR-MVM on 48 CS-2 (Absolute)".to_string(),
+            intensity: best.report.flops as f64 / best.report.absolute_bytes as f64,
+            bandwidth: best.report.absolute_bw,
+            flops: best.report.flops_per_s,
+        },
+    ];
+    for (name, bw) in wse_sim::constant_rank_estimates() {
+        points.push(MeasuredPoint {
+            name,
+            intensity: 0.5,
+            bandwidth: bw,
+            flops: bw * 0.5,
+        });
+    }
+    (machines, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_shard_rows_are_close_to_paper() {
+        for row in six_shard_rows() {
+            let pe_err = (row.report.pes_used as f64 - row.paper.pes_used as f64).abs()
+                / row.paper.pes_used as f64;
+            assert!(pe_err < 0.06, "nb={} PE error {pe_err}", row.nb);
+            let cyc_err = (row.report.worst_cycles as f64 - row.paper.worst_cycles as f64).abs()
+                / row.paper.worst_cycles as f64;
+            assert!(cyc_err < 0.10, "nb={} cycle error {cyc_err}", row.nb);
+        }
+    }
+
+    #[test]
+    fn table4_efficiency_declines_but_stays_high() {
+        let rows = table4();
+        assert_eq!(rows[0].parallel_efficiency, 1.0);
+        // Strategy-1 efficiencies decline monotonically with shard count.
+        for w in rows[..4].windows(2) {
+            assert!(w[1].parallel_efficiency <= w[0].parallel_efficiency + 1e-9);
+        }
+        // All strategy-1 rows stay above 60 % in the model (paper: 95 %+).
+        for r in &rows[..4] {
+            assert!(r.parallel_efficiency > 0.6, "{}", r.parallel_efficiency);
+        }
+        // The 48-shard strategy-2 row has the highest bandwidth.
+        assert!(rows[4].report.relative_bw > rows[3].report.relative_bw);
+    }
+
+    #[test]
+    fn table5_matches_paper_within_25pct() {
+        // Per-PE times match the paper within ~1 % on all three rows; the
+        // bandwidth gap is byte counting: we apply the paper's stated
+        // §6.6 formulas, while the measured runs also count alignment
+        // padding and replicated-base traffic (~15-25 % more bytes).
+        for row in table5() {
+            let err = (row.report.relative_pbs() - row.paper_rel_pbs).abs() / row.paper_rel_pbs;
+            assert!(err < 0.25, "nb={} rel err {err}", row.nb);
+        }
+        // The headline (nb = 70) lands much closer.
+        let last = &table5()[2];
+        let err = (last.report.relative_pbs() - last.paper_rel_pbs).abs() / last.paper_rel_pbs;
+        assert!(err < 0.10, "headline err {err}");
+    }
+
+    #[test]
+    fn fig14_monotone_saturation() {
+        let rows = fig14(&[8, 16, 32, 64, 128]);
+        for w in rows.windows(2) {
+            assert!(w[1].rel_bw >= w[0].rel_bw);
+        }
+        // Ideal dominates modeled.
+        for r in &rows {
+            assert!(r.rel_bw_ideal >= r.rel_bw);
+        }
+    }
+
+    #[test]
+    fn power_within_paper_range() {
+        let p = power();
+        assert!((p.power_per_system_w - p.paper_power_w).abs() / p.paper_power_w < 0.05);
+        assert!((p.gflops_per_w - p.paper_gflops_per_w).abs() / p.paper_gflops_per_w < 0.35);
+    }
+}

@@ -1,0 +1,181 @@
+//! Flop and memory-traffic accounting, using the paper's exact formulas
+//! (§6.6).
+//!
+//! For a real FP32 `M × N` MVM:
+//!
+//! * **relative** bytes — cache-model accounting, every operand read once:
+//!   `4·(M·N + M + N)`;
+//! * **absolute** bytes — flat-SRAM accounting, `y` re-read and re-written
+//!   per column sweep: `4·(3·M·N + N)`;
+//! * flops: `2·M·N` (one fmac = 2 flops).
+//!
+//! A complex MVM executes as four real MVMs (see [`crate::real4`]), so the
+//! TLR-MVM totals below multiply the per-basis counts by 4 for the V batch
+//! plus 4 for the U batch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::TlrMatrix;
+
+/// Bytes moved by one real FP32 `m × n` MVM under the cache (relative)
+/// model.
+pub fn relative_bytes(m: usize, n: usize) -> u64 {
+    4 * (m as u64 * n as u64 + m as u64 + n as u64)
+}
+
+/// Bytes moved by one real FP32 `m × n` MVM under the flat-SRAM (absolute)
+/// model: per column, read `y`, `A_j`, `x_j`, write `y`.
+pub fn absolute_bytes(m: usize, n: usize) -> u64 {
+    4 * (3 * m as u64 * n as u64 + n as u64)
+}
+
+/// Flops of one real `m × n` MVM (fmac = 2 flops).
+pub fn mvm_flops(m: usize, n: usize) -> u64 {
+    2 * m as u64 * n as u64
+}
+
+/// Aggregate cost of one full TLR-MVM in the complex-as-4-real execution
+/// model.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TlrMvmCost {
+    /// Total real-FP32 flops (V batch + U batch, ×4 real MVMs each).
+    pub flops: u64,
+    /// Relative (cache-model) bytes.
+    pub relative_bytes: u64,
+    /// Absolute (flat-SRAM) bytes.
+    pub absolute_bytes: u64,
+    /// Σ tile ranks.
+    pub total_rank: u64,
+}
+
+impl TlrMvmCost {
+    /// Arithmetic intensity under the relative byte model (flop/byte).
+    pub fn relative_intensity(&self) -> f64 {
+        self.flops as f64 / self.relative_bytes.max(1) as f64
+    }
+
+    /// Arithmetic intensity under the absolute byte model.
+    pub fn absolute_intensity(&self) -> f64 {
+        self.flops as f64 / self.absolute_bytes.max(1) as f64
+    }
+}
+
+/// Cost of one TLR-MVM with the given compressed matrix.
+///
+/// Per tile column `j` with width `cl_j` and stacked rank `K_j`, the fused
+/// communication-avoiding kernel runs the V batch as 4 real `(K_j × cl_j)`
+/// products and the U batch as 4 real `(nb × K_j)` products.
+pub fn tlr_mvm_cost(tlr: &TlrMatrix) -> TlrMvmCost {
+    let t = tlr.tiling();
+    let nb = t.nb;
+    let mut cost = TlrMvmCost::default();
+    for j in 0..t.tile_cols() {
+        let (_, cl) = t.col_range(j);
+        let kj = tlr.column_rank(j);
+        if kj == 0 {
+            continue;
+        }
+        // V batch: y_v (K_j) = Vᴴ (K_j × cl) · x (cl) — 4 real MVMs.
+        cost.flops += 4 * mvm_flops(kj, cl);
+        cost.relative_bytes += 4 * relative_bytes(kj, cl);
+        cost.absolute_bytes += 4 * absolute_bytes(kj, cl);
+        // U batch: y (nb) += U (nb × K_j) · y_v (K_j) — 4 real MVMs.
+        cost.flops += 4 * mvm_flops(nb, kj);
+        cost.relative_bytes += 4 * relative_bytes(nb, kj);
+        cost.absolute_bytes += 4 * absolute_bytes(nb, kj);
+        cost.total_rank += kj as u64;
+    }
+    cost
+}
+
+/// Cost of the equivalent *dense* complex MVM (for speedup comparisons).
+pub fn dense_mvm_cost(m: usize, n: usize) -> TlrMvmCost {
+    TlrMvmCost {
+        flops: 4 * mvm_flops(m, n),
+        relative_bytes: 4 * relative_bytes(m, n),
+        absolute_bytes: 4 * absolute_bytes(m, n),
+        total_rank: m.min(n) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+    use seismic_la::scalar::C32;
+    use seismic_la::Matrix;
+
+    #[test]
+    fn byte_formulas_match_paper_text() {
+        // §6.6: relative = 4(MN + M + N), absolute = 4(3MN + N).
+        assert_eq!(relative_bytes(10, 20), 4 * (200 + 10 + 20));
+        assert_eq!(absolute_bytes(10, 20), 4 * (600 + 20));
+        assert_eq!(mvm_flops(10, 20), 400);
+    }
+
+    #[test]
+    fn absolute_exceeds_relative_by_roughly_3x() {
+        // For large matrices the ratio tends to 3 — the paper's observed
+        // "3X speedup" of absolute over relative bandwidth (Fig. 14).
+        let m = 1000;
+        let n = 1000;
+        let ratio = absolute_bytes(m, n) as f64 / relative_bytes(m, n) as f64;
+        assert!((ratio - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tlr_cost_scales_with_rank() {
+        // Smoothed-distance phase: non-separable, rank grows with the
+        // oscillation scale (like seismic kernels with frequency).
+        let kern = |scale: f32| {
+            Matrix::from_fn(96, 96, move |i, j| {
+                let d = (i as f32 - j as f32) / 96.0;
+                let r = (d * d + 0.04).sqrt();
+                C32::from_polar(1.0 / (1.0 + 3.0 * r), -scale * r)
+            })
+        };
+        let cfg = CompressionConfig {
+            nb: 16,
+            acc: 1e-4,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        };
+        let smooth = compress(&kern(5.0), cfg);
+        let oscillatory = compress(&kern(120.0), cfg);
+        let c_smooth = tlr_mvm_cost(&smooth);
+        let c_osc = tlr_mvm_cost(&oscillatory);
+        assert!(smooth.total_rank() < oscillatory.total_rank());
+        assert!(c_smooth.flops < c_osc.flops);
+        assert!(c_smooth.absolute_bytes < c_osc.absolute_bytes);
+    }
+
+    #[test]
+    fn dense_cost_dominates_compressed_cost() {
+        let a = Matrix::from_fn(128, 96, |i, j| {
+            let d = (i as f32 / 128.0 - j as f32 / 96.0).abs();
+            C32::from_polar(1.0 / (1.0 + 2.0 * d), -8.0 * d)
+        });
+        let tlr = compress(
+            &a,
+            CompressionConfig {
+                nb: 32,
+                acc: 1e-3,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            },
+        );
+        let c = tlr_mvm_cost(&tlr);
+        let d = dense_mvm_cost(128, 96);
+        assert!(c.flops < d.flops, "TLR must reduce arithmetic");
+        assert!(c.absolute_bytes < d.absolute_bytes);
+    }
+
+    #[test]
+    fn intensities_are_sane() {
+        let d = dense_mvm_cost(500, 500);
+        // Dense MVM relative intensity -> 2 flops per 4 bytes = 0.5.
+        assert!((d.relative_intensity() - 0.5).abs() < 0.01);
+        // Absolute intensity -> 2 flops per 12 bytes ≈ 0.167.
+        assert!((d.absolute_intensity() - 1.0 / 6.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,610 @@
+//! Stacked-bases execution layouts for TLR-MVM.
+//!
+//! * [`ThreePhase`] — the classic x86/ARM/GPU pipeline (paper Figs. 4–7):
+//!   V-batch → memory shuffle → U-batch.
+//! * [`CommAvoiding`] — the paper's new CS-2 layout (Fig. 9): the U bases
+//!   of each *tile column* are stored side-by-side so phases 1 and 3 fuse
+//!   per column; the cross-fabric shuffle disappears, at the price of one
+//!   partial `y` vector per tile column reduced on the host.
+
+// Index-based loops here walk multiple parallel arrays; iterator zips
+// would obscure the stride structure the kernels are about.
+#![allow(clippy::needless_range_loop)]
+
+use rayon::prelude::*;
+use seismic_la::blas::{gemv_acc, gemv_conj_transpose};
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+
+use crate::matrix::TlrMatrix;
+use crate::tiling::Tiling;
+
+const CZERO: C32 = C32::new(0.0, 0.0);
+
+/// Classic three-phase TLR-MVM layout.
+pub struct ThreePhase {
+    tiling: Tiling,
+    /// Per tile column `j`: `(cl_j × K_j)` horizontal concat of `V_{i,j}`.
+    vstacks: Vec<Matrix<C32>>,
+    /// Per tile row `i`: `(rl_i × R_i)` horizontal concat of `U_{i,j}`.
+    ustacks: Vec<Matrix<C32>>,
+    /// Flat offsets of each column segment in the `yv` vector.
+    col_offsets: Vec<usize>,
+    /// Flat offsets of each row segment in the `yu` vector.
+    row_offsets: Vec<usize>,
+    /// `yu[shuffle[p]] = yv[p]` — the phase-2 projection from V- to
+    /// U-ordering (paper Fig. 6).
+    shuffle: Vec<usize>,
+    total_rank: usize,
+}
+
+impl ThreePhase {
+    /// Build the stacked layout from a TLR matrix.
+    pub fn new(tlr: &TlrMatrix) -> Self {
+        let tiling = *tlr.tiling();
+        let mt = tiling.tile_rows();
+        let nt = tiling.tile_cols();
+
+        // V stacks (per column) and flat yv offsets.
+        let mut vstacks = Vec::with_capacity(nt);
+        let mut col_offsets = Vec::with_capacity(nt + 1);
+        let mut acc = 0usize;
+        for j in 0..nt {
+            col_offsets.push(acc);
+            let (_, cl) = tiling.col_range(j);
+            let kj = tlr.column_rank(j);
+            let mut vs = Matrix::zeros(cl, kj);
+            let mut off = 0;
+            for i in 0..mt {
+                let t = tlr.tile(i, j);
+                for r in 0..t.rank() {
+                    vs.col_mut(off + r).copy_from_slice(t.v.col(r));
+                }
+                off += t.rank();
+            }
+            acc += kj;
+            vstacks.push(vs);
+        }
+        col_offsets.push(acc);
+        let total_rank = acc;
+
+        // U stacks (per row) and flat yu offsets.
+        let mut ustacks = Vec::with_capacity(mt);
+        let mut row_offsets = Vec::with_capacity(mt + 1);
+        let mut acc_u = 0usize;
+        for i in 0..mt {
+            row_offsets.push(acc_u);
+            let (_, rl) = tiling.row_range(i);
+            let ri = tlr.row_rank(i);
+            let mut us = Matrix::zeros(rl, ri);
+            let mut off = 0;
+            for j in 0..nt {
+                let t = tlr.tile(i, j);
+                for r in 0..t.rank() {
+                    us.col_mut(off + r).copy_from_slice(t.u.col(r));
+                }
+                off += t.rank();
+            }
+            acc_u += ri;
+            ustacks.push(us);
+        }
+        row_offsets.push(acc_u);
+        debug_assert_eq!(acc_u, total_rank);
+
+        // Shuffle: walk yv order (j, then i, then r) and compute the
+        // position of the same (i, j, r) coefficient in yu order
+        // (i, then j, then r).
+        let mut shuffle = vec![0usize; total_rank];
+        // Per (i, j): rank offset of tile (i,j) inside row stack i.
+        let mut row_tile_offset = vec![vec![0usize; nt]; mt];
+        for i in 0..mt {
+            let mut off = 0;
+            for j in 0..nt {
+                row_tile_offset[i][j] = off;
+                off += tlr.rank(i, j);
+            }
+        }
+        let mut p = 0usize;
+        for j in 0..nt {
+            for i in 0..mt {
+                let k = tlr.rank(i, j);
+                let base = row_offsets[i] + row_tile_offset[i][j];
+                for r in 0..k {
+                    shuffle[p] = base + r;
+                    p += 1;
+                }
+            }
+        }
+
+        Self {
+            tiling,
+            vstacks,
+            ustacks,
+            col_offsets,
+            row_offsets,
+            shuffle,
+            total_rank,
+        }
+    }
+
+    /// Total rank Σ k_{ij} (length of the intermediate vectors).
+    pub fn total_rank(&self) -> usize {
+        self.total_rank
+    }
+
+    /// Phase 1 (paper Fig. 5): batched `yv_j = Vstack_jᴴ x_j`.
+    pub fn v_batch(&self, x: &[C32]) -> Vec<C32> {
+        assert_eq!(x.len(), self.tiling.n);
+        let mut yv = vec![CZERO; self.total_rank];
+        let mut segments: Vec<&mut [C32]> = Vec::new();
+        let mut rest = yv.as_mut_slice();
+        for j in 0..self.vstacks.len() {
+            let len = self.col_offsets[j + 1] - self.col_offsets[j];
+            let (seg, tail) = rest.split_at_mut(len);
+            segments.push(seg);
+            rest = tail;
+        }
+        segments.par_iter_mut().enumerate().for_each(|(j, seg)| {
+            let (c0, cl) = self.tiling.col_range(j);
+            gemv_conj_transpose(&self.vstacks[j], &x[c0..c0 + cl], seg);
+        });
+        yv
+    }
+
+    /// Phase 2 (paper Fig. 6): project coefficients from V- to U-ordering.
+    pub fn shuffle(&self, yv: &[C32]) -> Vec<C32> {
+        assert_eq!(yv.len(), self.total_rank);
+        let mut yu = vec![CZERO; self.total_rank];
+        for (p, &q) in self.shuffle.iter().enumerate() {
+            yu[q] = yv[p];
+        }
+        yu
+    }
+
+    /// Phase 3 (paper Fig. 7): batched `y_i = Ustack_i · yu_i`.
+    pub fn u_batch(&self, yu: &[C32]) -> Vec<C32> {
+        assert_eq!(yu.len(), self.total_rank);
+        let mut y = vec![CZERO; self.tiling.m];
+        let mut segments: Vec<&mut [C32]> = Vec::new();
+        let mut rest = y.as_mut_slice();
+        for i in 0..self.ustacks.len() {
+            let (_, rl) = self.tiling.row_range(i);
+            let (seg, tail) = rest.split_at_mut(rl);
+            segments.push(seg);
+            rest = tail;
+        }
+        segments.par_iter_mut().enumerate().for_each(|(i, seg)| {
+            let lo = self.row_offsets[i];
+            let hi = self.row_offsets[i + 1];
+            gemv_acc(&self.ustacks[i], &yu[lo..hi], seg);
+        });
+        y
+    }
+
+    /// Full three-phase TLR-MVM: `y = Ã x`.
+    pub fn apply(&self, x: &[C32]) -> Vec<C32> {
+        let yv = self.v_batch(x);
+        let yu = self.shuffle(&yv);
+        self.u_batch(&yu)
+    }
+}
+
+/// One tile column of the communication-avoiding layout: `V` bases stacked
+/// as usual, `U` bases of the *same column* stored side-by-side with
+/// per-rank-column row-block metadata (paper Fig. 9).
+pub struct ColumnStack {
+    /// Tile-column index.
+    pub col: usize,
+    /// First matrix column covered / width.
+    pub c0: usize,
+    /// Width of this tile column.
+    pub cl: usize,
+    /// `(cl × K_j)` stacked V bases.
+    pub vstack: Matrix<C32>,
+    /// `(nb × K_j)` stacked U bases, rows zero-padded to `nb` for edge
+    /// tile rows (the CS-2 code pads for SRAM bank alignment anyway).
+    pub ustack: Matrix<C32>,
+    /// Tile-row index of each rank column.
+    pub row_block: Vec<usize>,
+    /// Actual row count of each rank column (`rl_i`).
+    pub row_len: Vec<usize>,
+}
+
+impl ColumnStack {
+    /// Number of rank columns `K_j`.
+    pub fn rank(&self) -> usize {
+        self.row_block.len()
+    }
+
+    /// Fused V+U kernel for this column: accumulate `Σ_i U_{i,j} V_{i,j}ᴴ x_j`
+    /// into the full-length partial output.
+    pub fn apply_into(&self, x_col: &[C32], y_partial: &mut [C32], nb: usize) {
+        debug_assert_eq!(x_col.len(), self.cl);
+        let k = self.rank();
+        let mut yv = vec![CZERO; k];
+        gemv_conj_transpose(&self.vstack, x_col, &mut yv);
+        for r in 0..k {
+            let coeff = yv[r];
+            if coeff == CZERO {
+                continue;
+            }
+            let dst0 = self.row_block[r] * nb;
+            let len = self.row_len[r];
+            let ucol = &self.ustack.col(r)[..len];
+            for (d, &u) in y_partial[dst0..dst0 + len].iter_mut().zip(ucol) {
+                *d += u * coeff;
+            }
+        }
+    }
+
+    /// Split this column's rank dimension into chunks of at most
+    /// `stack_width` rank columns — the unit of work one CS-2 PE owns.
+    pub fn split(&self, stack_width: usize) -> Vec<RankChunk> {
+        assert!(stack_width > 0);
+        let k = self.rank();
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        while start < k {
+            let end = (start + stack_width).min(k);
+            let w = end - start;
+            let mut v = Matrix::zeros(self.vstack.nrows(), w);
+            let mut u = Matrix::zeros(self.ustack.nrows(), w);
+            for (c, r) in (start..end).enumerate() {
+                v.col_mut(c).copy_from_slice(self.vstack.col(r));
+                u.col_mut(c).copy_from_slice(self.ustack.col(r));
+            }
+            chunks.push(RankChunk {
+                col: self.col,
+                c0: self.c0,
+                cl: self.cl,
+                v,
+                u,
+                row_block: self.row_block[start..end].to_vec(),
+                row_len: self.row_len[start..end].to_vec(),
+            });
+            start = end;
+        }
+        chunks
+    }
+}
+
+/// A contiguous slice of a column stack's rank dimension: the workload of
+/// a single CS-2 processing element.
+#[derive(Clone)]
+pub struct RankChunk {
+    /// Tile-column index this chunk belongs to.
+    pub col: usize,
+    /// First matrix column / width of the owning tile column.
+    pub c0: usize,
+    /// Width of the owning tile column.
+    pub cl: usize,
+    /// `(cl × w)` V-basis slice.
+    pub v: Matrix<C32>,
+    /// `(nb × w)` U-basis slice (zero-padded rows).
+    pub u: Matrix<C32>,
+    /// Tile-row of each rank column.
+    pub row_block: Vec<usize>,
+    /// Valid row count of each rank column.
+    pub row_len: Vec<usize>,
+}
+
+impl RankChunk {
+    /// Chunk width `w` (number of rank columns).
+    pub fn width(&self) -> usize {
+        self.row_block.len()
+    }
+
+    /// Fused kernel: `y_partial += Σ_r u_r (v_rᴴ x_col)`.
+    pub fn apply_into(&self, x_col: &[C32], y_partial: &mut [C32], nb: usize) {
+        debug_assert_eq!(x_col.len(), self.cl);
+        let w = self.width();
+        let mut yv = vec![CZERO; w];
+        gemv_conj_transpose(&self.v, x_col, &mut yv);
+        for r in 0..w {
+            let coeff = yv[r];
+            let dst0 = self.row_block[r] * nb;
+            let len = self.row_len[r];
+            let ucol = &self.u.col(r)[..len];
+            for (d, &u) in y_partial[dst0..dst0 + len].iter_mut().zip(ucol) {
+                *d += u * coeff;
+            }
+        }
+    }
+
+    /// Complex words stored by this chunk (V + U slices).
+    pub fn stored_elements(&self) -> usize {
+        self.v.len() + self.u.len()
+    }
+}
+
+/// The communication-avoiding layout: one [`ColumnStack`] per tile column.
+pub struct CommAvoiding {
+    tiling: Tiling,
+    columns: Vec<ColumnStack>,
+}
+
+impl CommAvoiding {
+    /// Build the layout from a TLR matrix.
+    pub fn new(tlr: &TlrMatrix) -> Self {
+        let tiling = *tlr.tiling();
+        let mt = tiling.tile_rows();
+        let nt = tiling.tile_cols();
+        let nb = tiling.nb;
+        let columns = (0..nt)
+            .map(|j| {
+                let (c0, cl) = tiling.col_range(j);
+                let kj = tlr.column_rank(j);
+                let mut vstack = Matrix::zeros(cl, kj);
+                let mut ustack = Matrix::zeros(nb, kj);
+                let mut row_block = Vec::with_capacity(kj);
+                let mut row_len = Vec::with_capacity(kj);
+                let mut off = 0;
+                for i in 0..mt {
+                    let t = tlr.tile(i, j);
+                    let (_, rl) = tiling.row_range(i);
+                    for r in 0..t.rank() {
+                        vstack.col_mut(off + r).copy_from_slice(t.v.col(r));
+                        ustack.col_mut(off + r)[..rl].copy_from_slice(t.u.col(r));
+                        row_block.push(i);
+                        row_len.push(rl);
+                    }
+                    off += t.rank();
+                }
+                ColumnStack {
+                    col: j,
+                    c0,
+                    cl,
+                    vstack,
+                    ustack,
+                    row_block,
+                    row_len,
+                }
+            })
+            .collect();
+        Self { tiling, columns }
+    }
+
+    /// The tile grid.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// Column stacks.
+    pub fn columns(&self) -> &[ColumnStack] {
+        &self.columns
+    }
+
+    /// `y = Ã x`: each tile column produces a partial `y` (fused V+U, no
+    /// shuffle), then the host reduces the partials — exactly the paper's
+    /// CS-2 execution with the reduction step "handled by the host".
+    pub fn apply(&self, x: &[C32]) -> Vec<C32> {
+        assert_eq!(x.len(), self.tiling.n);
+        let nb = self.tiling.nb;
+        let padded_m = self.tiling.tile_rows() * nb;
+        let partials: Vec<Vec<C32>> = self
+            .columns
+            .par_iter()
+            .map(|cs| {
+                let mut part = vec![CZERO; padded_m];
+                cs.apply_into(&x[cs.c0..cs.c0 + cs.cl], &mut part, nb);
+                part
+            })
+            .collect();
+        let mut y = vec![CZERO; self.tiling.m];
+        for part in &partials {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi += part[i];
+            }
+        }
+        y
+    }
+
+    /// `x = Ãᴴ y` over the stacked layout: per tile column, gather the
+    /// `y` row blocks through `Ustackᴴ`, then expand through `Vstack` —
+    /// each tile column owns a disjoint output segment, so the adjoint is
+    /// as communication-free as the forward pass.
+    pub fn apply_adjoint(&self, y: &[C32]) -> Vec<C32> {
+        assert_eq!(y.len(), self.tiling.m);
+        let nb = self.tiling.nb;
+        let outputs: Vec<Vec<C32>> = self
+            .columns
+            .par_iter()
+            .map(|cs| {
+                let k = cs.rank();
+                // t[r] = u_rᴴ y_block(r)
+                let mut t = vec![CZERO; k];
+                for r in 0..k {
+                    let src0 = cs.row_block[r] * nb;
+                    let len = cs.row_len[r];
+                    let ucol = &cs.ustack.col(r)[..len];
+                    let mut acc = CZERO;
+                    for (&u, &yi) in ucol.iter().zip(&y[src0..src0 + len]) {
+                        acc += u.conj() * yi;
+                    }
+                    t[r] = acc;
+                }
+                // x_j = Vstack_j t
+                let mut xj = vec![CZERO; cs.cl];
+                gemv_acc(&cs.vstack, &t, &mut xj);
+                xj
+            })
+            .collect();
+        let mut x = vec![CZERO; self.tiling.n];
+        for (cs, xj) in self.columns.iter().zip(&outputs) {
+            x[cs.c0..cs.c0 + cs.cl].copy_from_slice(xj);
+        }
+        x
+    }
+
+    /// All rank chunks at a given stack width (the per-PE work units).
+    pub fn chunks(&self, stack_width: usize) -> Vec<RankChunk> {
+        self.columns
+            .iter()
+            .flat_map(|c| c.split(stack_width))
+            .collect()
+    }
+
+    /// Apply via explicit chunks — bit-identical work to what the WSE
+    /// simulator executes, used to cross-check PE placement.
+    pub fn apply_chunked(&self, x: &[C32], stack_width: usize) -> Vec<C32> {
+        assert_eq!(x.len(), self.tiling.n);
+        let nb = self.tiling.nb;
+        let padded_m = self.tiling.tile_rows() * nb;
+        let chunks = self.chunks(stack_width);
+        let partials: Vec<Vec<C32>> = chunks
+            .par_iter()
+            .map(|ch| {
+                let mut part = vec![CZERO; padded_m];
+                ch.apply_into(&x[ch.c0..ch.c0 + ch.cl], &mut part, nb);
+                part
+            })
+            .collect();
+        let mut y = vec![CZERO; self.tiling.m];
+        for part in &partials {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi += part[i];
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+    use seismic_la::blas::gemv;
+
+    fn kernel(m: usize, n: usize) -> Matrix<C32> {
+        Matrix::from_fn(m, n, |i, j| {
+            let x = i as f32 / m as f32;
+            let y = j as f32 / n as f32;
+            let d = ((x - y) * (x - y) + 0.02).sqrt();
+            C32::from_polar(1.0 / (1.0 + 3.0 * d), -9.0 * d)
+        })
+    }
+
+    fn tlr(m: usize, n: usize, nb: usize) -> TlrMatrix {
+        compress(
+            &kernel(m, n),
+            CompressionConfig {
+                nb,
+                acc: 1e-4,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            },
+        )
+    }
+
+    fn test_x(n: usize) -> Vec<C32> {
+        (0..n)
+            .map(|i| C32::new((i as f32 * 0.17).sin(), (i as f32 * 0.07).cos()))
+            .collect()
+    }
+
+    fn assert_close(a: &[C32], b: &[C32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        let scale = seismic_la::blas::nrm2(b).max(1.0);
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() <= tol * scale, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn three_phase_matches_tile_apply() {
+        let t = tlr(70, 55, 16);
+        let layout = ThreePhase::new(&t);
+        let x = test_x(55);
+        let y1 = layout.apply(&x);
+        let y2 = t.apply(&x);
+        assert_close(&y1, &y2, 1e-5);
+    }
+
+    #[test]
+    fn comm_avoiding_matches_three_phase() {
+        let t = tlr(70, 55, 16);
+        let tp = ThreePhase::new(&t);
+        let ca = CommAvoiding::new(&t);
+        let x = test_x(55);
+        assert_close(&ca.apply(&x), &tp.apply(&x), 1e-5);
+    }
+
+    #[test]
+    fn chunked_matches_unchunked_for_all_widths() {
+        let t = tlr(64, 48, 12);
+        let ca = CommAvoiding::new(&t);
+        let x = test_x(48);
+        let want = ca.apply(&x);
+        for w in [1usize, 2, 3, 7, 16, 64, 1000] {
+            let got = ca.apply_chunked(&x, w);
+            assert_close(&got, &want, 1e-5);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let t = tlr(48, 36, 10);
+        let layout = ThreePhase::new(&t);
+        let mut seen = vec![false; layout.total_rank()];
+        for &q in &layout.shuffle {
+            assert!(!seen[q]);
+            seen[q] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn phases_have_expected_lengths() {
+        let t = tlr(48, 36, 10);
+        let layout = ThreePhase::new(&t);
+        let x = test_x(36);
+        let yv = layout.v_batch(&x);
+        assert_eq!(yv.len(), layout.total_rank());
+        let yu = layout.shuffle(&yv);
+        assert_eq!(yu.len(), layout.total_rank());
+        let y = layout.u_batch(&yu);
+        assert_eq!(y.len(), 48);
+    }
+
+    #[test]
+    fn chunk_widths_respect_stack_width() {
+        let t = tlr(60, 44, 12);
+        let ca = CommAvoiding::new(&t);
+        let w = 5;
+        for ch in ca.chunks(w) {
+            assert!(ch.width() > 0 && ch.width() <= w);
+            assert_eq!(ch.v.ncols(), ch.width());
+            assert_eq!(ch.u.ncols(), ch.width());
+            assert_eq!(ch.u.nrows(), 12);
+        }
+        // Total chunk width must equal total rank.
+        let total: usize = ca.chunks(w).iter().map(|c| c.width()).sum();
+        assert_eq!(total, t.total_rank());
+    }
+
+    #[test]
+    fn comm_avoiding_adjoint_matches_matrix_adjoint() {
+        let t = tlr(70, 55, 16);
+        let ca = CommAvoiding::new(&t);
+        let y: Vec<C32> = (0..70)
+            .map(|i| C32::new((i as f32 * 0.11).cos(), (i as f32 * 0.23).sin()))
+            .collect();
+        let x1 = ca.apply_adjoint(&y);
+        let x2 = t.apply_adjoint(&y);
+        assert_close(&x1, &x2, 1e-5);
+    }
+
+    #[test]
+    fn ragged_edge_tiles_round_trip() {
+        let t = tlr(67, 41, 16); // ragged in both dimensions
+        let ca = CommAvoiding::new(&t);
+        let tp = ThreePhase::new(&t);
+        let x = test_x(41);
+        let dense = t.reconstruct();
+        let mut want = vec![C32::new(0.0, 0.0); 67];
+        gemv(&dense, &x, &mut want);
+        assert_close(&ca.apply(&x), &want, 1e-4);
+        assert_close(&tp.apply(&x), &want, 1e-4);
+        assert_close(&ca.apply_chunked(&x, 4), &want, 1e-4);
+    }
+}

@@ -1,0 +1,67 @@
+//! # tlr-mvm
+//!
+//! Tile low-rank matrix-vector multiplication — the primary contribution
+//! of *"Scaling the 'Memory Wall' for Multi-Dimensional Seismic Processing
+//! with Algebraic Compression on Cerebras CS-2 Systems"* (SC '23):
+//!
+//! * [`tiling`] — uniform `nb × nb` tile grids with ragged edges.
+//! * [`mod@compress`] — per-tile algebraic compression (SVD / RRQR /
+//!   randomized SVD / ACA) at a tile-wise accuracy threshold `acc`.
+//! * [`matrix`] — the [`TlrMatrix`] with apply/adjoint and storage stats.
+//! * [`layouts`] — the classic three-phase pipeline (V-batch → shuffle →
+//!   U-batch, paper Figs. 4–7) and the CS-2 communication-avoiding layout
+//!   (fused per-tile-column kernels + host reduction, paper Fig. 9),
+//!   including the stack-width chunking that defines per-PE work units.
+//! * [`real4`] — complex MVMs as four real FP32 MVMs (§6.6), the execution
+//!   model shared with the WSE simulator.
+//! * [`accounting`] — the paper's relative/absolute byte formulas and flop
+//!   counts (§6.6, §7.1).
+//! * [`ops`] — the [`LinearOperator`] abstraction used by the MDD solver.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use seismic_la::{Matrix, C32};
+//! use tlr_mvm::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+//!
+//! // A smooth oscillatory kernel — the structure seismic frequency
+//! // matrices exhibit after Hilbert reordering.
+//! let a = Matrix::from_fn(128, 96, |i, j| {
+//!     let d = i as f32 / 128.0 - j as f32 / 96.0;
+//!     let r = (d * d + 0.05).sqrt();
+//!     C32::from_polar(1.0 / (1.0 + 2.0 * r), -8.0 * r)
+//! });
+//! let tlr = compress(&a, CompressionConfig {
+//!     nb: 32,
+//!     acc: 1e-3,
+//!     method: CompressionMethod::Svd,
+//!     mode: ToleranceMode::RelativeTile,
+//! });
+//! assert!(tlr.compression_ratio() > 1.5);
+//! let x = vec![C32::new(1.0, 0.0); 96];
+//! let y = tlr.apply(&x);
+//! assert_eq!(y.len(), 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod compress;
+pub mod layouts;
+pub mod matrix;
+pub mod mmm;
+pub mod ops;
+pub mod precision;
+pub mod real4;
+pub mod tiling;
+
+pub use accounting::{absolute_bytes, dense_mvm_cost, mvm_flops, relative_bytes, tlr_mvm_cost, TlrMvmCost};
+pub use compress::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
+pub use layouts::{ColumnStack, CommAvoiding, RankChunk, ThreePhase};
+pub use matrix::TlrMatrix;
+pub use mmm::{comm_avoiding_mmm, tlr_mmm, tlr_mmm_adjoint, tlr_mmm_cost};
+pub use ops::{BlockDiagonal, LinearOperator};
+pub use precision::{bf16_to_f32, f32_to_bf16, Bf16Matrix, Bf16TlrMatrix};
+pub use real4::{join_vec, split_vec, RealSplitMatrix};
+pub use tiling::Tiling;

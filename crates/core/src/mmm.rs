@@ -1,0 +1,286 @@
+//! TLR-MMM: tile low-rank matrix-*matrix* multiplication — the paper's §8
+//! "open research opportunity": processing multiple virtual sources
+//! simultaneously by recasting TLR-MVM into a multi-right-hand-side
+//! kernel.
+//!
+//! Arithmetic intensity grows with the RHS count `s` (the bases are
+//! re-used `s` times), which "re-exacerbates the memory wall" in the
+//! opposite direction: the kernel leaves the bandwidth-bound regime, but
+//! per-PE SRAM must now hold `s` input and output panels.
+
+use rayon::prelude::*;
+use seismic_la::blas::gemm;
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+
+use crate::accounting::{absolute_bytes, mvm_flops, TlrMvmCost};
+use crate::layouts::CommAvoiding;
+use crate::matrix::TlrMatrix;
+
+/// `Y = Ã X` with `X: n × s` (one column per virtual source),
+/// rayon-parallel over tile rows. The per-tile product runs as two small
+/// GEMMs (`T = VᴴX`, `Y += U T`) so the bases are read once per tile, not
+/// once per source.
+pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
+    let t = tlr.tiling();
+    assert_eq!(x.nrows(), t.n, "X row count must match operator columns");
+    let s = x.ncols();
+    let mt = t.tile_rows();
+
+    let row_panels: Vec<Matrix<C32>> = (0..mt)
+        .into_par_iter()
+        .map(|i| {
+            let (_, rl) = t.row_range(i);
+            let mut y = Matrix::zeros(rl, s);
+            for j in 0..t.tile_cols() {
+                let (c0, cl) = t.col_range(j);
+                let tile = tlr.tile(i, j);
+                if tile.rank() == 0 {
+                    continue;
+                }
+                let xj = x.block(c0, 0, cl, s);
+                // T = Vᴴ X_j  (k × s), then Y += U T.
+                let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.v, &xj);
+                let contrib = gemm(&tile.u, &tcoef);
+                for col in 0..s {
+                    for (yi, ci) in y.col_mut(col).iter_mut().zip(contrib.col(col)) {
+                        *yi += *ci;
+                    }
+                }
+            }
+            y
+        })
+        .collect();
+
+    let mut y = Matrix::zeros(t.m, s);
+    for (i, panel) in row_panels.iter().enumerate() {
+        let (r0, _) = t.row_range(i);
+        y.set_block(r0, 0, panel);
+    }
+    y
+}
+
+/// `X = Ãᴴ Y` with `Y: m × s` — the adjoint MMM for block solvers.
+pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
+    let t = tlr.tiling();
+    assert_eq!(y.nrows(), t.m, "Y row count must match operator rows");
+    let s = y.ncols();
+    let nt = t.tile_cols();
+
+    let col_panels: Vec<Matrix<C32>> = (0..nt)
+        .into_par_iter()
+        .map(|j| {
+            let (_, cl) = t.col_range(j);
+            let mut x = Matrix::zeros(cl, s);
+            for i in 0..t.tile_rows() {
+                let (r0, rl) = t.row_range(i);
+                let tile = tlr.tile(i, j);
+                if tile.rank() == 0 {
+                    continue;
+                }
+                let yi = y.block(r0, 0, rl, s);
+                // T = Uᴴ Y_i (k × s), then X += V T.
+                let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.u, &yi);
+                let contrib = gemm(&tile.v, &tcoef);
+                for col in 0..s {
+                    for (xi, ci) in x.col_mut(col).iter_mut().zip(contrib.col(col)) {
+                        *xi += *ci;
+                    }
+                }
+            }
+            x
+        })
+        .collect();
+
+    let mut x = Matrix::zeros(t.n, s);
+    for (j, panel) in col_panels.iter().enumerate() {
+        let (c0, _) = t.col_range(j);
+        x.set_block(c0, 0, panel);
+    }
+    x
+}
+
+/// Communication-avoiding MMM over the stacked layout: per tile column,
+/// `T_j = Vstack_jᴴ X_j` then the U scatter — the natural CS-2 extension
+/// where each PE's chunk processes all `s` sources before the host
+/// reduction.
+pub fn comm_avoiding_mmm(ca: &CommAvoiding, x: &Matrix<C32>) -> Matrix<C32> {
+    let t = ca.tiling();
+    assert_eq!(x.nrows(), t.n);
+    let s = x.ncols();
+    let nb = t.nb;
+    let padded_m = t.tile_rows() * nb;
+
+    let partials: Vec<Matrix<C32>> = ca
+        .columns()
+        .par_iter()
+        .map(|cs| {
+            let xj = x.block(cs.c0, 0, cs.cl, s);
+            let tcoef = seismic_la::blas::gemm_conj_transpose_left(&cs.vstack, &xj);
+            let mut part = Matrix::zeros(padded_m, s);
+            for col in 0..s {
+                for r in 0..cs.rank() {
+                    let coeff = tcoef[(r, col)];
+                    if coeff == C32::new(0.0, 0.0) {
+                        continue;
+                    }
+                    let dst0 = cs.row_block[r] * nb;
+                    let len = cs.row_len[r];
+                    let ucol = &cs.ustack.col(r)[..len];
+                    let out = &mut part.col_mut(col)[dst0..dst0 + len];
+                    for (o, &u) in out.iter_mut().zip(ucol) {
+                        *o += u * coeff;
+                    }
+                }
+            }
+            part
+        })
+        .collect();
+
+    let mut y = Matrix::zeros(t.m, s);
+    for part in &partials {
+        for col in 0..s {
+            let src = part.col(col);
+            for (yi, &pi) in y.col_mut(col).iter_mut().zip(src) {
+                *yi += pi;
+            }
+        }
+    }
+    y
+}
+
+/// Cost of one TLR-MMM with `s` right-hand sides in the
+/// complex-as-4-real execution model: flops scale by `s`, but the base
+/// matrices are read once per chunk — arithmetic intensity grows ~`s`×
+/// until the panel traffic dominates.
+pub fn tlr_mmm_cost(tlr: &TlrMatrix, s: usize) -> TlrMvmCost {
+    let t = tlr.tiling();
+    let nb = t.nb;
+    let s64 = s as u64;
+    let mut cost = TlrMvmCost::default();
+    for j in 0..t.tile_cols() {
+        let (_, cl) = t.col_range(j);
+        let kj = tlr.column_rank(j);
+        if kj == 0 {
+            continue;
+        }
+        // Flops: s MVMs worth.
+        cost.flops += 4 * s64 * (mvm_flops(kj, cl) + mvm_flops(nb, kj));
+        // Bytes: bases read once (the MMM win); panels read/written per s.
+        // Relative model: bases + s·(x + t + y) vectors.
+        let bases = 4u64 * 4 * (kj as u64 * cl as u64 + nb as u64 * kj as u64);
+        let panels = 4u64 * 4 * s64 * (cl as u64 + 2 * kj as u64 + nb as u64);
+        cost.relative_bytes += bases + panels;
+        // Absolute (flat SRAM): no cache, no reuse — each of the s
+        // sources pays the full per-MVM traffic, so absolute intensity
+        // does not improve with s (the §8 re-exacerbated memory wall).
+        cost.absolute_bytes += 4 * s64 * (absolute_bytes(kj, cl) + absolute_bytes(nb, kj));
+        cost.total_rank += kj as u64;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+    use seismic_la::blas::gemm as dense_gemm;
+
+    fn kernel(m: usize, n: usize) -> Matrix<C32> {
+        Matrix::from_fn(m, n, |i, j| {
+            let x = i as f32 / m as f32;
+            let y = j as f32 / n as f32;
+            let d = ((x - y) * (x - y) + 0.02).sqrt();
+            C32::from_polar(1.0 / (1.0 + 3.0 * d), -9.0 * d)
+        })
+    }
+
+    fn tlr(m: usize, n: usize, nb: usize) -> TlrMatrix {
+        compress(
+            &kernel(m, n),
+            CompressionConfig {
+                nb,
+                acc: 1e-5,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            },
+        )
+    }
+
+    fn rhs(n: usize, s: usize) -> Matrix<C32> {
+        Matrix::from_fn(n, s, |i, j| {
+            C32::new((i as f32 * 0.3 + j as f32).sin(), (i as f32 * 0.17).cos())
+        })
+    }
+
+    #[test]
+    fn mmm_matches_dense_gemm() {
+        let t = tlr(60, 45, 12);
+        let x = rhs(45, 5);
+        let y = tlr_mmm(&t, &x);
+        let want = dense_gemm(&t.reconstruct(), &x);
+        assert!(y.sub(&want).fro_norm() < 1e-4 * want.fro_norm());
+    }
+
+    #[test]
+    fn mmm_columns_match_mvm() {
+        let t = tlr(50, 40, 10);
+        let x = rhs(40, 4);
+        let y = tlr_mmm(&t, &x);
+        for col in 0..4 {
+            let yv = t.apply(x.col(col));
+            for (a, b) in y.col(col).iter().zip(&yv) {
+                assert!((*a - *b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn adjoint_mmm_matches_mvm_adjoint() {
+        let t = tlr(48, 36, 12);
+        let y = rhs(48, 3);
+        let x = tlr_mmm_adjoint(&t, &y);
+        for col in 0..3 {
+            let xv = t.apply_adjoint(y.col(col));
+            for (a, b) in x.col(col).iter().zip(&xv) {
+                assert!((*a - *b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn comm_avoiding_mmm_agrees() {
+        let t = tlr(67, 53, 16); // ragged
+        let ca = CommAvoiding::new(&t);
+        let x = rhs(53, 6);
+        let y1 = comm_avoiding_mmm(&ca, &x);
+        let y2 = tlr_mmm(&t, &x);
+        assert!(y1.sub(&y2).fro_norm() < 1e-4 * y2.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn intensity_grows_with_rhs_count() {
+        // §8: the MMM recast raises arithmetic intensity (relative model)
+        // because the bases amortize over the sources.
+        let t = tlr(80, 64, 16);
+        let i1 = tlr_mmm_cost(&t, 1).relative_intensity();
+        let i8 = tlr_mmm_cost(&t, 8).relative_intensity();
+        let i64 = tlr_mmm_cost(&t, 64).relative_intensity();
+        assert!(i8 > 2.0 * i1, "i1={i1} i8={i8}");
+        assert!(i64 > i8);
+        // Absolute (flat-SRAM) intensity does NOT improve: no cache, no
+        // reuse — this is exactly why the memory wall re-appears on CS-2.
+        let a1 = tlr_mmm_cost(&t, 1).absolute_intensity();
+        let a64 = tlr_mmm_cost(&t, 64).absolute_intensity();
+        assert!((a1 - a64).abs() < 0.05 * a1);
+    }
+
+    #[test]
+    fn single_rhs_cost_matches_mvm_cost() {
+        let t = tlr(64, 48, 16);
+        let mvm = crate::accounting::tlr_mvm_cost(&t);
+        let mmm = tlr_mmm_cost(&t, 1);
+        assert_eq!(mvm.flops, mmm.flops);
+        assert_eq!(mvm.absolute_bytes, mmm.absolute_bytes);
+    }
+}

@@ -1,0 +1,247 @@
+//! Complex MVMs as four real FP32 MVMs.
+//!
+//! The Cerebras SDK (like every vendor batched-BLAS the paper surveys)
+//! lacks complex batched kernels, so the paper splits each complex MVM
+//! into four real ones:
+//! `y_re = A_re·x_re − A_im·x_im`, `y_im = A_re·x_im + A_im·x_re`.
+//! With the V and U batches that makes **eight** independent real MVMs —
+//! the unit the CS-2 strong-scaling strategies distribute over PEs.
+
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+
+/// Split-complex storage of a complex matrix: two real FP32 matrices.
+#[derive(Clone, Debug)]
+pub struct RealSplitMatrix {
+    /// Real parts.
+    pub re: Matrix<f32>,
+    /// Imaginary parts.
+    pub im: Matrix<f32>,
+}
+
+impl RealSplitMatrix {
+    /// Split a complex matrix.
+    pub fn from_complex(a: &Matrix<C32>) -> Self {
+        let (m, n) = a.shape();
+        let mut re = Matrix::zeros(m, n);
+        let mut im = Matrix::zeros(m, n);
+        for (idx, v) in a.as_slice().iter().enumerate() {
+            re.as_mut_slice()[idx] = v.re;
+            im.as_mut_slice()[idx] = v.im;
+        }
+        Self { re, im }
+    }
+
+    /// Shape `(m, n)` of the represented complex matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.re.shape()
+    }
+
+    /// Recombine into a complex matrix.
+    pub fn to_complex(&self) -> Matrix<C32> {
+        let (m, n) = self.shape();
+        Matrix::from_fn(m, n, |i, j| C32::new(self.re[(i, j)], self.im[(i, j)]))
+    }
+
+    /// `y += A x` executed as the four real MVMs. Returns the number of
+    /// real fused multiply-adds performed (for the performance model).
+    pub fn gemv_acc_4real(&self, x_re: &[f32], x_im: &[f32], y_re: &mut [f32], y_im: &mut [f32]) -> usize {
+        let (m, n) = self.shape();
+        assert_eq!(x_re.len(), n);
+        assert_eq!(x_im.len(), n);
+        assert_eq!(y_re.len(), m);
+        assert_eq!(y_im.len(), m);
+        // MVM 1: y_re += A_re x_re
+        real_gemv_acc(&self.re, x_re, y_re);
+        // MVM 2: y_re -= A_im x_im
+        real_gemv_sub(&self.im, x_im, y_re);
+        // MVM 3: y_im += A_re x_im
+        real_gemv_acc(&self.re, x_im, y_im);
+        // MVM 4: y_im += A_im x_re
+        real_gemv_acc(&self.im, x_re, y_im);
+        4 * m * n
+    }
+
+    /// `y += Aᵀ x` as four real MVMs (note: *transpose*, not conjugate —
+    /// conjugation is a sign flip on the imaginary operands chosen by the
+    /// caller).
+    pub fn gemv_transpose_acc_4real(
+        &self,
+        x_re: &[f32],
+        x_im: &[f32],
+        y_re: &mut [f32],
+        y_im: &mut [f32],
+    ) -> usize {
+        let (m, n) = self.shape();
+        assert_eq!(x_re.len(), m);
+        assert_eq!(x_im.len(), m);
+        assert_eq!(y_re.len(), n);
+        assert_eq!(y_im.len(), n);
+        real_gemv_t_acc(&self.re, x_re, y_re);
+        real_gemv_t_sub(&self.im, x_im, y_re);
+        real_gemv_t_acc(&self.re, x_im, y_im);
+        real_gemv_t_acc(&self.im, x_re, y_im);
+        4 * m * n
+    }
+
+    /// `y += Aᴴ x` as four real MVMs (the V-batch of TLR-MVM computes
+    /// `Vᴴ x`): `y_re = A_reᵀ x_re + A_imᵀ x_im`,
+    /// `y_im = A_reᵀ x_im − A_imᵀ x_re`.
+    pub fn gemv_conj_transpose_acc_4real(
+        &self,
+        x_re: &[f32],
+        x_im: &[f32],
+        y_re: &mut [f32],
+        y_im: &mut [f32],
+    ) -> usize {
+        let (m, n) = self.shape();
+        assert_eq!(x_re.len(), m);
+        assert_eq!(x_im.len(), m);
+        assert_eq!(y_re.len(), n);
+        assert_eq!(y_im.len(), n);
+        real_gemv_t_acc(&self.re, x_re, y_re);
+        real_gemv_t_acc(&self.im, x_im, y_re);
+        real_gemv_t_acc(&self.re, x_im, y_im);
+        real_gemv_t_sub(&self.im, x_re, y_im);
+        4 * m * n
+    }
+}
+
+/// Split a complex vector into parallel real/imag arrays.
+pub fn split_vec(x: &[C32]) -> (Vec<f32>, Vec<f32>) {
+    (x.iter().map(|v| v.re).collect(), x.iter().map(|v| v.im).collect())
+}
+
+/// Recombine parallel real/imag arrays.
+pub fn join_vec(re: &[f32], im: &[f32]) -> Vec<C32> {
+    assert_eq!(re.len(), im.len());
+    re.iter().zip(im).map(|(&r, &i)| C32::new(r, i)).collect()
+}
+
+fn real_gemv_acc(a: &Matrix<f32>, x: &[f32], y: &mut [f32]) {
+    for (j, &xj) in x.iter().enumerate() {
+        let col = a.col(j);
+        for (yi, &aij) in y.iter_mut().zip(col) {
+            *yi += aij * xj;
+        }
+    }
+}
+
+fn real_gemv_sub(a: &Matrix<f32>, x: &[f32], y: &mut [f32]) {
+    for (j, &xj) in x.iter().enumerate() {
+        let col = a.col(j);
+        for (yi, &aij) in y.iter_mut().zip(col) {
+            *yi -= aij * xj;
+        }
+    }
+}
+
+fn real_gemv_t_acc(a: &Matrix<f32>, x: &[f32], y: &mut [f32]) {
+    for (j, yj) in y.iter_mut().enumerate() {
+        let col = a.col(j);
+        let mut acc = 0.0f32;
+        for (&aij, &xi) in col.iter().zip(x) {
+            acc += aij * xi;
+        }
+        *yj += acc;
+    }
+}
+
+fn real_gemv_t_sub(a: &Matrix<f32>, x: &[f32], y: &mut [f32]) {
+    for (j, yj) in y.iter_mut().enumerate() {
+        let col = a.col(j);
+        let mut acc = 0.0f32;
+        for (&aij, &xi) in col.iter().zip(x) {
+            acc += aij * xi;
+        }
+        *yj -= acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seismic_la::blas::{gemv_acc, gemv_conj_transpose_acc};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rand_cvec(n: usize, seed: u64) -> Vec<C32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                C32::new(
+                    seismic_la::dense::normal_sample(&mut rng) as f32,
+                    seismic_la::dense::normal_sample(&mut rng) as f32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let a = Matrix::<C32>::random_normal(9, 7, &mut rng);
+        let s = RealSplitMatrix::from_complex(&a);
+        assert_eq!(s.to_complex(), a);
+        let x = rand_cvec(5, 92);
+        let (re, im) = split_vec(&x);
+        assert_eq!(join_vec(&re, &im), x);
+    }
+
+    #[test]
+    fn four_real_mvm_equals_complex() {
+        let mut rng = ChaCha8Rng::seed_from_u64(93);
+        let a = Matrix::<C32>::random_normal(11, 8, &mut rng);
+        let x = rand_cvec(8, 94);
+        // Complex reference.
+        let mut want = vec![C32::new(0.0, 0.0); 11];
+        gemv_acc(&a, &x, &mut want);
+        // Split path.
+        let s = RealSplitMatrix::from_complex(&a);
+        let (xr, xi) = split_vec(&x);
+        let mut yr = vec![0.0f32; 11];
+        let mut yi = vec![0.0f32; 11];
+        let fmas = s.gemv_acc_4real(&xr, &xi, &mut yr, &mut yi);
+        assert_eq!(fmas, 4 * 11 * 8);
+        let got = join_vec(&yr, &yi);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn four_real_conj_transpose_equals_complex() {
+        let mut rng = ChaCha8Rng::seed_from_u64(95);
+        let a = Matrix::<C32>::random_normal(10, 6, &mut rng);
+        let y = rand_cvec(10, 96);
+        let mut want = vec![C32::new(0.0, 0.0); 6];
+        gemv_conj_transpose_acc(&a, &y, &mut want);
+        let s = RealSplitMatrix::from_complex(&a);
+        let (yr, yi) = split_vec(&y);
+        let mut xr = vec![0.0f32; 6];
+        let mut xi = vec![0.0f32; 6];
+        s.gemv_conj_transpose_acc_4real(&yr, &yi, &mut xr, &mut xi);
+        let got = join_vec(&xr, &xi);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_matches_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(97);
+        let a = Matrix::<C32>::random_normal(7, 5, &mut rng);
+        let x = rand_cvec(7, 98);
+        let mut want = vec![C32::new(0.0, 0.0); 5];
+        gemv_acc(&a.transpose(), &x, &mut want);
+        let s = RealSplitMatrix::from_complex(&a);
+        let (xr, xi) = split_vec(&x);
+        let mut yr = vec![0.0f32; 5];
+        let mut yi = vec![0.0f32; 5];
+        s.gemv_transpose_acc_4real(&xr, &xi, &mut yr, &mut yi);
+        let got = join_vec(&yr, &yi);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-4);
+        }
+    }
+}

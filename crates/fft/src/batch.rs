@@ -1,0 +1,121 @@
+//! Batched transforms over many traces (rayon-parallel).
+//!
+//! The MDC operator transforms every source-receiver trace along the time
+//! axis; traces are independent, so the batch parallelizes trivially —
+//! this is the `F` / `Fᴴ` of the paper's `y = Fᴴ K F x`.
+
+use rayon::prelude::*;
+use seismic_la::scalar::{Complex, Real};
+
+use crate::real::RealFft;
+
+/// Batched real-to-complex transform along the time axis.
+///
+/// `traces` holds `ntraces` signals of length `nt` each, concatenated;
+/// the output holds `ntraces` spectra of `nf = nt/2 + 1` bins each,
+/// concatenated in the same trace order.
+pub fn forward_traces<T: Real>(traces: &[T], nt: usize, ntraces: usize) -> Vec<Complex<T>> {
+    assert_eq!(traces.len(), nt * ntraces, "trace buffer size mismatch");
+    let rf = RealFft::<T>::new(nt);
+    let nf = rf.spectrum_len();
+    let mut out = vec![Complex::new(T::ZERO, T::ZERO); nf * ntraces];
+    out.par_chunks_mut(nf)
+        .zip(traces.par_chunks(nt))
+        .for_each(|(dst, src)| {
+            dst.copy_from_slice(&rf.forward(src));
+        });
+    out
+}
+
+/// Batched complex-to-real inverse of [`forward_traces`].
+pub fn inverse_traces<T: Real>(spectra: &[Complex<T>], nt: usize, ntraces: usize) -> Vec<T> {
+    let rf = RealFft::<T>::new(nt);
+    let nf = rf.spectrum_len();
+    assert_eq!(spectra.len(), nf * ntraces, "spectrum buffer size mismatch");
+    let mut out = vec![T::ZERO; nt * ntraces];
+    out.par_chunks_mut(nt)
+        .zip(spectra.par_chunks(nf))
+        .for_each(|(dst, src)| {
+            dst.copy_from_slice(&rf.inverse(src));
+        });
+    out
+}
+
+/// Reorganize trace-major spectra (`ntraces × nf`) into frequency-major
+/// slices (`nf` vectors of `ntraces` values) — the per-frequency gathers
+/// the MDC operator multiplies by the frequency matrices.
+pub fn traces_to_frequency_slices<T: Real>(
+    spectra: &[Complex<T>],
+    nf: usize,
+    ntraces: usize,
+) -> Vec<Vec<Complex<T>>> {
+    assert_eq!(spectra.len(), nf * ntraces);
+    (0..nf)
+        .into_par_iter()
+        .map(|f| (0..ntraces).map(|t| spectra[t * nf + f]).collect())
+        .collect()
+}
+
+/// Inverse of [`traces_to_frequency_slices`].
+pub fn frequency_slices_to_traces<T: Real>(
+    slices: &[Vec<Complex<T>>],
+    nf: usize,
+    ntraces: usize,
+) -> Vec<Complex<T>> {
+    assert_eq!(slices.len(), nf);
+    let mut out = vec![Complex::new(T::ZERO, T::ZERO); nf * ntraces];
+    for (f, slice) in slices.iter().enumerate() {
+        assert_eq!(slice.len(), ntraces);
+        for (t, &v) in slice.iter().enumerate() {
+            out[t * nf + f] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrip() {
+        let nt = 40;
+        let ntr = 7;
+        let traces: Vec<f64> = (0..nt * ntr)
+            .map(|i| ((i * 13 % 97) as f64 * 0.21).sin())
+            .collect();
+        let spec = forward_traces(&traces, nt, ntr);
+        assert_eq!(spec.len(), (nt / 2 + 1) * ntr);
+        let back = inverse_traces(&spec, nt, ntr);
+        for (g, w) in back.iter().zip(&traces) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slice_transpose_roundtrip() {
+        let nf = 5;
+        let ntr = 4;
+        let spectra: Vec<seismic_la::C64> = (0..nf * ntr)
+            .map(|i| seismic_la::c64(i as f64, -(i as f64)))
+            .collect();
+        let slices = traces_to_frequency_slices(&spectra, nf, ntr);
+        assert_eq!(slices.len(), nf);
+        assert_eq!(slices[0].len(), ntr);
+        // slice f, trace t == spectra[t*nf + f]
+        assert_eq!(slices[2][3], spectra[3 * nf + 2]);
+        let back = frequency_slices_to_traces(&slices, nf, ntr);
+        assert_eq!(back, spectra);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let nt = 16;
+        let x: Vec<f64> = (0..nt).map(|i| (i as f64).cos()).collect();
+        let single = crate::real::RealFft::new(nt).forward(&x);
+        let batch = forward_traces(&x, nt, 1);
+        for (a, b) in single.iter().zip(&batch) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+}

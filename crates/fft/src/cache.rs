@@ -1,0 +1,79 @@
+//! Global plan cache: FFT plans are immutable and expensive to build
+//! (twiddle tables, Bluestein kernels), while the MDC operator transforms
+//! thousands of traces of identical length — so plans are shared behind
+//! `Arc` and memoized per length.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::plan::FftPlan;
+
+/// Process-wide caches, one per precision.
+static CACHE_F64: Mutex<Option<HashMap<usize, Arc<FftPlan<f64>>>>> = Mutex::new(None);
+static CACHE_F32: Mutex<Option<HashMap<usize, Arc<FftPlan<f32>>>>> = Mutex::new(None);
+
+/// Shared `f64` plan for length `n`, built once per process.
+pub fn plan_f64(n: usize) -> Arc<FftPlan<f64>> {
+    let mut guard = CACHE_F64.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(p) = map.get(&n) {
+        return Arc::clone(p);
+    }
+    let p = Arc::new(FftPlan::new(n));
+    map.insert(n, Arc::clone(&p));
+    p
+}
+
+/// Shared `f32` plan for length `n`.
+pub fn plan_f32(n: usize) -> Arc<FftPlan<f32>> {
+    let mut guard = CACHE_F32.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(p) = map.get(&n) {
+        return Arc::clone(p);
+    }
+    let p = Arc::new(FftPlan::new(n));
+    map.insert(n, Arc::clone(&p));
+    p
+}
+
+/// Number of cached `f64` plans (diagnostics/tests).
+pub fn cached_f64_plans() -> usize {
+    CACHE_F64.lock().as_ref().map_or(0, |m| m.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Direction;
+    use seismic_la::scalar::C64;
+
+    #[test]
+    fn cache_returns_same_plan() {
+        let a = plan_f64(96);
+        let b = plan_f64(96);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = plan_f64(97);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(cached_f64_plans() >= 2);
+    }
+
+    #[test]
+    fn cached_plan_computes_correctly() {
+        let plan = plan_f64(32);
+        let mut x: Vec<C64> = (0..32).map(|i| C64::new(i as f64, 0.0)).collect();
+        let orig = x.clone();
+        plan.process(&mut x, Direction::Forward);
+        plan.process(&mut x, Direction::Inverse);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn f32_cache_separate() {
+        let a = plan_f32(64);
+        assert_eq!(a.len(), 64);
+    }
+}

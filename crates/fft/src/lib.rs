@@ -1,0 +1,26 @@
+//! # seismic-fft
+//!
+//! Fast Fourier transforms for the `tlr-mvm-rs` workspace, implemented from
+//! scratch (no external FFT dependency):
+//!
+//! * [`plan`] — reusable complex FFT plans: iterative radix-2 Cooley-Tukey
+//!   for power-of-two lengths, Bluestein's chirp-z for everything else.
+//! * [`real`] — the real↔Hermitian transform pair used on seismic traces.
+//! * [`batch`] — rayon-parallel batched transforms over many traces and
+//!   the trace-major ↔ frequency-major reshapes that feed the per-frequency
+//!   matrix-vector products of the MDC operator (`y = Fᴴ K F x`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod plan;
+pub mod real;
+
+pub use batch::{
+    forward_traces, frequency_slices_to_traces, inverse_traces, traces_to_frequency_slices,
+};
+pub use cache::{plan_f32, plan_f64};
+pub use plan::{Direction, FftPlan};
+pub use real::RealFft;

@@ -1,0 +1,316 @@
+//! FFT plans: precomputed twiddles for radix-2 Cooley-Tukey, with a
+//! Bluestein (chirp-z) path for arbitrary lengths.
+
+use std::sync::Arc;
+
+use seismic_la::scalar::{Complex, Real};
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `X[k] = Σ x[n] e^{-2πi kn/N}` (no scaling).
+    Forward,
+    /// `x[n] = (1/N) Σ X[k] e^{+2πi kn/N}`.
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed length.
+///
+/// Power-of-two lengths use iterative radix-2 Cooley-Tukey; other lengths
+/// use Bluestein's algorithm over an internal power-of-two convolution.
+pub struct FftPlan<T: Real> {
+    n: usize,
+    kind: PlanKind<T>,
+}
+
+enum PlanKind<T: Real> {
+    /// Radix-2: bit-reversal permutation + per-stage twiddles (forward sign).
+    Radix2 {
+        bitrev: Vec<u32>,
+        /// Twiddles for the largest stage (`n/2` roots `e^{-2πi k/n}`);
+        /// smaller stages stride through this table.
+        twiddles: Vec<Complex<T>>,
+    },
+    /// Bluestein: chirp premultiply, convolution of size `m` (power of 2).
+    Bluestein {
+        m: usize,
+        inner: Arc<FftPlan<T>>,
+        /// `a_n = e^{-iπ n²/N}` chirp for the input.
+        chirp: Vec<Complex<T>>,
+        /// Forward FFT of the zero-padded conjugate chirp kernel.
+        kernel_fft: Vec<Complex<T>>,
+    },
+    /// Length 0 or 1: identity.
+    Trivial,
+}
+
+impl<T: Real> FftPlan<T> {
+    /// Build a plan for length `n`.
+    pub fn new(n: usize) -> Self {
+        if n <= 1 {
+            return Self {
+                n,
+                kind: PlanKind::Trivial,
+            };
+        }
+        if n.is_power_of_two() {
+            let bits = n.trailing_zeros();
+            let bitrev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+            let twiddles = (0..n / 2)
+                .map(|k| {
+                    let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                    Complex::new(T::from_f64(theta.cos()), T::from_f64(theta.sin()))
+                })
+                .collect();
+            Self {
+                n,
+                kind: PlanKind::Radix2 { bitrev, twiddles },
+            }
+        } else {
+            // Bluestein: x[k] -> chirp-modulated convolution.
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = Arc::new(FftPlan::new(m));
+            let chirp: Vec<Complex<T>> = (0..n)
+                .map(|k| {
+                    // e^{-iπ k²/n}, with k² reduced mod 2n to avoid
+                    // catastrophic angle magnitudes.
+                    let ksq = (k as u128 * k as u128) % (2 * n as u128);
+                    let theta = -std::f64::consts::PI * ksq as f64 / n as f64;
+                    Complex::new(T::from_f64(theta.cos()), T::from_f64(theta.sin()))
+                })
+                .collect();
+            // Kernel b[k] = conj(chirp[|k|]) laid out circularly on length m.
+            let mut b = vec![Complex::new(T::ZERO, T::ZERO); m];
+            for k in 0..n {
+                let c = chirp[k].conj();
+                b[k] = c;
+                if k != 0 {
+                    b[m - k] = c;
+                }
+            }
+            inner.process(&mut b, Direction::Forward);
+            Self {
+                n,
+                kind: PlanKind::Bluestein {
+                    m,
+                    inner,
+                    chirp,
+                    kernel_fft: b,
+                },
+            }
+        }
+    }
+
+    /// Planned length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate 0/1-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform of a buffer of exactly the planned length.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan length");
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Radix2 { bitrev, twiddles } => {
+                if dir == Direction::Inverse {
+                    conj_all(data);
+                }
+                radix2_forward(data, bitrev, twiddles);
+                if dir == Direction::Inverse {
+                    conj_all(data);
+                    let inv = T::from_f64(1.0 / self.n as f64);
+                    for v in data.iter_mut() {
+                        *v = v.scale(inv);
+                    }
+                }
+            }
+            PlanKind::Bluestein {
+                m,
+                inner,
+                chirp,
+                kernel_fft,
+            } => {
+                if dir == Direction::Inverse {
+                    conj_all(data);
+                }
+                let mut work = vec![Complex::new(T::ZERO, T::ZERO); *m];
+                for (k, w) in data.iter().enumerate() {
+                    work[k] = *w * chirp[k];
+                }
+                inner.process(&mut work, Direction::Forward);
+                for (w, kf) in work.iter_mut().zip(kernel_fft) {
+                    *w *= *kf;
+                }
+                inner.process(&mut work, Direction::Inverse);
+                for (k, out) in data.iter_mut().enumerate() {
+                    *out = work[k] * chirp[k];
+                }
+                if dir == Direction::Inverse {
+                    conj_all(data);
+                    let inv = T::from_f64(1.0 / self.n as f64);
+                    for v in data.iter_mut() {
+                        *v = v.scale(inv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn conj_all<T: Real>(data: &mut [Complex<T>]) {
+    for v in data.iter_mut() {
+        *v = v.conj();
+    }
+}
+
+/// Iterative radix-2 DIT with precomputed bit-reversal and twiddles.
+fn radix2_forward<T: Real>(data: &mut [Complex<T>], bitrev: &[u32], twiddles: &[Complex<T>]) {
+    let n = data.len();
+    for (i, &r) in bitrev.iter().enumerate() {
+        let r = r as usize;
+        if i < r {
+            data.swap(i, r);
+        }
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        let mut start = 0;
+        while start < n {
+            for k in 0..half {
+                let w = twiddles[k * stride];
+                let a = data[start + k];
+                let b = data[start + k + half] * w;
+                data[start + k] = a + b;
+                data[start + k + half] = a - b;
+            }
+            start += len;
+        }
+        len *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seismic_la::scalar::{c64, C64};
+
+    fn naive_dft(x: &[C64]) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = C64::new(0.0, 0.0);
+                for (j, &v) in x.iter().enumerate() {
+                    let theta = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += v * C64::cis(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn test_signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.7).sin() + 0.3, (i as f64 * 1.3).cos() - 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive() {
+        for &n in &[2usize, 4, 8, 16, 64, 256] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlan::new(n).process(&mut y, Direction::Forward);
+            let want = naive_dft(&x);
+            for (g, w) in y.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        for &n in &[3usize, 5, 6, 7, 12, 30, 100, 230] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlan::new(n).process(&mut y, Direction::Forward);
+            let want = naive_dft(&x);
+            for (g, w) in y.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-8 * n as f64, "n={n}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for n in 1..64 {
+            let x = test_signal(n);
+            let plan = FftPlan::new(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            plan.process(&mut y, Direction::Inverse);
+            for (g, w) in y.iter().zip(&x) {
+                assert!((*g - *w).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let n = 128;
+        let x = test_signal(n);
+        let mut y = x.clone();
+        FftPlan::new(n).process(&mut y, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn delta_gives_flat_spectrum() {
+        let n = 16;
+        let mut x = vec![C64::new(0.0, 0.0); n];
+        x[0] = C64::new(1.0, 0.0);
+        FftPlan::new(n).process(&mut x, Direction::Forward);
+        for v in &x {
+            assert!((*v - C64::new(1.0, 0.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_right_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let mut y = x.clone();
+        FftPlan::new(n).process(&mut y, Direction::Forward);
+        for (k, v) in y.iter().enumerate() {
+            let want = if k == k0 { n as f64 } else { 0.0 };
+            assert!((v.abs() - want).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn f32_plan_accuracy() {
+        use seismic_la::scalar::C32;
+        let n = 230; // the paper's frequency count; non-power-of-two
+        let x: Vec<C32> = (0..n)
+            .map(|i| C32::new((i as f32 * 0.3).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let plan = FftPlan::<f32>::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        for (g, w) in y.iter().zip(&x) {
+            assert!((*g - *w).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Real-signal transform pair.
+//!
+//! Seismic traces are real in the time domain; their spectra are Hermitian,
+//! so only `n/2 + 1` frequency bins are stored — exactly how the paper
+//! keeps 230 frequency matrices for a 1126-sample time axis.
+
+use seismic_la::scalar::{Complex, Real};
+
+use crate::plan::{Direction, FftPlan};
+
+/// Forward/inverse transforms between a length-`n` real signal and its
+/// `n/2 + 1` non-negative-frequency bins.
+pub struct RealFft<T: Real> {
+    n: usize,
+    plan: FftPlan<T>,
+}
+
+impl<T: Real> RealFft<T> {
+    /// Plan for real signals of length `n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            plan: FftPlan::new(n),
+        }
+    }
+
+    /// Signal length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of stored spectrum bins (`n/2 + 1`).
+    pub fn spectrum_len(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.n / 2 + 1
+        }
+    }
+
+    /// Forward transform: real signal → non-negative-frequency bins.
+    pub fn forward(&self, signal: &[T]) -> Vec<Complex<T>> {
+        assert_eq!(signal.len(), self.n);
+        let mut buf: Vec<Complex<T>> = signal.iter().map(|&s| Complex::new(s, T::ZERO)).collect();
+        self.plan.process(&mut buf, Direction::Forward);
+        buf.truncate(self.spectrum_len());
+        buf
+    }
+
+    /// Inverse transform: Hermitian-extend the stored bins and return the
+    /// real time-domain signal.
+    pub fn inverse(&self, spectrum: &[Complex<T>]) -> Vec<T> {
+        assert_eq!(spectrum.len(), self.spectrum_len());
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let mut buf = vec![Complex::new(T::ZERO, T::ZERO); self.n];
+        buf[..spectrum.len()].copy_from_slice(spectrum);
+        for k in spectrum.len()..self.n {
+            buf[k] = spectrum[self.n - k].conj();
+        }
+        self.plan.process(&mut buf, Direction::Inverse);
+        buf.into_iter().map(|c| c.re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_even_and_odd() {
+        for &n in &[1usize, 2, 3, 8, 9, 64, 100, 225] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+            let rf = RealFft::new(n);
+            let spec = rf.forward(&x);
+            assert_eq!(spec.len(), n / 2 + 1);
+            let back = rf.inverse(&spec);
+            for (g, w) in back.iter().zip(&x) {
+                assert!((g - w).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_signal() {
+        let rf = RealFft::new(16);
+        let x = vec![2.5f64; 16];
+        let spec = rf.forward(&x);
+        assert!((spec[0].re - 40.0).abs() < 1e-10);
+        for s in &spec[1..] {
+            assert!(s.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cosine_energy_in_single_bin() {
+        let n = 64;
+        let k0 = 7;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64).cos())
+            .collect();
+        let rf = RealFft::new(n);
+        let spec = rf.forward(&x);
+        for (k, s) in spec.iter().enumerate() {
+            let want = if k == k0 { n as f64 / 2.0 } else { 0.0 };
+            assert!((s.abs() - want).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn spectrum_is_hermitian_consistent() {
+        // inverse(forward(x)) real output implies the implied negative bins
+        // were conjugate-symmetric; check the Nyquist bin is (numerically) real.
+        let n = 32;
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let spec = RealFft::new(n).forward(&x);
+        assert!(spec[n / 2].im.abs() < 1e-9);
+        assert!(spec[0].im.abs() < 1e-9);
+    }
+}

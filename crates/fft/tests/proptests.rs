@@ -1,0 +1,102 @@
+//! Property-based tests for the FFT substrate.
+
+use proptest::prelude::*;
+use seismic_fft::{Direction, FftPlan, RealFft};
+use seismic_la::scalar::C64;
+
+fn signal(n: usize, seed: u64) -> Vec<C64> {
+    (0..n)
+        .map(|i| {
+            let t = (i as f64 + seed as f64 * 0.37).sin();
+            C64::new(t, (i as f64 * 0.7 + seed as f64).cos())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// forward→inverse is the identity for every length 1..200.
+    #[test]
+    fn roundtrip_any_length(n in 1usize..200, seed in 0u64..100) {
+        let x = signal(n, seed);
+        let plan = FftPlan::<f64>::new(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    /// Parseval: ‖x‖² = ‖X‖²/N for any length.
+    #[test]
+    fn parseval_any_length(n in 1usize..150, seed in 0u64..100) {
+        let x = signal(n, seed);
+        let mut y = x.clone();
+        FftPlan::<f64>::new(n).process(&mut y, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((ex - ey).abs() < 1e-8 * (1.0 + ex));
+    }
+
+    /// Linearity: F(αx + y) = αF(x) + F(y).
+    #[test]
+    fn linearity(n in 2usize..100, seed in 0u64..50, ar in -2.0f64..2.0, ai in -2.0f64..2.0) {
+        let alpha = C64::new(ar, ai);
+        let x = signal(n, seed);
+        let y = signal(n, seed + 1);
+        let plan = FftPlan::<f64>::new(n);
+        let mut combo: Vec<C64> = x.iter().zip(&y).map(|(a, b)| alpha * *a + *b).collect();
+        plan.process(&mut combo, Direction::Forward);
+        let mut fx = x.clone();
+        plan.process(&mut fx, Direction::Forward);
+        let mut fy = y.clone();
+        plan.process(&mut fy, Direction::Forward);
+        for ((c, a), b) in combo.iter().zip(&fx).zip(&fy) {
+            let want = alpha * *a + *b;
+            prop_assert!((*c - want).abs() < 1e-7 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Circular time shift multiplies the spectrum by a phase ramp.
+    #[test]
+    fn shift_theorem(n in 4usize..80, shift in 1usize..10, seed in 0u64..50) {
+        let shift = shift % n;
+        let x = signal(n, seed);
+        let shifted: Vec<C64> = (0..n).map(|i| x[(i + n - shift) % n]).collect();
+        let plan = FftPlan::<f64>::new(n);
+        let mut fx = x.clone();
+        plan.process(&mut fx, Direction::Forward);
+        let mut fs = shifted;
+        plan.process(&mut fs, Direction::Forward);
+        for (k, (s, orig)) in fs.iter().zip(&fx).enumerate() {
+            let phase = C64::cis(-2.0 * std::f64::consts::PI * (k * shift) as f64 / n as f64);
+            let want = *orig * phase;
+            prop_assert!((*s - want).abs() < 1e-7 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Real FFT round trip for arbitrary real signals.
+    #[test]
+    fn real_roundtrip(n in 1usize..200, seed in 0u64..100) {
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64 + seed as f64) * 0.61).sin()).collect();
+        let rf = RealFft::new(n);
+        let back = rf.inverse(&rf.forward(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The real-FFT spectrum agrees with the complex FFT's leading bins.
+    #[test]
+    fn real_matches_complex(n in 2usize..120, seed in 0u64..50) {
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64 * 1.1 + seed as f64) * 0.3).cos()).collect();
+        let rspec = RealFft::new(n).forward(&x);
+        let mut cspec: Vec<C64> = x.iter().map(|&v| C64::new(v, 0.0)).collect();
+        FftPlan::<f64>::new(n).process(&mut cspec, Direction::Forward);
+        for (a, b) in rspec.iter().zip(&cspec) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Hilbert and Morton space-filling curves.
+//!
+//! The paper (citing Hong et al. 2022) reorders the rows (sources) and
+//! columns (receivers) of every frequency matrix along a Hilbert curve so
+//! that spatially close stations get adjacent indices; tiles then couple
+//! compact clusters of sources to compact clusters of receivers, which
+//! collapses their ranks. Morton ordering is the weaker baseline.
+
+/// Convert a distance `d` along the order-`order` Hilbert curve into
+/// `(x, y)` cell coordinates on the `2^order × 2^order` grid.
+pub fn hilbert_d2xy(order: u32, d: u64) -> (u64, u64) {
+    let n = 1u64 << order;
+    let mut t = d;
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut s = 1u64;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rotate(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Convert `(x, y)` cell coordinates into the distance along the
+/// order-`order` Hilbert curve. Inverse of [`hilbert_d2xy`].
+pub fn hilbert_xy2d(order: u32, mut x: u64, mut y: u64) -> u64 {
+    let n = 1u64 << order;
+    debug_assert!(x < n && y < n);
+    let mut d = 0u64;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = if (x & s) > 0 { 1 } else { 0 };
+        let ry = if (y & s) > 0 { 1 } else { 0 };
+        d += s * s * ((3 * rx) ^ ry);
+        rotate(s, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+fn rotate(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Morton (Z-order) code of `(x, y)` by bit interleaving.
+pub fn morton_encode(x: u64, y: u64) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse of [`morton_encode`].
+pub fn morton_decode(code: u64) -> (u64, u64) {
+    (compact1by1(code), compact1by1(code >> 1))
+}
+
+fn part1by1(mut v: u64) -> u64 {
+    v &= 0xffff_ffff;
+    v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+fn compact1by1(mut v: u64) -> u64 {
+    v &= 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v >> 4)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v >> 8)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v >> 16)) & 0xffff_ffff;
+    v
+}
+
+/// Generalized Hilbert ("gilbert") curve for arbitrary rectangles
+/// (Červený's construction): visits every cell of an `nx × ny` grid
+/// exactly once with Hilbert-like locality, without embedding into a
+/// power-of-two square — useful for the paper's 217 × 120 / 177 × 90
+/// station grids.
+///
+/// Caveat inherited from the construction: on some odd-dimension
+/// rectangles the path contains a single *diagonal* step (still a unit
+/// king-move); locality is unaffected.
+pub fn gilbert_order(nx: usize, ny: usize) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(nx * ny);
+    if nx == 0 || ny == 0 {
+        return out;
+    }
+    if nx >= ny {
+        gilbert2d(0, 0, nx as i64, 0, 0, ny as i64, &mut out);
+    } else {
+        gilbert2d(0, 0, 0, ny as i64, nx as i64, 0, &mut out);
+    }
+    out
+}
+
+fn gilbert2d(x: i64, y: i64, ax: i64, ay: i64, bx: i64, by: i64, out: &mut Vec<(u32, u32)>) {
+    let w = (ax + ay).abs();
+    let h = (bx + by).abs();
+    let (dax, day) = (ax.signum(), ay.signum());
+    let (dbx, dby) = (bx.signum(), by.signum());
+
+    if h == 1 {
+        let (mut cx, mut cy) = (x, y);
+        for _ in 0..w {
+            out.push((cx as u32, cy as u32));
+            cx += dax;
+            cy += day;
+        }
+        return;
+    }
+    if w == 1 {
+        let (mut cx, mut cy) = (x, y);
+        for _ in 0..h {
+            out.push((cx as u32, cy as u32));
+            cx += dbx;
+            cy += dby;
+        }
+        return;
+    }
+
+    // Floor division (the reference algorithm is written with Python's
+    // `//`); arithmetic shift floors for negatives too.
+    let (mut ax2, mut ay2) = (ax >> 1, ay >> 1);
+    let (mut bx2, mut by2) = (bx >> 1, by >> 1);
+    let w2 = (ax2 + ay2).abs();
+    let h2 = (bx2 + by2).abs();
+
+    if 2 * w > 3 * h {
+        if w2.rem_euclid(2) != 0 && w > 2 {
+            ax2 += dax;
+            ay2 += day;
+        }
+        gilbert2d(x, y, ax2, ay2, bx, by, out);
+        gilbert2d(x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by, out);
+    } else {
+        if h2.rem_euclid(2) != 0 && h > 2 {
+            bx2 += dbx;
+            by2 += dby;
+        }
+        gilbert2d(x, y, bx2, by2, ax2, ay2, out);
+        gilbert2d(x + bx2, y + by2, ax, ay, bx - bx2, by - by2, out);
+        gilbert2d(
+            x + (ax - dax) + (bx2 - dbx),
+            y + (ay - day) + (by2 - dby),
+            -bx2,
+            -by2,
+            -(ax - ax2),
+            -(ay - ay2),
+            out,
+        );
+    }
+}
+
+/// Smallest Hilbert order whose `2^order` grid covers `max(nx, ny)` cells.
+pub fn order_for(nx: usize, ny: usize) -> u32 {
+    let side = nx.max(ny).max(1);
+    let mut order = 0;
+    while (1usize << order) < side {
+        order += 1;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_bijective_order3() {
+        let order = 3;
+        let n = 1u64 << order;
+        let mut seen = vec![false; (n * n) as usize];
+        for d in 0..n * n {
+            let (x, y) = hilbert_d2xy(order, d);
+            assert!(x < n && y < n);
+            let idx = (y * n + x) as usize;
+            assert!(!seen[idx], "cell visited twice");
+            seen[idx] = true;
+            assert_eq!(hilbert_xy2d(order, x, y), d, "inverse mismatch at d={d}");
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_adjacent() {
+        let order = 5;
+        let n = 1u64 << order;
+        for d in 0..n * n - 1 {
+            let (x0, y0) = hilbert_d2xy(order, d);
+            let (x1, y1) = hilbert_d2xy(order, d + 1);
+            let step = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+            assert_eq!(step, 1, "non-adjacent at d={d}");
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip() {
+        for x in 0..40u64 {
+            for y in 0..40u64 {
+                let code = morton_encode(x, y);
+                assert_eq!(morton_decode(code), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn morton_ordering_matches_known_sequence() {
+        // First cells of the Z curve: (0,0) (1,0) (0,1) (1,1) (2,0) ...
+        let mut cells: Vec<(u64, u64)> = (0..4u64)
+            .flat_map(|y| (0..4u64).map(move |x| (x, y)))
+            .collect();
+        cells.sort_by_key(|&(x, y)| morton_encode(x, y));
+        assert_eq!(&cells[..4], &[(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn gilbert_visits_every_cell_once() {
+        for (nx, ny) in [(1usize, 1usize), (5, 1), (1, 7), (8, 8), (13, 9), (21, 7), (217, 120)] {
+            let order = gilbert_order(nx, ny);
+            assert_eq!(order.len(), nx * ny, "{nx}x{ny}");
+            let mut seen = vec![false; nx * ny];
+            for &(x, y) in &order {
+                let idx = y as usize * nx + x as usize;
+                assert!(!seen[idx], "{nx}x{ny}: cell visited twice");
+                seen[idx] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn gilbert_consecutive_cells_adjacent() {
+        for (nx, ny) in [(8usize, 8usize), (13, 9), (30, 11)] {
+            let order = gilbert_order(nx, ny);
+            for w in order.windows(2) {
+                let step = (w[0].0 as i64 - w[1].0 as i64).abs()
+                    + (w[0].1 as i64 - w[1].1 as i64).abs();
+                assert_eq!(step, 1, "{nx}x{ny}: jump between {:?} and {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn order_for_sizes() {
+        assert_eq!(order_for(1, 1), 0);
+        assert_eq!(order_for(2, 2), 1);
+        assert_eq!(order_for(3, 2), 2);
+        assert_eq!(order_for(217, 120), 8);
+        assert_eq!(order_for(256, 1), 8);
+        assert_eq!(order_for(257, 1), 9);
+    }
+}

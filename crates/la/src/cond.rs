@@ -1,0 +1,114 @@
+//! Spectral-norm and condition-number estimation.
+//!
+//! Power iteration on `AᴴA` estimates `σ_max` for operators too large to
+//! factor; small matrices get exact values through the Jacobi SVD. Used
+//! to quantify how operator-perturbation amplification (and hence the
+//! usable compression tolerance) changes with problem size.
+
+use crate::blas::{gemv, gemv_conj_transpose, nrm2, scal};
+use crate::dense::Matrix;
+use crate::scalar::{Real, Scalar};
+use crate::svd::jacobi_svd;
+
+/// Estimate `σ_max(A)` by power iteration on `AᴴA` (deterministic start).
+pub fn spectral_norm_est<S: Scalar>(a: &Matrix<S>, iters: usize) -> S::Real {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return S::Real::ZERO;
+    }
+    // Deterministic, non-degenerate start vector.
+    let mut v: Vec<S> = (0..n)
+        .map(|i| S::from_real(S::Real::from_f64(1.0 + 0.37 * ((i * 7919 % 101) as f64) / 101.0)))
+        .collect();
+    let norm = nrm2(&v);
+    scal(S::from_real(norm.recip()), &mut v);
+    let mut sigma = S::Real::ZERO;
+    let mut av = vec![S::ZERO; m];
+    for _ in 0..iters.max(1) {
+        gemv(a, &v, &mut av);
+        let av_norm = nrm2(&av);
+        if av_norm == S::Real::ZERO {
+            return S::Real::ZERO;
+        }
+        gemv_conj_transpose(a, &av, &mut v);
+        let vn = nrm2(&v);
+        if vn == S::Real::ZERO {
+            return av_norm;
+        }
+        scal(S::from_real(vn.recip()), &mut v);
+        // Rayleigh estimate: ‖Av‖ after renormalized v ≈ σ_max.
+        sigma = av_norm;
+    }
+    sigma
+}
+
+/// Exact condition number `σ_max/σ_min` via the Jacobi SVD (small
+/// matrices). Returns `None` for singular or empty matrices.
+pub fn condition_number<S: Scalar>(a: &Matrix<S>) -> Option<f64> {
+    let svd = jacobi_svd(a);
+    let smax = svd.s.first()?.to_f64();
+    let smin = svd.s.last()?.to_f64();
+    if smin <= 0.0 {
+        None
+    } else {
+        Some(smax / smin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{c64, C64};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn power_iteration_matches_svd() {
+        let mut rng = ChaCha8Rng::seed_from_u64(141);
+        let a = Matrix::<C64>::random_normal(18, 12, &mut rng);
+        let est = spectral_norm_est(&a, 60);
+        let svd = jacobi_svd(&a);
+        assert!(
+            (est - svd.s[0]).abs() < 1e-6 * svd.s[0],
+            "est {est} vs exact {}",
+            svd.s[0]
+        );
+    }
+
+    #[test]
+    fn condition_of_diagonal() {
+        let mut a = Matrix::<C64>::zeros(3, 3);
+        a[(0, 0)] = c64(10.0, 0.0);
+        a[(1, 1)] = c64(2.0, 0.0);
+        a[(2, 2)] = c64(0.5, 0.0);
+        let k = condition_number(&a).unwrap();
+        assert!((k - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_gives_none() {
+        let a = Matrix::<C64>::zeros(4, 4);
+        assert!(condition_number(&a).is_none());
+    }
+
+    #[test]
+    fn bigger_smooth_kernels_are_worse_conditioned() {
+        // The scale-bridging premise: the same smooth kernel family gets
+        // harder to invert as the station count grows (nearby columns
+        // become more linearly dependent).
+        let kernel = |n: usize| {
+            Matrix::<C64>::from_fn(n, n, |i, j| {
+                let x = i as f64 / n as f64;
+                let y = j as f64 / n as f64;
+                let d = ((x - y) * (x - y) + 0.01).sqrt();
+                C64::from_polar(1.0 / (1.0 + 3.0 * d), -9.0 * d)
+            })
+        };
+        let k_small = condition_number(&kernel(12)).unwrap();
+        let k_big = condition_number(&kernel(48)).unwrap();
+        assert!(
+            k_big > 5.0 * k_small,
+            "cond grows with density: {k_small} -> {k_big}"
+        );
+    }
+}

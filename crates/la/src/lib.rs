@@ -1,0 +1,41 @@
+//! # seismic-la
+//!
+//! Self-contained dense complex linear algebra for the `tlr-mvm-rs`
+//! workspace — no BLAS/LAPACK bindings, everything implemented in Rust:
+//!
+//! * [`scalar`] — `f32`/`f64`/[`C32`]/[`C64`] under one [`Scalar`] trait.
+//! * [`dense`] — column-major [`Matrix`] storage.
+//! * [`blas`] — gemv/gemm/axpy/dot/norm kernels plus rayon-batched MVMs.
+//! * [`mod@qr`] — Householder QR and column-pivoted rank-revealing QR.
+//! * [`svd`] — one-sided Jacobi SVD (real & complex) with tolerance
+//!   truncation.
+//! * [`rsvd`] — randomized SVD (Halko–Martinsson–Tropp).
+//! * [`aca`] — adaptive cross approximation.
+//! * [`lowrank`] — the `A ≈ U Vᴴ` factor pair shared by all backends.
+//!
+//! These are the algebraic compression methods the SC'23 paper
+//! *"Scaling the Memory Wall for Multi-Dimensional Seismic Processing with
+//! Algebraic Compression on Cerebras CS-2 Systems"* lists for its TLR
+//! pre-processing step (rank-revealing QR, randomized SVD, ACA, SVD).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aca;
+pub mod blas;
+pub mod cond;
+pub mod dense;
+pub mod lowrank;
+pub mod qr;
+pub mod rsvd;
+pub mod scalar;
+pub mod svd;
+
+pub use aca::aca_compress;
+pub use cond::{condition_number, spectral_norm_est};
+pub use dense::Matrix;
+pub use lowrank::LowRank;
+pub use qr::{pivoted_qr, qr, PivotedQr, Qr};
+pub use rsvd::{randomized_svd, rsvd_compress_adaptive, RsvdOptions};
+pub use scalar::{c32, c64, Complex, Real, Scalar, C32, C64};
+pub use svd::{jacobi_svd, svd_compress, Svd};

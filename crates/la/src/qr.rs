@@ -1,0 +1,404 @@
+//! Householder QR and rank-revealing (column-pivoted) QR.
+//!
+//! RRQR is one of the algebraic compression backends the paper cites
+//! (rank-revealing QR, Chan 1987 / Golub & Van Loan) for building the
+//! per-tile `U·Vᴴ` factors.
+
+use crate::dense::Matrix;
+use crate::scalar::{Real, Scalar};
+
+/// Compact-WY-free Householder QR factorization: `A = Q R` with `Q`
+/// represented by reflectors stored below the diagonal of `factors`.
+pub struct Qr<S: Scalar> {
+    factors: Matrix<S>,
+    taus: Vec<S>,
+}
+
+impl<S: Scalar> Qr<S> {
+    /// Number of reflectors = `min(m, n)`.
+    pub fn rank_bound(&self) -> usize {
+        self.taus.len()
+    }
+
+    /// Upper-triangular `R` (`min(m,n) x n`).
+    pub fn r(&self) -> Matrix<S> {
+        let (m, n) = self.factors.shape();
+        let k = m.min(n);
+        Matrix::from_fn(k, n, |i, j| {
+            if i <= j {
+                self.factors[(i, j)]
+            } else {
+                S::ZERO
+            }
+        })
+    }
+
+    /// Thin `Q` (`m x min(m,n)`), formed by applying reflectors to the
+    /// leading columns of the identity.
+    pub fn q_thin(&self) -> Matrix<S> {
+        let (m, n) = self.factors.shape();
+        let k = m.min(n);
+        let mut q = Matrix::zeros(m, k);
+        for j in 0..k {
+            q[(j, j)] = S::ONE;
+        }
+        // Apply H_{k-1} ... H_0 to each column of the identity block.
+        for col in 0..k {
+            for h in (0..k).rev() {
+                apply_reflector_to_col(&self.factors, self.taus[h], h, &mut q, col);
+            }
+        }
+        q
+    }
+
+    /// Apply `Qᴴ` to a vector in place (length `m`).
+    pub fn apply_qh(&self, x: &mut [S]) {
+        let (m, _) = self.factors.shape();
+        assert_eq!(x.len(), m);
+        for h in 0..self.taus.len() {
+            apply_reflector_to_slice(&self.factors, self.taus[h].conj(), h, x);
+        }
+    }
+}
+
+/// Apply reflector `h` (stored in `factors` column `h`) to column `col` of `out`.
+fn apply_reflector_to_col<S: Scalar>(
+    factors: &Matrix<S>,
+    tau: S,
+    h: usize,
+    out: &mut Matrix<S>,
+    col: usize,
+) {
+    if tau == S::ZERO {
+        return;
+    }
+    let m = factors.nrows();
+    // w = tau * v^H * out[:, col], with v = [1, factors[h+1.., h]]
+    let mut w = out[(h, col)];
+    for i in h + 1..m {
+        w += factors[(i, h)].conj() * out[(i, col)];
+    }
+    w *= tau;
+    out[(h, col)] -= w;
+    for i in h + 1..m {
+        let vi = factors[(i, h)];
+        let delta = w * vi;
+        out[(i, col)] -= delta;
+    }
+}
+
+fn apply_reflector_to_slice<S: Scalar>(factors: &Matrix<S>, tau: S, h: usize, x: &mut [S]) {
+    if tau == S::ZERO {
+        return;
+    }
+    let m = factors.nrows();
+    let mut w = x[h];
+    for i in h + 1..m {
+        w += factors[(i, h)].conj() * x[i];
+    }
+    w *= tau;
+    x[h] -= w;
+    for i in h + 1..m {
+        let vi = factors[(i, h)];
+        let delta = w * vi;
+        x[i] -= delta;
+    }
+}
+
+/// Generate an elementary reflector for the vector `x` (LAPACK `larfg`
+/// convention): returns `(tau, beta)` and overwrites `x[1..]` with the
+/// reflector tail (`v[0] == 1` implicitly), `x[0]` with `beta`.
+fn make_reflector<S: Scalar>(x: &mut [S]) -> S {
+    let alpha = x[0];
+    let mut tail_sq = 0.0f64;
+    for v in &x[1..] {
+        tail_sq += v.abs_sqr().to_f64();
+    }
+    let alpha_abs_sq = alpha.abs_sqr().to_f64();
+    if tail_sq == 0.0 && alpha.imag() == S::Real::ZERO {
+        // Already in the right form.
+        return S::ZERO;
+    }
+    let norm = (alpha_abs_sq + tail_sq).sqrt();
+    // beta = -sign(Re(alpha)) * norm, real.
+    let beta_r = if alpha.real() >= S::Real::ZERO {
+        -S::Real::from_f64(norm)
+    } else {
+        S::Real::from_f64(norm)
+    };
+    let beta = S::from_real(beta_r);
+    // tau = (beta - alpha) / beta
+    let tau = (beta - alpha) * beta.inv();
+    // v = x / (alpha - beta)
+    let scale = (alpha - beta).inv();
+    for v in x[1..].iter_mut() {
+        *v *= scale;
+    }
+    x[0] = beta;
+    tau
+}
+
+/// Unpivoted Householder QR.
+pub fn qr<S: Scalar>(a: &Matrix<S>) -> Qr<S> {
+    let mut f = a.clone();
+    let (m, n) = f.shape();
+    let k = m.min(n);
+    let mut taus = Vec::with_capacity(k);
+    for j in 0..k {
+        // Form reflector from f[j.., j].
+        let tau = {
+            let col = &mut f.col_mut(j)[j..];
+            make_reflector(col)
+        };
+        taus.push(tau);
+        if tau == S::ZERO {
+            continue;
+        }
+        // Zero the trailing columns with Hᴴ (LAPACK convention: the
+        // reflector satisfies Hᴴx = βe₁, so R = Hₖᴴ…H₁ᴴ A).
+        for c in j + 1..n {
+            apply_reflector_trailing(&mut f, tau.conj(), j, c);
+        }
+    }
+    Qr { factors: f, taus }
+}
+
+/// Apply the reflector stored in column `h` (rows `h..`) to column `c`.
+fn apply_reflector_trailing<S: Scalar>(f: &mut Matrix<S>, tau: S, h: usize, c: usize) {
+    let m = f.nrows();
+    let (vcol, ccol) = f.cols_mut_pair(h, c);
+    let v = &vcol[h..];
+    let cc = &mut ccol[h..];
+    let mut w = cc[0];
+    for i in 1..m - h {
+        w += v[i].conj() * cc[i];
+    }
+    w *= tau;
+    cc[0] -= w;
+    for i in 1..m - h {
+        let delta = w * v[i];
+        cc[i] -= delta;
+    }
+}
+
+/// Column-pivoted QR with early termination: stops once the Frobenius norm
+/// of the trailing block drops below `tol_fro` (absolute), revealing the
+/// numerical rank.
+pub struct PivotedQr<S: Scalar> {
+    factors: Matrix<S>,
+    taus: Vec<S>,
+    /// `perm[j]` = original index of the column now in position `j`.
+    pub perm: Vec<usize>,
+    /// Numerical rank detected at the requested tolerance.
+    pub rank: usize,
+}
+
+impl<S: Scalar> PivotedQr<S> {
+    /// Low-rank factors `(U, V)` with `A ≈ U Vᴴ`, `U: m×rank`, `V: n×rank`.
+    pub fn low_rank_factors(&self) -> (Matrix<S>, Matrix<S>) {
+        let (m, n) = self.factors.shape();
+        let k = self.rank;
+        // U = Q_k: apply reflectors to identity columns.
+        let mut u = Matrix::zeros(m, k);
+        for j in 0..k {
+            u[(j, j)] = S::ONE;
+        }
+        for col in 0..k {
+            for h in (0..k.min(self.taus.len())).rev() {
+                apply_reflector_to_col(&self.factors, self.taus[h], h, &mut u, col);
+            }
+        }
+        // V = P * R_kᴴ: row j of R_k scattered through the permutation.
+        let mut v = Matrix::zeros(n, k);
+        for jj in 0..n {
+            let orig = self.perm[jj];
+            for i in 0..k.min(jj + 1) {
+                v[(orig, i)] = self.factors[(i, jj)].conj();
+            }
+        }
+        (u, v)
+    }
+}
+
+/// Column-pivoted Householder QR, truncated at absolute Frobenius tolerance
+/// `tol_fro` (pass `0.0` for a full decomposition).
+pub fn pivoted_qr<S: Scalar>(a: &Matrix<S>, tol_fro: S::Real) -> PivotedQr<S> {
+    let mut f = a.clone();
+    let (m, n) = f.shape();
+    let kmax = m.min(n);
+    let mut taus: Vec<S> = Vec::with_capacity(kmax);
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Squared residual column norms, recomputed exactly to avoid the
+    // classical downdating cancellation problem on f32 data.
+    let mut rank = 0;
+    let tol_sq = tol_fro.to_f64() * tol_fro.to_f64();
+    for j in 0..kmax {
+        // Residual norms of trailing columns.
+        let mut best = j;
+        let mut best_norm = -1.0f64;
+        let mut total = 0.0f64;
+        for c in j..n {
+            let mut s = 0.0f64;
+            for i in j..m {
+                s += f[(i, c)].abs_sqr().to_f64();
+            }
+            total += s;
+            if s > best_norm {
+                best_norm = s;
+                best = c;
+            }
+        }
+        if total <= tol_sq {
+            break;
+        }
+        if best != j {
+            swap_cols(&mut f, j, best);
+            perm.swap(j, best);
+        }
+        let tau = {
+            let col = &mut f.col_mut(j)[j..];
+            make_reflector(col)
+        };
+        taus.push(tau);
+        rank = j + 1;
+        if tau != S::ZERO {
+            for c in j + 1..n {
+                apply_reflector_trailing(&mut f, tau.conj(), j, c);
+            }
+        }
+    }
+    PivotedQr {
+        factors: f,
+        taus,
+        perm,
+        rank,
+    }
+}
+
+fn swap_cols<S: Scalar>(f: &mut Matrix<S>, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let (ca, cb) = f.cols_mut_pair(a, b);
+    ca.swap_with_slice(cb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemm;
+    use crate::scalar::{C32, C64};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_unitary_cols(q: &Matrix<C64>, tol: f64) {
+        let g = crate::blas::gemm_conj_transpose_left(q, q);
+        for i in 0..g.nrows() {
+            for j in 0..g.ncols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g[(i, j)].abs() - want).abs() < tol,
+                    "gram[{i},{j}] = {:?}",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = Matrix::<C64>::random_normal(10, 6, &mut rng);
+        let f = qr(&a);
+        let q = f.q_thin();
+        let r = f.r();
+        check_unitary_cols(&q, 1e-10);
+        let qr_prod = gemm(&q, &r);
+        assert!(qr_prod.sub(&a).fro_norm() < 1e-10 * a.fro_norm());
+    }
+
+    #[test]
+    fn qr_wide_matrix() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let a = Matrix::<C64>::random_normal(4, 9, &mut rng);
+        let f = qr(&a);
+        let q = f.q_thin();
+        let r = f.r();
+        assert_eq!(q.shape(), (4, 4));
+        assert_eq!(r.shape(), (4, 9));
+        let qr_prod = gemm(&q, &r);
+        assert!(qr_prod.sub(&a).fro_norm() < 1e-10 * a.fro_norm());
+    }
+
+    #[test]
+    fn apply_qh_consistent_with_q() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let a = Matrix::<C64>::random_normal(7, 7, &mut rng);
+        let f = qr(&a);
+        let q = f.q_thin();
+        let x: Vec<C64> = (0..7)
+            .map(|i| crate::scalar::c64(i as f64 + 0.5, -(i as f64)))
+            .collect();
+        let mut qh_x = x.clone();
+        f.apply_qh(&mut qh_x);
+        let mut want = vec![C64::ZERO; 7];
+        crate::blas::gemv_conj_transpose(&q, &x, &mut want);
+        for (g, w) in qh_x.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-10);
+        }
+    }
+
+    /// Build an exactly rank-k matrix.
+    fn rank_k(m: usize, n: usize, k: usize, seed: u64) -> Matrix<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u = Matrix::<C64>::random_normal(m, k, &mut rng);
+        let v = Matrix::<C64>::random_normal(k, n, &mut rng);
+        gemm(&u, &v)
+    }
+
+    #[test]
+    fn pivoted_qr_reveals_rank() {
+        let a = rank_k(20, 16, 5, 21);
+        let f = pivoted_qr(&a, 1e-9 * a.fro_norm());
+        assert_eq!(f.rank, 5);
+        let (u, v) = f.low_rank_factors();
+        assert_eq!(u.shape(), (20, 5));
+        assert_eq!(v.shape(), (16, 5));
+        let approx = crate::blas::gemm_conj_transpose_right(&u, &v);
+        assert!(approx.sub(&a).fro_norm() < 1e-8 * a.fro_norm());
+    }
+
+    #[test]
+    fn pivoted_qr_full_rank_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let a = Matrix::<C64>::random_normal(8, 8, &mut rng);
+        let f = pivoted_qr(&a, 0.0);
+        assert_eq!(f.rank, 8);
+        let (u, v) = f.low_rank_factors();
+        let approx = crate::blas::gemm_conj_transpose_right(&u, &v);
+        assert!(approx.sub(&a).fro_norm() < 1e-10 * a.fro_norm());
+    }
+
+    #[test]
+    fn pivoted_qr_f32_tolerance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let u = Matrix::<C32>::random_normal(30, 3, &mut rng);
+        let v = Matrix::<C32>::random_normal(3, 24, &mut rng);
+        let a = gemm(&u, &v);
+        let f = pivoted_qr(&a, 1e-3 * a.fro_norm());
+        assert!(f.rank <= 6, "rank {} too large", f.rank);
+        let (uu, vv) = f.low_rank_factors();
+        let approx = crate::blas::gemm_conj_transpose_right(&uu, &vv);
+        assert!(approx.sub(&a).fro_norm() <= 2e-3 * a.fro_norm());
+    }
+
+    #[test]
+    fn pivoted_qr_zero_matrix() {
+        let a = Matrix::<C64>::zeros(5, 4);
+        let f = pivoted_qr(&a, 1e-12);
+        assert_eq!(f.rank, 0);
+        let (u, v) = f.low_rank_factors();
+        assert_eq!(u.ncols(), 0);
+        assert_eq!(v.ncols(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! One-sided Jacobi SVD for real and complex matrices.
+//!
+//! Jacobi SVD is chosen over bidiagonalization because tiles are small
+//! (`nb ≤ 70` in the paper) and Jacobi is simple, numerically robust, and
+//! embarrassingly regular — the same reasons the original TLR-MVM
+//! pre-processing uses dense-kernel-friendly factorizations.
+
+// Index-based loops here walk multiple parallel arrays; iterator zips
+// would obscure the stride structure the kernels are about.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dense::Matrix;
+use crate::lowrank::LowRank;
+use crate::scalar::{Real, Scalar};
+
+/// Full (thin) singular value decomposition `A = U diag(s) Vᴴ`.
+pub struct Svd<S: Scalar> {
+    /// `m × r` left singular vectors, `r = min(m, n)`.
+    pub u: Matrix<S>,
+    /// Singular values, descending.
+    pub s: Vec<S::Real>,
+    /// `n × r` right singular vectors.
+    pub v: Matrix<S>,
+}
+
+impl<S: Scalar> Svd<S> {
+    /// Reconstruct `U diag(s) Vᴴ`.
+    pub fn reconstruct(&self) -> Matrix<S> {
+        let r = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..r {
+            let sj = self.s[j];
+            for e in us.col_mut(j) {
+                *e = e.mul_real(sj);
+            }
+        }
+        crate::blas::gemm_conj_transpose_right(&us, &self.v)
+    }
+
+    /// Smallest rank `k` whose discarded tail satisfies
+    /// `sqrt(Σ_{i≥k} σᵢ²) ≤ tol` (absolute Frobenius tolerance).
+    pub fn rank_for_tolerance(&self, tol: S::Real) -> usize {
+        let tol_sq = tol.to_f64() * tol.to_f64();
+        let mut tail = 0.0f64;
+        let mut k = self.s.len();
+        // Walk from the smallest singular value, growing the discarded tail.
+        for i in (0..self.s.len()).rev() {
+            let next = tail + self.s[i].to_f64().powi(2);
+            if next > tol_sq {
+                break;
+            }
+            tail = next;
+            k = i;
+        }
+        k
+    }
+
+    /// Truncate to rank `k`, folding the singular values into `U`
+    /// (`U_k Σ_k`, `V_k`) so the result is a plain [`LowRank`] pair.
+    pub fn truncate(&self, k: usize) -> LowRank<S> {
+        let k = k.min(self.s.len());
+        let m = self.u.nrows();
+        let n = self.v.nrows();
+        let mut u = Matrix::zeros(m, k);
+        let mut v = Matrix::zeros(n, k);
+        for j in 0..k {
+            let sj = self.s[j];
+            for (dst, src) in u.col_mut(j).iter_mut().zip(self.u.col(j)) {
+                *dst = src.mul_real(sj);
+            }
+            v.col_mut(j).copy_from_slice(self.v.col(j));
+        }
+        LowRank::new(u, v)
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring convergence failure
+/// (never reached in practice for `n ≤` a few hundred).
+const MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD. Handles `m < n` by factoring `Aᴴ` and swapping
+/// the factors.
+pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Svd<S> {
+    let (m, n) = a.shape();
+    if m < n {
+        let t = jacobi_svd(&a.conj_transpose());
+        return Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        };
+    }
+    let mut w = a.clone();
+    let mut v = Matrix::<S>::eye(n);
+    let eps = S::Real::EPSILON;
+    // Convergence threshold on |cos angle| between columns.
+    let tol = eps.to_f64() * (n as f64).sqrt();
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                let app = col_norm_sq(&w, p);
+                let aqq = col_norm_sq(&w, q);
+                if app == 0.0 && aqq == 0.0 {
+                    continue;
+                }
+                let apq = col_dotc(&w, p, q); // w_pᴴ w_q
+                let apq_abs = apq.abs().to_f64();
+                if apq_abs <= tol * (app * aqq).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                // Phase so that w_pᴴ (w_q e^{-iφ}) is real positive.
+                let phase = if apq_abs > 0.0 {
+                    apq.mul_real(S::Real::from_f64(apq_abs.recip()))
+                } else {
+                    S::ONE
+                };
+                // Real 2x2 symmetric eigen-rotation on [[app, r],[r, aqq]].
+                let r = apq_abs;
+                let tau = (aqq - app) / (2.0 * r);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let cs = S::from_real(S::Real::from_f64(c));
+                let sn = S::from_real(S::Real::from_f64(s));
+                // Column q gets the phase folded in: q' = q * conj(phase)?
+                // We need w_pᴴ (w_q * e^{-iφ}) real: e^{iφ} = phase, so
+                // multiply column q by conj(phase).
+                let phq = phase.conj();
+                rotate_pair(&mut w, p, q, cs, sn, phq);
+                rotate_pair(&mut v, p, q, cs, sn, phq);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and normalize U columns.
+    let mut s: Vec<S::Real> = (0..n)
+        .map(|j| S::Real::from_f64(col_norm_sq(&w, j).sqrt()))
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| s[j].partial_cmp(&s[i]).unwrap());
+    let w_sorted = w.permute_cols(&order);
+    let v_sorted = v.permute_cols(&order);
+    s = order.iter().map(|&i| s[i]).collect();
+
+    let mut u = w_sorted;
+    for j in 0..n {
+        let sj = s[j];
+        if sj > S::Real::ZERO {
+            let inv = sj.recip();
+            for e in u.col_mut(j) {
+                *e = e.mul_real(inv);
+            }
+        }
+        // Zero singular value: leave the (zero) column; downstream
+        // truncation never keeps it.
+    }
+    Svd { u, s, v: v_sorted }
+}
+
+/// Truncated SVD compression at absolute Frobenius tolerance `tol`.
+pub fn svd_compress<S: Scalar>(a: &Matrix<S>, tol: S::Real) -> LowRank<S> {
+    let svd = jacobi_svd(a);
+    let k = svd.rank_for_tolerance(tol);
+    svd.truncate(k)
+}
+
+fn col_norm_sq<S: Scalar>(w: &Matrix<S>, j: usize) -> f64 {
+    w.col(j).iter().map(|x| x.abs_sqr().to_f64()).sum()
+}
+
+fn col_dotc<S: Scalar>(w: &Matrix<S>, p: usize, q: usize) -> S {
+    crate::blas::dotc(w.col(p), w.col(q))
+}
+
+/// Apply the complex Jacobi rotation to columns `p`, `q`:
+/// `[p', q'] = [c·p − s·(q·phq), s̄·p... ]` — concretely:
+/// `p_new = c·p − s·(phq·q)`, `q_new = s·p + c·(phq·q)`.
+fn rotate_pair<S: Scalar>(m: &mut Matrix<S>, p: usize, q: usize, c: S, s: S, phq: S) {
+    let (cp, cq) = m.cols_mut_pair(p, q);
+    for (a, b) in cp.iter_mut().zip(cq.iter_mut()) {
+        let bq = phq * *b;
+        let new_a = c * *a - s * bq;
+        let new_b = s * *a + c * bq;
+        *a = new_a;
+        *b = new_b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, gemm_conj_transpose_left};
+    use crate::scalar::{C32, C64};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_svd<SC: Scalar>(a: &Matrix<SC>, tol: f64) {
+        let svd = jacobi_svd(a);
+        // Reconstruction
+        let rec = svd.reconstruct();
+        let err = rec.sub(a).fro_norm().to_f64();
+        let norm = a.fro_norm().to_f64().max(1.0);
+        assert!(err < tol * norm, "reconstruction err {err} vs norm {norm}");
+        // Descending singular values
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // U, V have orthonormal columns (where σ > 0)
+        let gu = gemm_conj_transpose_left(&svd.u, &svd.u);
+        let gv = gemm_conj_transpose_left(&svd.v, &svd.v);
+        for i in 0..svd.s.len() {
+            if svd.s[i].to_f64() > 1e-10 {
+                assert!((gu[(i, i)].abs().to_f64() - 1.0).abs() < 100.0 * tol);
+            }
+            assert!((gv[(i, i)].abs().to_f64() - 1.0).abs() < 100.0 * tol);
+        }
+    }
+
+    #[test]
+    fn svd_c64_tall() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let a = Matrix::<C64>::random_normal(12, 7, &mut rng);
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn svd_c64_wide() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = Matrix::<C64>::random_normal(5, 11, &mut rng);
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn svd_c32_square() {
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let a = Matrix::<C32>::random_normal(16, 16, &mut rng);
+        check_svd(&a, 1e-4);
+    }
+
+    #[test]
+    fn svd_real_f64() {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        let a = Matrix::<f64>::from_fn(9, 6, |i, j| {
+            ((i * 31 + j * 17 + 5) % 23) as f64 / 23.0 - 0.5 + crate::dense::normal_sample(&mut rng) * 0.1
+        });
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn svd_diagonal_matrix_exact_values() {
+        let mut a = Matrix::<C64>::zeros(4, 4);
+        for (i, &d) in [5.0, 3.0, 2.0, 0.5].iter().enumerate() {
+            a[(i, i)] = crate::scalar::c64(d, 0.0);
+        }
+        let svd = jacobi_svd(&a);
+        let want = [5.0, 3.0, 2.0, 0.5];
+        for (got, want) in svd.s.iter().zip(want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(45);
+        let u = Matrix::<C64>::random_normal(10, 3, &mut rng);
+        let v = Matrix::<C64>::random_normal(3, 8, &mut rng);
+        let a = gemm(&u, &v);
+        let svd = jacobi_svd(&a);
+        // σ₄..σ₈ should vanish
+        for &sv in &svd.s[3..] {
+            assert!(sv < 1e-10, "tail singular value {sv}");
+        }
+        let rec = svd.reconstruct();
+        assert!(rec.sub(&a).fro_norm() < 1e-10 * a.fro_norm());
+    }
+
+    #[test]
+    fn rank_for_tolerance_tail_semantics() {
+        let mut a = Matrix::<C64>::zeros(5, 5);
+        for (i, &d) in [4.0, 2.0, 1.0, 0.1, 0.01].iter().enumerate() {
+            a[(i, i)] = crate::scalar::c64(d, 0.0);
+        }
+        let svd = jacobi_svd(&a);
+        // tail {0.01} has norm 0.01; tail {0.1, 0.01} ~ 0.1005
+        assert_eq!(svd.rank_for_tolerance(0.02), 4);
+        assert_eq!(svd.rank_for_tolerance(0.2), 3);
+        assert_eq!(svd.rank_for_tolerance(10.0), 0);
+        assert_eq!(svd.rank_for_tolerance(0.0), 5);
+    }
+
+    #[test]
+    fn svd_compress_respects_tolerance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let a = Matrix::<C32>::random_normal(40, 40, &mut rng);
+        let tol = 0.1f32 * a.fro_norm();
+        let lr = svd_compress(&a, tol);
+        let err = lr.to_dense().sub(&a).fro_norm();
+        assert!(err <= tol * 1.05, "err {err} > tol {tol}");
+        assert!(lr.rank() < 40);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::<C64>::zeros(6, 3);
+        let svd = jacobi_svd(&a);
+        assert!(svd.s.iter().all(|&s| s == 0.0));
+        assert_eq!(svd.rank_for_tolerance(0.0), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seismic_la::blas::{dotc, gemm, gemv, gemv_conj_transpose};
+use seismic_la::scalar::{c64, Scalar, C64};
+use seismic_la::{aca_compress, jacobi_svd, pivoted_qr, qr, svd_compress, Matrix};
+
+fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix<C64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::<C64>::random_normal(m, n, &mut rng)
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<C64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            c64(
+                seismic_la::dense::normal_sample(&mut rng),
+                seismic_la::dense::normal_sample(&mut rng),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ⟨Ax, y⟩ = ⟨x, Aᴴy⟩ for all shapes.
+    #[test]
+    fn gemv_adjoint_identity(m in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+        let a = random_matrix(m, n, seed);
+        let x = random_vec(n, seed.wrapping_add(1));
+        let y = random_vec(m, seed.wrapping_add(2));
+        let mut ax = vec![C64::ZERO; m];
+        gemv(&a, &x, &mut ax);
+        let mut ahy = vec![C64::ZERO; n];
+        gemv_conj_transpose(&a, &y, &mut ahy);
+        let lhs = dotc(&y, &ax);
+        let rhs = dotc(&ahy, &x);
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        prop_assert!((lhs - rhs).abs() / scale < 1e-10);
+    }
+
+    /// QR reconstructs A for arbitrary shapes.
+    #[test]
+    fn qr_reconstruction(m in 1usize..20, n in 1usize..20, seed in 0u64..1000) {
+        let a = random_matrix(m, n, seed);
+        let f = qr(&a);
+        let rec = gemm(&f.q_thin(), &f.r());
+        prop_assert!(rec.sub(&a).fro_norm() < 1e-10 * (1.0 + a.fro_norm()));
+    }
+
+    /// Jacobi SVD: reconstruction + descending singular values.
+    #[test]
+    fn svd_reconstruction(m in 1usize..18, n in 1usize..18, seed in 0u64..1000) {
+        let a = random_matrix(m, n, seed);
+        let svd = jacobi_svd(&a);
+        let rec = svd.reconstruct();
+        prop_assert!(rec.sub(&a).fro_norm() < 1e-10 * (1.0 + a.fro_norm()));
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // Largest singular value bounds the spectral action on any vector.
+        let x = random_vec(n, seed.wrapping_add(9));
+        let mut ax = vec![C64::ZERO; m];
+        gemv(&a, &x, &mut ax);
+        let xnorm = seismic_la::blas::nrm2(&x);
+        if xnorm > 0.0 && !svd.s.is_empty() {
+            prop_assert!(seismic_la::blas::nrm2(&ax) <= svd.s[0] * xnorm * (1.0 + 1e-8));
+        }
+    }
+
+    /// Every compression backend honours its tolerance contract.
+    #[test]
+    fn compression_tolerance_contract(
+        m in 2usize..20,
+        n in 2usize..20,
+        k in 1usize..5,
+        tol_exp in 1i32..8,
+        seed in 0u64..500,
+    ) {
+        // Low-rank + small perturbation.
+        let base = {
+            let u = random_matrix(m, k.min(m).min(n), seed);
+            let v = random_matrix(k.min(m).min(n), n, seed.wrapping_add(3));
+            gemm(&u, &v)
+        };
+        let tol = 10f64.powi(-tol_exp) * (1.0 + base.fro_norm());
+
+        let svd_lr = svd_compress(&base, tol);
+        prop_assert!(svd_lr.to_dense().sub(&base).fro_norm() <= tol * 1.0001);
+
+        let aca_lr = aca_compress(&base, tol);
+        prop_assert!(aca_lr.to_dense().sub(&base).fro_norm() <= tol * 1.0001);
+
+        let pqr = pivoted_qr(&base, tol);
+        let (u, v) = pqr.low_rank_factors();
+        let rec = seismic_la::blas::gemm_conj_transpose_right(&u, &v);
+        prop_assert!(rec.sub(&base).fro_norm() <= tol * 1.0001);
+    }
+
+    /// SVD truncation error equals the discarded tail exactly.
+    #[test]
+    fn svd_truncation_error_is_tail(m in 3usize..16, n in 3usize..16, seed in 0u64..500, kfrac in 0.1f64..0.9) {
+        let a = random_matrix(m, n, seed);
+        let svd = jacobi_svd(&a);
+        let r = svd.s.len();
+        let k = ((r as f64) * kfrac) as usize;
+        let lr = svd.truncate(k);
+        let err = lr.to_dense().sub(&a).fro_norm();
+        let tail: f64 = svd.s[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((err - tail).abs() < 1e-9 * (1.0 + tail));
+    }
+}

@@ -1,0 +1,44 @@
+//! # seismic-mdd
+//!
+//! Multi-Dimensional Deconvolution — the inverse problem the paper's
+//! TLR-MVM kernels accelerate (Eqn. 1–2, §6.2–6.4):
+//!
+//! * [`mod@lsqr`] — operator-based complex LSQR (Paige & Saunders), the
+//!   paper's iterative scheme (30 iterations).
+//! * [`mdc`] — the per-frequency MDC operator stack `y = Fᴴ K F x` plus
+//!   frequency→time conversion of station gathers.
+//! * [`driver`] — the full pipeline: Hilbert reorder → TLR compress →
+//!   adjoint (cross-correlation) and LSQR inversion → NMSE metrics.
+//! * [`sections`] — Fig. 13's zero-offset panels (velocity model / full /
+//!   upgoing / MDD-stacked) and the free-surface-multiple suppression
+//!   measurement.
+//! * [`metrics`] — NMSE, Fig. 12's % NMSE change and green/orange/red
+//!   quality classification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cgls;
+pub mod driver;
+pub mod lsqr;
+pub mod mdc;
+pub mod metrics;
+pub mod multi;
+pub mod panels;
+pub mod per_frequency;
+pub mod weighting;
+pub mod sections;
+
+pub use driver::{
+    compress_dataset, compression_stats, run_mdd, run_mdd_with_operators, CompressionStats,
+    MddConfig, MddRun,
+};
+pub use cgls::{cgls, CglsResult};
+pub use lsqr::{lsqr, LsqrOptions, LsqrResult};
+pub use mdc::{freq_vectors_to_time_traces, MdcOperator};
+pub use multi::{run_mdd_multi, simultaneous_adjoint, simultaneous_forward};
+pub use panels::{ascii_panel, gather_panel, write_panel_csv, PanelField};
+pub use per_frequency::{compare_frequency_coupling, FrequencyCouplingResult};
+pub use weighting::{weighted_lsqr, WeightedMdcOperator};
+pub use metrics::{classify, energy, nmse, nmse_change_pct, window_energy, QualityRegion};
+pub use sections::{stack_traces, zero_offset_sections, ZeroOffsetSections};

@@ -1,0 +1,269 @@
+//! Complex operator-based LSQR (Paige & Saunders 1982) — the iterative
+//! solver the paper uses for MDD ("30 iterations of LSQR", §6.2).
+
+use seismic_la::blas::nrm2;
+use seismic_la::scalar::C32;
+use tlr_mvm::LinearOperator;
+
+/// LSQR options.
+#[derive(Clone, Copy, Debug)]
+pub struct LsqrOptions {
+    /// Maximum iterations (the paper runs 30).
+    pub max_iters: usize,
+    /// Relative residual stopping tolerance (`‖r‖/‖b‖`); set to 0 to
+    /// always run `max_iters`.
+    pub rel_tol: f32,
+    /// Tikhonov damping `λ` (`min ‖Ax − b‖² + λ²‖x‖²`); 0 disables.
+    pub damp: f32,
+}
+
+impl Default for LsqrOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 30,
+            rel_tol: 0.0,
+            damp: 0.0,
+        }
+    }
+}
+
+/// LSQR outcome.
+#[derive(Clone, Debug)]
+pub struct LsqrResult {
+    /// The solution estimate.
+    pub x: Vec<C32>,
+    /// Estimated residual norm per iteration (`φ̄`, LSQR's monotone
+    /// residual estimate).
+    pub residual_history: Vec<f32>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+fn scale(v: &mut [C32], s: f32) {
+    for e in v.iter_mut() {
+        *e = e.scale(s);
+    }
+}
+
+fn axpy_real(alpha: f32, x: &[C32], y: &mut [C32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi.scale(alpha);
+    }
+}
+
+/// Solve `min ‖A x − b‖₂ (+ λ²‖x‖²)` with LSQR.
+pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> LsqrResult {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert_eq!(b.len(), m, "rhs length mismatch");
+
+    let mut x = vec![C32::new(0.0, 0.0); n];
+    let mut history = Vec::with_capacity(opts.max_iters);
+
+    // β₁ u₁ = b.
+    let mut u = b.to_vec();
+    let mut beta = nrm2(&u);
+    if beta == 0.0 {
+        return LsqrResult {
+            x,
+            residual_history: history,
+            iterations: 0,
+        };
+    }
+    scale(&mut u, 1.0 / beta);
+    // α₁ v₁ = Aᴴ u₁.
+    let mut v = a.apply_adjoint(&u);
+    let mut alpha = nrm2(&v);
+    if alpha == 0.0 {
+        return LsqrResult {
+            x,
+            residual_history: history,
+            iterations: 0,
+        };
+    }
+    scale(&mut v, 1.0 / alpha);
+
+    let mut w = v.clone();
+    let mut phibar = beta;
+    let mut rhobar = alpha;
+    let b_norm = beta;
+    let damp = opts.damp;
+
+    let mut iterations = 0;
+    for _ in 0..opts.max_iters {
+        iterations += 1;
+        // β u = A v − α u.
+        let av = a.apply(&v);
+        for (ui, avi) in u.iter_mut().zip(&av) {
+            *ui = *avi - ui.scale(alpha);
+        }
+        beta = nrm2(&u);
+        if beta > 0.0 {
+            scale(&mut u, 1.0 / beta);
+        }
+        // α v = Aᴴ u − β v.
+        let ahu = a.apply_adjoint(&u);
+        for (vi, ahui) in v.iter_mut().zip(&ahu) {
+            *vi = *ahui - vi.scale(beta);
+        }
+        alpha = nrm2(&v);
+        if alpha > 0.0 {
+            scale(&mut v, 1.0 / alpha);
+        }
+
+        // Eliminate the damping term (if any) from the bidiagonalization.
+        let (rhobar1, phibar1) = if damp > 0.0 {
+            let rb1 = rhobar.hypot(damp);
+            let cs1 = rhobar / rb1;
+            (rb1, phibar * cs1)
+        } else {
+            (rhobar, phibar)
+        };
+
+        // Krylov space exhausted (exact solution reached): both the new
+        // bidiagonal entries vanished and the rotation would divide by
+        // zero.
+        let rho = rhobar1.hypot(beta);
+        if rho == 0.0 {
+            break;
+        }
+        let c = rhobar1 / rho;
+        let s = beta / rho;
+        let theta = s * alpha;
+        rhobar = -c * alpha;
+        let phi = c * phibar1;
+        phibar = s * phibar1;
+
+        // x += (φ/ρ) w; w = v − (θ/ρ) w.
+        let t1 = phi / rho;
+        let t2 = -theta / rho;
+        axpy_real(t1, &w, &mut x);
+        for (wi, vi) in w.iter_mut().zip(&v) {
+            *wi = *vi + wi.scale(t2);
+        }
+
+        history.push(phibar);
+        if opts.rel_tol > 0.0 && phibar <= opts.rel_tol * b_norm {
+            break;
+        }
+    }
+
+    LsqrResult {
+        x,
+        residual_history: history,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use seismic_la::Matrix;
+
+    fn rand_cvec(n: usize, seed: u64) -> Vec<C32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                C32::new(
+                    seismic_la::dense::normal_sample(&mut rng) as f32,
+                    seismic_la::dense::normal_sample(&mut rng) as f32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_square_system() {
+        let mut rng = ChaCha8Rng::seed_from_u64(111);
+        // Well-conditioned: diag-dominant.
+        let mut a = Matrix::<C32>::random_normal(12, 12, &mut rng);
+        for i in 0..12 {
+            a[(i, i)] += C32::new(8.0, 0.0);
+        }
+        let x_true = rand_cvec(12, 112);
+        let b = tlr_mvm::LinearOperator::apply(&a, &x_true);
+        let res = lsqr(
+            &a,
+            &b,
+            LsqrOptions {
+                max_iters: 200,
+                rel_tol: 1e-7,
+                damp: 0.0,
+            },
+        );
+        for (g, w) in res.x.iter().zip(&x_true) {
+            assert!((*g - *w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn overdetermined_least_squares_residual_orthogonal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(113);
+        let a = Matrix::<C32>::random_normal(20, 8, &mut rng);
+        let b = rand_cvec(20, 114);
+        let res = lsqr(
+            &a,
+            &b,
+            LsqrOptions {
+                max_iters: 100,
+                rel_tol: 0.0,
+                damp: 0.0,
+            },
+        );
+        // At the LS optimum, Aᴴ(b − Ax) ≈ 0.
+        let ax = tlr_mvm::LinearOperator::apply(&a, &res.x);
+        let r: Vec<C32> = b.iter().zip(&ax).map(|(bi, axi)| *bi - *axi).collect();
+        let g = tlr_mvm::LinearOperator::apply_adjoint(&a, &r);
+        let gnorm = nrm2(&g);
+        assert!(gnorm < 1e-3 * nrm2(&b), "gradient {gnorm}");
+    }
+
+    #[test]
+    fn residual_history_is_monotone() {
+        let mut rng = ChaCha8Rng::seed_from_u64(115);
+        let a = Matrix::<C32>::random_normal(15, 10, &mut rng);
+        let b = rand_cvec(15, 116);
+        let res = lsqr(&a, &b, LsqrOptions::default());
+        for w in res.residual_history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn damping_shrinks_solution_norm() {
+        let mut rng = ChaCha8Rng::seed_from_u64(117);
+        let a = Matrix::<C32>::random_normal(15, 15, &mut rng);
+        let b = rand_cvec(15, 118);
+        let free = lsqr(
+            &a,
+            &b,
+            LsqrOptions {
+                max_iters: 60,
+                rel_tol: 0.0,
+                damp: 0.0,
+            },
+        );
+        let damped = lsqr(
+            &a,
+            &b,
+            LsqrOptions {
+                max_iters: 60,
+                rel_tol: 0.0,
+                damp: 2.0,
+            },
+        );
+        assert!(nrm2(&damped.x) < nrm2(&free.x));
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(119);
+        let a = Matrix::<C32>::random_normal(6, 4, &mut rng);
+        let b = vec![C32::new(0.0, 0.0); 6];
+        let res = lsqr(&a, &b, LsqrOptions::default());
+        assert_eq!(res.iterations, 0);
+        assert!(res.x.iter().all(|v| *v == C32::new(0.0, 0.0)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Trace-panel output: turn MDD results into the receiver×time gathers
+//! the paper displays (Fig. 11 / Fig. 13), as CSV files and quick-look
+//! ASCII wiggle plots.
+
+use std::io::Write;
+use std::path::Path;
+
+use seis_wave::SyntheticDataset;
+use seismic_la::scalar::C32;
+
+use crate::driver::MddRun;
+use crate::mdc::freq_vectors_to_time_traces;
+
+/// Which field of an [`MddRun`] to panel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanelField {
+    /// Cross-correlation (adjoint) image — Fig. 11a.
+    Adjoint,
+    /// LSQR inversion — Fig. 11b/c.
+    Inverted,
+    /// Ground truth — Fig. 11d.
+    Truth,
+}
+
+/// Extract the receiver×time gather of one MDD run: every receiver's
+/// trace for the chosen field, time-domain.
+pub fn gather_panel(run: &MddRun, ds: &SyntheticDataset, field: PanelField) -> Vec<Vec<f64>> {
+    let data: &[C32] = match field {
+        PanelField::Adjoint => &run.adjoint,
+        PanelField::Inverted => &run.inverted,
+        PanelField::Truth => &run.x_true,
+    };
+    let n_rec = ds.acq.n_receivers();
+    let bins: Vec<usize> = ds.slices.iter().map(|s| s.bin).collect();
+    freq_vectors_to_time_traces(data, &bins, n_rec, ds.config.nt)
+}
+
+/// Write a panel as CSV: one row per trace, one column per time sample.
+pub fn write_panel_csv(path: &Path, traces: &[Vec<f64>], dt: f64) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    // Header: time axis.
+    if let Some(first) = traces.first() {
+        let header: Vec<String> = (0..first.len()).map(|i| format!("{:.4}", i as f64 * dt)).collect();
+        writeln!(f, "trace,{}", header.join(","))?;
+    }
+    for (i, tr) in traces.iter().enumerate() {
+        let row: Vec<String> = tr.iter().map(|v| format!("{v:.6e}")).collect();
+        writeln!(f, "{i},{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Quick-look ASCII rendering: rows = time (downsampled), columns =
+/// traces; amplitude mapped onto ` .:-=+*#%@` by magnitude.
+pub fn ascii_panel(traces: &[Vec<f64>], max_rows: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    if traces.is_empty() || traces[0].is_empty() {
+        return String::new();
+    }
+    let nt = traces[0].len();
+    let step = nt.div_ceil(max_rows.max(1));
+    let peak = traces
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b.abs()))
+        .max(1e-300);
+    let mut out = String::new();
+    let mut t = 0;
+    while t < nt {
+        for tr in traces {
+            let a = (tr[t].abs() / peak * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[a.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_panel_shape_and_ramp() {
+        let traces = vec![vec![0.0, 1.0, 0.5], vec![0.0, -1.0, 0.25]];
+        let s = ascii_panel(&traces, 3);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "  "); // zeros -> spaces
+        assert_eq!(lines[1], "@@"); // peaks -> '@'
+        assert!(lines[2].starts_with('=') || lines[2].starts_with('+'));
+    }
+
+    #[test]
+    fn ascii_empty_ok() {
+        assert_eq!(ascii_panel(&[], 5), "");
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let dir = std::env::temp_dir().join("tlrmvm_panel_test");
+        let path = dir.join("panel.csv");
+        let traces = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        write_panel_csv(&path, &traces, 0.004).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("trace,0.0000,0.0040"));
+        assert!(lines[1].starts_with("0,1.0"));
+        assert!(lines[2].starts_with("1,3.0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,223 @@
+//! Zero-offset sections and stacking — the Fig. 13 panels: velocity model
+//! (in two-way time), full data, upgoing data, and MDD result, plus the
+//! free-surface-multiple suppression measurement.
+
+use rayon::prelude::*;
+use seis_wave::modeling::{downgoing_value, ModelingConfig};
+use seis_wave::SyntheticDataset;
+use seismic_la::scalar::C32;
+
+use crate::driver::{run_mdd_with_operators, MddConfig};
+use crate::mdc::freq_vectors_to_time_traces;
+use crate::metrics::window_energy;
+
+/// The four Fig. 13 panels along one crossline.
+pub struct ZeroOffsetSections {
+    /// Inline positions of the traces (m).
+    pub x_positions: Vec<f64>,
+    /// Reflector two-way times per trace (velocity-model panel).
+    pub model_twt: Vec<Vec<f64>>,
+    /// Full data `p = p⁺ + p⁻` traces.
+    pub full: Vec<Vec<f64>>,
+    /// Upgoing `p⁻` traces (free-surface multiples still present).
+    pub upgoing: Vec<Vec<f64>>,
+    /// MDD local reflectivity traces (after lateral stacking).
+    pub mdd: Vec<Vec<f64>>,
+    /// Temporal sampling (s).
+    pub dt: f64,
+    /// Samples per trace.
+    pub nt: usize,
+    /// One-way water travel time (s) — the first free-surface multiple of
+    /// a reflector at `t` arrives near `t + 2·t_w`.
+    pub water_twt: f64,
+}
+
+impl ZeroOffsetSections {
+    /// Free-surface-multiple suppression: ratio of mean energy in the
+    /// first-water-multiple window of the upgoing panel to the MDD panel
+    /// (> 1 means MDD suppressed multiple energy), measured around the
+    /// first reflector's multiple arrival.
+    pub fn multiple_suppression_ratio(&self, primary_twt: f64) -> f64 {
+        let mult_t = primary_twt + 2.0 * self.water_twt;
+        let half = 0.05;
+        let up: f64 = self
+            .upgoing
+            .iter()
+            .map(|tr| window_energy(tr, self.dt, mult_t - half, mult_t + half))
+            .sum();
+        let md: f64 = self
+            .mdd
+            .iter()
+            .map(|tr| window_energy(tr, self.dt, mult_t - half, mult_t + half))
+            .sum();
+        // Normalize each panel by its primary energy so amplitudes are
+        // comparable across panels.
+        let up_p: f64 = self
+            .upgoing
+            .iter()
+            .map(|tr| window_energy(tr, self.dt, primary_twt - half, primary_twt + half))
+            .sum();
+        let md_p: f64 = self
+            .mdd
+            .iter()
+            .map(|tr| window_energy(tr, self.dt, primary_twt - half, primary_twt + half))
+            .sum();
+        let up_rel = up / up_p.max(1e-30);
+        let md_rel = md / md_p.max(1e-30);
+        up_rel / md_rel.max(1e-30)
+    }
+}
+
+/// Lateral moving-average stack of width `width` traces (the paper's
+/// "simple stacking procedure" for the noisy zero-offset MDD panel).
+pub fn stack_traces(traces: &[Vec<f64>], width: usize) -> Vec<Vec<f64>> {
+    let n = traces.len();
+    let w = width.max(1);
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(w / 2);
+            let hi = (i + w / 2 + 1).min(n);
+            let nt = traces[i].len();
+            let mut acc = vec![0.0f64; nt];
+            for tr in &traces[lo..hi] {
+                for (a, v) in acc.iter_mut().zip(tr) {
+                    *a += v;
+                }
+            }
+            let inv = 1.0 / (hi - lo) as f64;
+            acc.iter_mut().for_each(|a| *a *= inv);
+            acc
+        })
+        .collect()
+}
+
+/// Build the Fig. 13 zero-offset panels along the crossline row `iy` of
+/// the receiver grid, running one MDD per selected virtual source.
+///
+/// `stride` subsamples the receivers along the line (177 virtual sources
+/// in the paper; a handful suffice at laptop scale).
+pub fn zero_offset_sections(
+    ds: &SyntheticDataset,
+    tlr: &[tlr_mvm::TlrMatrix],
+    cfg: &MddConfig,
+    iy: usize,
+    stride: usize,
+    stack_width: usize,
+) -> ZeroOffsetSections {
+    let rec = &ds.acq.receivers;
+    assert!(iy < rec.ny);
+    let nt = ds.config.nt;
+    let dt = ds.config.dt;
+    let n_rec = rec.len();
+    let bins: Vec<usize> = ds.slices.iter().map(|s| s.bin).collect();
+    let mcfg = ModelingConfig {
+        n_water_multiples: ds.config.n_water_multiples,
+        ..Default::default()
+    };
+
+    // Virtual sources along the crossline.
+    let vs_list: Vec<usize> = (0..rec.nx)
+        .step_by(stride.max(1))
+        .map(|ix| iy * rec.nx + ix)
+        .collect();
+
+    let x_positions: Vec<f64> = vs_list.iter().map(|&v| rec.position(v).x).collect();
+    let model_twt: Vec<Vec<f64>> = vs_list
+        .iter()
+        .map(|&v| {
+            let p = rec.position(v);
+            ds.model.reflector_twt_at(p.x, p.y)
+        })
+        .collect();
+
+    // Per virtual source: run MDD and extract the zero-offset trace
+    // (receiver == virtual source), and synthesize the up/full panels.
+    struct TraceSet {
+        full: Vec<f64>,
+        up: Vec<f64>,
+        mdd: Vec<f64>,
+    }
+    let sets: Vec<TraceSet> = vs_list
+        .par_iter()
+        .map(|&vs| {
+            let run = run_mdd_with_operators(ds, tlr, vs, cfg);
+            // Zero-offset MDD trace: reflectivity at receiver == vs.
+            let mdd_vec: Vec<C32> = (0..ds.n_freqs())
+                .map(|f| run.inverted[f * n_rec + vs])
+                .collect();
+            let mdd_tr = freq_vectors_to_time_traces(&mdd_vec, &bins, 1, nt).remove(0);
+            // Upgoing zero-offset: observed data at the source nearest the
+            // virtual source position.
+            let vs_pos = rec.position(vs);
+            let src = &ds.acq.sources;
+            let s_near = (0..src.len())
+                .min_by(|&a, &b| {
+                    let da = src.position(a).hdist(&vs_pos);
+                    let db = src.position(b).hdist(&vs_pos);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            let y = ds.observed_data(vs);
+            let up_vec: Vec<C32> = (0..ds.n_freqs()).map(|f| y[f][s_near]).collect();
+            let up_tr = freq_vectors_to_time_traces(&up_vec, &bins, 1, nt).remove(0);
+            // Full data = upgoing + downgoing at the co-located receiver.
+            let s_pos = src.position(s_near);
+            let down_vec: Vec<C32> = ds
+                .slices
+                .iter()
+                .map(|sl| {
+                    let omega = 2.0 * std::f64::consts::PI * sl.freq_hz;
+                    downgoing_value(omega, &s_pos, &vs_pos, &ds.model, &mcfg)
+                        .scale(sl.wavelet_amp)
+                        .narrow()
+                })
+                .collect();
+            let down_tr = freq_vectors_to_time_traces(&down_vec, &bins, 1, nt).remove(0);
+            let full_tr: Vec<f64> = up_tr.iter().zip(&down_tr).map(|(u, d)| u + d).collect();
+            TraceSet {
+                full: full_tr,
+                up: up_tr,
+                mdd: mdd_tr,
+            }
+        })
+        .collect();
+
+    let full: Vec<Vec<f64>> = sets.iter().map(|s| s.full.clone()).collect();
+    let upgoing: Vec<Vec<f64>> = sets.iter().map(|s| s.up.clone()).collect();
+    let mdd_raw: Vec<Vec<f64>> = sets.iter().map(|s| s.mdd.clone()).collect();
+    let mdd = stack_traces(&mdd_raw, stack_width);
+
+    ZeroOffsetSections {
+        x_positions,
+        model_twt,
+        full,
+        upgoing,
+        mdd,
+        dt,
+        nt,
+        water_twt: ds.model.water_travel_time(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_is_average() {
+        let traces = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let stacked = stack_traces(&traces, 3);
+        // middle trace: average of all three
+        assert!((stacked[1][0] - 3.0).abs() < 1e-12);
+        assert!((stacked[1][1] - 4.0).abs() < 1e-12);
+        // edges: partial windows
+        assert!((stacked[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_width_one_is_identity() {
+        let traces = vec![vec![1.0, -1.0], vec![0.5, 0.25]];
+        let stacked = stack_traces(&traces, 1);
+        assert_eq!(stacked, traces);
+    }
+}

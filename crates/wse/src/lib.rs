@@ -1,0 +1,61 @@
+//! # wse-sim
+//!
+//! A functional and performance simulator of Cerebras CS-2 wafer-scale
+//! systems, scoped to what the SC '23 TLR-MVM paper exercises:
+//!
+//! * [`machine`] — the CS-2 model: 757×996 fabric (750×994 usable PEs),
+//!   48 kB SRAM per PE in 8 banks, 850 MHz, 2×64-bit reads + 1 write per
+//!   cycle (§5.2, §6.5), plus cluster (Condor Galaxy) scaling.
+//! * [`sram`] — bank-aware per-PE memory planning with the alignment rule
+//!   that makes dual-bank fmac reads possible.
+//! * [`cycles`] — the calibrated cycle model
+//!   (`m·n + 13·n + 425` per real MVM), validated against the paper's
+//!   Tables 2–5 and Fig. 14.
+//! * [`workload`] — stacked-rank workload descriptions, measured from real
+//!   [`tlr_mvm::TlrMatrix`] data or synthesized by a [`RankModel`]
+//!   calibrated to the paper's dataset, plus the §6.7 stack-width rule.
+//! * [`placement`] — shard placement under both strong-scaling
+//!   strategies with occupancy/bandwidth/PFlop-rate metrics.
+//! * [`exec`] — functional execution of rank chunks as virtual PEs
+//!   (split-complex four-real-MVM arithmetic + host reduction), proving
+//!   the mapping computes the same answer as the host TLR-MVM.
+//! * [`csl`] — a miniature CSL interpreter: the per-PE TLR kernel as an
+//!   instruction stream executed against simulated SRAM, producing the
+//!   numeric result and exact cycle/byte counts from the same program.
+//! * [`program`] — per-PE instruction schedules whose derived cycle
+//!   counts match the closed-form model.
+//! * [`shards`] — explicit shard assignment with per-system statistics.
+//! * [`io`] — the §6.6 host-link / double-buffering analysis.
+//! * [`roofline`] — the machine descriptors of Figs. 15–16.
+//! * [`energy`] — the §7.6 power model (16 kW/system, GFlop/s/W).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csl;
+pub mod cycles;
+pub mod energy;
+pub mod exec;
+pub mod fabric;
+pub mod io;
+pub mod machine;
+pub mod placement;
+pub mod program;
+pub mod roofline;
+pub mod shards;
+pub mod sram;
+pub mod workload;
+
+pub use csl::{ChunkLayout, CslError, CslOp, CslStats, Pe};
+pub use cycles::{pe_cost, strategy1_tasks, MvmTask, PeCost};
+pub use energy::{energy_report, EnergyReport};
+pub use exec::{execute_chunks, ExecResult};
+pub use fabric::{broadcast_cost, drain_cost, wafer_io_cost, FabricConfig, FabricCost, WaferIoCost};
+pub use io::{io_report, HostLink, IoReport};
+pub use machine::{Cluster, Cs2Config};
+pub use program::{mvm_program, Dsr, Instr, PeProgram};
+pub use placement::{constant_size_bandwidth, place, PlaceError, PlacementReport, Strategy};
+pub use shards::{assign_shards, ShardAssignment, ShardStats};
+pub use roofline::{constant_rank_estimates, fig15_machines, fig16_machines, MachineDescriptor};
+pub use sram::{plan_strategy1_pe, plan_strategy2_pe, SramError, SramPlan, SramPlanner};
+pub use workload::{choose_stack_width, paper_total_rank, RankModel, Workload};

@@ -1,0 +1,383 @@
+//! Workload descriptions: the per-tile-column stacked ranks of every
+//! frequency matrix, either measured from real compressed data or
+//! synthesized from a rank model calibrated to the paper's dataset.
+
+// Index-based loops here walk multiple parallel arrays; iterator zips
+// would obscure the stride structure the kernels are about.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tlr_mvm::TlrMatrix;
+
+/// Stacked-rank description of a multi-frequency TLR workload.
+///
+/// All the mapper needs from the data is, per frequency and per tile
+/// column: the column width `cl` and the stacked rank `K_j` — chunk
+/// shapes, PE counts, cycles and bytes all follow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    /// Tile size.
+    pub nb: usize,
+    /// Number of frequency matrices.
+    pub n_freqs: usize,
+    /// Tile columns per frequency matrix.
+    pub cols_per_freq: usize,
+    /// Column widths (`cl`), length `cols_per_freq` (same per frequency).
+    pub col_widths: Vec<usize>,
+    /// Stacked ranks, length `n_freqs · cols_per_freq`, frequency-major.
+    pub col_ranks: Vec<u64>,
+}
+
+impl Workload {
+    /// Measure the workload of real compressed matrices (all must share
+    /// the tile geometry).
+    pub fn from_tlr_matrices(mats: &[TlrMatrix]) -> Self {
+        assert!(!mats.is_empty());
+        let t0 = *mats[0].tiling();
+        let nb = t0.nb;
+        let cols = t0.tile_cols();
+        let col_widths: Vec<usize> = (0..cols).map(|j| t0.col_range(j).1).collect();
+        let mut col_ranks = Vec::with_capacity(mats.len() * cols);
+        for m in mats {
+            assert_eq!(*m.tiling(), t0, "heterogeneous tilings");
+            for j in 0..cols {
+                col_ranks.push(m.column_rank(j) as u64);
+            }
+        }
+        Self {
+            nb,
+            n_freqs: mats.len(),
+            cols_per_freq: cols,
+            col_widths,
+            col_ranks,
+        }
+    }
+
+    /// Total stacked rank Σ K_j.
+    pub fn total_rank(&self) -> u64 {
+        self.col_ranks.iter().sum()
+    }
+
+    /// Compressed bases storage in bytes: `8·K_j·(rl + cl)` summed —
+    /// with uniform `nb` this is `16·nb·ΣK` (8 B per complex entry,
+    /// U and V each `nb` rows/cols tall per rank).
+    pub fn compressed_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for f in 0..self.n_freqs {
+            for j in 0..self.cols_per_freq {
+                let k = self.col_ranks[f * self.cols_per_freq + j];
+                let cl = self.col_widths[j] as u64;
+                total += 8 * k * (self.nb as u64 + cl);
+            }
+        }
+        total
+    }
+
+    /// Compressed bytes of one frequency matrix (Fig. 12 bottom panel).
+    pub fn bytes_per_freq(&self, f: usize) -> u64 {
+        (0..self.cols_per_freq)
+            .map(|j| {
+                let k = self.col_ranks[f * self.cols_per_freq + j];
+                8 * k * (self.nb as u64 + self.col_widths[j] as u64)
+            })
+            .sum()
+    }
+
+    /// Chunk-shape census at a stack width: map `(cl, w) → count`.
+    ///
+    /// Each tile column of stacked rank `K` yields `⌊K/w⌋` full chunks and
+    /// possibly one remainder chunk — this census is what placement and
+    /// cost models consume (4.4 M chunks reduce to a handful of shapes).
+    pub fn chunk_census(&self, stack_width: usize) -> BTreeMap<(usize, usize), u64> {
+        assert!(stack_width > 0);
+        let mut census: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for f in 0..self.n_freqs {
+            for j in 0..self.cols_per_freq {
+                let k = self.col_ranks[f * self.cols_per_freq + j];
+                if k == 0 {
+                    continue;
+                }
+                let cl = self.col_widths[j];
+                let full = k / stack_width as u64;
+                let rem = (k % stack_width as u64) as usize;
+                if full > 0 {
+                    *census.entry((cl, stack_width)).or_insert(0) += full;
+                }
+                if rem > 0 {
+                    *census.entry((cl, rem)).or_insert(0) += 1;
+                }
+            }
+        }
+        census
+    }
+
+    /// Total chunk (PE-work-unit) count at a stack width.
+    pub fn chunk_count(&self, stack_width: usize) -> u64 {
+        assert!(stack_width > 0);
+        self.col_ranks
+            .iter()
+            .map(|&k| k.div_ceil(stack_width as u64))
+            .sum()
+    }
+}
+
+/// Smallest stack width whose chunk count fits `pes_available`, capped at
+/// the SRAM-imposed `w_max`. This is the paper's §6.7 tuning rule: max out
+/// SRAM, but split the stacks further only as needed for concurrency —
+/// the widths in Table 1 (64/32/23/18/14) all come out of this rule.
+pub fn choose_stack_width(workload: &Workload, pes_available: u64, w_max: usize) -> usize {
+    // chunk_count(w) decreases in w; find the smallest feasible w.
+    let mut lo = 1usize;
+    let mut hi = w_max.max(1);
+    if workload.chunk_count(hi) > pes_available {
+        // Even the SRAM maximum cannot fit — caller must add shards.
+        return hi;
+    }
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if workload.chunk_count(mid) <= pes_available {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+/// Synthetic rank model reproducing the paper's dataset statistics:
+/// 230 frequency matrices of a 26040 × 15930 operator, with per-column
+/// ranks growing with frequency (Fig. 12 bottom) and total rank
+/// calibrated per `(nb, acc)` against Table 1 / Fig. 12 storage totals.
+#[derive(Clone, Copy, Debug)]
+pub struct RankModel {
+    /// Matrix rows (sources).
+    pub m: usize,
+    /// Matrix columns (receivers).
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Frequency count.
+    pub n_freqs: usize,
+    /// Target total rank Σ K (calibration constant).
+    pub total_rank_target: u64,
+}
+
+/// Calibrated Σ-rank targets for the paper configurations.
+///
+/// For the five Table 1 configurations the targets solve
+/// `Σ⌈K_j/sw⌉ = PEs used` from Table 1 — i.e. `sw × (PEs − ½·#columns)`,
+/// discounting the expected one-remainder-chunk-per-column overhead so
+/// the chunk count (not just ΣK/sw) matches the paper's PE usage. The
+/// remaining Fig. 12 combinations derive from the reported compressed
+/// dataset sizes via `K = bytes / (16·nb)`.
+pub fn paper_total_rank(nb: usize, acc: f32) -> Option<u64> {
+    let key = (nb, (acc * 1e5).round() as u32);
+    let k = match key {
+        (25, 10) => 278_036_480,  // Table 1: 64 × (4 417 690 − 73 370)
+        (50, 10) => 137_390_880,  // Table 1: 32 × (4 330 150 − 36 685)
+        (70, 10) => 100_973_749,  // Table 1: 23 × (4 416 383 − 26 220)
+        (50, 30) => 79_366_716,   // Table 1: 18 × (4 445 947 − 36 685)
+        (70, 30) => 59_173_198,   // Table 1: 14 × (4 252 877 − 26 220)
+        (25, 30) => 167_500_000,  // Fig. 12: 67 GB / (16·25)
+        (25, 50) => 147_500_000,  // Fig. 12: 59 GB
+        (25, 70) => 142_500_000,  // Fig. 12: 57 GB
+        (50, 50) => 58_750_000,   // Fig. 12: 47 GB
+        (50, 70) => 48_750_000,   // Fig. 12: 39 GB
+        (70, 50) => 43_750_000,   // Fig. 12: 49 GB
+        (70, 70) => 35_714_286,   // Fig. 12: 40 GB
+        _ => return None,
+    };
+    Some(k)
+}
+
+impl RankModel {
+    /// The paper's dataset at a given `(nb, acc)`; `None` for
+    /// combinations the paper does not report.
+    pub fn paper(nb: usize, acc: f32) -> Option<Self> {
+        Some(Self {
+            m: 26_040,
+            n: 15_930,
+            nb,
+            n_freqs: 230,
+            total_rank_target: paper_total_rank(nb, acc)?,
+        })
+    }
+
+    /// Generate the synthetic workload: ranks grow linearly with
+    /// frequency (matching Fig. 12's per-frequency size growth) with a
+    /// deterministic ±20 % per-column variation, scaled to the target
+    /// total and clamped to the structural maximum `mt·min(nb, cl)`.
+    pub fn generate(&self) -> Workload {
+        let tiling = tlr_mvm::Tiling::new(self.m, self.n, self.nb);
+        let cols = tiling.tile_cols();
+        let mt = tiling.tile_rows() as u64;
+        let col_widths: Vec<usize> = (0..cols).map(|j| tiling.col_range(j).1).collect();
+
+        // Unnormalized weights.
+        let mut weights = Vec::with_capacity(self.n_freqs * cols);
+        let mut weight_sum = 0.0f64;
+        for f in 0..self.n_freqs {
+            // Fig. 12 bottom: size per frequency matrix grows roughly
+            // linearly from ~35 % of the maximum at the lowest frequency.
+            let fw = 0.35 + 0.65 * (f as f64 + 1.0) / self.n_freqs as f64;
+            for j in 0..cols {
+                // Deterministic per-column jitter in [0.8, 1.2].
+                let h = splitmix64((f as u64) << 32 | j as u64);
+                let cw = 0.8 + 0.4 * (h as f64 / u64::MAX as f64);
+                let w = fw * cw * col_widths[j] as f64 / self.nb as f64;
+                weights.push(w);
+                weight_sum += w;
+            }
+        }
+        let scale = self.total_rank_target as f64 / weight_sum;
+        let col_ranks: Vec<u64> = weights
+            .iter()
+            .enumerate()
+            .map(|(idx, &w)| {
+                let j = idx % cols;
+                let cap = mt * self.nb.min(col_widths[j]) as u64;
+                ((w * scale).round() as u64).clamp(1, cap)
+            })
+            .collect();
+        Workload {
+            nb: self.nb,
+            n_freqs: self.n_freqs,
+            cols_per_freq: cols,
+            col_widths,
+            col_ranks,
+        }
+    }
+}
+
+impl RankModel {
+    /// Fit a paper-scale model from a *measured* laptop-scale workload —
+    /// the "measured rank distributions" path: the mean per-tile rank
+    /// fraction and the per-frequency size trend come from real
+    /// compression output (no Table 1 calibration constants), and are
+    /// transplanted onto the paper's 26040 × 15930 × 230-frequency
+    /// geometry. `measured_m` is the measured matrix row count.
+    pub fn fit_from_workload(measured: &Workload, measured_m: usize, nb: usize) -> RankModel {
+        let measured_mt = measured_m.div_ceil(measured.nb).max(1) as f64;
+        // Mean per-tile rank fraction across all (freq, column) cells.
+        let mut frac_sum = 0.0f64;
+        let mut count = 0usize;
+        for f in 0..measured.n_freqs {
+            for j in 0..measured.cols_per_freq {
+                let k = measured.col_ranks[f * measured.cols_per_freq + j] as f64;
+                let cap = measured.nb.min(measured.col_widths[j]) as f64 * measured_mt;
+                if cap > 0.0 {
+                    frac_sum += k / cap;
+                    count += 1;
+                }
+            }
+        }
+        let mean_fraction = (frac_sum / count.max(1) as f64).clamp(0.0, 1.0);
+        let tiling = tlr_mvm::Tiling::new(26_040, 15_930, nb);
+        let per_col = mean_fraction * tiling.tile_rows() as f64 * nb as f64;
+        let total = (per_col * tiling.tile_cols() as f64 * 230.0).round().max(1.0) as u64;
+        RankModel {
+            m: 26_040,
+            n: 15_930,
+            nb,
+            n_freqs: 230,
+            total_rank_target: total,
+        }
+    }
+}
+
+/// SplitMix64 — deterministic jitter without an RNG dependency here.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Cluster, Cs2Config};
+
+    #[test]
+    fn paper_rank_model_hits_targets() {
+        for (nb, acc) in [(25usize, 1e-4f32), (50, 1e-4), (70, 1e-4), (50, 3e-4), (70, 3e-4)] {
+            let model = RankModel::paper(nb, acc).unwrap();
+            let w = model.generate();
+            let total = w.total_rank();
+            let target = model.total_rank_target;
+            let rel = (total as f64 - target as f64).abs() / target as f64;
+            assert!(rel < 0.01, "nb={nb} acc={acc}: {total} vs {target}");
+        }
+    }
+
+    #[test]
+    fn compressed_sizes_match_fig12_totals() {
+        // Fig. 12: nb=25 acc=1e-4 → ~110 GB; nb=50 acc=7e-4 → ~39 GB.
+        let w1 = RankModel::paper(25, 1e-4).unwrap().generate();
+        let gb1 = w1.compressed_bytes() as f64 / 1e9;
+        assert!((gb1 - 113.0).abs() < 6.0, "nb=25: {gb1} GB");
+        let w2 = RankModel::paper(50, 7e-4).unwrap().generate();
+        let gb2 = w2.compressed_bytes() as f64 / 1e9;
+        assert!((gb2 - 39.0).abs() < 3.0, "nb=50 7e-4: {gb2} GB");
+    }
+
+    #[test]
+    fn bytes_grow_with_frequency() {
+        let w = RankModel::paper(70, 1e-4).unwrap().generate();
+        let lo = w.bytes_per_freq(5);
+        let hi = w.bytes_per_freq(220);
+        assert!(hi > lo, "Fig. 12 bottom: size grows with frequency");
+    }
+
+    #[test]
+    fn census_conserves_rank_and_count() {
+        let w = RankModel::paper(50, 3e-4).unwrap().generate();
+        for sw in [7usize, 18, 32] {
+            let census = w.chunk_census(sw);
+            let count: u64 = census.values().sum();
+            assert_eq!(count, w.chunk_count(sw));
+            let rank: u64 = census.iter().map(|(&(_, wdt), &c)| wdt as u64 * c).sum();
+            assert_eq!(rank, w.total_rank());
+        }
+    }
+
+    #[test]
+    fn table1_stack_width_selection() {
+        // The §6.7 rule must reproduce Table 1's stack widths on 6 CS-2s.
+        let cs2 = Cs2Config::default();
+        let pes = Cluster::new(6).total_pes() as u64;
+        for (nb, acc, want) in [
+            (25usize, 1e-4f32, 64usize),
+            (50, 1e-4, 32),
+            (70, 1e-4, 23),
+            (50, 3e-4, 18),
+            (70, 3e-4, 14),
+        ] {
+            let w = RankModel::paper(nb, acc).unwrap().generate();
+            let got = choose_stack_width(&w, pes, cs2.max_stack_width(nb));
+            assert!(
+                (got as i64 - want as i64).abs() <= 1,
+                "nb={nb} acc={acc}: got {got}, paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_width_monotonicity() {
+        let w = RankModel::paper(70, 1e-4).unwrap().generate();
+        // More PEs available -> smaller (or equal) chosen width.
+        let few = choose_stack_width(&w, 4_000_000, 23);
+        let many = choose_stack_width(&w, 8_000_000, 23);
+        assert!(many <= few);
+        // Chunk count at the chosen width fits, one below doesn't (unless
+        // clamped at 1 or w_max).
+        let pes = 4_473_000u64;
+        let chosen = choose_stack_width(&w, pes, 23);
+        assert!(w.chunk_count(chosen) <= pes || chosen == 23);
+        if chosen > 1 && w.chunk_count(chosen) <= pes {
+            assert!(w.chunk_count(chosen - 1) > pes);
+        }
+    }
+}

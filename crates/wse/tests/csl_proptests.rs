@@ -1,0 +1,103 @@
+//! Property-based tests for the mini-CSL interpreter: the emitted chunk
+//! kernel must agree with host split-complex arithmetic for every chunk
+//! geometry, and the interpreter's accounting must be self-consistent.
+
+use proptest::prelude::*;
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use tlr_mvm::real4::{split_vec, RealSplitMatrix};
+use wse_sim::{ChunkLayout, Cs2Config, Pe};
+
+fn chunk_data(nb: usize, cl: usize, w: usize, seed: u64) -> (Matrix<C32>, Matrix<C32>, Vec<C32>) {
+    let v = Matrix::from_fn(cl, w, |i, j| {
+        C32::new(
+            ((i as f32 + seed as f32) * 0.31 + j as f32).sin(),
+            (j as f32 * 0.7 - i as f32 * 0.1).cos(),
+        )
+    });
+    let u = Matrix::from_fn(nb, w, |i, j| {
+        C32::new(
+            (i as f32 - j as f32 + seed as f32 * 0.01).cos() * 0.5,
+            (i as f32 * 0.2).sin(),
+        )
+    });
+    let x: Vec<C32> = (0..cl)
+        .map(|i| C32::new((i as f32 * 0.11).cos(), (i as f32 * 0.09 + seed as f32).sin()))
+        .collect();
+    (v, u, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The interpreted kernel equals host arithmetic for arbitrary chunk
+    /// geometries (within the bases budget).
+    #[test]
+    fn csl_kernel_matches_host(
+        nb in 4usize..40,
+        cl in 4usize..40,
+        w in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let cfg = Cs2Config::default();
+        // Respect the bases budget; skip infeasible geometries.
+        prop_assume!(4 * (cl * w + cl * w + nb * w + nb * w) <= cfg.bases_budget_bytes());
+
+        let (v, u, x) = chunk_data(nb, cl, w, seed);
+        let vs = RealSplitMatrix::from_complex(&v);
+        let us = RealSplitMatrix::from_complex(&u);
+        let (xr, xi) = split_vec(&x);
+
+        // Host reference.
+        let mut yvr = vec![0.0f32; w];
+        let mut yvi = vec![0.0f32; w];
+        vs.gemv_conj_transpose_acc_4real(&xr, &xi, &mut yvr, &mut yvi);
+        let mut want_yr = vec![0.0f32; nb];
+        let mut want_yi = vec![0.0f32; nb];
+        us.gemv_acc_4real(&yvr, &yvi, &mut want_yr, &mut want_yi);
+
+        // Interpreted.
+        let layout = ChunkLayout::plan(nb, cl, w);
+        let mut pe = Pe::new(&cfg);
+        pe.load(layout.v_re, vs.re.as_slice()).unwrap();
+        pe.load(layout.v_im, vs.im.as_slice()).unwrap();
+        pe.load(layout.u_re, us.re.as_slice()).unwrap();
+        pe.load(layout.u_im, us.im.as_slice()).unwrap();
+        pe.load(layout.x_re, &xr).unwrap();
+        pe.load(layout.x_im, &xi).unwrap();
+        let stats = pe.run(&layout.emit_kernel()).unwrap();
+        let got_yr = pe.read(layout.y_re, nb).unwrap();
+        let got_yi = pe.read(layout.y_im, nb).unwrap();
+
+        let scale: f32 = want_yr
+            .iter()
+            .chain(&want_yi)
+            .map(|v| v.abs())
+            .fold(1.0, f32::max);
+        for (g, wv) in got_yr.iter().zip(&want_yr) {
+            prop_assert!((g - wv).abs() < 1e-3 * scale);
+        }
+        for (g, wv) in got_yi.iter().zip(&want_yi) {
+            prop_assert!((g - wv).abs() < 1e-3 * scale);
+        }
+
+        // Accounting invariants.
+        prop_assert_eq!(stats.fmacs, (4 * cl * w + 4 * nb * w) as u64);
+        prop_assert!(stats.cycles >= stats.fmacs);
+        prop_assert!(stats.bytes_read >= 8 * stats.fmacs);
+    }
+
+    /// Interpreter cycle counts are monotone in the chunk size.
+    #[test]
+    fn cycles_monotone_in_width(nb in 4usize..24, cl in 4usize..24, w in 1usize..10) {
+        let cfg = Cs2Config::default();
+        let small = ChunkLayout::plan(nb, cl, w);
+        let big = ChunkLayout::plan(nb, cl, w + 1);
+        let mut pe1 = Pe::new(&cfg);
+        let s1 = pe1.run(&small.emit_kernel()).unwrap();
+        let mut pe2 = Pe::new(&cfg);
+        let s2 = pe2.run(&big.emit_kernel()).unwrap();
+        prop_assert!(s2.cycles > s1.cycles);
+        prop_assert!(s2.fmacs > s1.fmacs);
+    }
+}

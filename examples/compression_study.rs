@@ -1,0 +1,87 @@
+//! Ablation: how station ordering (natural / Morton / Hilbert) and the
+//! compression backend (SVD / RRQR / RSVD / ACA) affect TLR compression
+//! of the seismic frequency matrices — the paper's §4 discussion of
+//! distance-aware reordering, quantified.
+//!
+//! ```text
+//! cargo run --release --example compression_study
+//! ```
+
+use seis_wave::{DatasetConfig, SyntheticDataset, VelocityModel};
+use seismic_geom::{mean_block_diameter, station_permutation, Ordering};
+use seismic_mdd::{compress_dataset, compression_stats};
+use tlr_mvm::{CompressionConfig, CompressionMethod, ToleranceMode};
+
+fn main() {
+    let ds = SyntheticDataset::generate(
+        DatasetConfig {
+            scale: 6,
+            nt: 256,
+            dt: 0.008,
+            f_flat: 15.0,
+            f_max: 18.0,
+            freq_stride: 8,
+            n_water_multiples: 2,
+            station_spacing: 40.0,
+        },
+        VelocityModel::overthrust(),
+    );
+    println!(
+        "dataset: {} sources x {} receivers x {} frequencies\n",
+        ds.acq.n_sources(),
+        ds.acq.n_receivers(),
+        ds.n_freqs()
+    );
+
+    // Part 1: ordering locality, then its effect on compression.
+    println!("-- station-ordering locality (mean spatial diameter of 70-station blocks) --");
+    for ordering in Ordering::ALL {
+        let perm = station_permutation(&ds.acq.sources, ordering);
+        let d = mean_block_diameter(&ds.acq.sources, &perm, 70);
+        println!("  {ordering:?}: {d:.0} m");
+    }
+
+    // Effective tolerance: the paper's acc=1e-4 maps to ~5e-3 at this
+    // problem size (see DESIGN.md "accuracy bridging").
+    let cfg = CompressionConfig {
+        nb: 25,
+        acc: 5e-3,
+        method: CompressionMethod::Svd,
+        mode: ToleranceMode::RelativeTile,
+    };
+    println!("\n-- compression by ordering (SVD backend, nb=25, acc=5e-3) --");
+    for ordering in Ordering::ALL {
+        let t0 = std::time::Instant::now();
+        let stats = compression_stats(&compress_dataset(&ds, cfg, ordering));
+        println!(
+            "  {ordering:?}: ratio {:.2}x, total rank {}, max tile rank {} ({:.2?})",
+            stats.ratio,
+            stats.total_rank,
+            stats.max_rank,
+            t0.elapsed()
+        );
+    }
+    println!("  (paper: Hilbert reordering gathers energy near the diagonal -> 7x)");
+
+    // Part 2: backend ablation under Hilbert ordering.
+    println!("\n-- compression by backend (Hilbert ordering, nb=25, acc=5e-3) --");
+    for method in CompressionMethod::ALL {
+        let c = CompressionConfig { method, ..cfg };
+        let t0 = std::time::Instant::now();
+        let stats = compression_stats(&compress_dataset(&ds, c, Ordering::Hilbert));
+        println!(
+            "  {method:?}: ratio {:.2}x, total rank {} ({:.2?})",
+            stats.ratio,
+            stats.total_rank,
+            t0.elapsed()
+        );
+    }
+
+    // Part 3: tile size sweep.
+    println!("\n-- compression by tile size (Hilbert, SVD, acc=5e-3) --");
+    for nb in [25usize, 50, 70] {
+        let c = CompressionConfig { nb, ..cfg };
+        let stats = compression_stats(&compress_dataset(&ds, c, Ordering::Hilbert));
+        println!("  nb={nb}: ratio {:.2}x, total rank {}", stats.ratio, stats.total_rank);
+    }
+}

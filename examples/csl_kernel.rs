@@ -1,0 +1,79 @@
+//! Inspect the per-PE kernel the way the paper's CSL programmers do:
+//! build the fused TLR chunk kernel for one processing element, execute
+//! it on the simulated SRAM, and compare the interpreted cycle count with
+//! the closed-form performance model and the paper's measurements.
+//!
+//! ```text
+//! cargo run --release --example csl_kernel
+//! ```
+
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use tlr_mvm::real4::{split_vec, RealSplitMatrix};
+use wse_sim::{pe_cost, strategy1_tasks, ChunkLayout, Cs2Config, CslOp, Pe};
+
+fn main() {
+    let cfg = Cs2Config::default();
+    // The paper's headline chunk geometry: nb = 70, stack width 23.
+    let (nb, cl, w) = (70usize, 70usize, 23usize);
+    println!("one CS-2 PE, chunk geometry nb={nb}, cl={cl}, stack width={w}");
+
+    let layout = ChunkLayout::plan(nb, cl, w);
+    let kernel = layout.emit_kernel();
+    let fmac_loops = kernel
+        .iter()
+        .filter(|op| matches!(op, CslOp::FmacStream { .. } | CslOp::DotStream { .. }))
+        .count();
+    println!(
+        "emitted kernel: {} instructions ({} fmac/dot streams) over {} B of SRAM",
+        kernel.len(),
+        fmac_loops,
+        layout.y_im + 8 * nb
+    );
+
+    // Load a synthetic chunk and execute.
+    let v = Matrix::from_fn(cl, w, |i, j| {
+        C32::new((i as f32 * 0.31 + j as f32).sin(), (j as f32 * 0.7).cos())
+    });
+    let u = Matrix::from_fn(nb, w, |i, j| {
+        C32::new((i as f32 - j as f32).cos() * 0.5, (i as f32 * 0.2).sin())
+    });
+    let x: Vec<C32> = (0..cl)
+        .map(|i| C32::new((i as f32 * 0.11).cos(), (i as f32 * 0.09).sin()))
+        .collect();
+    let vs = RealSplitMatrix::from_complex(&v);
+    let us = RealSplitMatrix::from_complex(&u);
+    let (xr, xi) = split_vec(&x);
+
+    let mut pe = Pe::new(&cfg);
+    pe.load(layout.v_re, vs.re.as_slice()).unwrap();
+    pe.load(layout.v_im, vs.im.as_slice()).unwrap();
+    pe.load(layout.u_re, us.re.as_slice()).unwrap();
+    pe.load(layout.u_im, us.im.as_slice()).unwrap();
+    pe.load(layout.x_re, &xr).unwrap();
+    pe.load(layout.x_im, &xi).unwrap();
+    let stats = pe.run(&kernel).unwrap();
+    println!(
+        "interpreted execution: {} cycles, {} fmacs, {} B read, {} B written",
+        stats.cycles, stats.fmacs, stats.bytes_read, stats.bytes_written
+    );
+
+    // Compare with the calibrated closed-form model.
+    let model = pe_cost(&strategy1_tasks(nb, cl, w), &cfg, true);
+    println!(
+        "closed-form model      : {} cycles ({} flops)",
+        model.cycles, model.flops
+    );
+    println!(
+        "paper (Table 2, nb=70) : 19131 cycles for the 8-MVM worst PE at this geometry"
+    );
+    let t_us = cfg.cycles_to_seconds(stats.cycles) * 1e6;
+    println!("at 850 MHz that is {t_us:.2} us per TLR-MVM invocation on this PE");
+
+    // Show the first few instructions, CSL-flavoured.
+    println!("\nkernel head:");
+    for op in kernel.iter().take(8) {
+        println!("  {op:?}");
+    }
+    println!("  …");
+}

@@ -1,0 +1,93 @@
+//! Full Multi-Dimensional Deconvolution on the synthetic Overthrust-like
+//! ocean-bottom dataset: generate wavefields, Hilbert-sort, TLR-compress,
+//! invert with 30 LSQR iterations, and compare against ground truth —
+//! the paper's §6.2 experiment at laptop scale.
+//!
+//! ```text
+//! cargo run --release --example mdd_inversion
+//! ```
+
+use seis_wave::{DatasetConfig, SyntheticDataset, VelocityModel};
+use seismic_geom::Ordering;
+use seismic_mdd::{compress_dataset, run_mdd_with_operators, LsqrOptions, MddConfig};
+use tlr_mvm::{CompressionConfig, CompressionMethod, ToleranceMode};
+
+fn main() {
+    // Generate the dataset (geometry = the paper's grids divided by 12).
+    let ds = SyntheticDataset::generate(
+        DatasetConfig {
+            scale: 12,
+            nt: 256,
+            dt: 0.008,
+            f_flat: 15.0,
+            f_max: 18.0,
+            freq_stride: 2,
+            n_water_multiples: 2,
+            station_spacing: 40.0,
+        },
+        VelocityModel::overthrust(),
+    );
+    println!(
+        "dataset: {} sources, {} receivers, {} frequencies ({:.1}-{:.1} Hz), {} MB dense",
+        ds.acq.n_sources(),
+        ds.acq.n_receivers(),
+        ds.n_freqs(),
+        ds.slices.first().unwrap().freq_hz,
+        ds.slices.last().unwrap().freq_hz,
+        ds.dense_bytes() / 1_000_000
+    );
+
+    // At laptop scale the inversion tolerates ~50x looser tile tolerances
+    // than the paper's 26040x15930 system for the same solution-quality
+    // regime (see DESIGN.md "accuracy bridging"), so the paper's
+    // acc = 1e-4 maps to an effective 5e-3 here.
+    let cfg = MddConfig {
+        compression: CompressionConfig {
+            nb: 70,
+            acc: 5e-3,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        },
+        ordering: Ordering::Hilbert,
+        lsqr: LsqrOptions {
+            max_iters: 30,
+            rel_tol: 0.0,
+            damp: 0.0,
+        },
+    };
+
+    // Compress the whole operator stack.
+    let t0 = std::time::Instant::now();
+    let tlr = compress_dataset(&ds, cfg.compression, cfg.ordering);
+    let stats = seismic_mdd::compression_stats(&tlr);
+    println!(
+        "compression: {:.2}x ({} -> {} bytes) in {:.2?}",
+        stats.ratio,
+        stats.dense_bytes,
+        stats.compressed_bytes,
+        t0.elapsed()
+    );
+
+    // Invert for one virtual source at the middle of the seafloor grid —
+    // the paper's single-virtual-source experiment (Fig. 11).
+    let vs = ds.acq.n_receivers() / 2;
+    let t1 = std::time::Instant::now();
+    let run = run_mdd_with_operators(&ds, &tlr, vs, &cfg);
+    println!(
+        "MDD for virtual source {vs}: {} LSQR iterations in {:.2?}",
+        run.iterations,
+        t1.elapsed()
+    );
+    println!("  NMSE of cross-correlation (adjoint): {:.4}", run.nmse_adjoint);
+    println!("  NMSE of LSQR inversion             : {:.4}", run.nmse_inverse);
+    println!(
+        "  residual: {:.3e} -> {:.3e}",
+        run.residual_history.first().unwrap(),
+        run.residual_history.last().unwrap()
+    );
+    assert!(
+        run.nmse_inverse < run.nmse_adjoint,
+        "inversion must beat the adjoint image"
+    );
+    println!("inversion removed the free-surface effects the adjoint leaves in. ✓");
+}

@@ -1,0 +1,77 @@
+//! Map the paper-scale TLR workload onto Cerebras CS-2 clusters: choose
+//! stack widths, place shards under both strong-scaling strategies, and
+//! print occupancy / bandwidth / energy — the §6.5–§7.6 machinery.
+//!
+//! ```text
+//! cargo run --release --example wse_mapping
+//! ```
+
+use wse_sim::{
+    choose_stack_width, energy_report, place, Cluster, Cs2Config, RankModel, Strategy,
+};
+
+fn main() {
+    let cfg = Cs2Config::default();
+    println!(
+        "CS-2: {}x{} usable PEs ({} total), {} kB SRAM/PE, {:.0} MHz",
+        cfg.usable_rows,
+        cfg.usable_cols,
+        cfg.usable_pes(),
+        cfg.sram_bytes / 1024,
+        cfg.clock_hz / 1e6
+    );
+
+    // The paper's dataset at nb = 70, acc = 1e-4 (the headline config).
+    let model = RankModel::paper(70, 1e-4).unwrap();
+    let workload = model.generate();
+    println!(
+        "workload: {} frequencies x {} tile columns, total rank {}, {:.1} GB compressed",
+        workload.n_freqs,
+        workload.cols_per_freq,
+        workload.total_rank(),
+        workload.compressed_bytes() as f64 / 1e9
+    );
+
+    // Six shards, strategy 1 (the Table 1-3 setting).
+    let cluster6 = Cluster::new(6);
+    let sw = choose_stack_width(&workload, cluster6.total_pes() as u64, cfg.max_stack_width(70));
+    println!("\nsix CS-2 systems, strategy 1 (fused single PE):");
+    println!("  chosen stack width: {sw} (paper: 23)");
+    let rep = place(&workload, sw, Strategy::FusedSinglePe, &cluster6).unwrap();
+    println!(
+        "  PEs used: {} / {} ({:.0}% occupancy)",
+        rep.pes_used,
+        rep.pes_available,
+        100.0 * rep.occupancy
+    );
+    println!(
+        "  worst cycles {} -> {:.2} us; {:.2} PB/s relative, {:.2} PB/s absolute, {:.2} PFlop/s",
+        rep.worst_cycles,
+        rep.time_s * 1e6,
+        rep.relative_pbs(),
+        rep.absolute_pbs(),
+        rep.pflops()
+    );
+    let e = energy_report(&rep, &cluster6);
+    println!(
+        "  power: {:.1} kW per system, {:.1} GFlop/s/W",
+        e.power_per_system_w / 1e3,
+        e.gflops_per_w
+    );
+
+    // Scaling up to 48 systems with strategy 2 (the Table 5 setting).
+    println!("\nscaling to Condor Galaxy (strategy 2, eight PEs per chunk):");
+    for systems in [12usize, 24, 48] {
+        let cluster = Cluster::new(systems);
+        match place(&workload, sw, Strategy::ScatterEightPes, &cluster) {
+            Ok(rep) => println!(
+                "  {systems:>2} systems: {:>9} PEs, {:.2} PB/s relative, {:.2} PB/s absolute",
+                rep.pes_used,
+                rep.relative_pbs(),
+                rep.absolute_pbs()
+            ),
+            Err(e) => println!("  {systems:>2} systems: cannot place ({e})"),
+        }
+    }
+    println!("\npaper headline: 92.58 PB/s relative / 245.59 PB/s absolute on 48 systems.");
+}

@@ -1,0 +1,186 @@
+//! End-to-end integration test spanning every crate: synthetic wavefield
+//! generation → Hilbert reordering → TLR compression → WSE functional
+//! execution → MDD inversion, with cross-checks at every boundary.
+
+use seis_wave::{DatasetConfig, SyntheticDataset, VelocityModel};
+use seismic_geom::Ordering;
+use seismic_la::blas::{gemv, nrm2};
+use seismic_la::scalar::C32;
+use seismic_mdd::{compress_dataset, run_mdd_with_operators, LsqrOptions, MddConfig};
+use tlr_mvm::{CommAvoiding, CompressionConfig, CompressionMethod, ToleranceMode};
+use wse_sim::{execute_chunks, Cs2Config, Strategy, Workload};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(
+        DatasetConfig {
+            scale: 24,
+            nt: 128,
+            dt: 0.008,
+            f_flat: 12.0,
+            f_max: 16.0,
+            freq_stride: 3,
+            n_water_multiples: 1,
+            station_spacing: 40.0,
+        },
+        VelocityModel::overthrust(),
+    )
+}
+
+fn compression(nb: usize, acc: f32) -> CompressionConfig {
+    CompressionConfig {
+        nb,
+        acc,
+        method: CompressionMethod::Svd,
+        mode: ToleranceMode::RelativeTile,
+    }
+}
+
+#[test]
+fn generate_compress_execute_invert() {
+    let ds = dataset();
+    assert!(ds.n_freqs() >= 5, "need a few frequencies");
+    let (m, n) = ds.kernel_shape();
+
+    // Compress the stack after Hilbert reordering.
+    let tlr = compress_dataset(&ds, compression(10, 1e-4), Ordering::Hilbert);
+    assert_eq!(tlr.len(), ds.n_freqs());
+
+    // Every compressed slice must approximate its reordered dense source.
+    for (f, t) in tlr.iter().enumerate().take(3) {
+        let dense = ds.reordered_kernel(f, Ordering::Hilbert);
+        let err = t.reconstruct().sub(&dense).fro_norm();
+        assert!(
+            err <= 2e-4 * dense.fro_norm(),
+            "slice {f}: reconstruction error {err}"
+        );
+    }
+
+    // WSE functional execution of the mid-frequency slice must agree with
+    // the host TLR-MVM and the dense kernel.
+    let f = ds.n_freqs() / 2;
+    let x: Vec<C32> = (0..n)
+        .map(|i| C32::new((i as f32 * 0.21).sin(), (i as f32 * 0.09).cos()))
+        .collect();
+    let ca = CommAvoiding::new(&tlr[f]);
+    let host_y = ca.apply(&x);
+    let cfg = Cs2Config::default();
+    for strategy in [Strategy::FusedSinglePe, Strategy::ScatterEightPes] {
+        let res = execute_chunks(&ca.chunks(7), &x, m, 10, strategy, &cfg);
+        let scale = nrm2(&host_y).max(1.0);
+        for (a, b) in res.y.iter().zip(&host_y) {
+            assert!((*a - *b).abs() < 1e-4 * scale, "{strategy:?}");
+        }
+    }
+    let dense = ds.reordered_kernel(f, Ordering::Hilbert);
+    let mut dense_y = vec![C32::new(0.0, 0.0); m];
+    gemv(&dense, &x, &mut dense_y);
+    let scale = nrm2(&dense_y).max(1.0);
+    for (a, b) in host_y.iter().zip(&dense_y) {
+        assert!((*a - *b).abs() < 1e-3 * scale);
+    }
+
+    // Full MDD: inversion must beat the adjoint and reach a sane NMSE.
+    let mdd_cfg = MddConfig {
+        compression: compression(10, 1e-4),
+        ordering: Ordering::Hilbert,
+        lsqr: LsqrOptions {
+            max_iters: 30,
+            rel_tol: 0.0,
+            damp: 0.0,
+        },
+    };
+    let vs = ds.acq.n_receivers() / 2;
+    let run = run_mdd_with_operators(&ds, &tlr, vs, &mdd_cfg);
+    assert!(run.nmse_inverse < run.nmse_adjoint);
+    assert!(run.nmse_inverse < 0.5, "NMSE {}", run.nmse_inverse);
+}
+
+#[test]
+fn workload_census_consistent_with_real_compression() {
+    let ds = dataset();
+    let tlr = compress_dataset(&ds, compression(10, 1e-3), Ordering::Hilbert);
+    let workload = Workload::from_tlr_matrices(&tlr);
+    // Total rank agrees with per-matrix accounting.
+    let manual: u64 = tlr.iter().map(|t| t.total_rank() as u64).sum();
+    assert_eq!(workload.total_rank(), manual);
+    // Chunk count equals the number of RankChunks the layout produces.
+    for sw in [3usize, 8, 32] {
+        let from_layout: u64 = tlr
+            .iter()
+            .map(|t| CommAvoiding::new(t).chunks(sw).len() as u64)
+            .sum();
+        assert_eq!(workload.chunk_count(sw), from_layout, "sw={sw}");
+    }
+}
+
+#[test]
+fn whole_workload_executes_on_virtual_wafer() {
+    // Execute EVERY frequency's TLR-MVM through the virtual-PE path and
+    // reassemble the full MDC product — the complete workload the paper
+    // maps onto the wafer, verified numerically against the host operator.
+    use seismic_mdd::MdcOperator;
+    use tlr_mvm::LinearOperator;
+
+    let ds = dataset();
+    let tlr = compress_dataset(&ds, compression(10, 1e-4), Ordering::Hilbert);
+    let (m, n) = ds.kernel_shape();
+    let nf = ds.n_freqs();
+    let x: Vec<C32> = (0..nf * n)
+        .map(|i| C32::new((i as f32 * 0.03).sin(), (i as f32 * 0.011).cos()))
+        .collect();
+
+    let op = MdcOperator::new(tlr.iter().collect::<Vec<_>>());
+    let want = op.apply(&x);
+
+    let cfg = Cs2Config::default();
+    let mut got = Vec::with_capacity(nf * m);
+    let mut total_pes = 0u64;
+    let mut worst_cycles = 0u64;
+    for (f, t) in tlr.iter().enumerate() {
+        let ca = CommAvoiding::new(t);
+        let res = execute_chunks(
+            &ca.chunks(7),
+            &x[f * n..(f + 1) * n],
+            m,
+            10,
+            Strategy::FusedSinglePe,
+            &cfg,
+        );
+        total_pes += res.pes_used;
+        worst_cycles = worst_cycles.max(res.worst_cycles);
+        got.extend(res.y);
+    }
+    assert!(total_pes > 0 && worst_cycles > 0);
+    let scale = nrm2(&want).max(1.0);
+    for (g, w) in got.iter().zip(&want) {
+        assert!((*g - *w).abs() < 1e-4 * scale);
+    }
+}
+
+#[test]
+fn tlr_accuracy_flows_through_to_mdd_quality() {
+    let ds = dataset();
+    let vs = 3;
+    let lsqr = LsqrOptions {
+        max_iters: 25,
+        rel_tol: 0.0,
+        damp: 0.0,
+    };
+    let mut nmses = Vec::new();
+    for acc in [1e-5f32, 1e-2] {
+        let cfg = MddConfig {
+            compression: compression(10, acc),
+            ordering: Ordering::Hilbert,
+            lsqr,
+        };
+        let tlr = compress_dataset(&ds, cfg.compression, cfg.ordering);
+        let run = run_mdd_with_operators(&ds, &tlr, vs, &cfg);
+        nmses.push(run.nmse_inverse);
+    }
+    assert!(
+        nmses[0] <= nmses[1] * 1.05,
+        "tight acc {} should not be worse than loose {}",
+        nmses[0],
+        nmses[1]
+    );
+}
