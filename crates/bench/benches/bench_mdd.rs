@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use seis_wave::{DatasetConfig, SyntheticDataset, VelocityModel};
 use seismic_geom::Ordering;
-use seismic_mdd::{compress_dataset, lsqr, LsqrOptions, MdcOperator};
 use seismic_la::scalar::C32;
+use seismic_mdd::{compress_dataset, lsqr, LsqrOptions, MdcOperator};
 use tlr_mvm::{CompressionConfig, CompressionMethod, LinearOperator, ToleranceMode};
 
 fn bench_mdd(c: &mut Criterion) {

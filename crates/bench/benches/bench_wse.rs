@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 use tlr_mvm::{compress, CommAvoiding, CompressionConfig, CompressionMethod, ToleranceMode};
-use wse_sim::{
-    choose_stack_width, execute_chunks, place, Cluster, Cs2Config, RankModel, Strategy,
-};
+use wse_sim::{choose_stack_width, execute_chunks, place, Cluster, Cs2Config, RankModel, Strategy};
 
 fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement");
@@ -20,7 +18,13 @@ fn bench_placement(c: &mut Criterion) {
         b.iter(|| model.generate());
     });
     group.bench_function("choose_stack_width", |b| {
-        b.iter(|| choose_stack_width(&workload, cluster.total_pes() as u64, cfg.max_stack_width(70)));
+        b.iter(|| {
+            choose_stack_width(
+                &workload,
+                cluster.total_pes() as u64,
+                cfg.max_stack_width(70),
+            )
+        });
     });
     for shards in [6usize, 48] {
         group.bench_with_input(BenchmarkId::new("place", shards), &shards, |b, &s| {

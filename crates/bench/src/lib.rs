@@ -13,7 +13,7 @@
 //! * [`report`] — text tables and JSON output (`target/repro/*.json`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod mdd_experiments;
 pub mod mmm_experiments;

@@ -136,7 +136,14 @@ fn fig11(json: bool) {
         "{}",
         render_table(
             "Fig 11 — adjoint (cross-correlation) vs LSQR inversion NMSE",
-            &["nb", "acc", "NMSE adjoint", "NMSE inverse", "iters", "compr. ratio"],
+            &[
+                "nb",
+                "acc",
+                "NMSE adjoint",
+                "NMSE inverse",
+                "iters",
+                "compr. ratio"
+            ],
             &rows
         )
     );
@@ -171,7 +178,15 @@ fn fig12(json: bool) {
         "{}",
         render_table(
             "Fig 12 (top) — % NMSE change vs benchmark (nb=70, acc=1e-4)",
-            &["nb", "acc", "NMSE", "change", "region", "compressed", "ratio"],
+            &[
+                "nb",
+                "acc",
+                "NMSE",
+                "change",
+                "region",
+                "compressed",
+                "ratio"
+            ],
             &rows
         )
     );
@@ -309,7 +324,13 @@ fn tables123(which: &str, all: bool, json: bool) {
             "{}",
             render_table(
                 "Table 2 — worst cycle count / memory accesses (bytes)",
-                &["nb", "acc", "worst cycles", "relative accesses", "absolute accesses"],
+                &[
+                    "nb",
+                    "acc",
+                    "worst cycles",
+                    "relative accesses",
+                    "absolute accesses"
+                ],
                 &rows
             )
         );
@@ -321,8 +342,16 @@ fn tables123(which: &str, all: bool, json: bool) {
                 vec![
                     r.nb.to_string(),
                     format!("{:.4}", r.acc),
-                    format!("{:.2} (paper {:.2})", r.report.relative_pbs(), r.paper.rel_pbs),
-                    format!("{:.2} (paper {:.2})", r.report.absolute_pbs(), r.paper.abs_pbs),
+                    format!(
+                        "{:.2} (paper {:.2})",
+                        r.report.relative_pbs(),
+                        r.paper.rel_pbs
+                    ),
+                    format!(
+                        "{:.2} (paper {:.2})",
+                        r.report.absolute_pbs(),
+                        r.paper.abs_pbs
+                    ),
                     format!("{:.2} (paper {:.2})", r.report.pflops(), r.paper.pflops),
                 ]
             })
@@ -365,7 +394,15 @@ fn table4(json: bool) {
         "{}",
         render_table(
             "Table 4 — strong scaling, nb=25 acc=1e-4",
-            &["shards", "stack w", "strategy", "rel bw PB/s", "abs bw PB/s", "PFlop/s", "par. eff"],
+            &[
+                "shards",
+                "stack w",
+                "strategy",
+                "rel bw PB/s",
+                "abs bw PB/s",
+                "PFlop/s",
+                "par. eff"
+            ],
             &rows
         )
     );
@@ -401,7 +438,14 @@ fn table5(json: bool) {
         "{}",
         render_table(
             "Table 5 — 48-shard strategy-2 runs, acc=1e-4",
-            &["nb", "stack w", "shards", "rel bw PB/s", "abs bw PB/s", "PFlop/s"],
+            &[
+                "nb",
+                "stack w",
+                "shards",
+                "rel bw PB/s",
+                "abs bw PB/s",
+                "PFlop/s"
+            ],
             &rows
         )
     );
@@ -498,9 +542,17 @@ fn mmm(json: bool) {
                 r.s.to_string(),
                 format!("{:.3}", r.relative_intensity),
                 format!("{:.3}", r.absolute_intensity),
-                if r.cs2_compute_bound { "compute".into() } else { "memory".into() },
+                if r.cs2_compute_bound {
+                    "compute".into()
+                } else {
+                    "memory".into()
+                },
                 fmt_bytes(r.panel_bytes_per_pe as u64),
-                if r.fits_sram { "yes".into() } else { "NO".into() },
+                if r.fits_sram {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();
@@ -508,7 +560,14 @@ fn mmm(json: bool) {
         "{}",
         render_table(
             "TLR-MMM sweep (nb=70, stack width 23 chunk geometry)",
-            &["sources", "rel F/B", "abs F/B", "CS-2 regime", "panel B/PE", "fits SRAM"],
+            &[
+                "sources",
+                "rel F/B",
+                "abs F/B",
+                "CS-2 regime",
+                "panel B/PE",
+                "fits SRAM"
+            ],
             &rows
         )
     );
@@ -604,7 +663,14 @@ fn appbench(json: bool) {
         "{}",
         render_table(
             "whole-application MDD on this host",
-            &["operator", "time", "speedup", "memory", "compression", "NMSE"],
+            &[
+                "operator",
+                "time",
+                "speedup",
+                "memory",
+                "compression",
+                "NMSE"
+            ],
             &rows
         )
     );
@@ -632,7 +698,13 @@ fn io_study(json: bool) {
         "{}",
         render_table(
             "per-MVM transfer vs compute, six-shard nb=70 configuration",
-            &["link", "transfer", "compute", "transfer/compute", "dbl-buffer eff."],
+            &[
+                "link",
+                "transfer",
+                "compute",
+                "transfer/compute",
+                "dbl-buffer eff."
+            ],
             &rows
         )
     );

@@ -201,9 +201,9 @@ pub struct AppBenchRow {
 /// Run the full MDD inversion with the dense operator and with TLR at
 /// the paper's three tile sizes; report time, memory, quality.
 pub fn app_bench(ds: &SyntheticDataset) -> Vec<AppBenchRow> {
-    use seismic_mdd::{lsqr, MdcOperator};
-    use seismic_la::Matrix;
     use seismic_la::scalar::C32;
+    use seismic_la::Matrix;
+    use seismic_mdd::{lsqr, MdcOperator};
 
     let vs = ds.acq.n_receivers() / 2;
     let (rows, cols) = ds.permutations(Ordering::Hilbert);

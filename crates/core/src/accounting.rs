@@ -16,22 +16,25 @@
 use serde::{Deserialize, Serialize};
 
 use crate::matrix::TlrMatrix;
+use crate::precision::to_u64;
 
 /// Bytes moved by one real FP32 `m × n` MVM under the cache (relative)
 /// model.
 pub fn relative_bytes(m: usize, n: usize) -> u64 {
-    4 * (m as u64 * n as u64 + m as u64 + n as u64)
+    let (m, n) = (to_u64(m), to_u64(n));
+    4 * (m * n + m + n)
 }
 
 /// Bytes moved by one real FP32 `m × n` MVM under the flat-SRAM (absolute)
 /// model: per column, read `y`, `A_j`, `x_j`, write `y`.
 pub fn absolute_bytes(m: usize, n: usize) -> u64 {
-    4 * (3 * m as u64 * n as u64 + n as u64)
+    let (m, n) = (to_u64(m), to_u64(n));
+    4 * (3 * m * n + n)
 }
 
 /// Flops of one real `m × n` MVM (fmac = 2 flops).
 pub fn mvm_flops(m: usize, n: usize) -> u64 {
-    2 * m as u64 * n as u64
+    2 * to_u64(m) * to_u64(n)
 }
 
 /// Aggregate cost of one full TLR-MVM in the complex-as-4-real execution
@@ -83,7 +86,7 @@ pub fn tlr_mvm_cost(tlr: &TlrMatrix) -> TlrMvmCost {
         cost.flops += 4 * mvm_flops(nb, kj);
         cost.relative_bytes += 4 * relative_bytes(nb, kj);
         cost.absolute_bytes += 4 * absolute_bytes(nb, kj);
-        cost.total_rank += kj as u64;
+        cost.total_rank += to_u64(kj);
     }
     cost
 }
@@ -94,7 +97,7 @@ pub fn dense_mvm_cost(m: usize, n: usize) -> TlrMvmCost {
         flops: 4 * mvm_flops(m, n),
         relative_bytes: 4 * relative_bytes(m, n),
         absolute_bytes: 4 * absolute_bytes(m, n),
-        total_rank: m.min(n) as u64,
+        total_rank: to_u64(m.min(n)),
     }
 }
 

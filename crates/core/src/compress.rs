@@ -1,8 +1,8 @@
 //! TLR compression: tile the matrix, compress every tile independently.
 
-use rayon::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use seismic_la::aca::aca_compress;
 use seismic_la::qr::pivoted_qr;
 use seismic_la::rsvd::rsvd_compress_adaptive;
@@ -109,7 +109,7 @@ pub fn compress(dense: &Matrix<C32>, config: CompressionConfig) -> TlrMatrix {
                 ToleranceMode::RelativeTile => config.acc * tile.fro_norm(),
                 ToleranceMode::RelativeGlobal => config.acc * global_norm / tile_count.sqrt(),
             };
-            compress_tile(&tile, tol, config.method, idx as u64)
+            compress_tile(&tile, tol, config.method, crate::precision::to_u64(idx))
         })
         .collect();
 

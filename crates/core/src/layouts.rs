@@ -16,6 +16,7 @@ use seismic_la::blas::{gemv_acc, gemv_conj_transpose};
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 
+use crate::invariant::assert_finite;
 use crate::matrix::TlrMatrix;
 use crate::tiling::Tiling;
 
@@ -135,6 +136,7 @@ impl ThreePhase {
     /// Phase 1 (paper Fig. 5): batched `yv_j = Vstack_jᴴ x_j`.
     pub fn v_batch(&self, x: &[C32]) -> Vec<C32> {
         assert_eq!(x.len(), self.tiling.n);
+        assert_finite("three_phase.v_batch.x", x);
         let mut yv = vec![CZERO; self.total_rank];
         let mut segments: Vec<&mut [C32]> = Vec::new();
         let mut rest = yv.as_mut_slice();
@@ -148,6 +150,7 @@ impl ThreePhase {
             let (c0, cl) = self.tiling.col_range(j);
             gemv_conj_transpose(&self.vstacks[j], &x[c0..c0 + cl], seg);
         });
+        assert_finite("three_phase.v_batch.yv", &yv);
         yv
     }
 
@@ -158,6 +161,7 @@ impl ThreePhase {
         for (p, &q) in self.shuffle.iter().enumerate() {
             yu[q] = yv[p];
         }
+        assert_finite("three_phase.shuffle.yu", &yu);
         yu
     }
 
@@ -178,6 +182,7 @@ impl ThreePhase {
             let hi = self.row_offsets[i + 1];
             gemv_acc(&self.ustacks[i], &yu[lo..hi], seg);
         });
+        assert_finite("three_phase.u_batch.y", &y);
         y
     }
 
@@ -220,6 +225,16 @@ impl ColumnStack {
     /// into the full-length partial output.
     pub fn apply_into(&self, x_col: &[C32], y_partial: &mut [C32], nb: usize) {
         debug_assert_eq!(x_col.len(), self.cl);
+        debug_assert_eq!(self.vstack.nrows(), self.cl, "V stack width mismatch");
+        debug_assert_eq!(self.vstack.ncols(), self.rank(), "V stack rank mismatch");
+        debug_assert_eq!(self.ustack.ncols(), self.rank(), "U stack rank mismatch");
+        debug_assert!(
+            self.row_block
+                .iter()
+                .zip(&self.row_len)
+                .all(|(&b, &l)| b * nb + l <= y_partial.len()),
+            "row block exceeds partial-y bounds"
+        );
         let k = self.rank();
         let mut yv = vec![CZERO; k];
         gemv_conj_transpose(&self.vstack, x_col, &mut yv);
@@ -297,6 +312,16 @@ impl RankChunk {
     /// Fused kernel: `y_partial += Σ_r u_r (v_rᴴ x_col)`.
     pub fn apply_into(&self, x_col: &[C32], y_partial: &mut [C32], nb: usize) {
         debug_assert_eq!(x_col.len(), self.cl);
+        debug_assert_eq!(self.v.ncols(), self.width(), "V slice width mismatch");
+        debug_assert_eq!(self.u.ncols(), self.width(), "U slice width mismatch");
+        debug_assert_eq!(self.v.nrows(), self.cl, "V slice height mismatch");
+        debug_assert!(
+            self.row_block
+                .iter()
+                .zip(&self.row_len)
+                .all(|(&b, &l)| b * nb + l <= y_partial.len()),
+            "row block exceeds partial-y bounds"
+        );
         let w = self.width();
         let mut yv = vec![CZERO; w];
         gemv_conj_transpose(&self.v, x_col, &mut yv);
@@ -379,6 +404,7 @@ impl CommAvoiding {
     /// CS-2 execution with the reduction step "handled by the host".
     pub fn apply(&self, x: &[C32]) -> Vec<C32> {
         assert_eq!(x.len(), self.tiling.n);
+        assert_finite("comm_avoiding.apply.x", x);
         let nb = self.tiling.nb;
         let padded_m = self.tiling.tile_rows() * nb;
         let partials: Vec<Vec<C32>> = self
@@ -396,6 +422,7 @@ impl CommAvoiding {
                 *yi += part[i];
             }
         }
+        assert_finite("comm_avoiding.apply.y", &y);
         y
     }
 
@@ -405,6 +432,7 @@ impl CommAvoiding {
     /// as communication-free as the forward pass.
     pub fn apply_adjoint(&self, y: &[C32]) -> Vec<C32> {
         assert_eq!(y.len(), self.tiling.m);
+        assert_finite("comm_avoiding.apply_adjoint.y", y);
         let nb = self.tiling.nb;
         let outputs: Vec<Vec<C32>> = self
             .columns
@@ -433,6 +461,7 @@ impl CommAvoiding {
         for (cs, xj) in self.columns.iter().zip(&outputs) {
             x[cs.c0..cs.c0 + cs.cl].copy_from_slice(xj);
         }
+        assert_finite("comm_avoiding.apply_adjoint.x", &x);
         x
     }
 
@@ -448,6 +477,7 @@ impl CommAvoiding {
     /// simulator executes, used to cross-check PE placement.
     pub fn apply_chunked(&self, x: &[C32], stack_width: usize) -> Vec<C32> {
         assert_eq!(x.len(), self.tiling.n);
+        assert_finite("comm_avoiding.apply_chunked.x", x);
         let nb = self.tiling.nb;
         let padded_m = self.tiling.tile_rows() * nb;
         let chunks = self.chunks(stack_width);
@@ -465,6 +495,7 @@ impl CommAvoiding {
                 *yi += part[i];
             }
         }
+        assert_finite("comm_avoiding.apply_chunked.y", &y);
         y
     }
 }

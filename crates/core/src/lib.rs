@@ -44,10 +44,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accounting;
 pub mod compress;
+pub mod invariant;
 pub mod layouts;
 pub mod matrix;
 pub mod mmm;
@@ -56,7 +57,9 @@ pub mod precision;
 pub mod real4;
 pub mod tiling;
 
-pub use accounting::{absolute_bytes, dense_mvm_cost, mvm_flops, relative_bytes, tlr_mvm_cost, TlrMvmCost};
+pub use accounting::{
+    absolute_bytes, dense_mvm_cost, mvm_flops, relative_bytes, tlr_mvm_cost, TlrMvmCost,
+};
 pub use compress::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
 pub use layouts::{ColumnStack, CommAvoiding, RankChunk, ThreePhase};
 pub use matrix::TlrMatrix;

@@ -73,16 +73,12 @@ impl TlrMatrix {
 
     /// Sum of tile ranks in tile column `j` (`K_j`, the V-stack width).
     pub fn column_rank(&self, j: usize) -> usize {
-        (0..self.tiling.tile_rows())
-            .map(|i| self.rank(i, j))
-            .sum()
+        (0..self.tiling.tile_rows()).map(|i| self.rank(i, j)).sum()
     }
 
     /// Sum of tile ranks in tile row `i` (the classic U-stack width).
     pub fn row_rank(&self, i: usize) -> usize {
-        (0..self.tiling.tile_cols())
-            .map(|j| self.rank(i, j))
-            .sum()
+        (0..self.tiling.tile_cols()).map(|j| self.rank(i, j)).sum()
     }
 
     /// Stored bytes of all `U`/`V` bases (8 B per complex-FP32 entry).
@@ -213,10 +209,10 @@ impl TlrMatrix {
 mod tests {
     use super::*;
     use crate::compress::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
-    use seismic_la::blas::{dotc, gemv, gemv_conj_transpose};
-    use seismic_la::scalar::c32;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use seismic_la::blas::{dotc, gemv, gemv_conj_transpose};
+    use seismic_la::scalar::c32;
 
     fn kernel(m: usize, n: usize) -> Matrix<C32> {
         Matrix::from_fn(m, n, |i, j| {
@@ -304,9 +300,7 @@ mod tests {
         let by_cols: usize = (0..tlr.tiling().tile_cols())
             .map(|j| tlr.column_rank(j))
             .sum();
-        let by_rows: usize = (0..tlr.tiling().tile_rows())
-            .map(|i| tlr.row_rank(i))
-            .sum();
+        let by_rows: usize = (0..tlr.tiling().tile_rows()).map(|i| tlr.row_rank(i)).sum();
         assert_eq!(by_cols, tlr.total_rank());
         assert_eq!(by_rows, tlr.total_rank());
         let hist = tlr.rank_histogram();

@@ -14,8 +14,10 @@ use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 
 use crate::accounting::{absolute_bytes, mvm_flops, TlrMvmCost};
+use crate::invariant::assert_finite;
 use crate::layouts::CommAvoiding;
 use crate::matrix::TlrMatrix;
+use crate::precision::to_u64;
 
 /// `Y = Ã X` with `X: n × s` (one column per virtual source),
 /// rayon-parallel over tile rows. The per-tile product runs as two small
@@ -24,6 +26,7 @@ use crate::matrix::TlrMatrix;
 pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
     let t = tlr.tiling();
     assert_eq!(x.nrows(), t.n, "X row count must match operator columns");
+    assert_finite("tlr_mmm.x", x.as_slice());
     let s = x.ncols();
     let mt = t.tile_rows();
 
@@ -38,6 +41,8 @@ pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
                 if tile.rank() == 0 {
                     continue;
                 }
+                debug_assert_eq!(tile.u.nrows(), rl, "tile U height mismatch");
+                debug_assert_eq!(tile.v.nrows(), cl, "tile V height mismatch");
                 let xj = x.block(c0, 0, cl, s);
                 // T = Vᴴ X_j  (k × s), then Y += U T.
                 let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.v, &xj);
@@ -57,6 +62,7 @@ pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
         let (r0, _) = t.row_range(i);
         y.set_block(r0, 0, panel);
     }
+    assert_finite("tlr_mmm.y", y.as_slice());
     y
 }
 
@@ -64,6 +70,7 @@ pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
 pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
     let t = tlr.tiling();
     assert_eq!(y.nrows(), t.m, "Y row count must match operator rows");
+    assert_finite("tlr_mmm_adjoint.y", y.as_slice());
     let s = y.ncols();
     let nt = t.tile_cols();
 
@@ -97,6 +104,7 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
         let (c0, _) = t.col_range(j);
         x.set_block(c0, 0, panel);
     }
+    assert_finite("tlr_mmm_adjoint.x", x.as_slice());
     x
 }
 
@@ -107,6 +115,7 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
 pub fn comm_avoiding_mmm(ca: &CommAvoiding, x: &Matrix<C32>) -> Matrix<C32> {
     let t = ca.tiling();
     assert_eq!(x.nrows(), t.n);
+    assert_finite("comm_avoiding_mmm.x", x.as_slice());
     let s = x.ncols();
     let nb = t.nb;
     let padded_m = t.tile_rows() * nb;
@@ -146,6 +155,7 @@ pub fn comm_avoiding_mmm(ca: &CommAvoiding, x: &Matrix<C32>) -> Matrix<C32> {
             }
         }
     }
+    assert_finite("comm_avoiding_mmm.y", y.as_slice());
     y
 }
 
@@ -156,7 +166,7 @@ pub fn comm_avoiding_mmm(ca: &CommAvoiding, x: &Matrix<C32>) -> Matrix<C32> {
 pub fn tlr_mmm_cost(tlr: &TlrMatrix, s: usize) -> TlrMvmCost {
     let t = tlr.tiling();
     let nb = t.nb;
-    let s64 = s as u64;
+    let s64 = to_u64(s);
     let mut cost = TlrMvmCost::default();
     for j in 0..t.tile_cols() {
         let (_, cl) = t.col_range(j);
@@ -164,18 +174,19 @@ pub fn tlr_mmm_cost(tlr: &TlrMatrix, s: usize) -> TlrMvmCost {
         if kj == 0 {
             continue;
         }
+        let (kj64, cl64, nb64) = (to_u64(kj), to_u64(cl), to_u64(nb));
         // Flops: s MVMs worth.
         cost.flops += 4 * s64 * (mvm_flops(kj, cl) + mvm_flops(nb, kj));
         // Bytes: bases read once (the MMM win); panels read/written per s.
         // Relative model: bases + s·(x + t + y) vectors.
-        let bases = 4u64 * 4 * (kj as u64 * cl as u64 + nb as u64 * kj as u64);
-        let panels = 4u64 * 4 * s64 * (cl as u64 + 2 * kj as u64 + nb as u64);
+        let bases = 4u64 * 4 * (kj64 * cl64 + nb64 * kj64);
+        let panels = 4u64 * 4 * s64 * (cl64 + 2 * kj64 + nb64);
         cost.relative_bytes += bases + panels;
         // Absolute (flat SRAM): no cache, no reuse — each of the s
         // sources pays the full per-MVM traffic, so absolute intensity
         // does not improve with s (the §8 re-exacerbated memory wall).
         cost.absolute_bytes += 4 * s64 * (absolute_bytes(kj, cl) + absolute_bytes(nb, kj));
-        cost.total_rank += kj as u64;
+        cost.total_rank += kj64;
     }
     cost
 }

@@ -122,9 +122,9 @@ impl<O: LinearOperator> LinearOperator for BlockDiagonal<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seismic_la::blas::dotc;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use seismic_la::blas::dotc;
 
     fn rand_cvec(n: usize, seed: u64) -> Vec<C32> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -15,18 +15,83 @@ use serde::{Deserialize, Serialize};
 
 use crate::matrix::TlrMatrix;
 
+/// Checked numeric conversion between integer types: panics with the
+/// caller's location if `x` does not fit in the destination. This is the
+/// sanctioned replacement for raw `as` casts in hot paths (lint rule
+/// `NA01`): truncation becomes a loud contract violation instead of a
+/// silently wrong byte / cycle count.
+#[inline]
+#[track_caller]
+pub fn checked_cast<S, D>(x: S) -> D
+where
+    S: Copy + core::fmt::Debug,
+    D: TryFrom<S>,
+{
+    match D::try_from(x) {
+        Ok(v) => v,
+        Err(_) => panic!(
+            "numeric cast out of range: {:?} does not fit in {}",
+            x,
+            core::any::type_name::<D>()
+        ),
+    }
+}
+
+/// Widen a `usize` to `u64`. Infallible on every supported target
+/// (`usize` is at most 64 bits); routed through [`checked_cast`] so the
+/// assumption is enforced rather than assumed.
+#[inline]
+#[track_caller]
+pub fn to_u64(x: usize) -> u64 {
+    checked_cast(x)
+}
+
+/// Narrow a `u64` to `usize`. Panics when the value exceeds the address
+/// space — possible for wafer-scale element counts on a 32-bit host —
+/// instead of silently wrapping as `as usize` would.
+#[inline]
+#[track_caller]
+pub fn to_usize(x: u64) -> usize {
+    checked_cast(x)
+}
+
+/// Convert a finite, non-negative `f64` (already rounded by the caller
+/// via `round`/`ceil`/`floor`) to `u64`. Panics on NaN, negative, or
+/// out-of-range inputs — the failure modes `as u64` saturates through.
+#[inline]
+#[track_caller]
+pub fn f64_to_u64(x: f64) -> u64 {
+    assert!(x.is_finite(), "f64_to_u64: non-finite input {x}");
+    assert!(x >= 0.0, "f64_to_u64: negative input {x}");
+    // 2^64 as the first unrepresentable value; `<` keeps every in-range
+    // integer-valued double.
+    assert!(
+        x < 18_446_744_073_709_551_616.0,
+        "f64_to_u64: {x} overflows u64"
+    );
+    x as u64
+}
+
 /// Round an f32 to bf16 (round-to-nearest-even on the dropped bits).
 #[inline]
 pub fn f32_to_bf16(x: f32) -> u16 {
     let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep NaN quiet with a non-zero mantissa; rounding arithmetic
+        // below could carry a payload into the exponent (and previously
+        // overflowed u32 for sign-bit NaNs).
+        return checked_cast::<u32, u16>(bits >> 16) | 1;
+    }
     let round = ((bits >> 16) & 1) + 0x7fff;
-    ((bits + round) >> 16) as u16
+    // Max finite/inf input is 0xff80_0000, so the add cannot overflow
+    // once NaNs are excluded.
+    checked_cast::<u32, u16>((bits + round) >> 16)
 }
 
 /// Widen a bf16 back to f32.
 #[inline]
 pub fn bf16_to_f32(h: u16) -> f32 {
-    f32::from_bits((h as u32) << 16)
+    f32::from_bits(u32::from(h) << 16)
 }
 
 /// A complex matrix with bf16-quantized storage (interleaved re/im).
@@ -125,6 +190,48 @@ mod tests {
         // Exactly representable values survive.
         assert_eq!(bf16_to_f32(f32_to_bf16(1.0)), 1.0);
         assert_eq!(bf16_to_f32(f32_to_bf16(-0.5)), -0.5);
+    }
+
+    #[test]
+    fn bf16_nan_and_inf_survive() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        // Sign-bit NaN with a full payload: the old rounding arithmetic
+        // overflowed u32 here and produced +0.0 in release builds.
+        assert!(bf16_to_f32(f32_to_bf16(f32::from_bits(0xFFFF_FFFF))).is_nan());
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        // Overflow rounds to infinity, preserving sign.
+        assert_eq!(bf16_to_f32(f32_to_bf16(-f32::MAX)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn checked_casts_pass_in_range() {
+        assert_eq!(checked_cast::<u64, u32>(7), 7u32);
+        assert_eq!(to_u64(usize::MAX), usize::MAX as u64);
+        assert_eq!(to_usize(4096), 4096usize);
+        assert_eq!(f64_to_u64(12.0), 12);
+        assert_eq!(f64_to_u64(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric cast out of range")]
+    fn checked_cast_panics_on_truncation() {
+        let _: u16 = checked_cast(1_000_000u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn f64_to_u64_rejects_nan() {
+        f64_to_u64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn f64_to_u64_rejects_negative() {
+        f64_to_u64(-1.0);
     }
 
     fn kernel(m: usize, n: usize) -> Matrix<C32> {

@@ -45,7 +45,13 @@ impl RealSplitMatrix {
 
     /// `y += A x` executed as the four real MVMs. Returns the number of
     /// real fused multiply-adds performed (for the performance model).
-    pub fn gemv_acc_4real(&self, x_re: &[f32], x_im: &[f32], y_re: &mut [f32], y_im: &mut [f32]) -> usize {
+    pub fn gemv_acc_4real(
+        &self,
+        x_re: &[f32],
+        x_im: &[f32],
+        y_re: &mut [f32],
+        y_im: &mut [f32],
+    ) -> usize {
         let (m, n) = self.shape();
         assert_eq!(x_re.len(), n);
         assert_eq!(x_im.len(), n);
@@ -109,7 +115,10 @@ impl RealSplitMatrix {
 
 /// Split a complex vector into parallel real/imag arrays.
 pub fn split_vec(x: &[C32]) -> (Vec<f32>, Vec<f32>) {
-    (x.iter().map(|v| v.re).collect(), x.iter().map(|v| v.im).collect())
+    (
+        x.iter().map(|v| v.re).collect(),
+        x.iter().map(|v| v.im).collect(),
+    )
 }
 
 /// Recombine parallel real/imag arrays.
@@ -161,9 +170,9 @@ fn real_gemv_t_sub(a: &Matrix<f32>, x: &[f32], y: &mut [f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seismic_la::blas::{gemv_acc, gemv_conj_transpose_acc};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use seismic_la::blas::{gemv_acc, gemv_conj_transpose_acc};
 
     fn rand_cvec(n: usize, seed: u64) -> Vec<C32> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

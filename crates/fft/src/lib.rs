@@ -11,7 +11,7 @@
 //!   matrix-vector products of the MDC operator (`y = Fᴴ K F x`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod cache;

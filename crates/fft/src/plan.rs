@@ -55,7 +55,9 @@ impl<T: Real> FftPlan<T> {
         }
         if n.is_power_of_two() {
             let bits = n.trailing_zeros();
-            let bitrev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+            let bitrev = (0..n as u32)
+                .map(|i| i.reverse_bits() >> (32 - bits))
+                .collect();
             let twiddles = (0..n / 2)
                 .map(|k| {
                     let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;

@@ -226,7 +226,15 @@ mod tests {
 
     #[test]
     fn gilbert_visits_every_cell_once() {
-        for (nx, ny) in [(1usize, 1usize), (5, 1), (1, 7), (8, 8), (13, 9), (21, 7), (217, 120)] {
+        for (nx, ny) in [
+            (1usize, 1usize),
+            (5, 1),
+            (1, 7),
+            (8, 8),
+            (13, 9),
+            (21, 7),
+            (217, 120),
+        ] {
             let order = gilbert_order(nx, ny);
             assert_eq!(order.len(), nx * ny, "{nx}x{ny}");
             let mut seen = vec![false; nx * ny];
@@ -243,8 +251,8 @@ mod tests {
         for (nx, ny) in [(8usize, 8usize), (13, 9), (30, 11)] {
             let order = gilbert_order(nx, ny);
             for w in order.windows(2) {
-                let step = (w[0].0 as i64 - w[1].0 as i64).abs()
-                    + (w[0].1 as i64 - w[1].1 as i64).abs();
+                let step =
+                    (w[0].0 as i64 - w[1].0 as i64).abs() + (w[0].1 as i64 - w[1].1 as i64).abs();
                 assert_eq!(step, 1, "{nx}x{ny}: jump between {:?} and {:?}", w[0], w[1]);
             }
         }

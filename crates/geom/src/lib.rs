@@ -11,12 +11,14 @@
 //!   block-locality metric that predicts tile rank behaviour.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod curves;
 pub mod grid;
 pub mod reorder;
 
-pub use curves::{gilbert_order, hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode, order_for};
+pub use curves::{
+    gilbert_order, hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode, order_for,
+};
 pub use grid::{Acquisition, Point3, StationGrid};
 pub use reorder::{mean_block_diameter, station_permutation, Ordering, Permutation};

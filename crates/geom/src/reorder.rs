@@ -274,10 +274,7 @@ mod tests {
         let block = 70; // the paper's nb
         let d_hil = mean_block_diameter(&g, &hil, block);
         let d_mor = mean_block_diameter(&g, &mor, block);
-        assert!(
-            d_hil <= d_mor * 1.05,
-            "hilbert {d_hil} vs morton {d_mor}"
-        );
+        assert!(d_hil <= d_mor * 1.05, "hilbert {d_hil} vs morton {d_mor}");
     }
 
     #[test]

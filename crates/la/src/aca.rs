@@ -44,11 +44,11 @@ pub fn aca_compress<S: Scalar>(a: &Matrix<S>, tol: S::Real) -> LowRank<S> {
             }
         }
         // Column pivot: largest |row| entry.
-        let (jpiv, pivot) = match row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
-        {
+        let (jpiv, pivot) = match row.iter().enumerate().max_by(|a, b| {
+            a.1.abs()
+                .partial_cmp(&b.1.abs())
+                .unwrap_or(core::cmp::Ordering::Equal)
+        }) {
             Some((j, &p)) => (j, p),
             None => break,
         };

@@ -279,10 +279,13 @@ mod tests {
         let mats: Vec<Matrix<C32>> = (0..16)
             .map(|k| Matrix::<C32>::random_normal(3 + k % 5, 2 + k % 4, &mut rng))
             .collect();
-        let xs: Vec<Vec<C32>> = mats.iter().map(|m| {
-            let mut r = ChaCha8Rng::seed_from_u64(m.ncols() as u64);
-            rand_vec(m.ncols(), &mut r)
-        }).collect();
+        let xs: Vec<Vec<C32>> = mats
+            .iter()
+            .map(|m| {
+                let mut r = ChaCha8Rng::seed_from_u64(m.ncols() as u64);
+                rand_vec(m.ncols(), &mut r)
+            })
+            .collect();
         let tasks: Vec<GemvTask<'_, C32>> = mats
             .iter()
             .zip(&xs)

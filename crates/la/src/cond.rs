@@ -18,7 +18,11 @@ pub fn spectral_norm_est<S: Scalar>(a: &Matrix<S>, iters: usize) -> S::Real {
     }
     // Deterministic, non-degenerate start vector.
     let mut v: Vec<S> = (0..n)
-        .map(|i| S::from_real(S::Real::from_f64(1.0 + 0.37 * ((i * 7919 % 101) as f64) / 101.0)))
+        .map(|i| {
+            S::from_real(S::Real::from_f64(
+                1.0 + 0.37 * ((i * 7919 % 101) as f64) / 101.0,
+            ))
+        })
         .collect();
     let norm = nrm2(&v);
     scal(S::from_real(norm.recip()), &mut v);

@@ -19,7 +19,7 @@
 //! pre-processing step (rank-revealing QR, randomized SVD, ACA, SVD).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aca;
 pub mod blas;

@@ -4,7 +4,7 @@
 use crate::blas::{gemm, gemm_conj_transpose_right, gemv_acc, gemv_conj_transpose};
 use crate::dense::Matrix;
 use crate::qr::qr;
-use crate::scalar::Scalar;
+use crate::scalar::{Real, Scalar};
 use crate::svd::jacobi_svd;
 
 /// Rank-`k` factorization `A ≈ U Vᴴ` with `U: m×k`, `V: n×k`.
@@ -23,7 +23,11 @@ pub struct LowRank<S: Scalar> {
 impl<S: Scalar> LowRank<S> {
     /// Pair up factors; panics if the rank dimensions disagree.
     pub fn new(u: Matrix<S>, v: Matrix<S>) -> Self {
-        assert_eq!(u.ncols(), v.ncols(), "U and V must share the rank dimension");
+        assert_eq!(
+            u.ncols(),
+            v.ncols(),
+            "U and V must share the rank dimension"
+        );
         Self { u, v }
     }
 
@@ -52,6 +56,8 @@ impl<S: Scalar> LowRank<S> {
 
     /// `y += (U Vᴴ) x` via the two-stage product (`t = Vᴴx`, `y += U t`).
     pub fn apply_acc(&self, x: &[S], y: &mut [S]) {
+        debug_assert_eq!(x.len(), self.v.nrows(), "x length must match n");
+        debug_assert_eq!(y.len(), self.u.nrows(), "y length must match m");
         let mut t = vec![S::ZERO; self.rank()];
         gemv_conj_transpose(&self.v, x, &mut t);
         gemv_acc(&self.u, &t, y);
@@ -59,6 +65,8 @@ impl<S: Scalar> LowRank<S> {
 
     /// `y += (U Vᴴ)ᴴ x = (V Uᴴ) x` — adjoint application for LSQR.
     pub fn apply_adjoint_acc(&self, x: &[S], y: &mut [S]) {
+        debug_assert_eq!(x.len(), self.u.nrows(), "x length must match m");
+        debug_assert_eq!(y.len(), self.v.nrows(), "y length must match n");
         let mut t = vec![S::ZERO; self.rank()];
         gemv_conj_transpose(&self.u, x, &mut t);
         gemv_acc(&self.v, &t, y);
@@ -69,6 +77,7 @@ impl<S: Scalar> LowRank<S> {
     /// SVD the small `R_u R_vᴴ` core, truncate. The standard low-rank
     /// rounding used to ladder a tight compression to looser tolerances.
     pub fn recompress(&self, tol: S::Real) -> Self {
+        debug_assert!(tol >= S::Real::ZERO, "negative rounding tolerance");
         let k = self.rank();
         if k == 0 {
             return self.clone();
@@ -180,7 +189,11 @@ mod tests {
         let lr = LowRank::new(u, v);
         let dense = lr.to_dense();
         let rounded = lr.recompress(1e-10);
-        assert!(rounded.rank() <= 3, "rank {} after rounding", rounded.rank());
+        assert!(
+            rounded.rank() <= 3,
+            "rank {} after rounding",
+            rounded.rank()
+        );
         assert!(rounded.to_dense().sub(&dense).fro_norm() < 1e-9 * dense.fro_norm());
     }
 

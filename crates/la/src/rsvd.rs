@@ -90,12 +90,12 @@ pub fn randomized_svd<S: SampleNormal, R: Rng>(
         y = gemm(a, &qz);
     }
     let q = qr(&y).q_thin(); // m × l orthonormal
-    // B = Qᴴ A  (l × n), then SVD of the small matrix.
+                             // B = Qᴴ A  (l × n), then SVD of the small matrix.
     let b = gemm_conj_transpose_left(&q, a);
     let svd = jacobi_svd(&b);
     let k = svd.rank_for_tolerance(tol);
     let small = svd.truncate(k); // B ≈ Us Vsᴴ with Us already scaled by Σ
-    // A ≈ Q B ≈ (Q Us) Vsᴴ.
+                                 // A ≈ Q B ≈ (Q Us) Vsᴴ.
     let u = gemm(&q, &small.u);
     LowRank::new(u, small.v)
 }
@@ -183,7 +183,11 @@ mod tests {
         let lr = rsvd_compress_adaptive(&a, tol, &mut rng);
         let err = lr.to_dense().sub(&a).fro_norm();
         assert!(err <= tol, "err {err}");
-        assert!(lr.rank() < 18, "should have truncated, rank = {}", lr.rank());
+        assert!(
+            lr.rank() < 18,
+            "should have truncated, rank = {}",
+            lr.rank()
+        );
     }
 
     #[test]

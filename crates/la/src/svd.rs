@@ -147,7 +147,10 @@ pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Svd<S> {
         .map(|j| S::Real::from_f64(col_norm_sq(&w, j).sqrt()))
         .collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| s[j].partial_cmp(&s[i]).unwrap());
+    order.sort_by(|&i, &j| {
+        s[j].partial_cmp(&s[i])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
     let w_sorted = w.permute_cols(&order);
     let v_sorted = v.permute_cols(&order);
     s = order.iter().map(|&i| s[i]).collect();
@@ -251,7 +254,8 @@ mod tests {
     fn svd_real_f64() {
         let mut rng = ChaCha8Rng::seed_from_u64(44);
         let a = Matrix::<f64>::from_fn(9, 6, |i, j| {
-            ((i * 31 + j * 17 + 5) % 23) as f64 / 23.0 - 0.5 + crate::dense::normal_sample(&mut rng) * 0.1
+            ((i * 31 + j * 17 + 5) % 23) as f64 / 23.0 - 0.5
+                + crate::dense::normal_sample(&mut rng) * 0.1
         });
         check_svd(&a, 1e-12);
     }

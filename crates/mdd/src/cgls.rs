@@ -43,8 +43,8 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         }
         iterations += 1;
         let q = a.apply(&p);
-        let q_norm_sq: f32 =
-            q.iter().map(|v| v.norm_sqr()).sum::<f32>() + damp_sq * p.iter().map(|v| v.norm_sqr()).sum::<f32>();
+        let q_norm_sq: f32 = q.iter().map(|v| v.norm_sqr()).sum::<f32>()
+            + damp_sq * p.iter().map(|v| v.norm_sqr()).sum::<f32>();
         if q_norm_sq == 0.0 {
             break;
         }
@@ -171,8 +171,24 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(137);
         let a = Matrix::<C32>::random_normal(12, 12, &mut rng);
         let b = rand_cvec(12, 138);
-        let free = cgls(&a, &b, LsqrOptions { max_iters: 50, rel_tol: 0.0, damp: 0.0 });
-        let damped = cgls(&a, &b, LsqrOptions { max_iters: 50, rel_tol: 0.0, damp: 2.0 });
+        let free = cgls(
+            &a,
+            &b,
+            LsqrOptions {
+                max_iters: 50,
+                rel_tol: 0.0,
+                damp: 0.0,
+            },
+        );
+        let damped = cgls(
+            &a,
+            &b,
+            LsqrOptions {
+                max_iters: 50,
+                rel_tol: 0.0,
+                damp: 2.0,
+            },
+        );
         assert!(nrm2(&damped.x) < nrm2(&free.x));
     }
 }

@@ -16,7 +16,7 @@
 //!   quality classification.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cgls;
 pub mod driver;
@@ -26,19 +26,19 @@ pub mod metrics;
 pub mod multi;
 pub mod panels;
 pub mod per_frequency;
-pub mod weighting;
 pub mod sections;
+pub mod weighting;
 
+pub use cgls::{cgls, CglsResult};
 pub use driver::{
     compress_dataset, compression_stats, run_mdd, run_mdd_with_operators, CompressionStats,
     MddConfig, MddRun,
 };
-pub use cgls::{cgls, CglsResult};
 pub use lsqr::{lsqr, LsqrOptions, LsqrResult};
 pub use mdc::{freq_vectors_to_time_traces, MdcOperator};
+pub use metrics::{classify, energy, nmse, nmse_change_pct, window_energy, QualityRegion};
 pub use multi::{run_mdd_multi, simultaneous_adjoint, simultaneous_forward};
 pub use panels::{ascii_panel, gather_panel, write_panel_csv, PanelField};
 pub use per_frequency::{compare_frequency_coupling, FrequencyCouplingResult};
-pub use weighting::{weighted_lsqr, WeightedMdcOperator};
-pub use metrics::{classify, energy, nmse, nmse_change_pct, window_energy, QualityRegion};
 pub use sections::{stack_traces, zero_offset_sections, ZeroOffsetSections};
+pub use weighting::{weighted_lsqr, WeightedMdcOperator};

@@ -9,6 +9,7 @@
 use rayon::prelude::*;
 use seismic_fft::RealFft;
 use seismic_la::scalar::{C32, C64};
+use tlr_mvm::invariant::assert_finite;
 use tlr_mvm::LinearOperator;
 
 /// Frequency-domain MDC core: one kernel per retained frequency bin,
@@ -67,6 +68,7 @@ impl<O: LinearOperator> LinearOperator for MdcOperator<O> {
     /// the embarrassingly parallel structure the paper maps onto PEs).
     fn apply(&self, x: &[C32]) -> Vec<C32> {
         assert_eq!(x.len(), self.ncols());
+        assert_finite("mdc.apply.x", x);
         let nr = self.n_rec;
         let outs: Vec<Vec<C32>> = self
             .kernels
@@ -74,10 +76,13 @@ impl<O: LinearOperator> LinearOperator for MdcOperator<O> {
             .enumerate()
             .map(|(f, k)| k.apply(&x[f * nr..(f + 1) * nr]))
             .collect();
-        outs.concat()
+        let y = outs.concat();
+        assert_finite("mdc.apply.y", &y);
+        y
     }
     fn apply_adjoint(&self, y: &[C32]) -> Vec<C32> {
         assert_eq!(y.len(), self.nrows());
+        assert_finite("mdc.apply_adjoint.y", y);
         let ns = self.n_src;
         let outs: Vec<Vec<C32>> = self
             .kernels
@@ -85,7 +90,9 @@ impl<O: LinearOperator> LinearOperator for MdcOperator<O> {
             .enumerate()
             .map(|(f, k)| k.apply_adjoint(&y[f * ns..(f + 1) * ns]))
             .collect();
-        outs.concat()
+        let x = outs.concat();
+        assert_finite("mdc.apply_adjoint.x", &x);
+        x
     }
 }
 
@@ -100,8 +107,17 @@ pub fn freq_vectors_to_time_traces(
     nt: usize,
 ) -> Vec<Vec<f64>> {
     assert_eq!(data.len(), bins.len() * n_sta);
+    assert_finite("freq_to_time.data", data);
     let rf = RealFft::<f64>::new(nt);
     let nf_full = rf.spectrum_len();
+    assert!(
+        bins.iter().all(|&b| b < nf_full),
+        "frequency bin out of range: spectrum has {nf_full} bins for nt={nt}"
+    );
+    debug_assert!(
+        bins.windows(2).all(|w| w[0] < w[1]),
+        "frequency bins must be strictly increasing (duplicates silently overwrite)"
+    );
     (0..n_sta)
         .into_par_iter()
         .map(|s| {
@@ -109,6 +125,29 @@ pub fn freq_vectors_to_time_traces(
             for (f, &bin) in bins.iter().enumerate() {
                 let v = data[f * n_sta + s];
                 spec[bin] = C64::new(v.re as f64, v.im as f64);
+            }
+            // Conjugate-symmetry contract of the real inverse transform:
+            // DC and (for even nt) Nyquist must be real, or the inverse
+            // silently discards the imaginary energy.
+            #[cfg(debug_assertions)]
+            {
+                let scale = spec
+                    .iter()
+                    .map(|z| z.re.abs().max(z.im.abs()))
+                    .fold(0.0f64, f64::max);
+                let tol = 1e-3 * (scale + f64::MIN_POSITIVE);
+                debug_assert!(
+                    spec[0].im.abs() <= tol,
+                    "conjugate-symmetry violation: DC bin imaginary part {} (scale {scale})",
+                    spec[0].im
+                );
+                if nt.is_multiple_of(2) {
+                    debug_assert!(
+                        spec[nf_full - 1].im.abs() <= tol,
+                        "conjugate-symmetry violation: Nyquist bin imaginary part {}",
+                        spec[nf_full - 1].im
+                    );
+                }
             }
             rf.inverse(&spec)
         })

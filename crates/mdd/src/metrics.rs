@@ -29,7 +29,11 @@ pub fn nmse(est: &[C32], truth: &[C32]) -> f64 {
 /// `acc = 1e-4` benchmark).
 pub fn nmse_change_pct(nmse_config: f64, nmse_benchmark: f64) -> f64 {
     if nmse_benchmark == 0.0 {
-        return if nmse_config == 0.0 { 0.0 } else { f64::INFINITY };
+        return if nmse_config == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     100.0 * (nmse_config - nmse_benchmark) / nmse_benchmark
 }

@@ -43,7 +43,9 @@ pub fn write_panel_csv(path: &Path, traces: &[Vec<f64>], dt: f64) -> std::io::Re
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     // Header: time axis.
     if let Some(first) = traces.first() {
-        let header: Vec<String> = (0..first.len()).map(|i| format!("{:.4}", i as f64 * dt)).collect();
+        let header: Vec<String> = (0..first.len())
+            .map(|i| format!("{:.4}", i as f64 * dt))
+            .collect();
         writeln!(f, "trace,{}", header.join(","))?;
     }
     for (i, tr) in traces.iter().enumerate() {

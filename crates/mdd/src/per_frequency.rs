@@ -136,11 +136,7 @@ mod tests {
         // With noise, some frequencies degrade badly in the decoupled
         // solve — its worst per-frequency NMSE exceeds its own mean by a
         // wide margin (the §4 band-edge pathology).
-        let worst = r
-            .per_frequency_nmse
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let worst = r.per_frequency_nmse.iter().cloned().fold(0.0f64, f64::max);
         let mean: f64 =
             r.per_frequency_nmse.iter().sum::<f64>() / r.per_frequency_nmse.len() as f64;
         assert!(

@@ -154,9 +154,9 @@ pub fn zero_offset_sections(
                 .min_by(|&a, &b| {
                     let da = src.position(a).hdist(&vs_pos);
                     let db = src.position(b).hdist(&vs_pos);
-                    da.partial_cmp(&db).unwrap()
+                    da.partial_cmp(&db).unwrap_or(core::cmp::Ordering::Equal)
                 })
-                .unwrap();
+                .unwrap_or(0);
             let y = ds.observed_data(vs);
             let up_vec: Vec<C32> = (0..ds.n_freqs()).map(|f| y[f][s_near]).collect();
             let up_tr = freq_vectors_to_time_traces(&up_vec, &bins, 1, nt).remove(0);

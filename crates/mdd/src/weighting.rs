@@ -98,12 +98,7 @@ impl LinearOperator for WeightedMdcOperator<'_> {
 }
 
 /// Solve the weighted system `min ‖W(Ax − b)‖` with LSQR.
-pub fn weighted_lsqr(
-    blocks: &[TlrMatrix],
-    y: &[C32],
-    eps: f32,
-    opts: LsqrOptions,
-) -> LsqrResult {
+pub fn weighted_lsqr(blocks: &[TlrMatrix], y: &[C32], eps: f32, opts: LsqrOptions) -> LsqrResult {
     let op = WeightedMdcOperator::new(blocks, eps);
     let wy = op.weight_data(y);
     lsqr(&op, &wy, opts)
@@ -161,15 +156,8 @@ mod tests {
         let op = WeightedMdcOperator::new(&tlr, 0.05);
         // Weighted block norms should span a much smaller range than the
         // raw block norms.
-        let raw: Vec<f32> = tlr
-            .iter()
-            .map(|b| b.reconstruct().fro_norm())
-            .collect();
-        let weighted: Vec<f32> = raw
-            .iter()
-            .zip(op.weights())
-            .map(|(&n, &w)| n * w)
-            .collect();
+        let raw: Vec<f32> = tlr.iter().map(|b| b.reconstruct().fro_norm()).collect();
+        let weighted: Vec<f32> = raw.iter().zip(op.weights()).map(|(&n, &w)| n * w).collect();
         let spread = |v: &[f32]| {
             let max = v.iter().cloned().fold(0.0f32, f32::max);
             let min = v.iter().cloned().fold(f32::INFINITY, f32::min);

@@ -167,10 +167,14 @@ pub fn simulate(
         for iz in 2..nz - 2 {
             for ix in 2..nx - 2 {
                 let i = idx(ix, iz);
-                let lap_x = C2 * cur[i - 2] + C1 * cur[i - 1] + C0 * cur[i]
+                let lap_x = C2 * cur[i - 2]
+                    + C1 * cur[i - 1]
+                    + C0 * cur[i]
                     + C1 * cur[i + 1]
                     + C2 * cur[i + 2];
-                let lap_z = C2 * cur[i - 2 * nx] + C1 * cur[i - nx] + C0 * cur[i]
+                let lap_z = C2 * cur[i - 2 * nx]
+                    + C1 * cur[i - nx]
+                    + C0 * cur[i]
                     + C1 * cur[i + nx]
                     + C2 * cur[i + 2 * nx];
                 next[i] = 2.0 * cur[i] - prev[i] + r2[i] * (lap_x + lap_z);
@@ -373,8 +377,14 @@ mod tests {
         let direct_e = energy(0.193);
         let mult_e = energy(0.593);
         let quiet_e = energy(0.4); // between the arrivals
-        assert!(direct_e > 10.0 * quiet_e, "direct {direct_e} vs quiet {quiet_e}");
-        assert!(mult_e > 3.0 * quiet_e, "multiple {mult_e} vs quiet {quiet_e}");
+        assert!(
+            direct_e > 10.0 * quiet_e,
+            "direct {direct_e} vs quiet {quiet_e}"
+        );
+        assert!(
+            mult_e > 3.0 * quiet_e,
+            "multiple {mult_e} vs quiet {quiet_e}"
+        );
         assert!(direct_e > mult_e, "direct should dominate the multiple");
     }
 }

@@ -18,7 +18,7 @@
 //! after Hilbert reordering, which is all the TLR algebra downstream sees.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dataset;
 pub mod fdtd;
@@ -29,8 +29,8 @@ pub mod velocity;
 pub mod wavelet;
 
 pub use dataset::{DatasetConfig, FrequencySlice, SyntheticDataset};
-pub use modeling::{downgoing_matrix, reflectivity_column, ModelingConfig};
 pub use fdtd::{first_break, simulate, FdTrace, FdtdConfig, VelocitySlice};
+pub use modeling::{downgoing_matrix, reflectivity_column, ModelingConfig};
 pub use separation::{plane_wave, separate, Field2d, SeparationConfig};
 pub use time_domain::{downgoing_trace, peak_sample, reflectivity_trace, GatherConfig};
 pub use velocity::{Reflector, VelocityModel};

@@ -79,14 +79,17 @@ impl Field2d {
 
     /// RMS magnitude.
     pub fn rms(&self) -> f64 {
-        (self.data.iter().map(|v| v.norm_sqr()).sum::<f64>() / self.data.len().max(1) as f64)
-            .sqrt()
+        (self.data.iter().map(|v| v.norm_sqr()).sum::<f64>() / self.data.len().max(1) as f64).sqrt()
     }
 }
 
 /// Wavenumber of FFT bin `k` on an `n`-point axis with spacing `d`.
 fn wavenumber(k: usize, n: usize, d: f64) -> f64 {
-    let kk = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 };
+    let kk = if k <= n / 2 {
+        k as f64
+    } else {
+        k as f64 - n as f64
+    };
     2.0 * std::f64::consts::PI * kk / (n as f64 * d)
 }
 
@@ -206,7 +209,12 @@ mod tests {
         let ky = grid_k(ny, c.dy, 1);
         let (p, vz) = plane_wave(nx, ny, &c, kx, ky, C64::new(1.0, 0.3), true).unwrap();
         let (down, up) = separate(&p, &vz, &c);
-        assert!(down.rms() > 0.9 * p.rms(), "down {} vs p {}", down.rms(), p.rms());
+        assert!(
+            down.rms() > 0.9 * p.rms(),
+            "down {} vs p {}",
+            down.rms(),
+            p.rms()
+        );
         assert!(up.rms() < 1e-9 * p.rms(), "up leakage {}", up.rms());
     }
 
@@ -225,12 +233,26 @@ mod tests {
     fn superposition_recovers_components() {
         let c = cfg();
         let (nx, ny) = (32, 32);
-        let (pd, vd) =
-            plane_wave(nx, ny, &c, grid_k(nx, c.dx, 2), grid_k(ny, c.dy, 1), C64::new(1.0, 0.0), true)
-                .unwrap();
-        let (pu, vu) =
-            plane_wave(nx, ny, &c, grid_k(nx, c.dx, -1), grid_k(ny, c.dy, 3), C64::new(0.5, 0.5), false)
-                .unwrap();
+        let (pd, vd) = plane_wave(
+            nx,
+            ny,
+            &c,
+            grid_k(nx, c.dx, 2),
+            grid_k(ny, c.dy, 1),
+            C64::new(1.0, 0.0),
+            true,
+        )
+        .unwrap();
+        let (pu, vu) = plane_wave(
+            nx,
+            ny,
+            &c,
+            grid_k(nx, c.dx, -1),
+            grid_k(ny, c.dy, 3),
+            C64::new(0.5, 0.5),
+            false,
+        )
+        .unwrap();
         let p = Field2d {
             nx,
             ny,

@@ -91,7 +91,11 @@ pub fn peak_sample(trace: &[f64]) -> usize {
     trace
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+        .max_by(|a, b| {
+            a.1.abs()
+                .partial_cmp(&b.1.abs())
+                .unwrap_or(core::cmp::Ordering::Equal)
+        })
         .map(|(i, _)| i)
         .unwrap_or(0)
 }
@@ -166,7 +170,10 @@ mod tests {
         let diff: Vec<f64> = with.iter().zip(&without).map(|(a, b)| a - b).collect();
         let direct_peak = peak_sample(&without);
         let mult_peak = peak_sample(&diff);
-        assert!(mult_peak > direct_peak, "multiple at {mult_peak} <= direct {direct_peak}");
+        assert!(
+            mult_peak > direct_peak,
+            "multiple at {mult_peak} <= direct {direct_peak}"
+        );
         assert!(diff[mult_peak].abs() < without[direct_peak].abs());
     }
 }

@@ -9,6 +9,7 @@
 //! the same instruction stream, instead of positing them separately.
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::to_u64;
 
 use crate::machine::Cs2Config;
 use crate::program::Dsr;
@@ -167,7 +168,7 @@ impl<'a> Pe<'a> {
 
     fn dsr(&self, id: u8) -> Result<Dsr, CslError> {
         self.dsrs
-            .get(id as usize)
+            .get(usize::from(id))
             .ok_or(CslError::BadSlot)?
             .ok_or(CslError::UnsetDsr)
     }
@@ -188,7 +189,7 @@ impl<'a> Pe<'a> {
                 CslOp::SetDsr { id, dsr } => {
                     *self
                         .dsrs
-                        .get_mut(id as usize)
+                        .get_mut(usize::from(id))
                         .ok_or(CslError::BadSlot)? = Some(dsr);
                     st.cycles += 1;
                 }
@@ -196,8 +197,10 @@ impl<'a> Pe<'a> {
                     if addr % 4 != 0 || addr / 4 >= self.sram.len() {
                         return Err(CslError::OutOfBounds { addr });
                     }
-                    *self.regs.get_mut(reg as usize).ok_or(CslError::BadSlot)? =
-                        self.sram[addr / 4];
+                    *self
+                        .regs
+                        .get_mut(usize::from(reg))
+                        .ok_or(CslError::BadSlot)? = self.sram[addr / 4];
                     st.cycles += 1;
                     st.bytes_read += 4;
                 }
@@ -205,32 +208,41 @@ impl<'a> Pe<'a> {
                     if addr % 4 != 0 || addr / 4 >= self.sram.len() {
                         return Err(CslError::OutOfBounds { addr });
                     }
-                    let v = *self.regs.get(reg as usize).ok_or(CslError::BadSlot)?;
+                    let v = *self.regs.get(usize::from(reg)).ok_or(CslError::BadSlot)?;
                     self.sram[addr / 4] = v;
                     st.cycles += 1;
                     st.bytes_written += 4;
                 }
                 CslOp::ClearReg { reg } => {
-                    *self.regs.get_mut(reg as usize).ok_or(CslError::BadSlot)? = 0.0;
+                    *self
+                        .regs
+                        .get_mut(usize::from(reg))
+                        .ok_or(CslError::BadSlot)? = 0.0;
                     st.cycles += 1;
                 }
                 CslOp::FmacStream { y, a, r, len, sign } => {
                     let dy = self.dsr(y)?;
                     let da = self.dsr(a)?;
-                    let rv = *self.regs.get(r as usize).ok_or(CslError::BadSlot)? * sign;
+                    let rv = *self.regs.get(usize::from(r)).ok_or(CslError::BadSlot)? * sign;
                     let dual = da.banks_disjoint_from(&dy, self.cfg);
                     for i in 0..len {
                         let ia = self.elem_index(&da, i)?;
                         let iy = self.elem_index(&dy, i)?;
                         self.sram[iy] += self.sram[ia] * rv;
                     }
-                    st.fmacs += len as u64;
-                    st.cycles += if dual { len as u64 } else { 2 * len as u64 };
+                    st.fmacs += to_u64(len);
+                    st.cycles += if dual { to_u64(len) } else { 2 * to_u64(len) };
                     // Reads: a and y; writes: y.
-                    st.bytes_read += 8 * len as u64;
-                    st.bytes_written += 4 * len as u64;
+                    st.bytes_read += 8 * to_u64(len);
+                    st.bytes_written += 4 * to_u64(len);
                 }
-                CslOp::DotStream { acc, a, x, len, sign } => {
+                CslOp::DotStream {
+                    acc,
+                    a,
+                    x,
+                    len,
+                    sign,
+                } => {
                     let da = self.dsr(a)?;
                     let dx = self.dsr(x)?;
                     let dual = da.banks_disjoint_from(&dx, self.cfg);
@@ -240,10 +252,13 @@ impl<'a> Pe<'a> {
                         let ix = self.elem_index(&dx, i)?;
                         sum += self.sram[ia] * self.sram[ix];
                     }
-                    *self.regs.get_mut(acc as usize).ok_or(CslError::BadSlot)? += sum * sign;
-                    st.fmacs += len as u64;
-                    st.cycles += if dual { len as u64 } else { 2 * len as u64 };
-                    st.bytes_read += 8 * len as u64;
+                    *self
+                        .regs
+                        .get_mut(usize::from(acc))
+                        .ok_or(CslError::BadSlot)? += sum * sign;
+                    st.fmacs += to_u64(len);
+                    st.cycles += if dual { to_u64(len) } else { 2 * to_u64(len) };
+                    st.bytes_read += 8 * to_u64(len);
                 }
                 CslOp::Nop { cycles } => st.cycles += cycles,
             }
@@ -324,6 +339,14 @@ impl ChunkLayout {
         }
     }
 
+    /// Total padded SRAM image of the chunk (bases plus working
+    /// vectors) — the footprint the static verifier bounds against the
+    /// PE's physical SRAM.
+    pub fn total_bytes(&self) -> usize {
+        let pad8 = |x: usize| x.div_ceil(8) * 8;
+        self.y_im + pad8(4 * self.nb)
+    }
+
     /// Column-major element DSR over a matrix column.
     fn col_dsr(base: usize, rows: usize, col: usize) -> Dsr {
         Dsr {
@@ -371,19 +394,55 @@ impl ChunkLayout {
             });
             // yv_re[r] = Vreᵀxre + Vimᵀxim
             prog.push(CslOp::ClearReg { reg: 0 });
-            prog.push(CslOp::DotStream { acc: 0, a: 0, x: 2, len: cl, sign: 1.0 });
-            prog.push(CslOp::DotStream { acc: 0, a: 1, x: 3, len: cl, sign: 1.0 });
-            prog.push(CslOp::StoreScalar { reg: 0, addr: self.yv_re + 4 * r });
+            prog.push(CslOp::DotStream {
+                acc: 0,
+                a: 0,
+                x: 2,
+                len: cl,
+                sign: 1.0,
+            });
+            prog.push(CslOp::DotStream {
+                acc: 0,
+                a: 1,
+                x: 3,
+                len: cl,
+                sign: 1.0,
+            });
+            prog.push(CslOp::StoreScalar {
+                reg: 0,
+                addr: self.yv_re + 4 * r,
+            });
             // yv_im[r] = Vreᵀxim − Vimᵀxre
             prog.push(CslOp::ClearReg { reg: 1 });
-            prog.push(CslOp::DotStream { acc: 1, a: 0, x: 3, len: cl, sign: 1.0 });
-            prog.push(CslOp::DotStream { acc: 1, a: 1, x: 2, len: cl, sign: -1.0 });
-            prog.push(CslOp::StoreScalar { reg: 1, addr: self.yv_im + 4 * r });
+            prog.push(CslOp::DotStream {
+                acc: 1,
+                a: 0,
+                x: 3,
+                len: cl,
+                sign: 1.0,
+            });
+            prog.push(CslOp::DotStream {
+                acc: 1,
+                a: 1,
+                x: 2,
+                len: cl,
+                sign: -1.0,
+            });
+            prog.push(CslOp::StoreScalar {
+                reg: 1,
+                addr: self.yv_im + 4 * r,
+            });
         }
         // U phase: for each rank column r, four axpy streams.
         for r in 0..w {
-            prog.push(CslOp::LoadScalar { reg: 2, addr: self.yv_re + 4 * r });
-            prog.push(CslOp::LoadScalar { reg: 3, addr: self.yv_im + 4 * r });
+            prog.push(CslOp::LoadScalar {
+                reg: 2,
+                addr: self.yv_re + 4 * r,
+            });
+            prog.push(CslOp::LoadScalar {
+                reg: 3,
+                addr: self.yv_im + 4 * r,
+            });
             prog.push(CslOp::SetDsr {
                 id: 4,
                 dsr: Self::col_dsr(self.u_re, nb, r),
@@ -400,10 +459,34 @@ impl ChunkLayout {
                 id: 7,
                 dsr: Self::vec_dsr(self.y_im, nb),
             });
-            prog.push(CslOp::FmacStream { y: 6, a: 4, r: 2, len: nb, sign: 1.0 });
-            prog.push(CslOp::FmacStream { y: 6, a: 5, r: 3, len: nb, sign: -1.0 });
-            prog.push(CslOp::FmacStream { y: 7, a: 4, r: 3, len: nb, sign: 1.0 });
-            prog.push(CslOp::FmacStream { y: 7, a: 5, r: 2, len: nb, sign: 1.0 });
+            prog.push(CslOp::FmacStream {
+                y: 6,
+                a: 4,
+                r: 2,
+                len: nb,
+                sign: 1.0,
+            });
+            prog.push(CslOp::FmacStream {
+                y: 6,
+                a: 5,
+                r: 3,
+                len: nb,
+                sign: -1.0,
+            });
+            prog.push(CslOp::FmacStream {
+                y: 7,
+                a: 4,
+                r: 3,
+                len: nb,
+                sign: 1.0,
+            });
+            prog.push(CslOp::FmacStream {
+                y: 7,
+                a: 5,
+                r: 2,
+                len: nb,
+                sign: 1.0,
+            });
         }
         prog
     }

@@ -23,6 +23,7 @@
 //! saturation.
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::to_u64;
 
 use crate::machine::Cs2Config;
 
@@ -51,7 +52,7 @@ impl MvmTask {
 
     /// Fused multiply-accumulate count.
     pub fn fmacs(&self) -> u64 {
-        self.m as u64 * self.n as u64
+        to_u64(self.m) * to_u64(self.n)
     }
 
     /// Flops (2 per fmac).
@@ -63,7 +64,7 @@ impl MvmTask {
     pub fn cycles(&self, cfg: &Cs2Config, bank_aligned: bool) -> u64 {
         let cpf: u64 = if bank_aligned { 1 } else { 2 };
         self.fmacs() * cpf
-            + self.sweeps as u64 * cfg.col_overhead_cycles
+            + to_u64(self.sweeps) * cfg.col_overhead_cycles
             + cfg.launch_overhead_cycles
     }
 

@@ -10,6 +10,7 @@
 use rayon::prelude::*;
 use seismic_la::scalar::C32;
 use tlr_mvm::layouts::RankChunk;
+use tlr_mvm::precision::to_u64;
 use tlr_mvm::real4::{join_vec, split_vec, RealSplitMatrix};
 
 use crate::cycles::MvmTask;
@@ -63,7 +64,8 @@ pub fn execute_chunks(
             let v_split = RealSplitMatrix::from_complex(&ch.v);
             let mut yvr = vec![0.0f32; w];
             let mut yvi = vec![0.0f32; w];
-            let v_fmacs = v_split.gemv_conj_transpose_acc_4real(&xr, &xi, &mut yvr, &mut yvi) as u64;
+            let v_fmacs =
+                to_u64(v_split.gemv_conj_transpose_acc_4real(&xr, &xi, &mut yvr, &mut yvi));
             // U phase: scatter-accumulate per rank column (4 real MVMs
             // worth of fmacs over the padded nb-tall U slice).
             let u_split = RealSplitMatrix::from_complex(&ch.u);
@@ -78,7 +80,7 @@ pub fn execute_chunks(
                     let u = C32::new(u_split.re[(i, r)], u_split.im[(i, r)]);
                     part[dst0 + i] += u * coeff;
                 }
-                u_fmacs += 4 * len as u64;
+                u_fmacs += 4 * to_u64(len);
             }
             // Cycle model for this PE's program.
             let v_task = MvmTask::dot_form(w, ch.cl);
@@ -115,7 +117,7 @@ pub fn execute_chunks(
     ExecResult {
         y,
         worst_cycles,
-        pes_used: chunks.len() as u64 * pes_per_chunk,
+        pes_used: to_u64(chunks.len()) * pes_per_chunk,
         fmacs,
     }
 }

@@ -10,6 +10,7 @@
 //! (§6.5) hold.
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::{f64_to_u64, to_u64};
 
 use crate::machine::Cs2Config;
 
@@ -44,20 +45,20 @@ pub struct FabricCost {
 /// Broadcast `words` 64-bit words along a PE column of `rows` hops
 /// (pipelined wormhole: latency = hops + words/rate).
 pub fn broadcast_cost(words: u64, rows: usize, fabric: &FabricConfig) -> FabricCost {
-    let stream = (words as f64 / fabric.words_per_cycle).ceil() as u64;
+    let stream = f64_to_u64((words as f64 / fabric.words_per_cycle).ceil());
     FabricCost {
-        cycles: rows as u64 * fabric.hop_latency_cycles + stream,
-        words: words * rows as u64,
+        cycles: to_u64(rows) * fabric.hop_latency_cycles + stream,
+        words: words * to_u64(rows),
     }
 }
 
 /// Drain one `words`-long result from every PE of a column to the edge
 /// (serialized on the shared column link).
 pub fn drain_cost(words_per_pe: u64, rows: usize, fabric: &FabricConfig) -> FabricCost {
-    let total = words_per_pe * rows as u64;
-    let stream = (total as f64 / fabric.words_per_cycle).ceil() as u64;
+    let total = words_per_pe * to_u64(rows);
+    let stream = f64_to_u64((total as f64 / fabric.words_per_cycle).ceil());
     FabricCost {
-        cycles: rows as u64 * fabric.hop_latency_cycles + stream,
+        cycles: to_u64(rows) * fabric.hop_latency_cycles + stream,
         words: total,
     }
 }
@@ -88,8 +89,8 @@ pub fn wafer_io_cost(
 ) -> WaferIoCost {
     // 64-bit words: split-complex x is 2·cl FP32 = cl words; split partial
     // y is 2·nb FP32 = nb words.
-    let x_words = cl as u64;
-    let y_words = nb as u64;
+    let x_words = to_u64(cl);
+    let y_words = to_u64(nb);
     let rows = cfg.usable_rows;
     let broadcast = broadcast_cost(x_words, rows, fabric);
     let drain = drain_cost(y_words, rows, fabric);
@@ -150,8 +151,8 @@ mod tests {
         let io = wafer_io_cost(25, 25, 64, &cfg, &f);
         // 10 000 kernel reps per data load (paper §7.1 measurement): the
         // one-time I/O overhead fraction drops below 0.1 %.
-        let amortized = (io.broadcast.cycles + io.drain.cycles) as f64
-            / (10_000.0 * io.kernel_cycles as f64);
+        let amortized =
+            (io.broadcast.cycles + io.drain.cycles) as f64 / (10_000.0 * io.kernel_cycles as f64);
         assert!(amortized < 1e-3, "amortized {amortized}");
     }
 }

@@ -80,8 +80,7 @@ pub fn io_report(
     let bytes_out = chunks * workload.nb as f64 * 8.0;
     let bytes_in_per_system = bytes_in / systems;
     let bytes_out_per_system = bytes_out / systems;
-    let transfer_s =
-        (bytes_in_per_system + bytes_out_per_system) / link.bandwidth + link.latency;
+    let transfer_s = (bytes_in_per_system + bytes_out_per_system) / link.bandwidth + link.latency;
     let compute_s = cfg.cycles_to_seconds(report.worst_cycles);
     let ratio = transfer_s / compute_s.max(1e-30);
     IoReport {

@@ -24,13 +24,16 @@
 //!   numeric result and exact cycle/byte counts from the same program.
 //! * [`program`] — per-PE instruction schedules whose derived cycle
 //!   counts match the closed-form model.
+//! * [`verify`] — static plan verification: every SRAM/PE/fabric bound
+//!   checked against a plan before placement, reported as structured
+//!   diagnostics (rule id, location, severity).
 //! * [`shards`] — explicit shard assignment with per-system statistics.
 //! * [`io`] — the §6.6 host-link / double-buffering analysis.
 //! * [`roofline`] — the machine descriptors of Figs. 15–16.
 //! * [`energy`] — the §7.6 power model (16 kW/system, GFlop/s/W).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod csl;
 pub mod cycles;
@@ -44,18 +47,22 @@ pub mod program;
 pub mod roofline;
 pub mod shards;
 pub mod sram;
+pub mod verify;
 pub mod workload;
 
 pub use csl::{ChunkLayout, CslError, CslOp, CslStats, Pe};
 pub use cycles::{pe_cost, strategy1_tasks, MvmTask, PeCost};
 pub use energy::{energy_report, EnergyReport};
 pub use exec::{execute_chunks, ExecResult};
-pub use fabric::{broadcast_cost, drain_cost, wafer_io_cost, FabricConfig, FabricCost, WaferIoCost};
+pub use fabric::{
+    broadcast_cost, drain_cost, wafer_io_cost, FabricConfig, FabricCost, WaferIoCost,
+};
 pub use io::{io_report, HostLink, IoReport};
 pub use machine::{Cluster, Cs2Config};
-pub use program::{mvm_program, Dsr, Instr, PeProgram};
 pub use placement::{constant_size_bandwidth, place, PlaceError, PlacementReport, Strategy};
-pub use shards::{assign_shards, ShardAssignment, ShardStats};
+pub use program::{mvm_program, Dsr, Instr, PeProgram};
 pub use roofline::{constant_rank_estimates, fig15_machines, fig16_machines, MachineDescriptor};
+pub use shards::{assign_shards, ShardAssignment, ShardStats};
 pub use sram::{plan_strategy1_pe, plan_strategy2_pe, SramError, SramPlan, SramPlanner};
+pub use verify::{verify_plan, Diagnostic, Severity, VerifyReport};
 pub use workload::{choose_stack_width, paper_total_rank, RankModel, Workload};

@@ -5,6 +5,7 @@
 //! by the worst per-PE time — exactly the paper's §7.3 metric.
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::to_u64;
 
 use crate::cycles::{pe_cost, strategy1_tasks, MvmTask};
 use crate::machine::Cluster;
@@ -151,7 +152,7 @@ pub fn place(
         }
     }
 
-    let pes_available = cluster.total_pes() as u64;
+    let pes_available = to_u64(cluster.total_pes());
     if pes_used > pes_available {
         return Err(PlaceError::NotEnoughPes {
             required: pes_used,
@@ -245,7 +246,13 @@ mod tests {
         // 26–32 PB/s, 3.5–5 PFlop/s across the five configs.
         let cluster = Cluster::new(6);
         let cfg = Cs2Config::default();
-        for (nb, acc) in [(25usize, 1e-4f32), (50, 1e-4), (70, 1e-4), (50, 3e-4), (70, 3e-4)] {
+        for (nb, acc) in [
+            (25usize, 1e-4f32),
+            (50, 1e-4),
+            (70, 1e-4),
+            (50, 3e-4),
+            (70, 3e-4),
+        ] {
             let w = paper_workload(nb, acc);
             let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(nb));
             let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster).unwrap();

@@ -9,6 +9,7 @@
 //! pipeline.
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::to_u64;
 
 use crate::machine::Cs2Config;
 
@@ -119,9 +120,9 @@ pub fn mvm_program(
     cfg: &Cs2Config,
 ) -> PeProgram {
     assert!(sweeps > 0);
-    let total = (m * n) as u64;
-    let per_sweep = total / sweeps as u64;
-    let remainder = total - per_sweep * sweeps as u64;
+    let total = to_u64(m * n);
+    let per_sweep = total / to_u64(sweeps);
+    let remainder = total - per_sweep * to_u64(sweeps);
     let dual = a.banks_disjoint_from(acc, cfg);
     let mut instrs = Vec::with_capacity(2 * sweeps + 1);
     instrs.push(Instr::Launch);
@@ -130,7 +131,7 @@ pub fn mvm_program(
         instrs.push(Instr::LoopOverhead {
             cycles: cfg.col_overhead_cycles - 1,
         });
-        let f = per_sweep + if (k as u64) < remainder { 1 } else { 0 };
+        let f = per_sweep + if to_u64(k) < remainder { 1 } else { 0 };
         instrs.push(Instr::FmacLoop {
             fmacs: f,
             dual_read: dual,
@@ -164,14 +165,14 @@ mod tests {
     fn program_cycles_match_closed_form_model() {
         let cfg = Cs2Config::default();
         let (a, acc) = disjoint_dsrs(&cfg);
-        for (m, n, sweeps) in [(25usize, 64usize, 64usize), (70, 23, 23), (50, 32, 32), (17, 9, 9)]
-        {
+        for (m, n, sweeps) in [
+            (25usize, 64usize, 64usize),
+            (70, 23, 23),
+            (50, 32, 32),
+            (17, 9, 9),
+        ] {
             let prog = mvm_program(m, n, sweeps, &a, &acc, &cfg);
-            let task = MvmTask {
-                m,
-                n,
-                sweeps,
-            };
+            let task = MvmTask { m, n, sweeps };
             assert_eq!(
                 prog.cycles(&cfg),
                 task.cycles(&cfg, true),

@@ -84,7 +84,10 @@ pub fn fig16_machines() -> Vec<MachineDescriptor> {
 pub fn constant_rank_estimates() -> Vec<(String, f64)> {
     vec![
         ("TLR-MVM w/ constant ranks on Fugaku".to_string(), 95.38e15),
-        ("TLR-MVM w/ constant ranks on Frontier".to_string(), 69.01e15),
+        (
+            "TLR-MVM w/ constant ranks on Frontier".to_string(),
+            69.01e15,
+        ),
     ]
 }
 
@@ -132,7 +135,10 @@ mod tests {
         // memory-bound (ridges of 10–15 flop/byte).
         let machines = fig15_machines();
         let abs_intensity = 1.0 / 6.0;
-        assert!(abs_intensity > machines[0].ridge_intensity(), "CS-2 compute-bound");
+        assert!(
+            abs_intensity > machines[0].ridge_intensity(),
+            "CS-2 compute-bound"
+        );
         let rel_intensity = 0.5;
         for m in &machines[1..] {
             assert!(

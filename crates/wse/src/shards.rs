@@ -3,6 +3,7 @@
 //! shards … evenly distributed workloads as much as possible".
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::{to_u64, to_usize};
 
 use crate::cycles::{pe_cost, strategy1_tasks};
 use crate::machine::Cluster;
@@ -36,7 +37,11 @@ pub struct ShardAssignment {
 impl ShardAssignment {
     /// Worst cycle count across all shards (the paper's timing metric).
     pub fn worst_cycles(&self) -> u64 {
-        self.shards.iter().map(|s| s.worst_cycles).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.worst_cycles)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Flop imbalance: `max_shard_flops / mean_shard_flops` (1.0 = perfect).
@@ -88,15 +93,14 @@ pub fn assign_shards(
         let full_cost = pe_cost(&tasks, cfg, true);
         let per_pe_cycles = match strategy {
             Strategy::FusedSinglePe => full_cost.cycles,
-            Strategy::ScatterEightPes => tasks
-                .iter()
-                .map(|t| t.cycles(cfg, true))
-                .max()
-                .unwrap_or(0),
+            Strategy::ScatterEightPes => {
+                tasks.iter().map(|t| t.cycles(cfg, true)).max().unwrap_or(0)
+            }
         };
         // Spread `count` chunks of this shape evenly: base + remainder.
-        let base = count / n as u64;
-        let rem = (count % n as u64) as usize;
+        let n64 = to_u64(n);
+        let base = count / n64;
+        let rem = to_usize(count % n64);
         for (idx, shard) in shards.iter_mut().enumerate() {
             let c = base + if idx < rem { 1 } else { 0 };
             if c == 0 {
@@ -143,7 +147,11 @@ mod tests {
         let w = RankModel::paper(25, 1e-4).unwrap().generate();
         let cluster = Cluster::new(6);
         let assign = assign_shards(&w, 64, Strategy::FusedSinglePe, &cluster);
-        assert!(assign.flop_imbalance() < 1.001, "{}", assign.flop_imbalance());
+        assert!(
+            assign.flop_imbalance() < 1.001,
+            "{}",
+            assign.flop_imbalance()
+        );
         assert!(assign.pe_imbalance() < 1.001);
         // No shard exceeds its wafer.
         for s in &assign.shards {

@@ -52,7 +52,10 @@ impl std::fmt::Display for SramError {
             SramError::Capacity {
                 requested,
                 available,
-            } => write!(f, "SRAM capacity exceeded: need {requested} B, have {available} B"),
+            } => write!(
+                f,
+                "SRAM capacity exceeded: need {requested} B, have {available} B"
+            ),
             SramError::BankConflict => write!(f, "cannot separate fmac operands into banks"),
         }
     }
@@ -141,7 +144,12 @@ impl SramPlan {
 /// input/intermediate/output vectors, their double buffers, and code live
 /// in the runtime reservation (which is why the budget is ~25.8 kB of the
 /// 48 kB — see [`Cs2Config::runtime_reserved_bytes`]).
-pub fn plan_strategy1_pe(cfg: &Cs2Config, nb: usize, cl: usize, w: usize) -> Result<SramPlan, SramError> {
+pub fn plan_strategy1_pe(
+    cfg: &Cs2Config,
+    nb: usize,
+    cl: usize,
+    w: usize,
+) -> Result<SramPlan, SramError> {
     let mut p = SramPlanner::new(cfg);
     p.place("V_re", 4 * cl * w)?;
     p.place("V_im", 4 * cl * w)?;

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::{f64_to_u64, to_u64, to_usize};
 use tlr_mvm::TlrMatrix;
 
 /// Stacked-rank description of a multi-frequency TLR workload.
@@ -43,7 +44,7 @@ impl Workload {
         for m in mats {
             assert_eq!(*m.tiling(), t0, "heterogeneous tilings");
             for j in 0..cols {
-                col_ranks.push(m.column_rank(j) as u64);
+                col_ranks.push(to_u64(m.column_rank(j)));
             }
         }
         Self {
@@ -68,8 +69,8 @@ impl Workload {
         for f in 0..self.n_freqs {
             for j in 0..self.cols_per_freq {
                 let k = self.col_ranks[f * self.cols_per_freq + j];
-                let cl = self.col_widths[j] as u64;
-                total += 8 * k * (self.nb as u64 + cl);
+                let cl = to_u64(self.col_widths[j]);
+                total += 8 * k * (to_u64(self.nb) + cl);
             }
         }
         total
@@ -80,7 +81,7 @@ impl Workload {
         (0..self.cols_per_freq)
             .map(|j| {
                 let k = self.col_ranks[f * self.cols_per_freq + j];
-                8 * k * (self.nb as u64 + self.col_widths[j] as u64)
+                8 * k * (to_u64(self.nb) + to_u64(self.col_widths[j]))
             })
             .sum()
     }
@@ -100,8 +101,9 @@ impl Workload {
                     continue;
                 }
                 let cl = self.col_widths[j];
-                let full = k / stack_width as u64;
-                let rem = (k % stack_width as u64) as usize;
+                let sw = to_u64(stack_width);
+                let full = k / sw;
+                let rem = to_usize(k % sw);
                 if full > 0 {
                     *census.entry((cl, stack_width)).or_insert(0) += full;
                 }
@@ -118,7 +120,7 @@ impl Workload {
         assert!(stack_width > 0);
         self.col_ranks
             .iter()
-            .map(|&k| k.div_ceil(stack_width as u64))
+            .map(|&k| k.div_ceil(to_u64(stack_width)))
             .sum()
     }
 }
@@ -173,20 +175,20 @@ pub struct RankModel {
 /// remaining Fig. 12 combinations derive from the reported compressed
 /// dataset sizes via `K = bytes / (16·nb)`.
 pub fn paper_total_rank(nb: usize, acc: f32) -> Option<u64> {
-    let key = (nb, (acc * 1e5).round() as u32);
+    let key = (nb, f64_to_u64(f64::from((acc * 1e5).round())));
     let k = match key {
-        (25, 10) => 278_036_480,  // Table 1: 64 × (4 417 690 − 73 370)
-        (50, 10) => 137_390_880,  // Table 1: 32 × (4 330 150 − 36 685)
-        (70, 10) => 100_973_749,  // Table 1: 23 × (4 416 383 − 26 220)
-        (50, 30) => 79_366_716,   // Table 1: 18 × (4 445 947 − 36 685)
-        (70, 30) => 59_173_198,   // Table 1: 14 × (4 252 877 − 26 220)
-        (25, 30) => 167_500_000,  // Fig. 12: 67 GB / (16·25)
-        (25, 50) => 147_500_000,  // Fig. 12: 59 GB
-        (25, 70) => 142_500_000,  // Fig. 12: 57 GB
-        (50, 50) => 58_750_000,   // Fig. 12: 47 GB
-        (50, 70) => 48_750_000,   // Fig. 12: 39 GB
-        (70, 50) => 43_750_000,   // Fig. 12: 49 GB
-        (70, 70) => 35_714_286,   // Fig. 12: 40 GB
+        (25, 10) => 278_036_480, // Table 1: 64 × (4 417 690 − 73 370)
+        (50, 10) => 137_390_880, // Table 1: 32 × (4 330 150 − 36 685)
+        (70, 10) => 100_973_749, // Table 1: 23 × (4 416 383 − 26 220)
+        (50, 30) => 79_366_716,  // Table 1: 18 × (4 445 947 − 36 685)
+        (70, 30) => 59_173_198,  // Table 1: 14 × (4 252 877 − 26 220)
+        (25, 30) => 167_500_000, // Fig. 12: 67 GB / (16·25)
+        (25, 50) => 147_500_000, // Fig. 12: 59 GB
+        (25, 70) => 142_500_000, // Fig. 12: 57 GB
+        (50, 50) => 58_750_000,  // Fig. 12: 47 GB
+        (50, 70) => 48_750_000,  // Fig. 12: 39 GB
+        (70, 50) => 43_750_000,  // Fig. 12: 49 GB
+        (70, 70) => 35_714_286,  // Fig. 12: 40 GB
         _ => return None,
     };
     Some(k)
@@ -212,7 +214,7 @@ impl RankModel {
     pub fn generate(&self) -> Workload {
         let tiling = tlr_mvm::Tiling::new(self.m, self.n, self.nb);
         let cols = tiling.tile_cols();
-        let mt = tiling.tile_rows() as u64;
+        let mt = to_u64(tiling.tile_rows());
         let col_widths: Vec<usize> = (0..cols).map(|j| tiling.col_range(j).1).collect();
 
         // Unnormalized weights.
@@ -224,7 +226,7 @@ impl RankModel {
             let fw = 0.35 + 0.65 * (f as f64 + 1.0) / self.n_freqs as f64;
             for j in 0..cols {
                 // Deterministic per-column jitter in [0.8, 1.2].
-                let h = splitmix64((f as u64) << 32 | j as u64);
+                let h = splitmix64(to_u64(f) << 32 | to_u64(j));
                 let cw = 0.8 + 0.4 * (h as f64 / u64::MAX as f64);
                 let w = fw * cw * col_widths[j] as f64 / self.nb as f64;
                 weights.push(w);
@@ -237,8 +239,8 @@ impl RankModel {
             .enumerate()
             .map(|(idx, &w)| {
                 let j = idx % cols;
-                let cap = mt * self.nb.min(col_widths[j]) as u64;
-                ((w * scale).round() as u64).clamp(1, cap)
+                let cap = mt * to_u64(self.nb.min(col_widths[j]));
+                f64_to_u64((w * scale).round()).clamp(1, cap)
             })
             .collect();
         Workload {
@@ -276,7 +278,11 @@ impl RankModel {
         let mean_fraction = (frac_sum / count.max(1) as f64).clamp(0.0, 1.0);
         let tiling = tlr_mvm::Tiling::new(26_040, 15_930, nb);
         let per_col = mean_fraction * tiling.tile_rows() as f64 * nb as f64;
-        let total = (per_col * tiling.tile_cols() as f64 * 230.0).round().max(1.0) as u64;
+        let total = f64_to_u64(
+            (per_col * tiling.tile_cols() as f64 * 230.0)
+                .round()
+                .max(1.0),
+        );
         RankModel {
             m: 26_040,
             n: 15_930,
@@ -302,7 +308,13 @@ mod tests {
 
     #[test]
     fn paper_rank_model_hits_targets() {
-        for (nb, acc) in [(25usize, 1e-4f32), (50, 1e-4), (70, 1e-4), (50, 3e-4), (70, 3e-4)] {
+        for (nb, acc) in [
+            (25usize, 1e-4f32),
+            (50, 1e-4),
+            (70, 1e-4),
+            (50, 3e-4),
+            (70, 3e-4),
+        ] {
             let model = RankModel::paper(nb, acc).unwrap();
             let w = model.generate();
             let total = w.total_rank();

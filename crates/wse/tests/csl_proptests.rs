@@ -22,7 +22,12 @@ fn chunk_data(nb: usize, cl: usize, w: usize, seed: u64) -> (Matrix<C32>, Matrix
         )
     });
     let x: Vec<C32> = (0..cl)
-        .map(|i| C32::new((i as f32 * 0.11).cos(), (i as f32 * 0.09 + seed as f32).sin()))
+        .map(|i| {
+            C32::new(
+                (i as f32 * 0.11).cos(),
+                (i as f32 * 0.09 + seed as f32).sin(),
+            )
+        })
         .collect();
     (v, u, x)
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use wse_sim::{
-    assign_shards, choose_stack_width, place, Cluster, Cs2Config, RankModel,
+    assign_shards, choose_stack_width, place, verify_plan, Cluster, Cs2Config, RankModel,
     Strategy as WseStrategy, Workload,
 };
 
@@ -11,13 +11,16 @@ use wse_sim::{
 fn arb_workload() -> impl Strategy<Value = Workload> {
     (2usize..30, 1usize..12, 4usize..32, 0u64..1000).prop_map(|(cols, freqs, nb, seed)| {
         let col_widths: Vec<usize> = (0..cols)
-            .map(|j| if j == cols - 1 { 1 + (seed as usize + j) % nb } else { nb })
+            .map(|j| {
+                if j == cols - 1 {
+                    1 + (seed as usize + j) % nb
+                } else {
+                    nb
+                }
+            })
             .collect();
         let col_ranks: Vec<u64> = (0..cols * freqs)
-            .map(|i| {
-                
-                (seed ^ (i as u64).wrapping_mul(0x9e37_79b9)) % 50
-            })
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e37_79b9)) % 50)
             .collect();
         Workload {
             nb,
@@ -105,6 +108,33 @@ proptest! {
             let max = assign.shards.iter().map(|s| s.pes_used).max().unwrap();
             let min = assign.shards.iter().map(|s| s.pes_used).min().unwrap();
             prop_assert!(max - min <= census.len() as u64);
+        }
+    }
+
+    /// Soundness of the static verifier: any plan it accepts must also
+    /// place successfully at runtime — the verifier checks a superset of
+    /// the feasibility conditions `place` enforces.
+    #[test]
+    fn verifier_accept_implies_runtime_place(
+        w in arb_workload(),
+        sw in 1usize..96,
+        systems in 1usize..8,
+        scatter in proptest::bool::ANY,
+    ) {
+        let cluster = Cluster::new(systems);
+        let strategy = if scatter {
+            WseStrategy::ScatterEightPes
+        } else {
+            WseStrategy::FusedSinglePe
+        };
+        let report = verify_plan(&w, sw, strategy, &cluster);
+        if report.is_ok() {
+            let placed = place(&w, sw, strategy, &cluster);
+            prop_assert!(
+                placed.is_ok(),
+                "verifier accepted but place failed: {:?}",
+                placed.err()
+            );
         }
     }
 

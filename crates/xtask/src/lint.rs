@@ -1,0 +1,394 @@
+//! The source-level lint rules and the `lint.toml` allowlist.
+//!
+//! Rule inventory:
+//!
+//! * `NA01` — no `as` casts to integer types in `core`/`la`/`wse`
+//!   library code; use the `tlr_mvm::precision` checked helpers.
+//! * `NP01` — no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!` in library-crate code (tests and the `bench`
+//!   reproduction harness are exempt).
+//! * `AT01` — every library crate keeps `#![forbid(unsafe_code)]`.
+//! * `AT02` — every library crate keeps `#![deny(missing_docs)]`.
+//!
+//! Exceptions live in `lint.toml` at the workspace root: `[[allow]]`
+//! entries carrying a rule id, a path prefix, an optional `contains`
+//! line-substring, and a mandatory reason.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use wse_sim::verify::{Diagnostic, Severity};
+
+use crate::scan::{mask_source, test_region_lines};
+
+/// Crates whose hot paths must not use raw integer `as` casts.
+const NA01_CRATES: &[&str] = &["core", "la", "wse"];
+/// Library crates covered by the panic lint (bench is the reproduction
+/// harness — its failure mode *is* the panic — and xtask is a binary).
+const NP01_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
+/// Crates whose `lib.rs` must carry the two crate-level attributes.
+const ATTR_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
+
+/// Integer destination types of a forbidden cast.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Panic-family tokens (checked against masked source).
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule id the exception applies to.
+    pub rule: String,
+    /// Path prefix (workspace-relative, `/`-separated).
+    pub path: String,
+    /// Optional substring the offending line must contain.
+    pub contains: Option<String>,
+    /// Why the exception is justified (mandatory, surfaced in reports).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, rule: &str, rel_path: &str, line: &str) -> bool {
+        self.rule == rule
+            && rel_path.starts_with(&self.path)
+            && self
+                .contains
+                .as_ref()
+                .is_none_or(|needle| line.contains(needle))
+    }
+}
+
+/// Parse the minimal `lint.toml` dialect: `[[allow]]` tables of
+/// `key = "value"` pairs, `#` comments, blank lines. Returns an error
+/// diagnostic list for malformed entries instead of panicking.
+pub fn parse_lint_toml(text: &str, origin: &str) -> (Vec<AllowEntry>, Vec<Diagnostic>) {
+    let mut entries = Vec::new();
+    let mut problems = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    let mut finish = |cur: &mut Option<AllowEntry>, problems: &mut Vec<Diagnostic>, ln: usize| {
+        if let Some(e) = cur.take() {
+            if e.rule.is_empty() || e.path.is_empty() || e.reason.is_empty() {
+                problems.push(Diagnostic {
+                    rule: "LT01",
+                    severity: Severity::Error,
+                    location: format!("{origin}:{ln}"),
+                    message: "[[allow]] entry needs rule, path, and reason".to_string(),
+                });
+            } else {
+                entries.push(e);
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let ln = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current, &mut problems, ln);
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                contains: None,
+                reason: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            problems.push(Diagnostic {
+                rule: "LT01",
+                severity: Severity::Error,
+                location: format!("{origin}:{ln}"),
+                message: format!("unparseable line: {line}"),
+            });
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"').to_string();
+        match (&mut current, key) {
+            (Some(e), "rule") => e.rule = value,
+            (Some(e), "path") => e.path = value,
+            (Some(e), "contains") => e.contains = Some(value),
+            (Some(e), "reason") => e.reason = value,
+            _ => problems.push(Diagnostic {
+                rule: "LT01",
+                severity: Severity::Error,
+                location: format!("{origin}:{ln}"),
+                message: format!("unknown key or key outside [[allow]]: {key}"),
+            }),
+        }
+    }
+    let last = text.lines().count();
+    finish(&mut current, &mut problems, last);
+    (entries, problems)
+}
+
+/// Outcome of the lint pass: surviving diagnostics plus counts for the
+/// summary line.
+pub struct LintOutcome {
+    /// Diagnostics that no allowlist entry covers.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations that were covered by `lint.toml` entries.
+    pub allowed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Run every source-level rule over the workspace.
+pub fn run_lints(root: &Path, allows: &[AllowEntry]) -> LintOutcome {
+    let mut diagnostics = Vec::new();
+    let mut allowed = 0usize;
+    let mut files = 0usize;
+
+    // AT01/AT02 — crate-level attributes.
+    for krate in ATTR_CRATES {
+        let lib = root.join("crates").join(krate).join("src/lib.rs");
+        let rel = format!("crates/{krate}/src/lib.rs");
+        let Ok(text) = fs::read_to_string(&lib) else {
+            diagnostics.push(Diagnostic {
+                rule: "AT01",
+                severity: Severity::Error,
+                location: rel,
+                message: "missing lib.rs for attribute check".to_string(),
+            });
+            continue;
+        };
+        if !text.contains("#![forbid(unsafe_code)]") {
+            push_or_allow(
+                &mut diagnostics,
+                &mut allowed,
+                allows,
+                "AT01",
+                &rel,
+                1,
+                "",
+                "crate must keep #![forbid(unsafe_code)]",
+            );
+        }
+        if !text.contains("#![deny(missing_docs)]") {
+            push_or_allow(
+                &mut diagnostics,
+                &mut allowed,
+                allows,
+                "AT02",
+                &rel,
+                1,
+                "",
+                "crate must keep #![deny(missing_docs)]",
+            );
+        }
+    }
+
+    // NA01/NP01 — per-line source scanning of library code.
+    for path in workspace_lib_sources(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        files += 1;
+        let masked = mask_source(&src);
+        let in_test = test_region_lines(&masked);
+        let krate = rel.split('/').nth(1).unwrap_or("");
+        let na01 = NA01_CRATES.contains(&krate);
+        let np01 = NP01_CRATES.contains(&krate) && !(krate == "bench" && rel.ends_with("main.rs"));
+        let originals: Vec<&str> = src.lines().collect();
+
+        for (idx, line) in masked.lines().enumerate() {
+            if in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let original = originals.get(idx).copied().unwrap_or(line);
+            if np01 {
+                for tok in PANIC_TOKENS {
+                    if line.contains(tok) {
+                        push_or_allow(
+                            &mut diagnostics,
+                            &mut allowed,
+                            allows,
+                            "NP01",
+                            &rel,
+                            idx + 1,
+                            original,
+                            &format!("`{}` in library code — return a Result or add a lint.toml exception", tok.trim_matches(['.', '(', ')'])),
+                        );
+                    }
+                }
+            }
+            if na01 {
+                if let Some(ty) = find_int_cast(line) {
+                    push_or_allow(
+                        &mut diagnostics,
+                        &mut allowed,
+                        allows,
+                        "NA01",
+                        &rel,
+                        idx + 1,
+                        original,
+                        &format!("raw `as {ty}` cast — use tlr_mvm::precision::checked_cast / to_u64 / to_usize"),
+                    );
+                }
+            }
+        }
+    }
+
+    LintOutcome {
+        diagnostics,
+        allowed,
+        files,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_or_allow(
+    diagnostics: &mut Vec<Diagnostic>,
+    allowed: &mut usize,
+    allows: &[AllowEntry],
+    rule: &'static str,
+    rel: &str,
+    line_no: usize,
+    line: &str,
+    message: &str,
+) {
+    if allows.iter().any(|a| a.matches(rule, rel, line)) {
+        *allowed += 1;
+        return;
+    }
+    diagnostics.push(Diagnostic {
+        rule,
+        severity: Severity::Error,
+        location: format!("{rel}:{line_no}"),
+        message: message.to_string(),
+    });
+}
+
+/// Find an `as <int-type>` cast on a masked line; returns the
+/// destination type. Word-boundary matching, so identifiers like
+/// `alias` or paths like `usize::MAX` never trip it.
+fn find_int_cast(line: &str) -> Option<&'static str> {
+    let bytes = line.as_bytes();
+    let mut idx = 0;
+    while let Some(at) = line[idx..].find("as") {
+        let s = idx + at;
+        let e = s + 2;
+        idx = e;
+        let before_ok = s == 0 || !(bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_');
+        let after_ok = e < bytes.len() && bytes[e] == b' ';
+        if !(before_ok && after_ok) {
+            continue;
+        }
+        let rest = line[e..].trim_start();
+        for ty in INT_TYPES {
+            if let Some(after) = rest.strip_prefix(ty) {
+                let boundary = after
+                    .bytes()
+                    .next()
+                    .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == b'_'));
+                // `usize::MAX as u64` ends after the type; `x as usize::MAX`
+                // is not valid Rust, so a following `::` means this was a
+                // path, not a cast target.
+                let not_path = !after.starts_with("::");
+                if boundary && not_path {
+                    return Some(ty);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Every `.rs` file under `crates/*/src` (library code only — `tests/`
+/// and `benches/` directories are exempt by construction).
+fn workspace_lib_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return out;
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_casts_found_with_word_boundaries() {
+        assert_eq!(find_int_cast("let x = y as u64;"), Some("u64"));
+        assert_eq!(find_int_cast("let x = (a + b) as usize;"), Some("usize"));
+        assert_eq!(find_int_cast("let x = y as f64;"), None);
+        assert_eq!(find_int_cast("let alias = basic;"), None);
+        assert_eq!(find_int_cast("let m = usize::MAX;"), None);
+    }
+
+    #[test]
+    fn lint_toml_roundtrip() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "NA01"
+path = "crates/core/src/precision.rs"
+contains = "x as u64"
+reason = "range-checked by the preceding asserts"
+
+[[allow]]
+rule = "NP01"
+path = "crates/bench/"
+reason = "reproduction harness"
+"#;
+        let (entries, problems) = parse_lint_toml(text, "lint.toml");
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches("NA01", "crates/core/src/precision.rs", "    x as u64"));
+        assert!(!entries[0].matches("NA01", "crates/core/src/precision.rs", "y as u32"));
+        assert!(entries[1].matches("NP01", "crates/bench/src/lib.rs", "panic!(\"x\")"));
+    }
+
+    #[test]
+    fn malformed_lint_toml_reports() {
+        let (entries, problems) = parse_lint_toml("[[allow]]\nrule = \"NA01\"\n", "lint.toml");
+        assert!(entries.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].rule, "LT01");
+    }
+}

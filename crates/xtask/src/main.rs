@@ -1,0 +1,103 @@
+//! `cargo run -p xtask -- analyze` — the workspace static-analysis
+//! driver.
+//!
+//! Three passes, all reporting through the shared
+//! [`wse_sim::verify::Diagnostic`] type:
+//!
+//! 1. **Source lints** ([`lint`]): `NA01` (no raw integer `as` casts in
+//!    `core`/`la`/`wse` library code), `NP01` (no panic family in
+//!    library crates), `AT01`/`AT02` (crate attributes), with a
+//!    `lint.toml` allowlist for justified exceptions.
+//! 2. **Static plan verification** ([`plan`]): the paper's Table 1
+//!    configurations must pass the `WV..` rules of
+//!    [`wse_sim::verify::verify_plan`] without being placed or run.
+//! 3. **Allowlist hygiene**: malformed `lint.toml` entries are
+//!    themselves diagnostics (`LT01`).
+//!
+//! Exit status: `0` when no error-severity diagnostic survives the
+//! allowlist, `1` otherwise — suitable as a blocking CI step.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+mod plan;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wse_sim::verify::{Diagnostic, Severity};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(),
+        Some("help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo run -p xtask -- <command>\n\n\
+         commands:\n  \
+         analyze   run the static-analysis suite (source lints NA01/NP01/AT01/AT02,\n            \
+         lint.toml allowlist, static WSE plan verification WV01..WV07)\n  \
+         help      show this message"
+    );
+}
+
+/// Workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    let mut all: Vec<Diagnostic> = Vec::new();
+
+    // Allowlist (absence is fine: zero exceptions).
+    let lint_toml = root.join("lint.toml");
+    let (allows, mut toml_problems) = match std::fs::read_to_string(&lint_toml) {
+        Ok(text) => lint::parse_lint_toml(&text, "lint.toml"),
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+    all.append(&mut toml_problems);
+
+    // Pass 1: source lints.
+    let outcome = lint::run_lints(&root, &allows);
+    let files = outcome.files;
+    let allowed = outcome.allowed;
+    all.extend(outcome.diagnostics);
+
+    // Pass 2: static plan verification of the paper configurations.
+    let (plan_diags, plans_checked) = plan::verify_paper_plans();
+    all.extend(plan_diags);
+
+    for d in &all {
+        println!("{d}");
+    }
+    let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = all.len() - errors;
+    println!(
+        "analyze: {files} files linted, {plans_checked} plans verified, \
+         {errors} errors, {warnings} warnings, {allowed} allowed by lint.toml ({} entries)",
+        allows.len()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,68 @@
+//! Static plan verification pass of `xtask analyze`: every paper
+//! configuration (Table 1) must verify cleanly against the default
+//! machine, for both strong-scaling strategies at their published shard
+//! counts. A regression in the SRAM/cycle model or the rank model that
+//! breaks feasibility shows up here as a `WV..` diagnostic, before any
+//! simulation is run.
+
+use wse_sim::verify::{verify_plan, Diagnostic, Severity};
+use wse_sim::{choose_stack_width, Cluster, RankModel, Strategy};
+
+/// The five validated `(nb, acc)` configurations of Tables 1–3.
+const PAPER_CONFIGS: &[(usize, f32)] =
+    &[(25, 1e-4), (50, 1e-4), (70, 1e-4), (50, 3e-4), (70, 3e-4)];
+
+/// Verify the paper's plans statically; returns any diagnostics plus the
+/// number of plans checked.
+pub fn verify_paper_plans() -> (Vec<Diagnostic>, usize) {
+    let mut diagnostics = Vec::new();
+    let mut checked = 0usize;
+    let six = Cluster::new(6);
+    let cfg = six.cs2;
+
+    for &(nb, acc) in PAPER_CONFIGS {
+        let Some(model) = RankModel::paper(nb, acc) else {
+            diagnostics.push(Diagnostic {
+                rule: "WV07",
+                severity: Severity::Error,
+                location: format!("paper(nb={nb}, acc={acc})"),
+                message: "no calibrated rank model for this configuration".to_string(),
+            });
+            continue;
+        };
+        let workload = model.generate();
+        let sw = choose_stack_width(
+            &workload,
+            u64::try_from(six.total_pes()).expect("PE count fits u64"),
+            cfg.max_stack_width(nb),
+        );
+
+        for (strategy, cluster) in [
+            (Strategy::FusedSinglePe, six),
+            (Strategy::ScatterEightPes, Cluster::new(48)),
+        ] {
+            checked += 1;
+            let report = verify_plan(&workload, sw, strategy, &cluster);
+            for mut d in report.diagnostics {
+                d.location = format!(
+                    "paper(nb={nb}, acc={acc}, {strategy:?}, shards={}) {}",
+                    cluster.systems, d.location
+                );
+                diagnostics.push(d);
+            }
+        }
+    }
+    (diagnostics, checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plans_all_verify() {
+        let (diags, checked) = verify_paper_plans();
+        assert_eq!(checked, 10);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

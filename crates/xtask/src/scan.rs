@@ -1,0 +1,291 @@
+//! Lexical preprocessing for the lint passes: mask comments and string
+//! literals (so their contents cannot trigger rules) and locate
+//! `#[cfg(test)]` regions (so test code is exempt), all with line
+//! numbers preserved.
+
+/// Replace the contents of comments, string literals, and char literals
+/// with spaces, keeping newlines so byte offsets map to the same lines.
+///
+/// Handles `//` and nested `/* */` comments, `"…"` strings with escapes,
+/// raw strings `r"…"`/`r#"…"#` (any hash count), byte/raw-byte strings,
+/// and char literals — while leaving lifetimes (`'a`) alone.
+pub fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+
+    // Push `c` or a space/newline placeholder.
+    fn blank(c: u8) -> u8 {
+        if c == b'\n' {
+            b'\n'
+        } else {
+            b' '
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw-byte) string literals: r"…", r#"…"#, br#"…"#.
+        if (c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r')) && !prev_is_ident(&out)
+        {
+            let start = if c == b'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                // Copy the prefix tokens, blank the contents.
+                out.resize(out.len() + (j - i + 1), b' ');
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.resize(out.len() + hashes + 1, b' ');
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (and byte) string literal.
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' && !prev_is_ident(&out)) {
+            if c == b'b' {
+                out.push(b' ');
+                i += 1;
+            }
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs. lifetime: a char literal closes with `'` after
+        // one (possibly escaped) character; a lifetime never closes.
+        if c == b'\'' {
+            if i + 2 < b.len() && b[i + 1] == b'\\' {
+                // Escaped char literal: skip to the closing quote.
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'\'' {
+                    out.resize(out.len() + (j - i + 1), b' ');
+                    i = j + 1;
+                    continue;
+                }
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                out.push(b' ');
+                out.push(b' ');
+                out.push(b' ');
+                i += 3;
+                continue;
+            }
+            // Lifetime (or stray quote): keep as-is.
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8(out).expect("masking preserves UTF-8: only ASCII is replaced")
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&p| p.is_ascii_alphanumeric() || p == b'_')
+}
+
+/// Per-line flags: `true` where the line belongs to a `#[cfg(test)]`
+/// item (module or function) and is therefore exempt from the source
+/// lints.
+///
+/// Works on *masked* source: find each `#[cfg(test)]`-style attribute
+/// (any `cfg(…)` whose argument list mentions the bare word `test`),
+/// then skip the braced body of the item that follows.
+pub fn test_region_lines(masked: &str) -> Vec<bool> {
+    let n_lines = masked.lines().count();
+    let mut in_test = vec![false; n_lines];
+    let b = masked.as_bytes();
+    let mut line_of = Vec::with_capacity(b.len());
+    let mut ln = 0usize;
+    for &c in b {
+        line_of.push(ln);
+        if c == b'\n' {
+            ln += 1;
+        }
+    }
+
+    let mut i = 0;
+    while let Some(at) = masked[i..].find("#[cfg(") {
+        let start = i + at;
+        // The attribute runs to its matching `]`.
+        let mut j = start + 2;
+        let mut bracket = 1;
+        while j < b.len() && bracket > 0 {
+            match b[j] {
+                b'[' => bracket += 1,
+                b']' => bracket -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr = &masked[start..j.min(masked.len())];
+        if !mentions_test(attr) {
+            i = j.max(start + 1);
+            continue;
+        }
+        // Skip any further attributes/whitespace, then the item body:
+        // everything from the attribute through the matching close brace
+        // of the first `{` (covers `mod tests { … }` and `#[cfg(test)] fn`).
+        let mut k = j;
+        let mut depth = 0usize;
+        let mut entered = false;
+        while k < b.len() {
+            match b[k] {
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                // An item ending before any brace (e.g. `use` under cfg).
+                b';' if !entered => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let from = line_of.get(start).copied().unwrap_or(0);
+        let to = line_of
+            .get(k.saturating_sub(1))
+            .copied()
+            .unwrap_or(n_lines.saturating_sub(1));
+        for flag in in_test.iter_mut().take(to + 1).skip(from) {
+            *flag = true;
+        }
+        i = k.max(start + 1);
+    }
+    in_test
+}
+
+/// `true` when a `cfg(...)` attribute's argument mentions the bare
+/// configuration predicate `test` (covers `cfg(test)`, `cfg(all(test, …))`).
+fn mentions_test(attr: &str) -> bool {
+    let bytes = attr.as_bytes();
+    let mut idx = 0;
+    while let Some(at) = attr[idx..].find("test") {
+        let s = idx + at;
+        let e = s + 4;
+        let before_ok = s == 0 || !(bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_');
+        let after_ok = e >= bytes.len() || !(bytes[e].is_ascii_alphanumeric() || bytes[e] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        idx = e;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src =
+            "let s = \"panic!(\"; // unwrap()\nlet c = 'x'; /* as u64 */ let l: &'static str;";
+        let m = mask_source(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("as u64"));
+        assert!(m.contains("'static"), "{m}");
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"x.unwrap()\"#; let t = r\"as u32\";";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("as u32"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_flagged() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let m = mask_source(src);
+        let flags = test_region_lines(&m);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        assert!(mentions_test("#[cfg(all(test, feature = x))]"));
+        assert!(!mentions_test("#[cfg(feature = testing)]"));
+        assert!(!mentions_test("#[cfg(debug_assertions)]"));
+    }
+}

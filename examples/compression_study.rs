@@ -82,6 +82,9 @@ fn main() {
     for nb in [25usize, 50, 70] {
         let c = CompressionConfig { nb, ..cfg };
         let stats = compression_stats(&compress_dataset(&ds, c, Ordering::Hilbert));
-        println!("  nb={nb}: ratio {:.2}x, total rank {}", stats.ratio, stats.total_rank);
+        println!(
+            "  nb={nb}: ratio {:.2}x, total rank {}",
+            stats.ratio, stats.total_rank
+        );
     }
 }

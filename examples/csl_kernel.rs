@@ -64,9 +64,7 @@ fn main() {
         "closed-form model      : {} cycles ({} flops)",
         model.cycles, model.flops
     );
-    println!(
-        "paper (Table 2, nb=70) : 19131 cycles for the 8-MVM worst PE at this geometry"
-    );
+    println!("paper (Table 2, nb=70) : 19131 cycles for the 8-MVM worst PE at this geometry");
     let t_us = cfg.cycles_to_seconds(stats.cycles) * 1e6;
     println!("at 850 MHz that is {t_us:.2} us per TLR-MVM invocation on this PE");
 

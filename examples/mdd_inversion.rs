@@ -78,8 +78,14 @@ fn main() {
         run.iterations,
         t1.elapsed()
     );
-    println!("  NMSE of cross-correlation (adjoint): {:.4}", run.nmse_adjoint);
-    println!("  NMSE of LSQR inversion             : {:.4}", run.nmse_inverse);
+    println!(
+        "  NMSE of cross-correlation (adjoint): {:.4}",
+        run.nmse_adjoint
+    );
+    println!(
+        "  NMSE of LSQR inversion             : {:.4}",
+        run.nmse_inverse
+    );
     println!(
         "  residual: {:.3e} -> {:.3e}",
         run.residual_history.first().unwrap(),

@@ -60,10 +60,7 @@ fn main() {
     let runs = run_mdd_multi(&ds, &tlr, &sources, &cfg);
     let elapsed = t0.elapsed();
     let mean_nmse: f64 = runs.iter().map(|r| r.nmse_inverse).sum::<f64>() / runs.len() as f64;
-    let worst = runs
-        .iter()
-        .map(|r| r.nmse_inverse)
-        .fold(0.0f64, f64::max);
+    let worst = runs.iter().map(|r| r.nmse_inverse).fold(0.0f64, f64::max);
     println!(
         "  {} inversions in {:.2?} ({:.1} ms/source); mean NMSE {:.4}, worst {:.4}",
         runs.len(),

@@ -6,9 +6,7 @@
 //! cargo run --release --example wse_mapping
 //! ```
 
-use wse_sim::{
-    choose_stack_width, energy_report, place, Cluster, Cs2Config, RankModel, Strategy,
-};
+use wse_sim::{choose_stack_width, energy_report, place, Cluster, Cs2Config, RankModel, Strategy};
 
 fn main() {
     let cfg = Cs2Config::default();
@@ -34,7 +32,11 @@ fn main() {
 
     // Six shards, strategy 1 (the Table 1-3 setting).
     let cluster6 = Cluster::new(6);
-    let sw = choose_stack_width(&workload, cluster6.total_pes() as u64, cfg.max_stack_width(70));
+    let sw = choose_stack_width(
+        &workload,
+        cluster6.total_pes() as u64,
+        cfg.max_stack_width(70),
+    );
     println!("\nsix CS-2 systems, strategy 1 (fused single PE):");
     println!("  chosen stack width: {sw} (paper: 23)");
     let rep = place(&workload, sw, Strategy::FusedSinglePe, &cluster6).unwrap();

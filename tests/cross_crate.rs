@@ -156,8 +156,7 @@ fn mdc_time_domain_roundtrip_energy() {
     let bins: Vec<usize> = ds.slices.iter().map(|s| s.bin).collect();
     let n_src = ds.acq.n_sources();
     let flat: Vec<C32> = y.concat();
-    let traces =
-        seismic_mdd::freq_vectors_to_time_traces(&flat, &bins, n_src, ds.config.nt);
+    let traces = seismic_mdd::freq_vectors_to_time_traces(&flat, &bins, n_src, ds.config.nt);
     assert_eq!(traces.len(), n_src);
     // Time-domain energy: (2/nt)·Σ|Y_k|² for one-sided bins (k≠0,Nyq).
     let nt = ds.config.nt as f64;

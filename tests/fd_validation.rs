@@ -4,8 +4,8 @@
 //! propagation on event *timing* — direct arrival, free-surface ghost
 //! spacing, and the first water-layer multiple.
 
-use seis_wave::{first_break, simulate, FdtdConfig, VelocitySlice};
 use seis_wave::{downgoing_trace, peak_sample, GatherConfig, VelocityModel};
+use seis_wave::{first_break, simulate, FdtdConfig, VelocitySlice};
 use seismic_geom::Point3;
 
 /// Water-layer geometry shared by both models.

@@ -33,9 +33,14 @@ fn table1_occupancies_in_paper_band() {
 #[test]
 fn table2_absolute_accesses_within_3pct() {
     for row in six_shard_rows() {
-        let err =
-            (row.report.absolute_bytes as f64 - row.paper.absolute_bytes).abs() / row.paper.absolute_bytes;
-        assert!(err < 0.04, "nb={} acc={} abs bytes err {err}", row.nb, row.acc);
+        let err = (row.report.absolute_bytes as f64 - row.paper.absolute_bytes).abs()
+            / row.paper.absolute_bytes;
+        assert!(
+            err < 0.04,
+            "nb={} acc={} abs bytes err {err}",
+            row.nb,
+            row.acc
+        );
     }
 }
 
