@@ -1,19 +1,22 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--json]
+//! repro <experiment> [--json] [--trace]
 //!   experiments: fig11 fig12 fig13 fig14 table1 table2 table3 table4
 //!                table5 fig15 fig16 power all
 //! ```
 
 use seismic_bench::mdd_experiments as mddx;
 use seismic_bench::mmm_experiments as mmmx;
-use seismic_bench::report::{fmt_bytes, fmt_pbs, render_table, write_json};
+use seismic_bench::report::{
+    fmt_bytes, fmt_pbs, render_table, write_json, write_trace_json, TraceArtifact,
+};
 use seismic_bench::wse_experiments as wsex;
+use tlr_mvm::trace;
 
 const USAGE: &str = "\
 repro — regenerate every table and figure of the paper\n\n\
-USAGE: repro <experiment> [--json]\n\n\
+USAGE: repro <experiment> [--json] [--trace]\n\n\
 experiments:\n  \
 fig11 fig12 fig13 fig14 — MDD quality & bandwidth figures\n  \
 table1 table2 table3 table4 table5 — CS-2 mapping & scaling tables\n  \
@@ -22,6 +25,10 @@ power — §7.6 energy;  mmm — §8 TLR-MMM;  io — §6.6 host link\n  \
 appbench — whole-application dense vs TLR;  coupling — §4 ablation\n  \
 precision — bf16 bases;  all — everything\n\n\
 --json additionally writes machine-readable results to target/repro/\n\
+--trace enables the runtime observability layer and writes the phase\n\
+        breakdown (spans, flop/byte counters, solver iterations) to\n\
+        target/trace/<experiment>.json; table2 additionally prints the\n\
+        per-phase V/shuffle/U table against the cost model\n\
 REPRO_SCALE=<n> overrides the dataset downscale factor (default 12)";
 
 fn main() {
@@ -31,11 +38,17 @@ fn main() {
         return;
     }
     let json = args.iter().any(|a| a == "--json");
+    let trace_on = args.iter().any(|a| a == "--trace");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    if trace_on {
+        trace::reset();
+        trace::set_enabled(true);
+    }
 
     let all = which == "all";
     let mut ran = false;
@@ -107,6 +120,72 @@ fn main() {
         );
         std::process::exit(2);
     }
+
+    if trace_on {
+        // Snapshot the whole-run trace BEFORE phase_breakdown(), which
+        // owns (and resets) the global collector for its measurements.
+        trace::set_enabled(false);
+        let report = trace::snapshot();
+        let phase_breakdown = if all || which == "table2" {
+            let rows = wsex::phase_breakdown();
+            print_phase_breakdown(&rows);
+            rows
+        } else {
+            Vec::new()
+        };
+        let artifact = TraceArtifact {
+            experiment: which.clone(),
+            report,
+            phase_breakdown,
+        };
+        write_trace_json(&which, &artifact).unwrap();
+        println!("\n  trace written to target/trace/{which}.json");
+    }
+}
+
+fn print_phase_breakdown(rows: &[wsex::PhaseBreakdownRow]) {
+    let share = wsex::PhaseBreakdownRow::share_pct;
+    let trows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let tv = share(r.v_nanos, r.v_nanos, r.shuffle_nanos, r.u_nanos);
+            let ts = share(r.shuffle_nanos, r.v_nanos, r.shuffle_nanos, r.u_nanos);
+            let tu = share(r.u_nanos, r.v_nanos, r.shuffle_nanos, r.u_nanos);
+            let bv = share(r.v_bytes, r.v_bytes, r.shuffle_bytes, r.u_bytes);
+            let bs = share(r.shuffle_bytes, r.v_bytes, r.shuffle_bytes, r.u_bytes);
+            let bu = share(r.u_bytes, r.v_bytes, r.shuffle_bytes, r.u_bytes);
+            let mv = share(r.model_v_cycles, r.model_v_cycles, 0, r.model_u_cycles);
+            vec![
+                r.nb.to_string(),
+                format!("{:.0e}", r.acc),
+                format!("{tv:.0}/{ts:.0}/{tu:.0}"),
+                format!("{bv:.0}/{bs:.0}/{bu:.0}"),
+                format!("{mv:.0}/{:.0}", 100.0 - mv),
+                fmt_bytes((r.v_bytes + r.shuffle_bytes + r.u_bytes) / r.reps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Trace — per-phase breakdown (traced three-phase TLR-MVM, downscaled kernels)",
+            &[
+                "nb",
+                "acc",
+                "time % V/sh/U",
+                "bytes % V/sh/U",
+                "model cyc % V/U",
+                "bytes/apply"
+            ],
+            &trows
+        )
+    );
+    println!(
+        "  traced byte shares derive from the same §6.6 formulas as the static\n  \
+         cost model (three_phase_cost), so the two columns reconcile by\n  \
+         construction; the model cycle split is the calibrated per-PE V/U\n  \
+         ratio at the paper's stack width."
+    );
 }
 
 fn fig11(json: bool) {

@@ -5,6 +5,22 @@ use std::path::Path;
 
 use serde::Serialize;
 
+use crate::wse_experiments::PhaseBreakdownRow;
+
+/// Everything a `repro --trace` run persists under `target/trace/` —
+/// the JSON schema documented in DESIGN.md §9.
+#[derive(Serialize)]
+pub struct TraceArtifact {
+    /// The experiment that ran.
+    pub experiment: String,
+    /// Global trace snapshot across the whole run (spans, counters,
+    /// solver iterations, rank histogram).
+    pub report: tlr_mvm::trace::TraceReport,
+    /// Per-config three-phase breakdown (only populated for `table2`
+    /// and `all`).
+    pub phase_breakdown: Vec<PhaseBreakdownRow>,
+}
+
 /// Render a fixed-width text table.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -41,6 +57,17 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 /// Write an experiment result as JSON under `target/repro/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     let dir = Path::new("target/repro");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)?;
+    fs::write(path, json)
+}
+
+/// Write a trace artifact as JSON under `target/trace/<name>.json` —
+/// the `--trace` output directory (kept separate from `target/repro/`
+/// so CI can upload the observability artifacts on their own).
+pub fn write_trace_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    let dir = Path::new("target/trace");
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value)?;

@@ -2,10 +2,16 @@
 //! power assessment — all on the paper-scale rank model, through the
 //! wse-sim placement and cycle models.
 
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
 use serde::Serialize;
+use tlr_mvm::{
+    compress, three_phase_cost, trace, CompressionConfig, CompressionMethod, ThreePhase,
+    ToleranceMode,
+};
 use wse_sim::{
-    choose_stack_width, constant_size_bandwidth, energy_report, place, Cluster, Cs2Config,
-    PlacementReport, RankModel, Strategy,
+    choose_stack_width, constant_size_bandwidth, energy_report, place, strategy1_phase_costs,
+    Cluster, Cs2Config, PlacementReport, RankModel, Strategy,
 };
 
 /// The paper's five validated configurations (Table 1 rows).
@@ -119,7 +125,9 @@ pub fn six_shard_rows() -> Vec<SixShardRow> {
         .iter()
         .zip(refs)
         .map(|(&(nb, acc), paper)| {
-            let w = RankModel::paper(nb, acc).unwrap().generate();
+            let w = RankModel::paper(nb, acc)
+                .expect("paper-validated (nb, acc) rank model")
+                .generate();
             let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(nb));
             let report = place(&w, sw, Strategy::FusedSinglePe, &cluster)
                 .expect("validated config must place on 6 CS-2s");
@@ -186,7 +194,9 @@ pub struct Table4Row {
 
 /// Table 4: strong scaling of the `nb = 25, acc = 1e-4` configuration.
 pub fn table4() -> Vec<Table4Row> {
-    let w = RankModel::paper(25, 1e-4).unwrap().generate();
+    let w = RankModel::paper(25, 1e-4)
+        .expect("paper-validated (nb, acc) rank model")
+        .generate();
     // Paper rows: (shards, stack width, strategy, paper rel PB/s).
     let rows = [
         (6usize, 64usize, Strategy::FusedSinglePe, 11.24),
@@ -247,7 +257,9 @@ pub fn table5() -> Vec<Table5Row> {
     ];
     rows.iter()
         .map(|&(nb, sw, shards, p_rel, p_abs, p_fl)| {
-            let w = RankModel::paper(nb, 1e-4).unwrap().generate();
+            let w = RankModel::paper(nb, 1e-4)
+                .expect("paper-validated (nb, acc) rank model")
+                .generate();
             let cluster = Cluster::new(shards);
             let report =
                 place(&w, sw, Strategy::ScatterEightPes, &cluster).expect("table 5 row must place");
@@ -281,9 +293,11 @@ pub struct PowerResult {
 pub fn power() -> PowerResult {
     let cluster = Cluster::new(6);
     let cfg = Cs2Config::default();
-    let w = RankModel::paper(25, 1e-4).unwrap().generate();
+    let w = RankModel::paper(25, 1e-4)
+        .expect("paper-validated (nb, acc) rank model")
+        .generate();
     let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(25));
-    let report = place(&w, sw, Strategy::FusedSinglePe, &cluster).unwrap();
+    let report = place(&w, sw, Strategy::FusedSinglePe, &cluster).expect("power config must place");
     let e = energy_report(&report, &cluster);
     PowerResult {
         power_per_system_w: e.power_per_system_w,
@@ -314,9 +328,11 @@ pub struct IoRow {
 pub fn io_study() -> Vec<IoRow> {
     let cluster = Cluster::new(6);
     let cfg = Cs2Config::default();
-    let w = RankModel::paper(70, 1e-4).unwrap().generate();
+    let w = RankModel::paper(70, 1e-4)
+        .expect("paper-validated (nb, acc) rank model")
+        .generate();
     let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(70));
-    let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster).unwrap();
+    let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster).expect("io config must place");
     [
         ("Ethernet (1.2 Tb/s)", wse_sim::HostLink::ethernet()),
         ("CXL-class (8 Tb/s)", wse_sim::HostLink::cxl()),
@@ -374,16 +390,15 @@ pub fn fig15() -> (Vec<RooflinePoint>, MeasuredPoint) {
         })
         .collect();
     // Paper plots the optimal 6-shard configuration (nb=50, acc=3e-4).
+    // Plain scan instead of `max_by`: bandwidths are finite by
+    // construction, so no partial-order escape hatch is needed.
     let rows = six_shard_rows();
-    let best = rows
-        .iter()
-        .max_by(|a, b| {
-            a.report
-                .relative_bw
-                .partial_cmp(&b.report.relative_bw)
-                .unwrap()
-        })
-        .unwrap();
+    let mut best = &rows[0];
+    for r in &rows[1..] {
+        if r.report.relative_bw > best.report.relative_bw {
+            best = r;
+        }
+    }
     let point = MeasuredPoint {
         name: format!("TLR-MVM on six CS-2 (nb={}, acc={:.0e})", best.nb, best.acc),
         intensity: best.report.flops as f64 / best.report.relative_bytes as f64,
@@ -406,7 +421,9 @@ pub fn fig16() -> (Vec<RooflinePoint>, Vec<MeasuredPoint>) {
         })
         .collect();
     let t5 = table5();
-    let best = t5.last().unwrap(); // nb = 70, the paper's headline
+    let Some(best) = t5.last() else {
+        return (machines, Vec::new());
+    }; // nb = 70, the paper's headline
     let mut points = vec![
         MeasuredPoint {
             name: "TLR-MVM on 48 CS-2 (Relative)".to_string(),
@@ -430,6 +447,146 @@ pub fn fig16() -> (Vec<RooflinePoint>, Vec<MeasuredPoint>) {
         });
     }
     (machines, points)
+}
+
+/// Traced applies per config in [`phase_breakdown`] — enough for the
+/// wall-clock split to be measurable without slowing `repro table2` down.
+const BREAKDOWN_REPS: u64 = 8;
+
+/// Per-phase observability row for one validated `(nb, acc)` config:
+/// *measured* (traced) wall time and §6.6 bytes for the V-batch /
+/// shuffle / U-batch phases of a downscaled kernel, next to the static
+/// cost model's byte predictions and the calibrated cycle model's V/U
+/// split at the paper's stack width. The traced and modeled byte
+/// columns must agree (both derive from the §6.6 formulas); the
+/// `repro table2 --trace` artifact records both so the reconciliation
+/// is checkable from the JSON alone.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseBreakdownRow {
+    /// Tile size.
+    pub nb: usize,
+    /// Accuracy.
+    pub acc: f32,
+    /// Paper stack width (Table 1) used for the modeled cycle split.
+    pub stack_width: usize,
+    /// Traced applies performed.
+    pub reps: u64,
+    /// Measured wall-clock nanoseconds in the V batch.
+    pub v_nanos: u64,
+    /// Measured wall-clock nanoseconds in the shuffle.
+    pub shuffle_nanos: u64,
+    /// Measured wall-clock nanoseconds in the U batch.
+    pub u_nanos: u64,
+    /// Traced relative bytes in the V batch (all reps).
+    pub v_bytes: u64,
+    /// Traced relative bytes in the shuffle (all reps).
+    pub shuffle_bytes: u64,
+    /// Traced relative bytes in the U batch (all reps).
+    pub u_bytes: u64,
+    /// Static-model relative bytes for the V batch (same reps).
+    pub model_v_bytes: u64,
+    /// Static-model relative bytes for the shuffle (same reps).
+    pub model_shuffle_bytes: u64,
+    /// Static-model relative bytes for the U batch (same reps).
+    pub model_u_bytes: u64,
+    /// Modeled per-PE V-phase cycles at the paper stack width.
+    pub model_v_cycles: u64,
+    /// Modeled per-PE U-phase cycles at the paper stack width.
+    pub model_u_cycles: u64,
+}
+
+impl PhaseBreakdownRow {
+    /// `phase / (v + shuffle + u)` as a percentage; 0 when the total is 0.
+    pub fn share_pct(phase: u64, v: u64, shuffle: u64, u: u64) -> f64 {
+        let total = v + shuffle + u;
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * phase as f64 / total as f64
+    }
+}
+
+/// The downscaled smooth kernel each breakdown config compresses: the
+/// paper-scale frequency slices don't fit a laptop-sized run, so the
+/// breakdown measures phase *shares* on a `(6·nb+7) × (5·nb+3)` kernel
+/// with ragged edges at the same `(nb, acc)` operating points.
+fn breakdown_kernel(nb: usize) -> Matrix<C32> {
+    let (m, n) = (6 * nb + 7, 5 * nb + 3);
+    Matrix::from_fn(m, n, |i, j| {
+        let x = i as f32 / m as f32;
+        let y = j as f32 / n as f32;
+        let d = ((x - y) * (x - y) + 0.02).sqrt();
+        C32::from_polar(1.0 / (1.0 + 3.0 * d), -9.0 * d)
+    })
+}
+
+/// Run the instrumented three-phase TLR-MVM for every validated config
+/// and collect the per-phase trace next to the model predictions — the
+/// data behind the `repro table2 --trace` phase-breakdown table.
+///
+/// Owns the global trace collector for its duration: it resets,
+/// enables, and disables tracing per config, and leaves the collector
+/// empty with the enable flag restored to its entry state. Snapshot any
+/// in-flight trace *before* calling this.
+pub fn phase_breakdown() -> Vec<PhaseBreakdownRow> {
+    let cfg = Cs2Config::default();
+    let was_enabled = trace::is_enabled();
+    let refs = paper_six_shard_refs();
+    let rows = VALIDATED_CONFIGS
+        .iter()
+        .zip(refs)
+        .map(|(&(nb, acc), paper)| {
+            let a = breakdown_kernel(nb);
+            let tlr = compress(
+                &a,
+                CompressionConfig {
+                    nb,
+                    acc,
+                    method: CompressionMethod::Svd,
+                    mode: ToleranceMode::RelativeTile,
+                },
+            );
+            let model = three_phase_cost(&tlr);
+            let tp = ThreePhase::new(&tlr);
+            let x: Vec<C32> = (0..a.ncols())
+                .map(|i| C32::new((i as f32 * 0.17).sin(), (i as f32 * 0.31).cos()))
+                .collect();
+            trace::reset();
+            trace::set_enabled(true);
+            for _ in 0..BREAKDOWN_REPS {
+                let _y = tp.apply(&x);
+            }
+            trace::set_enabled(false);
+            let snap = trace::snapshot();
+            let stats = |name: &str| snap.phase(name).map_or_else(Default::default, |p| p.stats);
+            let (v, s, u) = (
+                stats("tlr_mvm.v_batch"),
+                stats("tlr_mvm.shuffle"),
+                stats("tlr_mvm.u_batch"),
+            );
+            let (vm, um) = strategy1_phase_costs(nb, nb, paper.stack_width, &cfg, true);
+            PhaseBreakdownRow {
+                nb,
+                acc,
+                stack_width: paper.stack_width,
+                reps: BREAKDOWN_REPS,
+                v_nanos: v.nanos,
+                shuffle_nanos: s.nanos,
+                u_nanos: u.nanos,
+                v_bytes: v.relative_bytes,
+                shuffle_bytes: s.relative_bytes,
+                u_bytes: u.relative_bytes,
+                model_v_bytes: BREAKDOWN_REPS * model.v.relative_bytes,
+                model_shuffle_bytes: BREAKDOWN_REPS * model.shuffle.relative_bytes,
+                model_u_bytes: BREAKDOWN_REPS * model.u.relative_bytes,
+                model_v_cycles: vm.cycles,
+                model_u_cycles: um.cycles,
+            }
+        })
+        .collect();
+    trace::reset();
+    trace::set_enabled(was_enabled);
+    rows
 }
 
 #[cfg(test)]
@@ -489,6 +646,44 @@ mod tests {
         // Ideal dominates modeled.
         for r in &rows {
             assert!(r.rel_bw_ideal >= r.rel_bw);
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_reconciles_with_cost_model() {
+        // The ISSUE acceptance criterion: traced V/shuffle/U byte totals
+        // agree with the static `three_phase_cost` prediction within 10 %
+        // (they derive from the same §6.6 formulas, so they agree
+        // exactly unless a concurrent test contributes spans).
+        let rows = phase_breakdown();
+        assert_eq!(rows.len(), VALIDATED_CONFIGS.len());
+        for r in &rows {
+            for (traced, model) in [
+                (r.v_bytes, r.model_v_bytes),
+                (r.shuffle_bytes, r.model_shuffle_bytes),
+                (r.u_bytes, r.model_u_bytes),
+            ] {
+                let err = (traced as f64 - model as f64).abs() / model as f64;
+                assert!(err < 0.10, "nb={}: traced {traced} vs model {model}", r.nb);
+            }
+            assert!(r.v_nanos > 0, "nb={}: V phase must record time", r.nb);
+            assert!(r.u_nanos > 0, "nb={}: U phase must record time", r.nb);
+            assert!(r.model_v_cycles > 0 && r.model_u_cycles > 0);
+            let shares =
+                PhaseBreakdownRow::share_pct(r.v_bytes, r.v_bytes, r.shuffle_bytes, r.u_bytes)
+                    + PhaseBreakdownRow::share_pct(
+                        r.shuffle_bytes,
+                        r.v_bytes,
+                        r.shuffle_bytes,
+                        r.u_bytes,
+                    )
+                    + PhaseBreakdownRow::share_pct(
+                        r.u_bytes,
+                        r.v_bytes,
+                        r.shuffle_bytes,
+                        r.u_bytes,
+                    );
+            assert!((shares - 100.0).abs() < 1e-6);
         }
     }
 

@@ -91,6 +91,75 @@ pub fn tlr_mvm_cost(tlr: &TlrMatrix) -> TlrMvmCost {
     cost
 }
 
+/// Per-phase cost breakdown of the classic three-phase TLR-MVM
+/// (V-batch → shuffle → U-batch, paper Figs. 4–7).
+///
+/// The V and U entries use the same §6.6 formulas as [`tlr_mvm_cost`],
+/// but grouped the way the three-phase pipeline actually batches them:
+/// V per tile *column* stack, U per tile *row* stack (with the ragged
+/// edge's true height). The shuffle moves `Σ ranks` complex values from
+/// column-major to row-major order — zero flops, one read plus one
+/// write of 8 bytes per rank entry under both byte models.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ThreePhaseCost {
+    /// V batch: per tile column `j`, 4 real `(K_j × cl_j)` MVMs.
+    pub v: TlrMvmCost,
+    /// Shuffle: permute `Σ ranks` complex values (pure data movement).
+    pub shuffle: TlrMvmCost,
+    /// U batch: per tile row `i`, 4 real `(m_i × R_i)` MVMs.
+    pub u: TlrMvmCost,
+}
+
+impl ThreePhaseCost {
+    /// Sum of the three phases.
+    pub fn total(&self) -> TlrMvmCost {
+        TlrMvmCost {
+            flops: self.v.flops + self.shuffle.flops + self.u.flops,
+            relative_bytes: self.v.relative_bytes
+                + self.shuffle.relative_bytes
+                + self.u.relative_bytes,
+            absolute_bytes: self.v.absolute_bytes
+                + self.shuffle.absolute_bytes
+                + self.u.absolute_bytes,
+            total_rank: self.v.total_rank,
+        }
+    }
+}
+
+/// Per-phase cost of one classic three-phase TLR-MVM.
+pub fn three_phase_cost(tlr: &TlrMatrix) -> ThreePhaseCost {
+    let t = tlr.tiling();
+    let mut out = ThreePhaseCost::default();
+    for j in 0..t.tile_cols() {
+        let (_, cl) = t.col_range(j);
+        let kj = tlr.column_rank(j);
+        if kj == 0 {
+            continue;
+        }
+        out.v.flops += 4 * mvm_flops(kj, cl);
+        out.v.relative_bytes += 4 * relative_bytes(kj, cl);
+        out.v.absolute_bytes += 4 * absolute_bytes(kj, cl);
+        out.v.total_rank += to_u64(kj);
+    }
+    for i in 0..t.tile_rows() {
+        let (_, mi) = t.row_range(i);
+        let ri = tlr.row_rank(i);
+        if ri == 0 {
+            continue;
+        }
+        out.u.flops += 4 * mvm_flops(mi, ri);
+        out.u.relative_bytes += 4 * relative_bytes(mi, ri);
+        out.u.absolute_bytes += 4 * absolute_bytes(mi, ri);
+        out.u.total_rank += to_u64(ri);
+    }
+    // Shuffle: read + write one 8-byte complex value per rank entry.
+    let moved = 16 * out.v.total_rank;
+    out.shuffle.relative_bytes = moved;
+    out.shuffle.absolute_bytes = moved;
+    out.shuffle.total_rank = out.v.total_rank;
+    out
+}
+
 /// Cost of the equivalent *dense* complex MVM (for speedup comparisons).
 pub fn dense_mvm_cost(m: usize, n: usize) -> TlrMvmCost {
     TlrMvmCost {
@@ -171,6 +240,40 @@ mod tests {
         let d = dense_mvm_cost(128, 96);
         assert!(c.flops < d.flops, "TLR must reduce arithmetic");
         assert!(c.absolute_bytes < d.absolute_bytes);
+    }
+
+    #[test]
+    fn three_phase_cost_reconciles_with_fused_cost() {
+        let a = Matrix::from_fn(100, 90, |i, j| {
+            let d = (i as f32 / 100.0 - j as f32 / 90.0).abs();
+            C32::from_polar(1.0 / (1.0 + 2.0 * d), -7.0 * d)
+        });
+        let tlr = compress(
+            &a,
+            CompressionConfig {
+                nb: 16,
+                acc: 1e-3,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            },
+        );
+        let fused = tlr_mvm_cost(&tlr);
+        let phased = three_phase_cost(&tlr);
+        // Same tiles flow through both paths: V flops agree exactly,
+        // U flops differ only by the ragged edge (the fused model pads
+        // every row to nb).
+        assert!(phased.v.flops + phased.u.flops <= fused.flops);
+        assert!(phased.u.flops * 10 >= fused.flops - phased.v.flops);
+        assert_eq!(phased.v.total_rank, to_u64(tlr.total_rank()));
+        assert_eq!(phased.u.total_rank, phased.v.total_rank);
+        // Shuffle is pure data movement.
+        assert_eq!(phased.shuffle.flops, 0);
+        assert_eq!(phased.shuffle.relative_bytes, 16 * to_u64(tlr.total_rank()));
+        // The total stays within the fused model's ballpark.
+        let t = phased.total();
+        assert!(
+            t.relative_bytes > 0 && t.relative_bytes <= fused.relative_bytes + 16 * t.total_rank
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::matrix::TlrMatrix;
 use crate::tiling::Tiling;
+use crate::trace;
 
 /// Algebraic compression backend — the paper cites all four.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +91,7 @@ impl CompressionConfig {
 /// and in parallel; any tile that fails to compress below full rank is
 /// stored exactly (dense-as-low-rank), so the tolerance always holds.
 pub fn compress(dense: &Matrix<C32>, config: CompressionConfig) -> TlrMatrix {
+    let _span = trace::span("compress.tiles");
     let tiling = Tiling::new(dense.nrows(), dense.ncols(), config.nb);
     let mt = tiling.tile_rows();
     let nt = tiling.tile_cols();
@@ -113,6 +115,11 @@ pub fn compress(dense: &Matrix<C32>, config: CompressionConfig) -> TlrMatrix {
         })
         .collect();
 
+    if trace::is_enabled() {
+        for t in &tiles {
+            trace::record_tile_rank(t.rank());
+        }
+    }
     TlrMatrix::new(tiling, tiles, config)
 }
 

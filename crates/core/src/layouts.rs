@@ -16,9 +16,12 @@ use seismic_la::blas::{gemv_acc, gemv_conj_transpose};
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 
+use crate::accounting::{absolute_bytes, mvm_flops, relative_bytes};
 use crate::invariant::assert_finite;
 use crate::matrix::TlrMatrix;
+use crate::precision::to_u64;
 use crate::tiling::Tiling;
+use crate::trace;
 
 const CZERO: C32 = C32::new(0.0, 0.0);
 
@@ -137,6 +140,21 @@ impl ThreePhase {
     pub fn v_batch(&self, x: &[C32]) -> Vec<C32> {
         assert_eq!(x.len(), self.tiling.n);
         assert_finite("three_phase.v_batch.x", x);
+        let _span = trace::span("tlr_mvm.v_batch");
+        if trace::is_enabled() {
+            // §6.6 cost per column stack: 4 real (K_j × cl_j) MVMs.
+            let (mut fl, mut rel, mut abs) = (0u64, 0u64, 0u64);
+            for vs in &self.vstacks {
+                let (cl, kj) = (vs.nrows(), vs.ncols());
+                if kj == 0 {
+                    continue;
+                }
+                fl += 4 * mvm_flops(kj, cl);
+                rel += 4 * relative_bytes(kj, cl);
+                abs += 4 * absolute_bytes(kj, cl);
+            }
+            trace::add_cost("tlr_mvm.v_batch", fl, rel, abs);
+        }
         let mut yv = vec![CZERO; self.total_rank];
         let mut segments: Vec<&mut [C32]> = Vec::new();
         let mut rest = yv.as_mut_slice();
@@ -157,6 +175,10 @@ impl ThreePhase {
     /// Phase 2 (paper Fig. 6): project coefficients from V- to U-ordering.
     pub fn shuffle(&self, yv: &[C32]) -> Vec<C32> {
         assert_eq!(yv.len(), self.total_rank);
+        let _span = trace::span("tlr_mvm.shuffle");
+        // Pure data movement: read + write 8 bytes per rank entry.
+        let moved = 16 * to_u64(self.total_rank);
+        trace::add_bytes("tlr_mvm.shuffle", moved, moved);
         let mut yu = vec![CZERO; self.total_rank];
         for (p, &q) in self.shuffle.iter().enumerate() {
             yu[q] = yv[p];
@@ -168,6 +190,21 @@ impl ThreePhase {
     /// Phase 3 (paper Fig. 7): batched `y_i = Ustack_i · yu_i`.
     pub fn u_batch(&self, yu: &[C32]) -> Vec<C32> {
         assert_eq!(yu.len(), self.total_rank);
+        let _span = trace::span("tlr_mvm.u_batch");
+        if trace::is_enabled() {
+            // §6.6 cost per row stack: 4 real (m_i × R_i) MVMs.
+            let (mut fl, mut rel, mut abs) = (0u64, 0u64, 0u64);
+            for us in &self.ustacks {
+                let (mi, ri) = (us.nrows(), us.ncols());
+                if ri == 0 {
+                    continue;
+                }
+                fl += 4 * mvm_flops(mi, ri);
+                rel += 4 * relative_bytes(mi, ri);
+                abs += 4 * absolute_bytes(mi, ri);
+            }
+            trace::add_cost("tlr_mvm.u_batch", fl, rel, abs);
+        }
         let mut y = vec![CZERO; self.tiling.m];
         let mut segments: Vec<&mut [C32]> = Vec::new();
         let mut rest = y.as_mut_slice();
@@ -407,22 +444,54 @@ impl CommAvoiding {
         assert_finite("comm_avoiding.apply.x", x);
         let nb = self.tiling.nb;
         let padded_m = self.tiling.tile_rows() * nb;
-        let partials: Vec<Vec<C32>> = self
-            .columns
-            .par_iter()
-            .map(|cs| {
-                let mut part = vec![CZERO; padded_m];
-                cs.apply_into(&x[cs.c0..cs.c0 + cs.cl], &mut part, nb);
-                part
-            })
-            .collect();
+        self.trace_fused_cost(nb);
+        let partials: Vec<Vec<C32>> = {
+            let _span = trace::span("comm_avoiding.fused");
+            self.columns
+                .par_iter()
+                .map(|cs| {
+                    let mut part = vec![CZERO; padded_m];
+                    cs.apply_into(&x[cs.c0..cs.c0 + cs.cl], &mut part, nb);
+                    part
+                })
+                .collect()
+        };
+        let y = self.reduce_partials(&partials, padded_m);
+        assert_finite("comm_avoiding.apply.y", &y);
+        y
+    }
+
+    /// Attribute the §6.6 fused-kernel cost (4 real V MVMs + 4 real U
+    /// MVMs per tile column) to the `comm_avoiding.fused` phase.
+    fn trace_fused_cost(&self, nb: usize) {
+        if !trace::is_enabled() {
+            return;
+        }
+        let (mut fl, mut rel, mut abs) = (0u64, 0u64, 0u64);
+        for cs in &self.columns {
+            let kj = cs.rank();
+            if kj == 0 {
+                continue;
+            }
+            fl += 4 * (mvm_flops(kj, cs.cl) + mvm_flops(nb, kj));
+            rel += 4 * (relative_bytes(kj, cs.cl) + relative_bytes(nb, kj));
+            abs += 4 * (absolute_bytes(kj, cs.cl) + absolute_bytes(nb, kj));
+        }
+        trace::add_cost("comm_avoiding.fused", fl, rel, abs);
+    }
+
+    /// Host reduction of per-column partial outputs, traced as its own
+    /// phase (read every partial once, write `y` once).
+    fn reduce_partials(&self, partials: &[Vec<C32>], padded_m: usize) -> Vec<C32> {
+        let _span = trace::span("comm_avoiding.host_reduce");
+        let moved = 8 * to_u64(partials.len() * padded_m + self.tiling.m);
+        trace::add_bytes("comm_avoiding.host_reduce", moved, moved);
         let mut y = vec![CZERO; self.tiling.m];
-        for part in &partials {
+        for part in partials {
             for (i, yi) in y.iter_mut().enumerate() {
                 *yi += part[i];
             }
         }
-        assert_finite("comm_avoiding.apply.y", &y);
         y
     }
 
@@ -481,20 +550,19 @@ impl CommAvoiding {
         let nb = self.tiling.nb;
         let padded_m = self.tiling.tile_rows() * nb;
         let chunks = self.chunks(stack_width);
-        let partials: Vec<Vec<C32>> = chunks
-            .par_iter()
-            .map(|ch| {
-                let mut part = vec![CZERO; padded_m];
-                ch.apply_into(&x[ch.c0..ch.c0 + ch.cl], &mut part, nb);
-                part
-            })
-            .collect();
-        let mut y = vec![CZERO; self.tiling.m];
-        for part in &partials {
-            for (i, yi) in y.iter_mut().enumerate() {
-                *yi += part[i];
-            }
-        }
+        self.trace_fused_cost(nb);
+        let partials: Vec<Vec<C32>> = {
+            let _span = trace::span("comm_avoiding.fused");
+            chunks
+                .par_iter()
+                .map(|ch| {
+                    let mut part = vec![CZERO; padded_m];
+                    ch.apply_into(&x[ch.c0..ch.c0 + ch.cl], &mut part, nb);
+                    part
+                })
+                .collect()
+        };
+        let y = self.reduce_partials(&partials, padded_m);
         assert_finite("comm_avoiding.apply_chunked.y", &y);
         y
     }

@@ -17,6 +17,8 @@
 //! * [`accounting`] — the paper's relative/absolute byte formulas and flop
 //!   counts (§6.6, §7.1).
 //! * [`ops`] — the [`LinearOperator`] abstraction used by the MDD solver.
+//! * [`trace`] — zero-cost-when-disabled phase spans and flop/byte
+//!   counters; the runtime accounting behind `repro --trace`.
 //!
 //! ## Quick start
 //!
@@ -56,9 +58,11 @@ pub mod ops;
 pub mod precision;
 pub mod real4;
 pub mod tiling;
+pub mod trace;
 
 pub use accounting::{
-    absolute_bytes, dense_mvm_cost, mvm_flops, relative_bytes, tlr_mvm_cost, TlrMvmCost,
+    absolute_bytes, dense_mvm_cost, mvm_flops, relative_bytes, three_phase_cost, tlr_mvm_cost,
+    ThreePhaseCost, TlrMvmCost,
 };
 pub use compress::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
 pub use layouts::{ColumnStack, CommAvoiding, RankChunk, ThreePhase};

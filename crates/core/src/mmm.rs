@@ -18,15 +18,44 @@ use crate::invariant::assert_finite;
 use crate::layouts::CommAvoiding;
 use crate::matrix::TlrMatrix;
 use crate::precision::to_u64;
+use crate::trace;
 
 /// `Y = Ã X` with `X: n × s` (one column per virtual source),
 /// rayon-parallel over tile rows. The per-tile product runs as two small
 /// GEMMs (`T = VᴴX`, `Y += U T`) so the bases are read once per tile, not
 /// once per source.
+///
+/// ```
+/// use seismic_la::{Matrix, C32};
+/// use tlr_mvm::{compress, tlr_mmm, CompressionConfig, CompressionMethod, ToleranceMode};
+///
+/// let a = Matrix::from_fn(64, 48, |i, j| {
+///     let d = (i as f32 / 64.0 - j as f32 / 48.0).abs();
+///     C32::from_polar(1.0 / (1.0 + 2.0 * d), -8.0 * d)
+/// });
+/// let tlr = compress(&a, CompressionConfig {
+///     nb: 16,
+///     acc: 1e-4,
+///     method: CompressionMethod::Svd,
+///     mode: ToleranceMode::RelativeTile,
+/// });
+/// // Four virtual sources at once: one MMM instead of four MVMs.
+/// let x = Matrix::from_fn(48, 4, |i, j| C32::new((i + j) as f32 * 0.01, 0.0));
+/// let y = tlr_mmm(&tlr, &x);
+/// assert_eq!((y.nrows(), y.ncols()), (64, 4));
+/// // Column s of Y is the MVM against column s of X.
+/// let y0 = tlr.apply(x.col(0));
+/// assert!(y.col(0).iter().zip(&y0).all(|(a, b)| (*a - *b).abs() < 1e-4));
+/// ```
 pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
     let t = tlr.tiling();
     assert_eq!(x.nrows(), t.n, "X row count must match operator columns");
     assert_finite("tlr_mmm.x", x.as_slice());
+    let _span = trace::span("tlr_mmm.apply");
+    if trace::is_enabled() {
+        let c = tlr_mmm_cost(tlr, x.ncols());
+        trace::add_cost("tlr_mmm.apply", c.flops, c.relative_bytes, c.absolute_bytes);
+    }
     let s = x.ncols();
     let mt = t.tile_rows();
 
@@ -71,6 +100,17 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
     let t = tlr.tiling();
     assert_eq!(y.nrows(), t.m, "Y row count must match operator rows");
     assert_finite("tlr_mmm_adjoint.y", y.as_slice());
+    let _span = trace::span("tlr_mmm.adjoint");
+    if trace::is_enabled() {
+        // Same tile traffic as the forward MMM, transposed roles.
+        let c = tlr_mmm_cost(tlr, y.ncols());
+        trace::add_cost(
+            "tlr_mmm.adjoint",
+            c.flops,
+            c.relative_bytes,
+            c.absolute_bytes,
+        );
+    }
     let s = y.ncols();
     let nt = t.tile_cols();
 
@@ -112,10 +152,36 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
 /// `T_j = Vstack_jᴴ X_j` then the U scatter — the natural CS-2 extension
 /// where each PE's chunk processes all `s` sources before the host
 /// reduction.
+///
+/// ```
+/// use seismic_la::{Matrix, C32};
+/// use tlr_mvm::{
+///     comm_avoiding_mmm, compress, tlr_mmm, CommAvoiding, CompressionConfig,
+///     CompressionMethod, ToleranceMode,
+/// };
+///
+/// let a = Matrix::from_fn(60, 45, |i, j| {
+///     let d = (i as f32 / 60.0 - j as f32 / 45.0).abs();
+///     C32::from_polar(1.0 / (1.0 + 3.0 * d), -6.0 * d)
+/// });
+/// let tlr = compress(&a, CompressionConfig {
+///     nb: 12,
+///     acc: 1e-4,
+///     method: CompressionMethod::Svd,
+///     mode: ToleranceMode::RelativeTile,
+/// });
+/// let ca = CommAvoiding::new(&tlr);
+/// let x = Matrix::from_fn(45, 3, |i, j| C32::new(0.02 * i as f32, 0.01 * j as f32));
+/// // The shuffle-free CS-2 layout computes the same product.
+/// let y_ca = comm_avoiding_mmm(&ca, &x);
+/// let y_tp = tlr_mmm(&tlr, &x);
+/// assert!(y_ca.sub(&y_tp).fro_norm() < 1e-4 * y_tp.fro_norm().max(1.0));
+/// ```
 pub fn comm_avoiding_mmm(ca: &CommAvoiding, x: &Matrix<C32>) -> Matrix<C32> {
     let t = ca.tiling();
     assert_eq!(x.nrows(), t.n);
     assert_finite("comm_avoiding_mmm.x", x.as_slice());
+    let _span = trace::span("tlr_mmm.comm_avoiding");
     let s = x.ncols();
     let nb = t.nb;
     let padded_m = t.tile_rows() * nb;

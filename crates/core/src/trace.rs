@@ -1,0 +1,490 @@
+//! Runtime observability: scoped phase spans, monotonic flop/byte/cycle
+//! counters, and per-iteration solver traces — the accounting the paper's
+//! tables are made of, collected while the code actually runs.
+//!
+//! The paper's argument is an *accounting* argument: sustained bandwidth,
+//! achieved flop rates, and per-phase cycle counts for the three-phase
+//! (V-batch / shuffle / U-batch) vs. the communication-avoiding TLR-MVM.
+//! This module lets every `repro` run emit that accounting as a
+//! machine-readable phase breakdown instead of a single end-to-end
+//! number.
+//!
+//! ## Semantics
+//!
+//! * Tracing is **disabled by default** and globally gated by one atomic
+//!   flag. While disabled, [`span`] returns an inert guard without
+//!   reading the clock, every counter call returns after a single
+//!   relaxed atomic load, and nothing is allocated or locked — the
+//!   instrumentation seams are runtime no-ops (asserted by the
+//!   `trace_disabled_is_noop` bench test).
+//! * A [`Span`] measures wall time between its creation and drop and
+//!   adds `(calls += 1, nanos += elapsed)` to the named phase. Spans
+//!   nest freely: each span accounts its own full lifetime, so an inner
+//!   phase's time is *included* in its enclosing phase (the
+//!   three-phase pipeline records `tlr_mvm.v_batch` etc. at the seams,
+//!   never double-counting siblings).
+//! * Counters ([`add_flops`], [`add_bytes`], [`add_cycles`],
+//!   [`add_sram_bytes`], [`add_iterations`]) are monotonic u64
+//!   accumulators per phase name. The collector is a single
+//!   `parking_lot::Mutex`, so accumulation from rayon workers is safe;
+//!   instrumentation therefore counts at *phase* granularity (once per
+//!   batch), not per tile.
+//! * Byte counters follow the paper's §6.6 models: `relative` =
+//!   cache-model bytes, `absolute` = flat-SRAM bytes (see
+//!   [`crate::accounting`]). The traced totals are computed from the
+//!   same formulas as [`crate::accounting::tlr_mvm_cost`], which is why
+//!   the phase shares in a trace report reconcile with the static cost
+//!   model.
+//! * [`record_solver_iteration`] appends one `(solver, iteration,
+//!   residual, nanos)` row per iterative-solver step (LSQR / CGLS), and
+//!   [`record_tile_rank`] grows the compression rank histogram.
+//!
+//! Reports serialize with serde; the JSON schema is documented in
+//! `DESIGN.md` §9 and written by `repro --trace` under `target/trace/`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tlr_mvm::trace;
+//!
+//! trace::reset();
+//! trace::set_enabled(true);
+//! {
+//!     let _span = trace::span("example.phase");
+//!     trace::add_flops("example.phase", 1_000);
+//!     trace::add_bytes("example.phase", 4_096, 12_288);
+//! }
+//! trace::set_enabled(false);
+//!
+//! let report = trace::snapshot();
+//! let phase = report.phase("example.phase").unwrap();
+//! assert_eq!(phase.stats.calls, 1);
+//! assert_eq!(phase.stats.flops, 1_000);
+//! assert_eq!(phase.stats.relative_bytes, 4_096);
+//! assert_eq!(phase.stats.absolute_bytes, 12_288);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The global on/off switch. Relaxed loads keep the disabled fast path
+/// to a single uncontended atomic read.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The global collector. One coarse mutex is deliberate: all
+/// instrumentation records at phase granularity (once per batched call),
+/// so contention is negligible even under rayon.
+static COLLECTOR: Mutex<Collector> = Mutex::new(Collector::new());
+
+/// Aggregated state behind the collector mutex.
+struct Collector {
+    phases: BTreeMap<String, PhaseStats>,
+    iterations: Vec<SolverIteration>,
+    ranks: BTreeMap<u64, u64>,
+}
+
+impl Collector {
+    const fn new() -> Self {
+        Self {
+            phases: BTreeMap::new(),
+            iterations: Vec::new(),
+            ranks: BTreeMap::new(),
+        }
+    }
+
+    fn phase_mut(&mut self, name: &str) -> &mut PhaseStats {
+        // Allocating the key is fine here: counters fire at phase
+        // granularity (once per batched call), never per tile.
+        self.phases.entry(name.to_string()).or_default()
+    }
+
+    fn clear(&mut self) {
+        self.phases.clear();
+        self.iterations.clear();
+        self.ranks.clear();
+    }
+}
+
+/// Enable or disable tracing globally. Disabling does not clear
+/// previously collected data — call [`reset`] for that.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether tracing is currently enabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear every collected phase, iteration trace, and histogram bucket.
+pub fn reset() {
+    COLLECTOR.lock().clear();
+}
+
+/// Monotonic counters attached to one named phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Times a span for this phase completed.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub nanos: u64,
+    /// Real FP32 flops attributed to the phase (§6.6 counting).
+    pub flops: u64,
+    /// Relative (cache-model) bytes, §6.6.
+    pub relative_bytes: u64,
+    /// Absolute (flat-SRAM) bytes, §6.6.
+    pub absolute_bytes: u64,
+    /// Modeled PE cycles attributed to the phase (WSE simulator hooks).
+    pub cycles: u64,
+    /// SRAM bytes resident for the phase's working set (WSE hooks).
+    pub sram_bytes: u64,
+    /// Iterations attributed to the phase (solver hooks).
+    pub iterations: u64,
+}
+
+/// One named phase in a [`TraceReport`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseEntry {
+    /// Phase name (e.g. `tlr_mvm.v_batch`).
+    pub name: String,
+    /// The accumulated counters.
+    pub stats: PhaseStats,
+}
+
+/// One iterative-solver step: the per-iteration residual/timing trace
+/// the paper's convergence plots are built from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolverIteration {
+    /// Solver name (`lsqr` or `cgls`).
+    pub solver: String,
+    /// 1-based iteration index.
+    pub iteration: u64,
+    /// Residual estimate after the iteration (LSQR's `φ̄`, CGLS's
+    /// exact `‖r‖`).
+    pub residual: f32,
+    /// Wall-clock nanoseconds the iteration took.
+    pub nanos: u64,
+}
+
+/// One bucket of the compression rank histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankBucket {
+    /// Tile rank.
+    pub rank: u64,
+    /// Number of tiles compressed to that rank.
+    pub tiles: u64,
+}
+
+/// A serializable snapshot of everything collected since [`reset`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Every phase, sorted by name.
+    pub phases: Vec<PhaseEntry>,
+    /// Per-iteration solver rows, in record order.
+    pub solver_iterations: Vec<SolverIteration>,
+    /// Compression rank histogram, sorted by rank.
+    pub rank_histogram: Vec<RankBucket>,
+}
+
+impl TraceReport {
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseEntry> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of `nanos` over phases whose name starts with `prefix`.
+    pub fn nanos_under(&self, prefix: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.starts_with(prefix))
+            .map(|p| p.stats.nanos)
+            .sum()
+    }
+
+    /// This phase's share of `relative_bytes` among the given phases;
+    /// 0 when nothing was recorded.
+    pub fn byte_share(&self, name: &str, among: &[&str]) -> f64 {
+        let total: u64 = among
+            .iter()
+            .filter_map(|n| self.phase(n))
+            .map(|p| p.stats.relative_bytes)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.phase(name)
+            .map_or(0.0, |p| p.stats.relative_bytes as f64 / total as f64)
+    }
+}
+
+/// A scoped wall-clock timer for one phase. Created by [`span`];
+/// records on drop. Inert (no clock read, no lock) while tracing is
+/// disabled.
+#[must_use = "a span records its phase time when dropped"]
+pub struct Span {
+    live: Option<(&'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            let ns = duration_nanos(start.elapsed());
+            let mut c = COLLECTOR.lock();
+            let p = c.phase_mut(name);
+            p.calls += 1;
+            p.nanos += ns;
+        }
+    }
+}
+
+/// Open a scoped span for `name`. While tracing is disabled this
+/// returns an inert guard without touching the clock.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span { live: None };
+    }
+    Span {
+        live: Some((name, Instant::now())),
+    }
+}
+
+/// Saturating `Duration` → whole nanoseconds (a span would need ~584
+/// years of wall time to saturate).
+fn duration_nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Add real-FP32 flops to a phase.
+#[inline]
+pub fn add_flops(name: &str, flops: u64) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR.lock().phase_mut(name).flops += flops;
+}
+
+/// Add §6.6 relative (cache-model) and absolute (flat-SRAM) bytes to a
+/// phase.
+#[inline]
+pub fn add_bytes(name: &str, relative: u64, absolute: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.relative_bytes += relative;
+    p.absolute_bytes += absolute;
+}
+
+/// Add flops plus both byte counters in one lock acquisition — the
+/// common shape for phase-cost attribution.
+#[inline]
+pub fn add_cost(name: &str, flops: u64, relative: u64, absolute: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.flops += flops;
+    p.relative_bytes += relative;
+    p.absolute_bytes += absolute;
+}
+
+/// Add modeled PE cycles to a phase (WSE simulator attribution).
+#[inline]
+pub fn add_cycles(name: &str, cycles: u64) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR.lock().phase_mut(name).cycles += cycles;
+}
+
+/// Add resident SRAM bytes to a phase (WSE simulator attribution).
+#[inline]
+pub fn add_sram_bytes(name: &str, bytes: u64) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR.lock().phase_mut(name).sram_bytes += bytes;
+}
+
+/// Add solver iterations to a phase's iteration counter.
+#[inline]
+pub fn add_iterations(name: &str, iterations: u64) {
+    if !is_enabled() {
+        return;
+    }
+    COLLECTOR.lock().phase_mut(name).iterations += iterations;
+}
+
+/// Append one per-iteration solver row (and bump the solver phase's
+/// iteration counter).
+#[inline]
+pub fn record_solver_iteration(solver: &'static str, iteration: u64, residual: f32, nanos: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock();
+    c.iterations.push(SolverIteration {
+        solver: solver.to_string(),
+        iteration,
+        residual,
+        nanos,
+    });
+    c.phase_mut(solver).iterations += 1;
+}
+
+/// Count one compressed tile of the given rank into the histogram.
+#[inline]
+pub fn record_tile_rank(rank: usize) {
+    if !is_enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock();
+    *c.ranks.entry(crate::precision::to_u64(rank)).or_insert(0) += 1;
+}
+
+/// Snapshot everything collected since the last [`reset`] into a
+/// serializable report. Collection continues unaffected.
+pub fn snapshot() -> TraceReport {
+    let c = COLLECTOR.lock();
+    TraceReport {
+        phases: c
+            .phases
+            .iter()
+            .map(|(name, stats)| PhaseEntry {
+                name: name.clone(),
+                stats: *stats,
+            })
+            .collect(),
+        solver_iterations: c.iterations.clone(),
+        rank_histogram: c
+            .ranks
+            .iter()
+            .map(|(&rank, &tiles)| RankBucket { rank, tiles })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Serializes tests that flip the global enable flag, so parallel
+    /// test threads cannot observe each other's tracing windows.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracing_collects_nothing() {
+        let _g = locked();
+        reset();
+        set_enabled(false);
+        {
+            let _s = span("test.trace.disabled");
+            add_flops("test.trace.disabled", 10);
+            add_bytes("test.trace.disabled", 1, 2);
+            record_tile_rank(3);
+            record_solver_iteration("test.trace.disabled", 1, 0.5, 7);
+        }
+        let rep = snapshot();
+        assert!(rep.phase("test.trace.disabled").is_none());
+        assert!(rep.solver_iterations.is_empty());
+        assert!(rep.rank_histogram.is_empty());
+    }
+
+    #[test]
+    fn span_and_counters_accumulate() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = span("test.trace.acc");
+            add_cost("test.trace.acc", 100, 40, 120);
+        }
+        add_cycles("test.trace.acc", 9);
+        add_sram_bytes("test.trace.acc", 512);
+        add_iterations("test.trace.acc", 2);
+        set_enabled(false);
+        let rep = snapshot();
+        let p = rep.phase("test.trace.acc").map(|p| p.stats);
+        let p = p.unwrap_or_default();
+        assert_eq!(p.calls, 3);
+        assert_eq!(p.flops, 300);
+        assert_eq!(p.relative_bytes, 120);
+        assert_eq!(p.absolute_bytes, 360);
+        assert_eq!(p.cycles, 9);
+        assert_eq!(p.sram_bytes, 512);
+        assert_eq!(p.iterations, 2);
+    }
+
+    #[test]
+    fn nested_spans_account_their_own_lifetimes() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("test.trace.outer");
+            {
+                let _inner = span("test.trace.inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let rep = snapshot();
+        let outer = rep.phase("test.trace.outer").map(|p| p.stats.nanos);
+        let inner = rep.phase("test.trace.inner").map(|p| p.stats.nanos);
+        let (outer, inner) = (outer.unwrap_or(0), inner.unwrap_or(0));
+        assert!(inner > 0, "inner span must record time");
+        assert!(
+            outer >= inner,
+            "outer span includes inner: {outer} vs {inner}"
+        );
+    }
+
+    #[test]
+    fn rank_histogram_buckets() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        for r in [3usize, 3, 5, 3, 0] {
+            record_tile_rank(r);
+        }
+        set_enabled(false);
+        let rep = snapshot();
+        assert_eq!(
+            rep.rank_histogram,
+            vec![
+                RankBucket { rank: 0, tiles: 1 },
+                RankBucket { rank: 3, tiles: 3 },
+                RankBucket { rank: 5, tiles: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_share_partitions_to_one() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        add_bytes("test.share.a", 30, 0);
+        add_bytes("test.share.b", 70, 0);
+        set_enabled(false);
+        let rep = snapshot();
+        let names = ["test.share.a", "test.share.b"];
+        let a = rep.byte_share("test.share.a", &names);
+        let b = rep.byte_share("test.share.b", &names);
+        assert!((a - 0.3).abs() < 1e-12);
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+}

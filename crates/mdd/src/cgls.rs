@@ -5,7 +5,8 @@
 
 use seismic_la::blas::nrm2;
 use seismic_la::scalar::C32;
-use tlr_mvm::LinearOperator;
+use tlr_mvm::precision::to_u64;
+use tlr_mvm::{trace, LinearOperator};
 
 use crate::lsqr::LsqrOptions;
 
@@ -22,6 +23,7 @@ pub struct CglsResult {
 
 /// Solve `min ‖Ax − b‖ (+ λ²‖x‖²)` with CGLS.
 pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> CglsResult {
+    let _span = trace::span("cgls.solve");
     let m = a.nrows();
     let n = a.ncols();
     assert_eq!(b.len(), m);
@@ -41,6 +43,7 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         if gamma == 0.0 {
             break;
         }
+        let iter_start = trace::is_enabled().then(std::time::Instant::now);
         iterations += 1;
         let q = a.apply(&p);
         let q_norm_sq: f32 = q.iter().map(|v| v.norm_sqr()).sum::<f32>()
@@ -69,6 +72,10 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         }
         let res = nrm2(&r);
         history.push(res);
+        if let Some(t0) = iter_start {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            trace::record_solver_iteration("cgls", to_u64(iterations), res, ns);
+        }
         if opts.rel_tol > 0.0 && res <= opts.rel_tol * b_norm {
             break;
         }

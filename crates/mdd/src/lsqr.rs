@@ -3,7 +3,8 @@
 
 use seismic_la::blas::nrm2;
 use seismic_la::scalar::C32;
-use tlr_mvm::LinearOperator;
+use tlr_mvm::precision::to_u64;
+use tlr_mvm::{trace, LinearOperator};
 
 /// LSQR options.
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +54,7 @@ fn axpy_real(alpha: f32, x: &[C32], y: &mut [C32]) {
 
 /// Solve `min ‖A x − b‖₂ (+ λ²‖x‖²)` with LSQR.
 pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> LsqrResult {
+    let _span = trace::span("lsqr.solve");
     let m = a.nrows();
     let n = a.ncols();
     assert_eq!(b.len(), m, "rhs length mismatch");
@@ -91,6 +93,10 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
 
     let mut iterations = 0;
     for _ in 0..opts.max_iters {
+        // Per-iteration residual/timing trace (paper §6.2: "30
+        // iterations of LSQR"). The clock is only read while tracing
+        // is enabled, so the disabled path stays a no-op.
+        let iter_start = trace::is_enabled().then(std::time::Instant::now);
         iterations += 1;
         // β u = A v − α u.
         let av = a.apply(&v);
@@ -143,6 +149,10 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         }
 
         history.push(phibar);
+        if let Some(t0) = iter_start {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            trace::record_solver_iteration("lsqr", to_u64(iterations), phibar, ns);
+        }
         if opts.rel_tol > 0.0 && phibar <= opts.rel_tol * b_norm {
             break;
         }

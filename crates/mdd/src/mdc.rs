@@ -14,6 +14,25 @@ use tlr_mvm::LinearOperator;
 
 /// Frequency-domain MDC core: one kernel per retained frequency bin,
 /// applied to the matching segment of the concatenated input.
+///
+/// ```
+/// use seismic_la::{Matrix, C32};
+/// use seismic_mdd::MdcOperator;
+/// use tlr_mvm::LinearOperator;
+///
+/// // Two retained frequency bins, each with a 3×2 source/receiver kernel.
+/// let k = |f: usize| {
+///     Matrix::from_fn(3, 2, move |i, j| C32::new((f + i) as f32, j as f32))
+/// };
+/// let op = MdcOperator::new(vec![k(0), k(1)]);
+/// assert_eq!(op.n_freqs(), 2);
+/// assert_eq!((op.nrows(), op.ncols()), (6, 4));
+/// // Frequency blocks act independently on their input segments.
+/// let x = vec![C32::new(1.0, 0.0); 4];
+/// let y = op.apply(&x);
+/// let y0 = op.kernels()[0].apply(&x[..2]);
+/// assert_eq!(&y[..3], &y0[..]);
+/// ```
 pub struct MdcOperator<O: LinearOperator> {
     kernels: Vec<O>,
     n_src: usize,
@@ -69,6 +88,7 @@ impl<O: LinearOperator> LinearOperator for MdcOperator<O> {
     fn apply(&self, x: &[C32]) -> Vec<C32> {
         assert_eq!(x.len(), self.ncols());
         assert_finite("mdc.apply.x", x);
+        let _span = tlr_mvm::trace::span("mdc.apply");
         let nr = self.n_rec;
         let outs: Vec<Vec<C32>> = self
             .kernels
@@ -83,6 +103,7 @@ impl<O: LinearOperator> LinearOperator for MdcOperator<O> {
     fn apply_adjoint(&self, y: &[C32]) -> Vec<C32> {
         assert_eq!(y.len(), self.nrows());
         assert_finite("mdc.apply_adjoint.y", y);
+        let _span = tlr_mvm::trace::span("mdc.apply_adjoint");
         let ns = self.n_src;
         let outs: Vec<Vec<C32>> = self
             .kernels

@@ -126,9 +126,38 @@ pub fn strategy1_tasks(nb: usize, cl: usize, w: usize) -> Vec<MvmTask> {
     tasks
 }
 
+/// Per-phase cost of one strategy-1 chunk: `(V phase, U phase)`, each
+/// the four real MVMs of its batch. Splitting what [`strategy1_tasks`]
+/// fuses lets modeled V/U cycle shares be cross-checked against the
+/// measured wall-clock phase ratios a `--trace` run records.
+pub fn strategy1_phase_costs(
+    nb: usize,
+    cl: usize,
+    w: usize,
+    cfg: &Cs2Config,
+    bank_aligned: bool,
+) -> (PeCost, PeCost) {
+    let v = pe_cost(&[MvmTask::dot_form(w, cl); 4], cfg, bank_aligned);
+    let u = pe_cost(&[MvmTask::axpy_form(nb, w); 4], cfg, bank_aligned);
+    (v, u)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_costs_sum_to_fused_chunk_cost() {
+        let cfg = Cs2Config::default();
+        for (nb, w) in [(25usize, 64usize), (50, 32), (70, 23)] {
+            let fused = pe_cost(&strategy1_tasks(nb, nb, w), &cfg, true);
+            let (v, u) = strategy1_phase_costs(nb, nb, w, &cfg, true);
+            assert_eq!(v.cycles + u.cycles, fused.cycles);
+            assert_eq!(v.flops + u.flops, fused.flops);
+            assert_eq!(v.relative_bytes + u.relative_bytes, fused.relative_bytes);
+            assert_eq!(v.absolute_bytes + u.absolute_bytes, fused.absolute_bytes);
+        }
+    }
 
     #[test]
     fn cycle_formula() {

@@ -13,7 +13,11 @@ use tlr_mvm::layouts::RankChunk;
 use tlr_mvm::precision::to_u64;
 use tlr_mvm::real4::{join_vec, split_vec, RealSplitMatrix};
 
-use crate::cycles::MvmTask;
+use std::collections::BTreeMap;
+
+use tlr_mvm::trace;
+
+use crate::cycles::{strategy1_phase_costs, MvmTask};
 use crate::machine::Cs2Config;
 use crate::placement::Strategy;
 
@@ -45,6 +49,8 @@ pub fn execute_chunks(
     strategy: Strategy,
     cfg: &Cs2Config,
 ) -> ExecResult {
+    let _span = trace::span("wse.exec");
+    trace_pe_groups(chunks, nb, cfg);
     let tile_rows = m.div_ceil(nb);
     let padded_m = tile_rows * nb;
 
@@ -120,6 +126,40 @@ pub fn execute_chunks(
         pes_used: to_u64(chunks.len()) * pes_per_chunk,
         fmacs,
     }
+}
+
+/// Attribute modeled cycles and resident SRAM bytes per PE *group*
+/// (chunks sharing the same `(cl, w)` program shape run the same PE
+/// code), plus the modeled V/U phase split summed over all PEs — the
+/// numbers a `--trace` run cross-checks against measured wall-clock
+/// phase ratios.
+fn trace_pe_groups(chunks: &[RankChunk], nb: usize, cfg: &Cs2Config) {
+    if !trace::is_enabled() {
+        return;
+    }
+    // (cl, w) → (pes, cycles, sram_bytes).
+    let mut groups: BTreeMap<(usize, usize), (u64, u64, u64)> = BTreeMap::new();
+    let (mut v_cycles, mut u_cycles) = (0u64, 0u64);
+    for ch in chunks {
+        let w = ch.width();
+        let (v, u) = strategy1_phase_costs(nb, ch.cl, w, cfg, true);
+        v_cycles += v.cycles;
+        u_cycles += u.cycles;
+        // Split-complex storage: 8 bytes per stored complex word.
+        let sram = 8 * to_u64(ch.stored_elements());
+        let g = groups.entry((ch.cl, w)).or_insert((0, 0, 0));
+        g.0 += 1;
+        g.1 += v.cycles + u.cycles;
+        g.2 += sram;
+    }
+    for ((cl, w), (pes, cycles, sram)) in &groups {
+        let name = format!("wse.pe_group.cl{cl}_w{w}");
+        trace::add_cycles(&name, *cycles);
+        trace::add_sram_bytes(&name, *sram);
+        trace::add_iterations(&name, *pes);
+    }
+    trace::add_cycles("wse.exec.v_phase", v_cycles);
+    trace::add_cycles("wse.exec.u_phase", u_cycles);
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ pub mod verify;
 pub mod workload;
 
 pub use csl::{ChunkLayout, CslError, CslOp, CslStats, Pe};
-pub use cycles::{pe_cost, strategy1_tasks, MvmTask, PeCost};
+pub use cycles::{pe_cost, strategy1_phase_costs, strategy1_tasks, MvmTask, PeCost};
 pub use energy::{energy_report, EnergyReport};
 pub use exec::{execute_chunks, ExecResult};
 pub use fabric::{

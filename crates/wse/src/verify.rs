@@ -146,6 +146,23 @@ impl fmt::Display for VerifyReport {
 /// bases budget via the exact [`sram`](crate::sram) planners (`WV02`),
 /// runtime-reservation accounting (`WV03`), full chunk-image and DSR
 /// bounds (`WV05`), and the cluster PE budget (`WV04`).
+///
+/// ```
+/// use wse_sim::{choose_stack_width, verify_plan, Cluster, RankModel, Strategy};
+///
+/// // The paper's nb=50, acc=1e-4 dataset on a 6-system cluster.
+/// let model = RankModel::paper(50, 1e-4).expect("validated (nb, acc)");
+/// let workload = model.generate();
+/// let cluster = Cluster::new(6);
+/// let w_max = cluster.cs2.max_stack_width(50);
+/// let sw = choose_stack_width(&workload, cluster.total_pes() as u64, w_max);
+/// let report = verify_plan(&workload, sw, Strategy::FusedSinglePe, &cluster);
+/// assert!(report.is_ok(), "{report}");
+///
+/// // An absurd stack width is rejected with the WV01 rule id.
+/// let bad = verify_plan(&workload, 10_000, Strategy::FusedSinglePe, &cluster);
+/// assert!(!bad.is_ok() && bad.has_rule("WV01"));
+/// ```
 pub fn verify_plan(
     workload: &Workload,
     stack_width: usize,
