@@ -11,11 +11,34 @@
 //! * [`mmm_experiments`] — the §8 TLR-MMM extension: simultaneous
 //!   virtual sources and the re-exacerbated memory wall.
 //! * [`report`] — text tables and JSON output (`target/repro/*.json`).
+//! * [`perf`] — host-kernel microbenchmarks, the `BENCH_*.json` baseline
+//!   schema, and the `xtask perfgate` regression comparison.
+//! * [`timeline`] — Chrome Trace Event / Perfetto export of trace
+//!   reports (`repro <exp> --timeline`).
+//! * [`jsonio`] — the self-contained JSON tree those artifacts are
+//!   written and parsed with.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod jsonio;
 pub mod mdd_experiments;
 pub mod mmm_experiments;
+pub mod perf;
 pub mod report;
+pub mod timeline;
 pub mod wse_experiments;
+
+#[cfg(test)]
+pub(crate) mod test_sync {
+    //! `tlr_mvm::trace` is a process-global collector; unit tests that
+    //! reset/enable it must not overlap or their counters bleed into
+    //! each other. Every such test takes this lock first.
+    use std::sync::{Mutex, MutexGuard};
+
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn trace_lock() -> MutexGuard<'static, ()> {
+        TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}

@@ -1,51 +1,76 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--json] [--trace]
+//! repro <experiment> [--json] [--trace] [--timeline]
 //!   experiments: fig11 fig12 fig13 fig14 table1 table2 table3 table4
-//!                table5 fig15 fig16 power all
+//!                table5 fig15 fig16 power recon perfbench all
 //! ```
+
+use std::process::ExitCode;
 
 use seismic_bench::mdd_experiments as mddx;
 use seismic_bench::mmm_experiments as mmmx;
+use seismic_bench::perf;
 use seismic_bench::report::{
     fmt_bytes, fmt_pbs, render_table, write_json, write_trace_json, TraceArtifact,
 };
+use seismic_bench::timeline;
 use seismic_bench::wse_experiments as wsex;
 use tlr_mvm::trace;
 
+/// Everything `run` can fail with: I/O, JSON serialization, or an
+/// experiment configuration error.
+type RunResult<T = ()> = Result<T, Box<dyn std::error::Error>>;
+
 const USAGE: &str = "\
 repro — regenerate every table and figure of the paper\n\n\
-USAGE: repro <experiment> [--json] [--trace]\n\n\
+USAGE: repro <experiment> [--json] [--trace] [--timeline]\n\n\
 experiments:\n  \
 fig11 fig12 fig13 fig14 — MDD quality & bandwidth figures\n  \
 table1 table2 table3 table4 table5 — CS-2 mapping & scaling tables\n  \
-fig15 fig16 — rooflines\n  \
+fig15 fig16 — rooflines;  recon — roofline reconciliation (% of peak)\n  \
 power — §7.6 energy;  mmm — §8 TLR-MMM;  io — §6.6 host link\n  \
 appbench — whole-application dense vs TLR;  coupling — §4 ablation\n  \
-precision — bf16 bases;  all — everything\n\n\
+precision — bf16 bases;  all — everything\n  \
+perfbench — host-kernel microbenchmarks (BENCH_*.json; not part of all)\n\n\
 --json additionally writes machine-readable results to target/repro/\n\
+        (perfbench: target/perf/BENCH_table2.json)\n\
 --trace enables the runtime observability layer and writes the phase\n\
         breakdown (spans, flop/byte counters, solver iterations) to\n\
         target/trace/<experiment>.json; table2 additionally prints the\n\
         per-phase V/shuffle/U table against the cost model\n\
-REPRO_SCALE=<n> overrides the dataset downscale factor (default 12)";
+--timeline writes a Chrome Trace Event / Perfetto timeline to\n\
+        target/trace/<experiment>.timeline.json (host span tracks +\n\
+        modeled WSE PE-group tracks; open in ui.perfetto.dev)\n\
+REPRO_SCALE=<n> overrides the dataset downscale factor (default 12)\n\
+PERFBENCH_REPS=<n> overrides perfbench's median-of-N sample count";
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> RunResult<ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
-        return;
+        return Ok(ExitCode::SUCCESS);
     }
     let json = args.iter().any(|a| a == "--json");
     let trace_on = args.iter().any(|a| a == "--trace");
+    let timeline_on = args.iter().any(|a| a == "--timeline");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    if trace_on {
+    if trace_on || timeline_on {
         trace::reset();
         trace::set_enabled(true);
     }
@@ -54,93 +79,121 @@ fn main() {
     let mut ran = false;
 
     if all || which == "fig11" {
-        fig11(json);
+        fig11(json)?;
         ran = true;
     }
     if all || which == "fig12" {
-        fig12(json);
+        fig12(json)?;
         ran = true;
     }
     if all || which == "fig13" {
-        fig13(json);
+        fig13(json)?;
         ran = true;
     }
     if all || which == "fig14" {
-        fig14(json);
+        fig14(json)?;
         ran = true;
     }
     if all || which == "table1" || which == "table2" || which == "table3" {
-        tables123(&which, all, json);
+        tables123(&which, all, json)?;
         ran = true;
     }
     if all || which == "table4" {
-        table4(json);
+        table4(json)?;
         ran = true;
     }
     if all || which == "table5" {
-        table5(json);
+        table5(json)?;
         ran = true;
     }
     if all || which == "fig15" {
-        fig15(json);
+        fig15(json)?;
         ran = true;
     }
     if all || which == "fig16" {
-        fig16(json);
+        fig16(json)?;
+        ran = true;
+    }
+    if all || which == "recon" {
+        recon(json)?;
         ran = true;
     }
     if all || which == "power" {
-        power(json);
+        power(json)?;
         ran = true;
     }
     if all || which == "mmm" {
-        mmm(json);
+        mmm(json)?;
         ran = true;
     }
     if all || which == "io" {
-        io_study(json);
+        io_study(json)?;
         ran = true;
     }
     if all || which == "appbench" {
-        appbench(json);
+        appbench(json)?;
         ran = true;
     }
     if all || which == "coupling" {
-        coupling(json);
+        coupling(json)?;
         ran = true;
     }
     if all || which == "precision" {
-        precision(json);
+        precision(json)?;
+        ran = true;
+    }
+    // Deliberately NOT part of `all`: a measurement tool, not a paper
+    // artifact, and its timings are only meaningful run on their own.
+    if which == "perfbench" {
+        perfbench(json)?;
         ran = true;
     }
     if !ran {
         eprintln!(
             "unknown experiment '{which}'; choose from: fig11 fig12 fig13 fig14 \
-             table1 table2 table3 table4 table5 fig15 fig16 power mmm all"
+             table1 table2 table3 table4 table5 fig15 fig16 power mmm io \
+             appbench coupling precision recon perfbench all"
         );
-        std::process::exit(2);
+        return Ok(ExitCode::from(2));
     }
 
-    if trace_on {
+    if trace_on || timeline_on {
+        if timeline_on {
+            // Make sure both track families exist whatever experiment
+            // ran: one traced three-phase apply (host spans) + one
+            // functional exec (modeled PE-group tracks).
+            wsex::traced_timeline_sample();
+        }
         // Snapshot the whole-run trace BEFORE phase_breakdown(), which
         // owns (and resets) the global collector for its measurements.
         trace::set_enabled(false);
         let report = trace::snapshot();
-        let phase_breakdown = if all || which == "table2" {
-            let rows = wsex::phase_breakdown();
-            print_phase_breakdown(&rows);
-            rows
-        } else {
-            Vec::new()
-        };
-        let artifact = TraceArtifact {
-            experiment: which.clone(),
-            report,
-            phase_breakdown,
-        };
-        write_trace_json(&which, &artifact).unwrap();
-        println!("\n  trace written to target/trace/{which}.json");
+        if timeline_on {
+            let clock_hz = wse_sim::Cs2Config::default().clock_hz;
+            let path = timeline::write_timeline(&which, &report, clock_hz)?;
+            println!(
+                "\n  timeline written to {} (open in ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        if trace_on {
+            let phase_breakdown = if all || which == "table2" {
+                let rows = wsex::phase_breakdown();
+                print_phase_breakdown(&rows);
+                rows
+            } else {
+                Vec::new()
+            };
+            let artifact = TraceArtifact {
+                experiment: which.clone(),
+                report,
+                phase_breakdown,
+            };
+            write_trace_json(&which, &artifact)?;
+            println!("\n  trace written to target/trace/{which}.json");
+        }
     }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn print_phase_breakdown(rows: &[wsex::PhaseBreakdownRow]) {
@@ -188,7 +241,7 @@ fn print_phase_breakdown(rows: &[wsex::PhaseBreakdownRow]) {
     );
 }
 
-fn fig11(json: bool) {
+fn fig11(json: bool) -> RunResult {
     println!("\n[Fig 11] MDD panels: adjoint vs inversion vs ground truth (laptop-scale dataset)");
     let ds = mddx::default_dataset();
     println!(
@@ -231,11 +284,12 @@ fn fig11(json: bool) {
          loosening acc from 1e-4 to 7e-4 adds noise to the solution."
     );
     if json {
-        write_json("fig11", &results).unwrap();
+        write_json("fig11", &results)?;
     }
+    Ok(())
 }
 
-fn fig12(json: bool) {
+fn fig12(json: bool) -> RunResult {
     println!("\n[Fig 12] Compression threshold vs MDD accuracy");
     let ds = mddx::default_dataset();
     let rows_data = mddx::fig12(&ds);
@@ -294,11 +348,12 @@ fn fig12(json: bool) {
         )
     );
     if json {
-        write_json("fig12", &rows_data).unwrap();
+        write_json("fig12", &rows_data)?;
     }
+    Ok(())
 }
 
-fn fig13(json: bool) {
+fn fig13(json: bool) -> RunResult {
     println!("\n[Fig 13] Zero-offset sections: full / upgoing / MDD (NMO stack)");
     let ds = mddx::default_dataset();
     let result = mddx::fig13_with_panels(&ds, 1, json);
@@ -317,11 +372,12 @@ fn fig13(json: bool) {
     );
     println!("  paper shape: green-arrow multiples present in upgoing data are removed by MDD.");
     if json {
-        write_json("fig13", &result).unwrap();
+        write_json("fig13", &result)?;
     }
+    Ok(())
 }
 
-fn fig14(json: bool) {
+fn fig14(json: bool) -> RunResult {
     println!("\n[Fig 14] Tile size vs memory bandwidth, constant-size batched MVM, one CS-2");
     let sizes = [8usize, 16, 24, 32, 48, 64, 96, 128];
     let rows_data = wsex::fig14(&sizes);
@@ -348,12 +404,13 @@ fn fig14(json: bool) {
     );
     println!("  paper shape: relative bw saturates near 2 PB/s; absolute ≈ 3x relative.");
     if json {
-        write_json("fig14", &rows_data).unwrap();
+        write_json("fig14", &rows_data)?;
     }
+    Ok(())
 }
 
-fn tables123(which: &str, all: bool, json: bool) {
-    let rows_data = wsex::six_shard_rows();
+fn tables123(which: &str, all: bool, json: bool) -> RunResult {
+    let rows_data = wsex::six_shard_rows()?;
     if all || which == "table1" {
         let rows: Vec<Vec<String>> = rows_data
             .iter()
@@ -445,12 +502,13 @@ fn tables123(which: &str, all: bool, json: bool) {
         );
     }
     if json {
-        write_json("tables123", &rows_data).unwrap();
+        write_json("tables123", &rows_data)?;
     }
+    Ok(())
 }
 
-fn table4(json: bool) {
-    let rows_data = wsex::table4();
+fn table4(json: bool) -> RunResult {
+    let rows_data = wsex::table4()?;
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {
@@ -486,12 +544,13 @@ fn table4(json: bool) {
         )
     );
     if json {
-        write_json("table4", &rows_data).unwrap();
+        write_json("table4", &rows_data)?;
     }
+    Ok(())
 }
 
-fn table5(json: bool) {
-    let rows_data = wsex::table5();
+fn table5(json: bool) -> RunResult {
+    let rows_data = wsex::table5()?;
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {
@@ -529,12 +588,13 @@ fn table5(json: bool) {
         )
     );
     if json {
-        write_json("table5", &rows_data).unwrap();
+        write_json("table5", &rows_data)?;
     }
+    Ok(())
 }
 
-fn fig15(json: bool) {
-    let (machines, point) = wsex::fig15();
+fn fig15(json: bool) -> RunResult {
+    let (machines, point) = wsex::fig15()?;
     let rows: Vec<Vec<String>> = machines
         .iter()
         .map(|m| {
@@ -563,12 +623,13 @@ fn fig15(json: bool) {
         point.flops / 1e15
     );
     if json {
-        write_json("fig15", &(machines, point)).unwrap();
+        write_json("fig15", &(machines, point))?;
     }
+    Ok(())
 }
 
-fn fig16(json: bool) {
-    let (machines, points) = wsex::fig16();
+fn fig16(json: bool) -> RunResult {
+    let (machines, points) = wsex::fig16()?;
     let rows: Vec<Vec<String>> = machines
         .iter()
         .map(|m| {
@@ -606,11 +667,107 @@ fn fig16(json: bool) {
         )
     );
     if json {
-        write_json("fig16", &(machines, points)).unwrap();
+        write_json("fig16", &(machines, points))?;
     }
+    Ok(())
 }
 
-fn mmm(json: bool) {
+fn recon(json: bool) -> RunResult {
+    println!("\n[recon] Roofline reconciliation: sustained vs peak, per configuration");
+    let rows_data = wsex::roofline_reconciliation()?;
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.setting.clone(),
+                r.nb.to_string(),
+                format!("{:.0e}", r.acc),
+                format!("{:.3}", r.intensity),
+                format!("{:.1}%", r.rel_bw_pct_peak),
+                format!("{:.1}%", r.abs_bw_pct_peak),
+                format!("{:.1}%", r.flops_pct_peak),
+                format!("{:.0}%", r.pct_of_attainable),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "measured counters vs MachineDescriptor ceilings (Tables 4-5 shape)",
+            &[
+                "setting",
+                "nb",
+                "acc",
+                "F/B",
+                "rel bw %peak",
+                "abs bw %peak",
+                "flops %peak",
+                "% of roofline"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "  %peak columns normalize the placement model's sustained relative /\n  \
+         absolute bandwidth and flop rate by the Fig. 15/16 ceilings of the\n  \
+         cluster that hosts the row; '% of roofline' compares the flop rate\n  \
+         against min(peak_flops, intensity x peak_bw) at the row's intensity."
+    );
+    if json {
+        write_json("recon", &rows_data)?;
+    }
+    Ok(())
+}
+
+fn perfbench(json: bool) -> RunResult {
+    let reps = perf::reps_from_env();
+    println!("\n[perfbench] host-kernel microbenchmarks, median of {reps}");
+    let report = perf::run_perfbench(reps);
+    let rows: Vec<Vec<String>> = report
+        .kernels
+        .iter()
+        .map(|k| {
+            vec![
+                k.name.clone(),
+                format!("{}", k.median_ns),
+                format!("{}", k.min_ns),
+                format!("{:.2}", k.derived_gbps),
+                format!("{:#018x}", k.trace_checksum),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "BENCH_table2 kernels",
+            &[
+                "kernel",
+                "median ns/op",
+                "min ns/op",
+                "GB/s",
+                "trace checksum"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "  host: {} {} ({} cpus, {} build, v{})",
+        report.host.os,
+        report.host.arch,
+        report.host.cpus,
+        report.host.profile,
+        report.host.pkg_version
+    );
+    if json {
+        let path = std::path::Path::new("target/perf/BENCH_table2.json");
+        perf::write_bench_json(path, &report)?;
+        println!("  bench report written to {}", path.display());
+        println!("  gate it with: cargo run -p xtask -- perfgate --compare-only");
+    }
+    Ok(())
+}
+
+fn mmm(json: bool) -> RunResult {
     println!("\n[§8 extension] TLR-MMM: simultaneous virtual sources vs the memory wall");
     let ds = mddx::default_dataset();
     let rows_data = mmmx::mmm_sweep(&ds, &[1, 2, 4, 8, 16, 32, 64, 128, 256]);
@@ -654,11 +811,12 @@ fn mmm(json: bool) {
         "  §8's claim quantified: relative intensity rises with the source count\n           (bases amortize), but flat SRAM gives no reuse — and the panels exhaust\n           the 48 kB PE, so the memory wall returns as a capacity limit."
     );
     if json {
-        write_json("mmm", &rows_data).unwrap();
+        write_json("mmm", &rows_data)?;
     }
+    Ok(())
 }
 
-fn precision(json: bool) {
+fn precision(json: bool) -> RunResult {
     println!("\n[precision ablation] FP32 vs bf16 base storage (refs [23]/[24])");
     let ds = mddx::default_dataset();
     let rows_data = mddx::precision_study(&ds);
@@ -684,11 +842,12 @@ fn precision(json: bool) {
         "  bf16 bases halve the footprint; the quantization noise (≈4e-3 per\n           entry) sits inside the compression tolerance's quality budget."
     );
     if json {
-        write_json("precision", &rows_data).unwrap();
+        write_json("precision", &rows_data)?;
     }
+    Ok(())
 }
 
-fn coupling(json: bool) {
+fn coupling(json: bool) -> RunResult {
     println!("\n[§4 ablation] joint (time-domain) vs per-frequency decoupled MDD");
     let ds = mddx::default_dataset();
     let rows_data = mddx::coupling_study(&ds);
@@ -715,11 +874,12 @@ fn coupling(json: bool) {
         "  §4's point: the decoupled solve degrades at poorly-excited frequencies\n           once the data are noisy — the joint (time-domain) solve balances them."
     );
     if json {
-        write_json("coupling", &rows_data).unwrap();
+        write_json("coupling", &rows_data)?;
     }
+    Ok(())
 }
 
-fn appbench(json: bool) {
+fn appbench(json: bool) -> RunResult {
     println!("\n[§6.2 whole application] dense vs TLR operator in the 30-iteration LSQR");
     let ds = mddx::default_dataset();
     let rows_data = mddx::app_bench(&ds);
@@ -754,13 +914,14 @@ fn appbench(json: bool) {
         )
     );
     if json {
-        write_json("appbench", &rows_data).unwrap();
+        write_json("appbench", &rows_data)?;
     }
+    Ok(())
 }
 
-fn io_study(json: bool) {
+fn io_study(json: bool) -> RunResult {
     println!("\n[§6.6 study] Host link vs kernel time (double buffering break-even)");
-    let rows_data = wsex::io_study();
+    let rows_data = wsex::io_study()?;
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {
@@ -791,12 +952,13 @@ fn io_study(json: bool) {
         "  the paper excludes transfers from its timings and points to double\n           buffering / CXL as mitigations — this quantifies when that works."
     );
     if json {
-        write_json("io", &rows_data).unwrap();
+        write_json("io", &rows_data)?;
     }
+    Ok(())
 }
 
-fn power(json: bool) {
-    let p = wsex::power();
+fn power(json: bool) -> RunResult {
+    let p = wsex::power()?;
     println!("\n[§7.6] Power assessment (worst-case six-shard configuration)");
     println!(
         "  model: {:.1} kW per CS-2 (paper measures {:.0} kW)",
@@ -808,6 +970,7 @@ fn power(json: bool) {
         p.gflops_per_w, p.paper_gflops_per_w
     );
     if json {
-        write_json("power", &p).unwrap();
+        write_json("power", &p)?;
     }
+    Ok(())
 }

@@ -1,0 +1,756 @@
+//! Host-kernel microbenchmarks (`repro perfbench`), the `BENCH_*.json`
+//! baseline schema, and the regression gate behind
+//! `cargo run -p xtask -- perfgate`.
+//!
+//! The subsystem turns the repo's perf trajectory into data: a
+//! median-of-N run over five representative host kernels is written as a
+//! `BENCH_table2.json` document (committed at the repo root as the
+//! baseline), and every later run is compared against it. A median
+//! regression beyond [`GateThresholds::fail_pct`] fails the gate;
+//! between `warn_pct` and `fail_pct` it warns. Each kernel also carries
+//! a **trace-counter checksum** — an FNV-1a fold over the deterministic
+//! trace counters (flops, §6.6 bytes, cycles, SRAM bytes, iterations,
+//! calls, rank histogram; never nanoseconds) of one traced run — so the
+//! gate can tell *accounting drift* (checksum mismatch: the kernel now
+//! does different work) from *timing noise* (same checksum, slower
+//! median).
+//!
+//! Median-of-N with a warmup is deliberately simple: these kernels run
+//! milliseconds, the gate's job is catching 2× cliffs, and the 8/15 %
+//! thresholds absorb host jitter. `PERFBENCH_REPS` overrides N for CI
+//! smoke runs.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use seismic_mdd::{lsqr, LsqrOptions};
+use tlr_mvm::{
+    compress, three_phase_cost, tlr_mvm_cost, trace, CommAvoiding, CompressionConfig,
+    CompressionMethod, ThreePhase, ToleranceMode,
+};
+use wse_sim::{execute_chunks, Cs2Config, Strategy};
+
+use crate::jsonio::Json;
+
+/// Version stamp of the `BENCH_*.json` document layout; bump on
+/// incompatible schema changes (the gate refuses cross-version compares).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default sample count per kernel (median-of-N).
+pub const DEFAULT_REPS: usize = 15;
+
+/// Environment variable overriding the sample count (CI smoke runs).
+pub const REPS_ENV: &str = "PERFBENCH_REPS";
+
+/// Tile size all perfbench kernels run at.
+const NB: usize = 16;
+
+/// Toolchain/host provenance recorded next to the numbers, so a baseline
+/// diff shows *where* it was measured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostInfo {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Logical CPUs visible to the process (0 if unknown).
+    pub cpus: u64,
+    /// `debug` or `release`.
+    pub profile: String,
+    /// This crate's version at measurement time.
+    pub pkg_version: String,
+}
+
+impl HostInfo {
+    /// Capture the current process environment.
+    pub fn current() -> Self {
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
+            profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+            pkg_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("os".to_string(), Json::str(&self.os)),
+            ("arch".to_string(), Json::str(&self.arch)),
+            ("cpus".to_string(), Json::u64(self.cpus)),
+            ("profile".to_string(), Json::str(&self.profile)),
+            ("pkg_version".to_string(), Json::str(&self.pkg_version)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            os: jstr(v, "os")?,
+            arch: jstr(v, "arch")?,
+            cpus: ju64(v, "cpus")?,
+            profile: jstr(v, "profile")?,
+            pkg_version: jstr(v, "pkg_version")?,
+        })
+    }
+}
+
+/// One kernel's measurement in a [`BenchReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelResult {
+    /// Kernel id, stable across runs (the gate joins on it).
+    pub name: String,
+    /// Samples taken (after warmup).
+    pub reps: u64,
+    /// Median wall time per op, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// §6.6 relative (cache-model) bytes one op moves.
+    pub relative_bytes_per_op: u64,
+    /// Real FP32 flops one op performs (0 where flops aren't the point,
+    /// e.g. compression).
+    pub flops_per_op: u64,
+    /// `relative_bytes_per_op / median_ns` → sustained GB/s.
+    pub derived_gbps: f64,
+    /// FNV-1a fold over the deterministic trace counters of one traced
+    /// op (see module docs) — accounting drift detector.
+    pub trace_checksum: u64,
+}
+
+impl KernelResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::str(&self.name)),
+            ("reps".to_string(), Json::u64(self.reps)),
+            ("median_ns".to_string(), Json::u64(self.median_ns)),
+            ("min_ns".to_string(), Json::u64(self.min_ns)),
+            (
+                "relative_bytes_per_op".to_string(),
+                Json::u64(self.relative_bytes_per_op),
+            ),
+            ("flops_per_op".to_string(), Json::u64(self.flops_per_op)),
+            ("derived_gbps".to_string(), Json::f64(self.derived_gbps)),
+            ("trace_checksum".to_string(), Json::u64(self.trace_checksum)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            name: jstr(v, "name")?,
+            reps: ju64(v, "reps")?,
+            median_ns: ju64(v, "median_ns")?,
+            min_ns: ju64(v, "min_ns")?,
+            relative_bytes_per_op: ju64(v, "relative_bytes_per_op")?,
+            flops_per_op: ju64(v, "flops_per_op")?,
+            derived_gbps: jf64(v, "derived_gbps")?,
+            trace_checksum: ju64(v, "trace_checksum")?,
+        })
+    }
+}
+
+/// A complete `BENCH_*.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// [`BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// Experiment tag (`table2`; names the baseline file).
+    pub experiment: String,
+    /// Where the numbers were measured.
+    pub host: HostInfo,
+    /// Per-kernel measurements, in run order.
+    pub kernels: Vec<KernelResult>,
+}
+
+impl BenchReport {
+    /// Serialize to the on-disk JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::u64(self.schema_version)),
+            ("experiment".to_string(), Json::str(&self.experiment)),
+            ("host".to_string(), self.host.to_json()),
+            (
+                "kernels".to_string(),
+                Json::Arr(self.kernels.iter().map(KernelResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize from a parsed JSON tree.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let host = HostInfo::from_json(v.get("host").ok_or("missing field 'host'")?)?;
+        let kernels = v
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array field 'kernels'")?
+            .iter()
+            .map(KernelResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema_version: ju64(v, "schema_version")?,
+            experiment: jstr(v, "experiment")?,
+            host,
+            kernels,
+        })
+    }
+
+    /// Parse a `BENCH_*.json` document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let tree = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&tree)
+    }
+
+    /// Look up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelResult> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+fn ju64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-u64 field '{key}'"))
+}
+
+fn jf64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-number field '{key}'"))
+}
+
+fn jstr(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+/// Write a report to `path` (pretty JSON, trailing newline).
+pub fn write_bench_json(path: &Path, report: &BenchReport) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, report.to_json().to_pretty())
+}
+
+/// Read and parse a `BENCH_*.json` file.
+pub fn read_bench_json(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    BenchReport::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// FNV-1a fold over the deterministic counters of a trace report:
+/// phase names, calls, flops, relative/absolute bytes, cycles, SRAM
+/// bytes, iterations, and the rank histogram. Wall-clock fields are
+/// excluded on purpose — the checksum must be identical across runs on
+/// any host as long as the kernel does the same work.
+pub fn counters_checksum(report: &trace::TraceReport) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for p in &report.phases {
+        eat(p.name.as_bytes());
+        for v in [
+            p.stats.calls,
+            p.stats.flops,
+            p.stats.relative_bytes,
+            p.stats.absolute_bytes,
+            p.stats.cycles,
+            p.stats.sram_bytes,
+            p.stats.iterations,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+    }
+    for b in &report.rank_histogram {
+        eat(&b.rank.to_le_bytes());
+        eat(&b.tiles.to_le_bytes());
+    }
+    h
+}
+
+/// The smooth complex kernel all perfbench kernels operate on — same
+/// family as the phase-breakdown kernel, sized so a full run stays in
+/// the hundreds of milliseconds.
+fn perf_matrix() -> Matrix<C32> {
+    let (m, n) = (9 * NB, 7 * NB);
+    Matrix::from_fn(m, n, |i, j| {
+        let x = i as f32 / m as f32;
+        let y = j as f32 / n as f32;
+        let d = ((x - y) * (x - y) + 0.02).sqrt();
+        C32::from_polar(1.0 / (1.0 + 3.0 * d), -9.0 * d)
+    })
+}
+
+fn perf_x(n: usize) -> Vec<C32> {
+    (0..n)
+        .map(|i| C32::new((i as f32 * 0.17).sin(), (i as f32 * 0.31).cos()))
+        .collect()
+}
+
+fn compression_config() -> CompressionConfig {
+    CompressionConfig {
+        nb: NB,
+        acc: 1e-4,
+        method: CompressionMethod::Svd,
+        mode: ToleranceMode::RelativeTile,
+    }
+}
+
+/// Median and minimum of `reps` timed calls (2 warmup calls first).
+fn measure<F: FnMut()>(reps: usize, mut op: F) -> (u64, u64) {
+    for _ in 0..2 {
+        op();
+    }
+    let mut samples: Vec<u64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            op();
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples[0])
+}
+
+/// Run `op` once inside a private trace window and fold its counters.
+/// Restores the collector (empty) and the enable flag on exit.
+fn traced_checksum<F: FnMut()>(mut op: F) -> u64 {
+    let was_enabled = trace::is_enabled();
+    trace::reset();
+    trace::set_enabled(true);
+    op();
+    trace::set_enabled(false);
+    let sum = counters_checksum(&trace::snapshot());
+    trace::reset();
+    trace::set_enabled(was_enabled);
+    sum
+}
+
+/// Effective sample count: [`REPS_ENV`] override or [`DEFAULT_REPS`].
+pub fn reps_from_env() -> usize {
+    std::env::var(REPS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_REPS)
+}
+
+/// Run the five host-kernel microbenchmarks median-of-`reps` and return
+/// the report (experiment tag `table2`, matching the committed
+/// baseline's filename).
+///
+/// Owns the global trace collector while measuring checksums; call it
+/// outside any `--trace` window.
+pub fn run_perfbench(reps: usize) -> BenchReport {
+    let a = perf_matrix();
+    let (m, n) = (a.nrows(), a.ncols());
+    let x = perf_x(n);
+    let tlr = compress(&a, compression_config());
+    let cost = tlr_mvm_cost(&tlr);
+    let tp_cost = three_phase_cost(&tlr).total();
+    let tp = ThreePhase::new(&tlr);
+    let ca = CommAvoiding::new(&tlr);
+    let chunks = ca.chunks(8);
+    let cfg = Cs2Config::default();
+    let b = tp.apply(&x);
+    let lsqr_opts = LsqrOptions {
+        max_iters: 8,
+        rel_tol: 0.0,
+        damp: 0.0,
+    };
+
+    let mut kernels = Vec::new();
+    let mut push = |name: &str, rel_bytes: u64, flops: u64, op: &mut dyn FnMut()| {
+        let checksum = traced_checksum(&mut *op);
+        let (median_ns, min_ns) = measure(reps, &mut *op);
+        kernels.push(KernelResult {
+            name: name.to_string(),
+            reps: reps as u64,
+            median_ns,
+            min_ns,
+            relative_bytes_per_op: rel_bytes,
+            flops_per_op: flops,
+            derived_gbps: rel_bytes as f64 / median_ns.max(1) as f64,
+            trace_checksum: checksum,
+        });
+    };
+
+    // Dense input the compressor reads: 8 bytes per complex entry.
+    let dense_bytes = 8 * (m as u64) * (n as u64);
+    push("compress.svd.nb16", dense_bytes, 0, &mut || {
+        let t = compress(&a, compression_config());
+        std::hint::black_box(t.total_rank());
+    });
+    push(
+        "three_phase.apply.nb16",
+        tp_cost.relative_bytes,
+        tp_cost.flops,
+        &mut || {
+            std::hint::black_box(tp.apply(&x));
+        },
+    );
+    push(
+        "comm_avoiding.apply.nb16",
+        cost.relative_bytes,
+        cost.flops,
+        &mut || {
+            std::hint::black_box(ca.apply(&x));
+        },
+    );
+    // One functional exec counts its fmacs exactly; 1 fmac = 2 flops.
+    let exec_flops = 2 * execute_chunks(&chunks, &x, m, NB, Strategy::FusedSinglePe, &cfg).fmacs;
+    push(
+        "wse.exec.sw8.nb16",
+        cost.relative_bytes,
+        exec_flops,
+        &mut || {
+            std::hint::black_box(execute_chunks(
+                &chunks,
+                &x,
+                m,
+                NB,
+                Strategy::FusedSinglePe,
+                &cfg,
+            ));
+        },
+    );
+    // 8 LSQR iterations ≈ 8 × (A + Aᴴ) applies.
+    push(
+        "lsqr.8iters.nb16",
+        16 * cost.relative_bytes,
+        16 * cost.flops,
+        &mut || {
+            std::hint::black_box(lsqr(&tlr, &b, lsqr_opts));
+        },
+    );
+
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        experiment: "table2".to_string(),
+        host: HostInfo::current(),
+        kernels,
+    }
+}
+
+/// Regression thresholds on the median, in percent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateThresholds {
+    /// Median regression beyond this fails the gate.
+    pub fail_pct: f64,
+    /// Median regression beyond this (but below `fail_pct`) warns.
+    pub warn_pct: f64,
+}
+
+impl Default for GateThresholds {
+    fn default() -> Self {
+        Self {
+            fail_pct: 15.0,
+            warn_pct: 8.0,
+        }
+    }
+}
+
+/// Severity of one gate finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GateLevel {
+    /// Informational (improvements, new kernels' first appearance).
+    Info,
+    /// Suspicious but not blocking.
+    Warn,
+    /// Gate failure — nonzero exit.
+    Fail,
+}
+
+/// One per-kernel verdict from [`compare_reports`].
+#[derive(Clone, Debug)]
+pub struct GateFinding {
+    /// Kernel the finding is about (or `schema` for document-level
+    /// problems).
+    pub kernel: String,
+    /// Severity.
+    pub level: GateLevel,
+    /// Median change vs baseline in percent (positive = slower); 0 for
+    /// non-timing findings.
+    pub change_pct: f64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The gate's full output.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// Every finding, in kernel order.
+    pub findings: Vec<GateFinding>,
+}
+
+impl GateOutcome {
+    /// Whether any finding fails the gate.
+    pub fn failed(&self) -> bool {
+        self.findings.iter().any(|f| f.level == GateLevel::Fail)
+    }
+
+    /// Names of the kernels with failing findings.
+    pub fn failing_kernels(&self) -> Vec<&str> {
+        self.findings
+            .iter()
+            .filter(|f| f.level == GateLevel::Fail)
+            .map(|f| f.kernel.as_str())
+            .collect()
+    }
+}
+
+/// Compare a current run against the committed baseline.
+///
+/// Fails on: schema-version mismatch, a baseline kernel missing from the
+/// current run, a trace-checksum mismatch (accounting drift), or a
+/// median regression beyond `t.fail_pct`. Warns between `warn_pct` and
+/// `fail_pct` and on kernels that exist only in the current run.
+/// Improvements beyond `fail_pct` are reported as info (consider
+/// re-baselining).
+pub fn compare_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    t: GateThresholds,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if baseline.schema_version != current.schema_version {
+        out.findings.push(GateFinding {
+            kernel: "schema".to_string(),
+            level: GateLevel::Fail,
+            change_pct: 0.0,
+            message: format!(
+                "schema version mismatch: baseline v{} vs current v{} — re-baseline",
+                baseline.schema_version, current.schema_version
+            ),
+        });
+        return out;
+    }
+    for base in &baseline.kernels {
+        let Some(cur) = current.kernel(&base.name) else {
+            out.findings.push(GateFinding {
+                kernel: base.name.clone(),
+                level: GateLevel::Fail,
+                change_pct: 0.0,
+                message: "kernel present in baseline but missing from current run".to_string(),
+            });
+            continue;
+        };
+        if cur.trace_checksum != base.trace_checksum {
+            out.findings.push(GateFinding {
+                kernel: base.name.clone(),
+                level: GateLevel::Fail,
+                change_pct: 0.0,
+                message: format!(
+                    "trace-counter checksum changed ({:#018x} → {:#018x}): the kernel \
+                     does different work now — re-baseline if intentional",
+                    base.trace_checksum, cur.trace_checksum
+                ),
+            });
+            continue;
+        }
+        let change_pct = if base.median_ns == 0 {
+            0.0
+        } else {
+            100.0 * (cur.median_ns as f64 - base.median_ns as f64) / base.median_ns as f64
+        };
+        let (level, message) = if change_pct > t.fail_pct {
+            (
+                GateLevel::Fail,
+                format!(
+                    "median regressed {change_pct:+.1}% ({} → {} ns/op), beyond the \
+                     {:.0}% gate",
+                    base.median_ns, cur.median_ns, t.fail_pct
+                ),
+            )
+        } else if change_pct > t.warn_pct {
+            (
+                GateLevel::Warn,
+                format!(
+                    "median regressed {change_pct:+.1}% ({} → {} ns/op)",
+                    base.median_ns, cur.median_ns
+                ),
+            )
+        } else if change_pct < -t.fail_pct {
+            (
+                GateLevel::Info,
+                format!(
+                    "median improved {change_pct:+.1}% ({} → {} ns/op) — consider \
+                     re-baselining",
+                    base.median_ns, cur.median_ns
+                ),
+            )
+        } else {
+            (
+                GateLevel::Info,
+                format!("median within noise ({change_pct:+.1}%)"),
+            )
+        };
+        out.findings.push(GateFinding {
+            kernel: base.name.clone(),
+            level,
+            change_pct,
+            message,
+        });
+    }
+    for cur in &current.kernels {
+        if baseline.kernel(&cur.name).is_none() {
+            out.findings.push(GateFinding {
+                kernel: cur.name.clone(),
+                level: GateLevel::Warn,
+                change_pct: 0.0,
+                message: "new kernel with no committed baseline entry".to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(kernels: Vec<KernelResult>) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "table2".to_string(),
+            host: HostInfo::current(),
+            kernels,
+        }
+    }
+
+    fn kernel(name: &str, median_ns: u64, checksum: u64) -> KernelResult {
+        KernelResult {
+            name: name.to_string(),
+            reps: 15,
+            median_ns,
+            min_ns: median_ns,
+            relative_bytes_per_op: 1_000,
+            flops_per_op: 2_000,
+            derived_gbps: 1.0,
+            trace_checksum: checksum,
+        }
+    }
+
+    #[test]
+    fn bench_report_roundtrips_through_jsonio() {
+        let rep = report_with(vec![kernel("three_phase.apply.nb16", 123_456, u64::MAX)]);
+        let text = rep.to_json().to_pretty();
+        let back = BenchReport::parse(&text).expect("parse own output");
+        assert_eq!(rep, back);
+    }
+
+    /// The acceptance-criterion self-test shape: a 2× synthetic slowdown
+    /// must fail the gate and name the offending kernel.
+    #[test]
+    fn gate_fails_on_2x_slowdown_and_names_kernel() {
+        let base = report_with(vec![
+            kernel("compress.svd.nb16", 100_000, 1),
+            kernel("lsqr.8iters.nb16", 50_000, 2),
+        ]);
+        let mut cur = base.clone();
+        cur.kernels[1].median_ns *= 2;
+        let out = compare_reports(&base, &cur, GateThresholds::default());
+        assert!(out.failed());
+        assert_eq!(out.failing_kernels(), vec!["lsqr.8iters.nb16"]);
+        assert!(out.findings.iter().any(|f| f.change_pct > 99.0));
+    }
+
+    #[test]
+    fn gate_warns_between_thresholds_and_passes_within_noise() {
+        let base = report_with(vec![kernel("k", 100_000, 7)]);
+        let mut warn = base.clone();
+        warn.kernels[0].median_ns = 110_000; // +10%
+        let out = compare_reports(&base, &warn, GateThresholds::default());
+        assert!(!out.failed());
+        assert!(out.findings.iter().any(|f| f.level == GateLevel::Warn));
+
+        let mut ok = base.clone();
+        ok.kernels[0].median_ns = 104_000; // +4%
+        let out = compare_reports(&base, &ok, GateThresholds::default());
+        assert!(out.findings.iter().all(|f| f.level == GateLevel::Info));
+    }
+
+    #[test]
+    fn gate_fails_on_checksum_drift_and_missing_kernel() {
+        let base = report_with(vec![kernel("a", 1_000, 1), kernel("b", 1_000, 2)]);
+        let cur = report_with(vec![kernel("a", 1_000, 99)]);
+        let out = compare_reports(&base, &cur, GateThresholds::default());
+        assert!(out.failed());
+        let failing = out.failing_kernels();
+        assert!(failing.contains(&"a") && failing.contains(&"b"));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.message.contains("checksum changed")));
+    }
+
+    #[test]
+    fn gate_fails_on_schema_mismatch() {
+        let base = report_with(vec![kernel("a", 1_000, 1)]);
+        let mut cur = base.clone();
+        cur.schema_version += 1;
+        let out = compare_reports(&base, &cur, GateThresholds::default());
+        assert!(out.failed());
+        assert_eq!(out.failing_kernels(), vec!["schema"]);
+    }
+
+    #[test]
+    fn checksum_ignores_wall_clock_but_sees_counters() {
+        use tlr_mvm::trace::{PhaseEntry, PhaseStats, TraceReport};
+        let mk = |nanos: u64, flops: u64| TraceReport {
+            phases: vec![PhaseEntry {
+                name: "p".to_string(),
+                stats: PhaseStats {
+                    calls: 1,
+                    nanos,
+                    flops,
+                    ..Default::default()
+                },
+            }],
+            ..Default::default()
+        };
+        assert_eq!(
+            counters_checksum(&mk(10, 100)),
+            counters_checksum(&mk(999_999, 100)),
+            "nanos must not affect the checksum"
+        );
+        assert_ne!(
+            counters_checksum(&mk(10, 100)),
+            counters_checksum(&mk(10, 101)),
+            "flops must affect the checksum"
+        );
+    }
+
+    /// A tiny end-to-end run: kernels measure, checksums are stable
+    /// across two runs, and the report round-trips.
+    #[test]
+    fn perfbench_smoke_is_deterministic_in_counters() {
+        let _g = crate::test_sync::trace_lock();
+        let a = run_perfbench(1);
+        let b = run_perfbench(1);
+        assert_eq!(a.kernels.len(), 5);
+        for (ka, kb) in a.kernels.iter().zip(&b.kernels) {
+            assert_eq!(ka.name, kb.name);
+            assert!(ka.median_ns > 0);
+            assert_eq!(
+                ka.trace_checksum, kb.trace_checksum,
+                "{}: checksum must be run-to-run deterministic",
+                ka.name
+            );
+        }
+        let back = BenchReport::parse(&a.to_json().to_pretty()).expect("roundtrip");
+        assert_eq!(a, back);
+    }
+}

@@ -6,17 +6,62 @@ use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 use serde::Serialize;
 use tlr_mvm::{
-    compress, three_phase_cost, trace, CompressionConfig, CompressionMethod, ThreePhase,
-    ToleranceMode,
+    compress, three_phase_cost, trace, CommAvoiding, CompressionConfig, CompressionMethod,
+    ThreePhase, ToleranceMode,
 };
 use wse_sim::{
-    choose_stack_width, constant_size_bandwidth, energy_report, place, strategy1_phase_costs,
-    Cluster, Cs2Config, PlacementReport, RankModel, Strategy,
+    choose_stack_width, constant_size_bandwidth, energy_report, execute_chunks, fig15_machines,
+    fig16_machines, place, strategy1_phase_costs, Cluster, Cs2Config, MachineDescriptor,
+    PlacementReport, RankModel, Strategy,
 };
 
 /// The paper's five validated configurations (Table 1 rows).
 pub const VALIDATED_CONFIGS: [(usize, f32); 5] =
     [(25, 1e-4), (50, 1e-4), (70, 1e-4), (50, 3e-4), (70, 3e-4)];
+
+/// Failure modes of the paper-scale experiment generators. All of them
+/// are configuration errors — the validated tables always succeed — but
+/// propagating them keeps the library panic-free (lint NP01).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentError {
+    /// `(nb, acc)` outside the paper's validated rank-model table.
+    UnknownConfig {
+        /// Tile size requested.
+        nb: usize,
+        /// Accuracy requested.
+        acc: f32,
+    },
+    /// The workload did not place on the cluster.
+    Placement(wse_sim::PlaceError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::UnknownConfig { nb, acc } => write!(
+                f,
+                "(nb={nb}, acc={acc:.0e}) is not a paper-validated rank-model configuration"
+            ),
+            ExperimentError::Placement(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<wse_sim::PlaceError> for ExperimentError {
+    fn from(e: wse_sim::PlaceError) -> Self {
+        ExperimentError::Placement(e)
+    }
+}
+
+/// The paper-scale workload for a validated `(nb, acc)` point, or
+/// [`ExperimentError::UnknownConfig`].
+fn paper_workload(nb: usize, acc: f32) -> Result<wse_sim::Workload, ExperimentError> {
+    Ok(RankModel::paper(nb, acc)
+        .ok_or(ExperimentError::UnknownConfig { nb, acc })?
+        .generate())
+}
 
 /// Paper reference values for Tables 1–3 (per validated config).
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -117,7 +162,7 @@ pub struct SixShardRow {
 
 /// Compute the six-shard placement for every validated config — the data
 /// behind Tables 1, 2 and 3.
-pub fn six_shard_rows() -> Vec<SixShardRow> {
+pub fn six_shard_rows() -> Result<Vec<SixShardRow>, ExperimentError> {
     let cluster = Cluster::new(6);
     let cfg = Cs2Config::default();
     let refs = paper_six_shard_refs();
@@ -125,18 +170,15 @@ pub fn six_shard_rows() -> Vec<SixShardRow> {
         .iter()
         .zip(refs)
         .map(|(&(nb, acc), paper)| {
-            let w = RankModel::paper(nb, acc)
-                .expect("paper-validated (nb, acc) rank model")
-                .generate();
+            let w = paper_workload(nb, acc)?;
             let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(nb));
-            let report = place(&w, sw, Strategy::FusedSinglePe, &cluster)
-                .expect("validated config must place on 6 CS-2s");
-            SixShardRow {
+            let report = place(&w, sw, Strategy::FusedSinglePe, &cluster)?;
+            Ok(SixShardRow {
                 nb,
                 acc,
                 report,
                 paper,
-            }
+            })
         })
         .collect()
 }
@@ -193,10 +235,8 @@ pub struct Table4Row {
 }
 
 /// Table 4: strong scaling of the `nb = 25, acc = 1e-4` configuration.
-pub fn table4() -> Vec<Table4Row> {
-    let w = RankModel::paper(25, 1e-4)
-        .expect("paper-validated (nb, acc) rank model")
-        .generate();
+pub fn table4() -> Result<Vec<Table4Row>, ExperimentError> {
+    let w = paper_workload(25, 1e-4)?;
     // Paper rows: (shards, stack width, strategy, paper rel PB/s).
     let rows = [
         (6usize, 64usize, Strategy::FusedSinglePe, 11.24),
@@ -209,7 +249,7 @@ pub fn table4() -> Vec<Table4Row> {
     let mut base: Option<(usize, f64)> = None;
     for (shards, sw, strategy, paper_rel) in rows {
         let cluster = Cluster::new(shards);
-        let report = place(&w, sw, strategy, &cluster).expect("table 4 row must place");
+        let report = place(&w, sw, strategy, &cluster)?;
         let eff = match base {
             None => {
                 base = Some((shards, report.relative_bw));
@@ -226,7 +266,7 @@ pub fn table4() -> Vec<Table4Row> {
             paper_rel_pbs: paper_rel,
         });
     }
-    out
+    Ok(out)
 }
 
 /// One Table 5 row: 48-shard strategy-2 runs.
@@ -249,7 +289,7 @@ pub struct Table5Row {
 }
 
 /// Table 5: the headline 48-system runs (`acc = 1e-4`, strategy 2).
-pub fn table5() -> Vec<Table5Row> {
+pub fn table5() -> Result<Vec<Table5Row>, ExperimentError> {
     let rows = [
         (25usize, 64usize, 48usize, 87.73, 204.51, 29.40),
         (50, 32, 47, 91.15, 235.04, 35.86),
@@ -257,13 +297,10 @@ pub fn table5() -> Vec<Table5Row> {
     ];
     rows.iter()
         .map(|&(nb, sw, shards, p_rel, p_abs, p_fl)| {
-            let w = RankModel::paper(nb, 1e-4)
-                .expect("paper-validated (nb, acc) rank model")
-                .generate();
+            let w = paper_workload(nb, 1e-4)?;
             let cluster = Cluster::new(shards);
-            let report =
-                place(&w, sw, Strategy::ScatterEightPes, &cluster).expect("table 5 row must place");
-            Table5Row {
+            let report = place(&w, sw, Strategy::ScatterEightPes, &cluster)?;
+            Ok(Table5Row {
                 nb,
                 stack_width: sw,
                 shards,
@@ -271,7 +308,7 @@ pub fn table5() -> Vec<Table5Row> {
                 paper_rel_pbs: p_rel,
                 paper_abs_pbs: p_abs,
                 paper_pflops: p_fl,
-            }
+            })
         })
         .collect()
 }
@@ -290,21 +327,19 @@ pub struct PowerResult {
 }
 
 /// Power model on the `nb = 25, acc = 1e-4` six-shard run.
-pub fn power() -> PowerResult {
+pub fn power() -> Result<PowerResult, ExperimentError> {
     let cluster = Cluster::new(6);
     let cfg = Cs2Config::default();
-    let w = RankModel::paper(25, 1e-4)
-        .expect("paper-validated (nb, acc) rank model")
-        .generate();
+    let w = paper_workload(25, 1e-4)?;
     let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(25));
-    let report = place(&w, sw, Strategy::FusedSinglePe, &cluster).expect("power config must place");
+    let report = place(&w, sw, Strategy::FusedSinglePe, &cluster)?;
     let e = energy_report(&report, &cluster);
-    PowerResult {
+    Ok(PowerResult {
         power_per_system_w: e.power_per_system_w,
         gflops_per_w: e.gflops_per_w,
         paper_power_w: 16_000.0,
         paper_gflops_per_w: 36.50,
-    }
+    })
 }
 
 /// §6.6 I/O study row: can double buffering hide the host link?
@@ -325,15 +360,13 @@ pub struct IoRow {
 /// §6.6: quantify the "slow-bandwidth ethernet … may be mitigated with a
 /// double buffering mechanism or … CXL" remark on the six-shard headline
 /// configuration.
-pub fn io_study() -> Vec<IoRow> {
+pub fn io_study() -> Result<Vec<IoRow>, ExperimentError> {
     let cluster = Cluster::new(6);
     let cfg = Cs2Config::default();
-    let w = RankModel::paper(70, 1e-4)
-        .expect("paper-validated (nb, acc) rank model")
-        .generate();
+    let w = paper_workload(70, 1e-4)?;
     let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(70));
-    let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster).expect("io config must place");
-    [
+    let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster)?;
+    Ok([
         ("Ethernet (1.2 Tb/s)", wse_sim::HostLink::ethernet()),
         ("CXL-class (8 Tb/s)", wse_sim::HostLink::cxl()),
     ]
@@ -348,7 +381,7 @@ pub fn io_study() -> Vec<IoRow> {
             double_buffer_efficiency: io.double_buffer_efficiency,
         }
     })
-    .collect()
+    .collect())
 }
 
 /// A roofline point or ceiling for the Fig. 15/16 outputs.
@@ -379,7 +412,7 @@ pub struct MeasuredPoint {
 
 /// Fig. 15: six-CS-2 roofline vs vendor hardware, with the model's
 /// measured TLR-MVM point (optimal six-shard configuration).
-pub fn fig15() -> (Vec<RooflinePoint>, MeasuredPoint) {
+pub fn fig15() -> Result<(Vec<RooflinePoint>, MeasuredPoint), ExperimentError> {
     let machines = wse_sim::fig15_machines()
         .into_iter()
         .map(|m| RooflinePoint {
@@ -392,7 +425,7 @@ pub fn fig15() -> (Vec<RooflinePoint>, MeasuredPoint) {
     // Paper plots the optimal 6-shard configuration (nb=50, acc=3e-4).
     // Plain scan instead of `max_by`: bandwidths are finite by
     // construction, so no partial-order escape hatch is needed.
-    let rows = six_shard_rows();
+    let rows = six_shard_rows()?;
     let mut best = &rows[0];
     for r in &rows[1..] {
         if r.report.relative_bw > best.report.relative_bw {
@@ -405,12 +438,12 @@ pub fn fig15() -> (Vec<RooflinePoint>, MeasuredPoint) {
         bandwidth: best.report.relative_bw,
         flops: best.report.flops_per_s,
     };
-    (machines, point)
+    Ok((machines, point))
 }
 
 /// Fig. 16: 48-CS-2 roofline vs the Top-5, with relative and absolute
 /// measured points plus the paper's constant-rank estimates.
-pub fn fig16() -> (Vec<RooflinePoint>, Vec<MeasuredPoint>) {
+pub fn fig16() -> Result<(Vec<RooflinePoint>, Vec<MeasuredPoint>), ExperimentError> {
     let machines = wse_sim::fig16_machines()
         .into_iter()
         .map(|m| RooflinePoint {
@@ -420,9 +453,9 @@ pub fn fig16() -> (Vec<RooflinePoint>, Vec<MeasuredPoint>) {
             peak_flops: m.peak_flops,
         })
         .collect();
-    let t5 = table5();
+    let t5 = table5()?;
     let Some(best) = t5.last() else {
-        return (machines, Vec::new());
+        return Ok((machines, Vec::new()));
     }; // nb = 70, the paper's headline
     let mut points = vec![
         MeasuredPoint {
@@ -446,7 +479,144 @@ pub fn fig16() -> (Vec<RooflinePoint>, Vec<MeasuredPoint>) {
             flops: bw * 0.5,
         });
     }
-    (machines, points)
+    Ok((machines, points))
+}
+
+/// One row of the roofline-reconciliation report (`repro recon`): a
+/// placed configuration's sustained bandwidth and flop rate expressed as
+/// a percentage of its machine's roofline ceilings — Tables 4–5 restated
+/// against Figs. 15–16.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReconRow {
+    /// Which cluster/table the row comes from.
+    pub setting: String,
+    /// Roofline machine the row is normalized against.
+    pub machine: String,
+    /// Tile size.
+    pub nb: usize,
+    /// Accuracy.
+    pub acc: f32,
+    /// Relative (cache-model) arithmetic intensity, flop/byte.
+    pub intensity: f64,
+    /// Sustained relative bandwidth, B/s.
+    pub rel_bw: f64,
+    /// Sustained absolute bandwidth, B/s.
+    pub abs_bw: f64,
+    /// Sustained flop rate, flop/s.
+    pub flops_per_s: f64,
+    /// `rel_bw` as % of the machine's peak bandwidth.
+    pub rel_bw_pct_peak: f64,
+    /// `abs_bw` as % of the machine's peak bandwidth.
+    pub abs_bw_pct_peak: f64,
+    /// `flops_per_s` as % of the machine's peak compute.
+    pub flops_pct_peak: f64,
+    /// Roofline-attainable flop rate at this intensity.
+    pub attainable_flops: f64,
+    /// `flops_per_s` as % of `attainable_flops` — how close the mapping
+    /// gets to its own roofline, the reconciliation headline.
+    pub pct_of_attainable: f64,
+}
+
+fn recon_row(
+    setting: &str,
+    nb: usize,
+    acc: f32,
+    report: &PlacementReport,
+    machine: &MachineDescriptor,
+) -> ReconRow {
+    let intensity = report.flops as f64 / (report.relative_bytes as f64).max(1.0);
+    let attainable = machine.attainable(intensity);
+    ReconRow {
+        setting: setting.to_string(),
+        machine: machine.name.clone(),
+        nb,
+        acc,
+        intensity,
+        rel_bw: report.relative_bw,
+        abs_bw: report.absolute_bw,
+        flops_per_s: report.flops_per_s,
+        rel_bw_pct_peak: 100.0 * report.relative_bw / machine.peak_bw,
+        abs_bw_pct_peak: 100.0 * report.absolute_bw / machine.peak_bw,
+        flops_pct_peak: 100.0 * report.flops_per_s / machine.peak_flops,
+        attainable_flops: attainable,
+        pct_of_attainable: if attainable > 0.0 {
+            100.0 * report.flops_per_s / attainable
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The roofline reconciliation: every Table 3 six-shard configuration
+/// joined against the Fig. 15 six-CS-2 ceilings, and every Table 5
+/// 48-shard configuration against the Fig. 16 Condor Galaxy ceilings.
+pub fn roofline_reconciliation() -> Result<Vec<ReconRow>, ExperimentError> {
+    let fig15_ceiling = &fig15_machines()[0];
+    let fig16_ceiling = &fig16_machines()[0];
+    let mut rows = Vec::new();
+    for r in six_shard_rows()? {
+        rows.push(recon_row(
+            "6 CS-2 (Table 3)",
+            r.nb,
+            r.acc,
+            &r.report,
+            fig15_ceiling,
+        ));
+    }
+    for t in table5()? {
+        rows.push(recon_row(
+            "48 CS-2 (Table 5)",
+            t.nb,
+            1e-4,
+            &t.report,
+            fig16_ceiling,
+        ));
+    }
+    Ok(rows)
+}
+
+/// Run one downscaled three-phase apply plus one functional WSE
+/// execution under the *ambient* trace window — unlike
+/// [`phase_breakdown`], this does not own or reset the collector. It
+/// exists so `--timeline` artifacts always carry both track families:
+/// measured host spans for every TLR-MVM phase
+/// (`tlr_mvm.v_batch`/`shuffle`/`u_batch`) and modeled per-PE-group
+/// simulator tracks (`wse.pe_group.cl{cl}_w{w}`), whatever experiment
+/// ran. A no-op while tracing is disabled.
+pub fn traced_timeline_sample() {
+    if !trace::is_enabled() {
+        return;
+    }
+    let nb = 16;
+    let a = breakdown_kernel(nb);
+    let tlr = compress(
+        &a,
+        CompressionConfig {
+            nb,
+            acc: 1e-4,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        },
+    );
+    let x: Vec<C32> = (0..a.ncols())
+        .map(|i| C32::new((i as f32 * 0.17).sin(), (i as f32 * 0.31).cos()))
+        .collect();
+    // Host spans: the three-phase pipeline records one span per phase.
+    let tp = ThreePhase::new(&tlr);
+    std::hint::black_box(tp.apply(&x).len());
+    // Simulator tracks: the functional exec attributes cycles/SRAM/PEs
+    // per (cl, w) PE group.
+    let ca = CommAvoiding::new(&tlr);
+    let chunks = ca.chunks(8);
+    let res = execute_chunks(
+        &chunks,
+        &x,
+        a.nrows(),
+        nb,
+        Strategy::FusedSinglePe,
+        &Cs2Config::default(),
+    );
+    std::hint::black_box(res.y.len());
 }
 
 /// Traced applies per config in [`phase_breakdown`] — enough for the
@@ -595,7 +765,7 @@ mod tests {
 
     #[test]
     fn six_shard_rows_are_close_to_paper() {
-        for row in six_shard_rows() {
+        for row in six_shard_rows().expect("validated configs place") {
             let pe_err = (row.report.pes_used as f64 - row.paper.pes_used as f64).abs()
                 / row.paper.pes_used as f64;
             assert!(pe_err < 0.06, "nb={} PE error {pe_err}", row.nb);
@@ -607,7 +777,7 @@ mod tests {
 
     #[test]
     fn table4_efficiency_declines_but_stays_high() {
-        let rows = table4();
+        let rows = table4().expect("table 4 rows place");
         assert_eq!(rows[0].parallel_efficiency, 1.0);
         // Strategy-1 efficiencies decline monotonically with shard count.
         for w in rows[..4].windows(2) {
@@ -627,12 +797,13 @@ mod tests {
         // bandwidth gap is byte counting: we apply the paper's stated
         // §6.6 formulas, while the measured runs also count alignment
         // padding and replicated-base traffic (~15-25 % more bytes).
-        for row in table5() {
+        for row in table5().expect("table 5 rows place") {
             let err = (row.report.relative_pbs() - row.paper_rel_pbs).abs() / row.paper_rel_pbs;
             assert!(err < 0.25, "nb={} rel err {err}", row.nb);
         }
         // The headline (nb = 70) lands much closer.
-        let last = &table5()[2];
+        let rows = table5().expect("table 5 rows place");
+        let last = &rows[2];
         let err = (last.report.relative_pbs() - last.paper_rel_pbs).abs() / last.paper_rel_pbs;
         assert!(err < 0.10, "headline err {err}");
     }
@@ -655,6 +826,7 @@ mod tests {
         // agree with the static `three_phase_cost` prediction within 10 %
         // (they derive from the same §6.6 formulas, so they agree
         // exactly unless a concurrent test contributes spans).
+        let _g = crate::test_sync::trace_lock();
         let rows = phase_breakdown();
         assert_eq!(rows.len(), VALIDATED_CONFIGS.len());
         for r in &rows {
@@ -688,8 +860,42 @@ mod tests {
     }
 
     #[test]
+    fn roofline_reconciliation_is_consistent() {
+        let rows = roofline_reconciliation().expect("recon rows place");
+        // 5 six-shard configs + 3 table-5 configs.
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.intensity > 0.0 && r.intensity < 1.0, "{}", r.intensity);
+            // Sustained never exceeds the ceilings.
+            assert!(r.rel_bw_pct_peak > 0.0 && r.rel_bw_pct_peak <= 100.0);
+            assert!(r.flops_pct_peak > 0.0 && r.flops_pct_peak <= 100.0);
+            // flops/attainable and bw/peak agree in the memory-bound
+            // regime (attainable = intensity · peak_bw there).
+            if r.attainable_flops < 0.999 * r.flops_per_s.max(1.0) {
+                continue;
+            }
+            assert!(
+                r.pct_of_attainable <= 100.0 + 1e-9,
+                "{} exceeds its roofline",
+                r.setting
+            );
+        }
+        // The paper's shape: relative bandwidth lands at ~10 % of the
+        // drawn CS-2 memory ceiling on six shards (12 PB/s of 120 PB/s).
+        let six = &rows[0];
+        assert!(six.rel_bw_pct_peak > 5.0 && six.rel_bw_pct_peak < 15.0);
+    }
+
+    #[test]
+    fn unknown_config_is_an_error_not_a_panic() {
+        let err = paper_workload(99, 1e-4).expect_err("nb=99 is not validated");
+        assert_eq!(err, ExperimentError::UnknownConfig { nb: 99, acc: 1e-4 });
+        assert!(err.to_string().contains("nb=99"));
+    }
+
+    #[test]
     fn power_within_paper_range() {
-        let p = power();
+        let p = power().expect("power config places");
         assert!((p.power_per_system_w - p.paper_power_w).abs() / p.paper_power_w < 0.05);
         assert!((p.gflops_per_w - p.paper_gflops_per_w).abs() / p.paper_gflops_per_w < 0.35);
     }

@@ -25,10 +25,20 @@
 //!   never double-counting siblings).
 //! * Counters ([`add_flops`], [`add_bytes`], [`add_cycles`],
 //!   [`add_sram_bytes`], [`add_iterations`]) are monotonic u64
-//!   accumulators per phase name. The collector is a single
-//!   `parking_lot::Mutex`, so accumulation from rayon workers is safe;
-//!   instrumentation therefore counts at *phase* granularity (once per
-//!   batch), not per tile.
+//!   accumulators per phase name. Every increment is a `saturating_add`,
+//!   so a counter that reaches `u64::MAX` on a long multi-frequency MDD
+//!   run pins there instead of wrapping to a nonsense small value. The
+//!   collector is a single `parking_lot::Mutex`, so accumulation from
+//!   rayon workers is safe; instrumentation therefore counts at *phase*
+//!   granularity (once per batch), not per tile.
+//! * Every completed span also feeds a **log-bucketed latency
+//!   histogram** per phase label (bucket `b` covers `[2^b, 2^{b+1})`
+//!   nanoseconds) from which [`LatencyEntry::percentile_ns`] derives
+//!   p50/p95/p99 as nearest-rank bucket floors, and appends one
+//!   **wall-clock-stamped [`SpanEvent`]** (start offset from the trace
+//!   epoch plus duration) — the raw material of the Perfetto timeline
+//!   export. Span events are capped at [`MAX_SPAN_EVENTS`]; overflow is
+//!   counted, never silently dropped.
 //! * Byte counters follow the paper's §6.6 models: `relative` =
 //!   cache-model bytes, `absolute` = flat-SRAM bytes (see
 //!   [`crate::accounting`]). The traced totals are computed from the
@@ -80,11 +90,57 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// so contention is negligible even under rayon.
 static COLLECTOR: Mutex<Collector> = Mutex::new(Collector::new());
 
+/// Hard cap on retained [`SpanEvent`]s per trace window. Beyond it the
+/// collector keeps counting ([`TraceReport::dropped_span_events`]) but
+/// stops storing, bounding memory on long multi-frequency MDD runs.
+pub const MAX_SPAN_EVENTS: usize = 1 << 16;
+
+/// Number of log2 latency buckets: bucket `b` covers `[2^b, 2^{b+1})`
+/// ns (bucket 0 also holds 0-ns observations), so the top bucket starts
+/// at 2^63 ns ≈ 292 years — every `u64` duration has a bucket.
+const LATENCY_BUCKETS: usize = 64;
+
+/// Dense per-phase latency buckets (collector-internal; snapshots
+/// serialize the sparse [`LatencyEntry`] form).
+struct LatencyBuckets([u64; LATENCY_BUCKETS]);
+
+impl LatencyBuckets {
+    fn record(&mut self, nanos: u64) {
+        let b = bucket_index(nanos);
+        self.0[b] = self.0[b].saturating_add(1);
+    }
+}
+
+/// Log2 bucket index of a duration: `floor(log2(ns))`, with 0 and 1 ns
+/// sharing bucket 0.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < 2 {
+        0
+    } else {
+        crate::precision::to_usize(u64::from(nanos.ilog2()))
+    }
+}
+
+/// Inclusive lower bound of a log2 bucket.
+fn bucket_floor(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << bucket
+    }
+}
+
 /// Aggregated state behind the collector mutex.
 struct Collector {
     phases: BTreeMap<String, PhaseStats>,
     iterations: Vec<SolverIteration>,
     ranks: BTreeMap<u64, u64>,
+    latency: BTreeMap<String, LatencyBuckets>,
+    events: Vec<SpanEvent>,
+    dropped_events: u64,
+    /// Wall-clock zero of the current trace window; set on [`reset`] and
+    /// lazily on the first span completion after process start.
+    epoch: Option<Instant>,
 }
 
 impl Collector {
@@ -93,6 +149,10 @@ impl Collector {
             phases: BTreeMap::new(),
             iterations: Vec::new(),
             ranks: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+            epoch: None,
         }
     }
 
@@ -106,6 +166,10 @@ impl Collector {
         self.phases.clear();
         self.iterations.clear();
         self.ranks.clear();
+        self.latency.clear();
+        self.events.clear();
+        self.dropped_events = 0;
+        self.epoch = None;
     }
 }
 
@@ -121,9 +185,13 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clear every collected phase, iteration trace, and histogram bucket.
+/// Clear every collected phase, iteration trace, histogram bucket, and
+/// span event, and restart the wall-clock epoch that [`SpanEvent`]
+/// timestamps are measured from.
 pub fn reset() {
-    COLLECTOR.lock().clear();
+    let mut c = COLLECTOR.lock();
+    c.clear();
+    c.epoch = Some(Instant::now());
 }
 
 /// Monotonic counters attached to one named phase.
@@ -180,6 +248,78 @@ pub struct RankBucket {
     pub tiles: u64,
 }
 
+/// One occupied log2 latency bucket: `count` observations fell in
+/// `[floor_ns, 2·max(floor_ns, 1))`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBucket {
+    /// Inclusive lower bound of the bucket in nanoseconds (0 or a power
+    /// of two).
+    pub floor_ns: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Per-span-label latency distribution: sparse log2 buckets plus the
+/// nearest-rank p50/p95/p99 snapshotted from them.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyEntry {
+    /// Span label (phase name).
+    pub name: String,
+    /// Total completed spans observed.
+    pub count: u64,
+    /// Median latency (nearest-rank bucket floor), ns.
+    pub p50_ns: u64,
+    /// 95th-percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// Occupied buckets, sorted by `floor_ns`.
+    pub buckets: Vec<LatencyBucket>,
+}
+
+impl LatencyEntry {
+    /// Nearest-rank percentile over the log2 buckets: the floor of the
+    /// bucket holding the `⌈q·count⌉`-th smallest observation (so the
+    /// estimate is a lower bound, tight to within the bucket's factor of
+    /// two). `q` is clamped to `[0, 1]`; returns 0 when no spans were
+    /// observed.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q·count), at least rank 1, never above count. A count
+        // near u64::MAX rounds to 2^64 in f64, which f64_to_u64
+        // rejects — saturate to `count` instead of panicking.
+        let raw = (q * self.count as f64).ceil();
+        let rank = if raw >= u64::MAX as f64 {
+            self.count
+        } else {
+            crate::precision::f64_to_u64(raw).clamp(1, self.count)
+        };
+        let mut cumulative = 0u64;
+        for b in &self.buckets {
+            cumulative = cumulative.saturating_add(b.count);
+            if cumulative >= rank {
+                return b.floor_ns;
+            }
+        }
+        self.buckets.last().map_or(0, |b| b.floor_ns)
+    }
+}
+
+/// One completed span, stamped relative to the trace epoch (the last
+/// [`reset`]) — the raw record the Perfetto timeline export renders.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span label (phase name).
+    pub name: String,
+    /// Wall-clock start offset from the trace epoch, ns.
+    pub start_ns: u64,
+    /// Span duration, ns.
+    pub dur_ns: u64,
+}
+
 /// A serializable snapshot of everything collected since [`reset`].
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraceReport {
@@ -189,12 +329,28 @@ pub struct TraceReport {
     pub solver_iterations: Vec<SolverIteration>,
     /// Compression rank histogram, sorted by rank.
     pub rank_histogram: Vec<RankBucket>,
+    /// Per-span-label latency distributions, sorted by name. `default`
+    /// so pre-histogram trace JSON still deserializes.
+    #[serde(default)]
+    pub latency: Vec<LatencyEntry>,
+    /// Completed spans with epoch-relative wall-clock stamps, in
+    /// completion order (capped at [`MAX_SPAN_EVENTS`]).
+    #[serde(default)]
+    pub span_events: Vec<SpanEvent>,
+    /// Span events discarded after the cap was hit.
+    #[serde(default)]
+    pub dropped_span_events: u64,
 }
 
 impl TraceReport {
     /// Look up a phase by name.
     pub fn phase(&self, name: &str) -> Option<&PhaseEntry> {
         self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Look up a latency distribution by span label.
+    pub fn latency_for(&self, name: &str) -> Option<&LatencyEntry> {
+        self.latency.iter().find(|l| l.name == name)
     }
 
     /// Sum of `nanos` over phases whose name starts with `prefix`.
@@ -235,9 +391,26 @@ impl Drop for Span {
         if let Some((name, start)) = self.live.take() {
             let ns = duration_nanos(start.elapsed());
             let mut c = COLLECTOR.lock();
+            // First span since process start with no reset yet: its own
+            // start becomes the epoch.
+            let epoch = *c.epoch.get_or_insert(start);
+            let start_ns = duration_nanos(start.saturating_duration_since(epoch));
             let p = c.phase_mut(name);
-            p.calls += 1;
-            p.nanos += ns;
+            p.calls = p.calls.saturating_add(1);
+            p.nanos = p.nanos.saturating_add(ns);
+            c.latency
+                .entry(name.to_string())
+                .or_insert_with(|| LatencyBuckets([0; LATENCY_BUCKETS]))
+                .record(ns);
+            if c.events.len() < MAX_SPAN_EVENTS {
+                c.events.push(SpanEvent {
+                    name: name.to_string(),
+                    start_ns,
+                    dur_ns: ns,
+                });
+            } else {
+                c.dropped_events = c.dropped_events.saturating_add(1);
+            }
         }
     }
 }
@@ -260,17 +433,19 @@ fn duration_nanos(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// Add real-FP32 flops to a phase.
+/// Add real-FP32 flops to a phase (saturating).
 #[inline]
 pub fn add_flops(name: &str, flops: u64) {
     if !is_enabled() {
         return;
     }
-    COLLECTOR.lock().phase_mut(name).flops += flops;
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.flops = p.flops.saturating_add(flops);
 }
 
 /// Add §6.6 relative (cache-model) and absolute (flat-SRAM) bytes to a
-/// phase.
+/// phase (saturating).
 #[inline]
 pub fn add_bytes(name: &str, relative: u64, absolute: u64) {
     if !is_enabled() {
@@ -278,8 +453,8 @@ pub fn add_bytes(name: &str, relative: u64, absolute: u64) {
     }
     let mut c = COLLECTOR.lock();
     let p = c.phase_mut(name);
-    p.relative_bytes += relative;
-    p.absolute_bytes += absolute;
+    p.relative_bytes = p.relative_bytes.saturating_add(relative);
+    p.absolute_bytes = p.absolute_bytes.saturating_add(absolute);
 }
 
 /// Add flops plus both byte counters in one lock acquisition — the
@@ -291,36 +466,44 @@ pub fn add_cost(name: &str, flops: u64, relative: u64, absolute: u64) {
     }
     let mut c = COLLECTOR.lock();
     let p = c.phase_mut(name);
-    p.flops += flops;
-    p.relative_bytes += relative;
-    p.absolute_bytes += absolute;
+    p.flops = p.flops.saturating_add(flops);
+    p.relative_bytes = p.relative_bytes.saturating_add(relative);
+    p.absolute_bytes = p.absolute_bytes.saturating_add(absolute);
 }
 
-/// Add modeled PE cycles to a phase (WSE simulator attribution).
+/// Add modeled PE cycles to a phase (WSE simulator attribution,
+/// saturating).
 #[inline]
 pub fn add_cycles(name: &str, cycles: u64) {
     if !is_enabled() {
         return;
     }
-    COLLECTOR.lock().phase_mut(name).cycles += cycles;
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.cycles = p.cycles.saturating_add(cycles);
 }
 
-/// Add resident SRAM bytes to a phase (WSE simulator attribution).
+/// Add resident SRAM bytes to a phase (WSE simulator attribution,
+/// saturating).
 #[inline]
 pub fn add_sram_bytes(name: &str, bytes: u64) {
     if !is_enabled() {
         return;
     }
-    COLLECTOR.lock().phase_mut(name).sram_bytes += bytes;
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.sram_bytes = p.sram_bytes.saturating_add(bytes);
 }
 
-/// Add solver iterations to a phase's iteration counter.
+/// Add solver iterations to a phase's iteration counter (saturating).
 #[inline]
 pub fn add_iterations(name: &str, iterations: u64) {
     if !is_enabled() {
         return;
     }
-    COLLECTOR.lock().phase_mut(name).iterations += iterations;
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.iterations = p.iterations.saturating_add(iterations);
 }
 
 /// Append one per-iteration solver row (and bump the solver phase's
@@ -337,7 +520,8 @@ pub fn record_solver_iteration(solver: &'static str, iteration: u64, residual: f
         residual,
         nanos,
     });
-    c.phase_mut(solver).iterations += 1;
+    let p = c.phase_mut(solver);
+    p.iterations = p.iterations.saturating_add(1);
 }
 
 /// Count one compressed tile of the given rank into the histogram.
@@ -347,7 +531,8 @@ pub fn record_tile_rank(rank: usize) {
         return;
     }
     let mut c = COLLECTOR.lock();
-    *c.ranks.entry(crate::precision::to_u64(rank)).or_insert(0) += 1;
+    let tiles = c.ranks.entry(crate::precision::to_u64(rank)).or_insert(0);
+    *tiles = tiles.saturating_add(1);
 }
 
 /// Snapshot everything collected since the last [`reset`] into a
@@ -369,6 +554,37 @@ pub fn snapshot() -> TraceReport {
             .iter()
             .map(|(&rank, &tiles)| RankBucket { rank, tiles })
             .collect(),
+        latency: c
+            .latency
+            .iter()
+            .map(|(name, dense)| {
+                let buckets: Vec<LatencyBucket> = dense
+                    .0
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &count)| count > 0)
+                    .map(|(b, &count)| LatencyBucket {
+                        floor_ns: bucket_floor(b),
+                        count,
+                    })
+                    .collect();
+                let count = buckets.iter().fold(0u64, |a, b| a.saturating_add(b.count));
+                let mut entry = LatencyEntry {
+                    name: name.clone(),
+                    count,
+                    p50_ns: 0,
+                    p95_ns: 0,
+                    p99_ns: 0,
+                    buckets,
+                };
+                entry.p50_ns = entry.percentile_ns(0.50);
+                entry.p95_ns = entry.percentile_ns(0.95);
+                entry.p99_ns = entry.percentile_ns(0.99);
+                entry
+            })
+            .collect(),
+        span_events: c.events.clone(),
+        dropped_span_events: c.dropped_events,
     }
 }
 
@@ -470,6 +686,79 @@ mod tests {
                 RankBucket { rank: 5, tiles: 1 },
             ]
         );
+    }
+
+    /// The satellite regression test: a counter wound to `u64::MAX`
+    /// pins there on further increments instead of wrapping.
+    #[test]
+    fn counters_saturate_at_u64_max() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        add_flops("test.sat", u64::MAX - 5);
+        add_flops("test.sat", 100);
+        add_bytes("test.sat", u64::MAX, u64::MAX - 1);
+        add_bytes("test.sat", 1, 2);
+        add_cost("test.sat", u64::MAX, u64::MAX, u64::MAX);
+        add_cycles("test.sat", u64::MAX);
+        add_cycles("test.sat", u64::MAX);
+        add_sram_bytes("test.sat", u64::MAX);
+        add_sram_bytes("test.sat", 9);
+        add_iterations("test.sat", u64::MAX);
+        add_iterations("test.sat", 7);
+        set_enabled(false);
+        let p = snapshot().phase("test.sat").map(|p| p.stats);
+        let p = p.unwrap_or_default();
+        assert_eq!(p.flops, u64::MAX);
+        assert_eq!(p.relative_bytes, u64::MAX);
+        assert_eq!(p.absolute_bytes, u64::MAX);
+        assert_eq!(p.cycles, u64::MAX);
+        assert_eq!(p.sram_bytes, u64::MAX);
+        assert_eq!(p.iterations, u64::MAX);
+    }
+
+    #[test]
+    fn spans_feed_latency_histogram_and_events() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        for _ in 0..4 {
+            let _s = span("test.lat");
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        set_enabled(false);
+        let rep = snapshot();
+        let lat = rep.latency_for("test.lat").expect("latency entry");
+        assert_eq!(lat.count, 4);
+        assert!(lat.p50_ns <= lat.p95_ns && lat.p95_ns <= lat.p99_ns);
+        // ≥ 100 µs of sleep puts the median's bucket floor at ≥ 2^16 ns.
+        assert!(lat.p50_ns >= (1 << 16), "p50 {} too small", lat.p50_ns);
+        let events: Vec<_> = rep
+            .span_events
+            .iter()
+            .filter(|e| e.name == "test.lat")
+            .collect();
+        assert_eq!(events.len(), 4);
+        // Completion order means monotonically non-decreasing starts.
+        for w in events.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+            assert!(w[0].dur_ns > 0);
+        }
+        assert_eq!(rep.dropped_span_events, 0);
+    }
+
+    #[test]
+    fn bucket_index_and_floor_are_inverse_enough() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for b in 0..LATENCY_BUCKETS {
+            let f = bucket_floor(b);
+            assert_eq!(bucket_index(f.max(1)), if b == 0 { 0 } else { b });
+        }
     }
 
     #[test]

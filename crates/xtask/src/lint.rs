@@ -5,8 +5,8 @@
 //! * `NA01` — no `as` casts to integer types in `core`/`la`/`wse`
 //!   library code; use the `tlr_mvm::precision` checked helpers.
 //! * `NP01` — no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
-//!   `unimplemented!` in library-crate code (tests and the `bench`
-//!   reproduction harness are exempt).
+//!   `unimplemented!` in library-crate code, `repro` included (only
+//!   test regions are exempt).
 //! * `AT01` — every library crate keeps `#![forbid(unsafe_code)]`.
 //! * `AT02` — every library crate keeps `#![deny(missing_docs)]`.
 //!
@@ -23,8 +23,9 @@ use crate::scan::{mask_source, test_region_lines};
 
 /// Crates whose hot paths must not use raw integer `as` casts.
 const NA01_CRATES: &[&str] = &["core", "la", "wse"];
-/// Library crates covered by the panic lint (bench is the reproduction
-/// harness — its failure mode *is* the panic — and xtask is a binary).
+/// Crates covered by the panic lint — every library crate plus the
+/// `bench` harness, whose `repro` binary propagates errors as of the
+/// telemetry PR (xtask itself is the only exempt binary).
 const NP01_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
 /// Crates whose `lib.rs` must carry the two crate-level attributes.
 const ATTR_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
@@ -207,7 +208,7 @@ pub fn run_lints(root: &Path, allows: &[AllowEntry]) -> LintOutcome {
         let in_test = test_region_lines(&masked);
         let krate = rel.split('/').nth(1).unwrap_or("");
         let na01 = NA01_CRATES.contains(&krate);
-        let np01 = NP01_CRATES.contains(&krate) && !(krate == "bench" && rel.ends_with("main.rs"));
+        let np01 = NP01_CRATES.contains(&krate);
         let originals: Vec<&str> = src.lines().collect();
 
         for (idx, line) in masked.lines().enumerate() {

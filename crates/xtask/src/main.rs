@@ -16,10 +16,14 @@
 //!
 //! Exit status: `0` when no error-severity diagnostic survives the
 //! allowlist, `1` otherwise — suitable as a blocking CI step.
+//!
+//! `cargo run -p xtask -- perfgate` ([`perfgate`]) is the companion
+//! perf-regression gate over the committed `BENCH_table2.json` baseline.
 
 #![forbid(unsafe_code)]
 
 mod lint;
+mod perfgate;
 mod plan;
 mod scan;
 
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(),
+        Some("perfgate") => perfgate::run(&workspace_root(), &args[1..]),
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -50,6 +55,11 @@ fn print_usage() {
          commands:\n  \
          analyze   run the static-analysis suite (source lints NA01/NP01/AT01/AT02,\n            \
          lint.toml allowlist, static WSE plan verification WV01..WV07)\n  \
+         perfgate  compare a `repro perfbench --json` run against the committed\n            \
+         BENCH_table2.json baseline; fails (>15% median regression or\n            \
+         trace-checksum drift) with the offending kernel named\n            \
+         [--compare-only --self-test --baseline P --current P\n             \
+         --fail-pct F --warn-pct F]\n  \
          help      show this message"
     );
 }

@@ -1,0 +1,219 @@
+//! `cargo run -p xtask -- perfgate` — the perf-regression gate.
+//!
+//! Compares a fresh (or pre-existing, with `--compare-only`) `repro
+//! perfbench --json` run against the committed `BENCH_table2.json`
+//! baseline at the workspace root, using
+//! [`seismic_bench::perf::compare_reports`]: median regressions beyond
+//! the fail threshold (default 15 %) exit nonzero and name the offending
+//! kernel; 8–15 % warns; trace-checksum mismatches fail as accounting
+//! drift regardless of timing.
+//!
+//! `--self-test` proves the gate can actually fail: it loads the
+//! baseline, doubles every median in memory, and exits 0 **iff** the
+//! gate rejects that synthetic 2× slowdown with at least one named
+//! kernel. `PERFGATE_INJECT_SLOWDOWN=<mult>` does the same to a real
+//! current run, for end-to-end rehearsals of the failure path.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use seismic_bench::perf::{
+    compare_reports, read_bench_json, BenchReport, GateLevel, GateThresholds,
+};
+
+/// Parsed command line + environment for one gate run.
+struct GateConfig {
+    baseline: PathBuf,
+    current: PathBuf,
+    thresholds: GateThresholds,
+    compare_only: bool,
+    self_test: bool,
+    inject_slowdown: Option<f64>,
+}
+
+fn parse_config(root: &Path, args: &[String]) -> Result<GateConfig, String> {
+    let mut cfg = GateConfig {
+        baseline: root.join("BENCH_table2.json"),
+        current: root.join("target/perf/BENCH_table2.json"),
+        thresholds: GateThresholds::default(),
+        compare_only: false,
+        self_test: false,
+        inject_slowdown: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--compare-only" => cfg.compare_only = true,
+            "--self-test" => cfg.self_test = true,
+            "--baseline" => cfg.baseline = PathBuf::from(value("--baseline")?),
+            "--current" => cfg.current = PathBuf::from(value("--current")?),
+            "--fail-pct" => {
+                cfg.thresholds.fail_pct = value("--fail-pct")?
+                    .parse()
+                    .map_err(|e| format!("--fail-pct: {e}"))?
+            }
+            "--warn-pct" => {
+                cfg.thresholds.warn_pct = value("--warn-pct")?
+                    .parse()
+                    .map_err(|e| format!("--warn-pct: {e}"))?
+            }
+            other => return Err(format!("unknown perfgate flag: {other}")),
+        }
+    }
+    let env_f64 = |key: &str| -> Result<Option<f64>, String> {
+        match std::env::var(key) {
+            Ok(v) => v
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|e| format!("{key}={v}: {e}")),
+            Err(_) => Ok(None),
+        }
+    };
+    if let Some(p) = env_f64("PERFGATE_FAIL_PCT")? {
+        cfg.thresholds.fail_pct = p;
+    }
+    if let Some(p) = env_f64("PERFGATE_WARN_PCT")? {
+        cfg.thresholds.warn_pct = p;
+    }
+    cfg.inject_slowdown = env_f64("PERFGATE_INJECT_SLOWDOWN")?;
+    Ok(cfg)
+}
+
+fn slow_down(report: &mut BenchReport, mult: f64) {
+    for k in &mut report.kernels {
+        k.median_ns = (k.median_ns as f64 * mult) as u64;
+        k.min_ns = (k.min_ns as f64 * mult) as u64;
+    }
+}
+
+fn print_outcome(
+    outcome: &seismic_bench::perf::GateOutcome,
+    thresholds: GateThresholds,
+) -> ExitCode {
+    for f in &outcome.findings {
+        let tag = match f.level {
+            GateLevel::Fail => "FAIL",
+            GateLevel::Warn => "warn",
+            GateLevel::Info => "info",
+        };
+        println!("perfgate [{tag}] {}: {}", f.kernel, f.message);
+    }
+    if outcome.failed() {
+        println!(
+            "perfgate: FAILED (> {:.0}% median regression or accounting drift) — \
+             kernels: {}",
+            thresholds.fail_pct,
+            outcome.failing_kernels().join(", ")
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "perfgate: ok ({} kernels compared, fail > {:.0}%, warn > {:.0}%)",
+            outcome.findings.len(),
+            thresholds.fail_pct,
+            thresholds.warn_pct
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Entry point for `cargo run -p xtask -- perfgate [flags]`.
+pub fn run(root: &Path, args: &[String]) -> ExitCode {
+    let cfg = match parse_config(root, args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline = match read_bench_json(&cfg.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "perfgate: no usable baseline ({e})\n\
+                 generate one with `cargo run --release -p seismic-bench --bin repro -- \
+                 perfbench --json`, review it, and commit it as BENCH_table2.json"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cfg.self_test {
+        // Prove the gate can fail: a synthetic 2× slowdown of the
+        // baseline itself must be rejected with named kernels.
+        let mut doubled = baseline.clone();
+        slow_down(&mut doubled, 2.0);
+        let outcome = compare_reports(&baseline, &doubled, cfg.thresholds);
+        let named = outcome.failing_kernels();
+        if outcome.failed() && !named.is_empty() {
+            println!(
+                "perfgate --self-test: ok — synthetic 2x slowdown correctly fails \
+                 the gate, naming: {}",
+                named.join(", ")
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("perfgate --self-test: BROKEN — a 2x slowdown passed the gate");
+        return ExitCode::FAILURE;
+    }
+
+    if !cfg.compare_only {
+        println!("perfgate: running `repro perfbench --json` (release)...");
+        let status = Command::new("cargo")
+            .args([
+                "run",
+                "--release",
+                "-p",
+                "seismic-bench",
+                "--bin",
+                "repro",
+                "--",
+                "perfbench",
+                "--json",
+            ])
+            .current_dir(root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("perfgate: perfbench run failed with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perfgate: could not spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut current = match read_bench_json(&cfg.current) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "perfgate: no current run ({e})\n\
+                 run `repro perfbench --json` first or drop --compare-only"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(mult) = cfg.inject_slowdown {
+        println!("perfgate: PERFGATE_INJECT_SLOWDOWN={mult} — scaling current medians");
+        slow_down(&mut current, mult);
+    }
+
+    println!(
+        "perfgate: baseline {} vs current {}",
+        cfg.baseline.display(),
+        cfg.current.display()
+    );
+    print_outcome(
+        &compare_reports(&baseline, &current, cfg.thresholds),
+        cfg.thresholds,
+    )
+}

@@ -5,7 +5,7 @@ use seismic_bench::wse_experiments::{fig14, six_shard_rows, table4, table5};
 
 #[test]
 fn table1_stack_widths_match_paper() {
-    let rows = six_shard_rows();
+    let rows = six_shard_rows().expect("paper configs place");
     // Paper: 64 / 32 / 23 / 18 / 14 — we allow ±1 on each.
     let want = [64usize, 32, 23, 18, 14];
     for (row, want) in rows.iter().zip(want) {
@@ -20,7 +20,7 @@ fn table1_stack_widths_match_paper() {
 
 #[test]
 fn table1_occupancies_in_paper_band() {
-    for row in six_shard_rows() {
+    for row in six_shard_rows().expect("paper configs place") {
         assert!(
             row.report.occupancy >= 0.93 && row.report.occupancy <= 1.0,
             "nb={} occupancy {}",
@@ -32,7 +32,7 @@ fn table1_occupancies_in_paper_band() {
 
 #[test]
 fn table2_absolute_accesses_within_3pct() {
-    for row in six_shard_rows() {
+    for row in six_shard_rows().expect("paper configs place") {
         let err = (row.report.absolute_bytes as f64 - row.paper.absolute_bytes).abs()
             / row.paper.absolute_bytes;
         assert!(
@@ -46,7 +46,7 @@ fn table2_absolute_accesses_within_3pct() {
 
 #[test]
 fn table3_absolute_bandwidth_within_10pct() {
-    for row in six_shard_rows() {
+    for row in six_shard_rows().expect("paper configs place") {
         let err = (row.report.absolute_pbs() - row.paper.abs_pbs).abs() / row.paper.abs_pbs;
         assert!(err < 0.10, "nb={} abs bw err {err}", row.nb);
     }
@@ -54,7 +54,7 @@ fn table3_absolute_bandwidth_within_10pct() {
 
 #[test]
 fn table4_scaling_shape() {
-    let rows = table4();
+    let rows = table4().expect("table4 configs place");
     // Bandwidth increases monotonically with shard count.
     for w in rows.windows(2) {
         assert!(w[1].report.relative_bw > w[0].report.relative_bw);
@@ -66,7 +66,7 @@ fn table4_scaling_shape() {
 
 #[test]
 fn table5_headline_numbers() {
-    let rows = table5();
+    let rows = table5().expect("table5 configs place");
     // Ordering: nb = 70 > nb = 50 > nb = 25 in relative bandwidth.
     assert!(rows[2].report.relative_bw > rows[1].report.relative_bw);
     assert!(rows[1].report.relative_bw > rows[0].report.relative_bw);
@@ -97,7 +97,7 @@ fn fig14_saturation_and_ratio() {
 
 #[test]
 fn power_sixteen_kilowatts() {
-    let p = seismic_bench::wse_experiments::power();
+    let p = seismic_bench::wse_experiments::power().expect("power config places");
     assert!((p.power_per_system_w - 16_000.0).abs() < 1_000.0);
     assert!(p.gflops_per_w > 25.0 && p.gflops_per_w < 55.0);
 }
