@@ -97,8 +97,11 @@ impl Json {
         match self {
             Json::Num(lex) => lex.parse::<u64>().ok().or_else(|| {
                 // Tolerate exponent/decimal forms that are still integral.
+                // The fract test is bitwise (±0.0 only) so this module
+                // stays free of float `==` without pulling in a dep.
                 let f = lex.parse::<f64>().ok()?;
-                (f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64).then_some(f as u64)
+                let integral = f.fract().to_bits() << 1 == 0;
+                (f >= 0.0 && integral && f <= u64::MAX as f64).then_some(f as u64)
             }),
             _ => None,
         }

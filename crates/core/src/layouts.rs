@@ -140,6 +140,17 @@ impl ThreePhase {
     pub fn v_batch(&self, x: &[C32]) -> Vec<C32> {
         assert_eq!(x.len(), self.tiling.n);
         assert_finite("three_phase.v_batch.x", x);
+        // Output and segment scratch are allocated before the span opens:
+        // the traced hot phase is pure batched MVM work (lint rule HP01).
+        let mut yv = vec![CZERO; self.total_rank];
+        let mut segments: Vec<&mut [C32]> = Vec::with_capacity(self.vstacks.len());
+        let mut rest = yv.as_mut_slice();
+        for j in 0..self.vstacks.len() {
+            let len = self.col_offsets[j + 1] - self.col_offsets[j];
+            let (seg, tail) = rest.split_at_mut(len);
+            segments.push(seg);
+            rest = tail;
+        }
         let _span = trace::span("tlr_mvm.v_batch");
         if trace::is_enabled() {
             // §6.6 cost per column stack: 4 real (K_j × cl_j) MVMs.
@@ -155,15 +166,6 @@ impl ThreePhase {
             }
             trace::add_cost("tlr_mvm.v_batch", fl, rel, abs);
         }
-        let mut yv = vec![CZERO; self.total_rank];
-        let mut segments: Vec<&mut [C32]> = Vec::new();
-        let mut rest = yv.as_mut_slice();
-        for j in 0..self.vstacks.len() {
-            let len = self.col_offsets[j + 1] - self.col_offsets[j];
-            let (seg, tail) = rest.split_at_mut(len);
-            segments.push(seg);
-            rest = tail;
-        }
         segments.par_iter_mut().enumerate().for_each(|(j, seg)| {
             let (c0, cl) = self.tiling.col_range(j);
             gemv_conj_transpose(&self.vstacks[j], &x[c0..c0 + cl], seg);
@@ -175,11 +177,11 @@ impl ThreePhase {
     /// Phase 2 (paper Fig. 6): project coefficients from V- to U-ordering.
     pub fn shuffle(&self, yv: &[C32]) -> Vec<C32> {
         assert_eq!(yv.len(), self.total_rank);
+        let mut yu = vec![CZERO; self.total_rank];
         let _span = trace::span("tlr_mvm.shuffle");
         // Pure data movement: read + write 8 bytes per rank entry.
         let moved = 16 * to_u64(self.total_rank);
         trace::add_bytes("tlr_mvm.shuffle", moved, moved);
-        let mut yu = vec![CZERO; self.total_rank];
         for (p, &q) in self.shuffle.iter().enumerate() {
             yu[q] = yv[p];
         }
@@ -190,6 +192,16 @@ impl ThreePhase {
     /// Phase 3 (paper Fig. 7): batched `y_i = Ustack_i · yu_i`.
     pub fn u_batch(&self, yu: &[C32]) -> Vec<C32> {
         assert_eq!(yu.len(), self.total_rank);
+        // As in `v_batch`: allocate before the span opens (HP01).
+        let mut y = vec![CZERO; self.tiling.m];
+        let mut segments: Vec<&mut [C32]> = Vec::with_capacity(self.ustacks.len());
+        let mut rest = y.as_mut_slice();
+        for i in 0..self.ustacks.len() {
+            let (_, rl) = self.tiling.row_range(i);
+            let (seg, tail) = rest.split_at_mut(rl);
+            segments.push(seg);
+            rest = tail;
+        }
         let _span = trace::span("tlr_mvm.u_batch");
         if trace::is_enabled() {
             // §6.6 cost per row stack: 4 real (m_i × R_i) MVMs.
@@ -204,15 +216,6 @@ impl ThreePhase {
                 abs += 4 * absolute_bytes(mi, ri);
             }
             trace::add_cost("tlr_mvm.u_batch", fl, rel, abs);
-        }
-        let mut y = vec![CZERO; self.tiling.m];
-        let mut segments: Vec<&mut [C32]> = Vec::new();
-        let mut rest = y.as_mut_slice();
-        for i in 0..self.ustacks.len() {
-            let (_, rl) = self.tiling.row_range(i);
-            let (seg, tail) = rest.split_at_mut(rl);
-            segments.push(seg);
-            rest = tail;
         }
         segments.par_iter_mut().enumerate().for_each(|(i, seg)| {
             let lo = self.row_offsets[i];
@@ -445,17 +448,17 @@ impl CommAvoiding {
         let nb = self.tiling.nb;
         let padded_m = self.tiling.tile_rows() * nb;
         self.trace_fused_cost(nb);
-        let partials: Vec<Vec<C32>> = {
+        // Partial buffers are allocated before the span opens: the traced
+        // fused phase is pure per-column kernel work (lint rule HP01).
+        let mut partials: Vec<Vec<C32>> =
+            self.columns.iter().map(|_| vec![CZERO; padded_m]).collect();
+        {
             let _span = trace::span("comm_avoiding.fused");
-            self.columns
-                .par_iter()
-                .map(|cs| {
-                    let mut part = vec![CZERO; padded_m];
-                    cs.apply_into(&x[cs.c0..cs.c0 + cs.cl], &mut part, nb);
-                    part
-                })
-                .collect()
-        };
+            partials.par_iter_mut().enumerate().for_each(|(j, part)| {
+                let cs = &self.columns[j];
+                cs.apply_into(&x[cs.c0..cs.c0 + cs.cl], part, nb);
+            });
+        }
         let y = self.reduce_partials(&partials, padded_m);
         assert_finite("comm_avoiding.apply.y", &y);
         y
@@ -483,10 +486,10 @@ impl CommAvoiding {
     /// Host reduction of per-column partial outputs, traced as its own
     /// phase (read every partial once, write `y` once).
     fn reduce_partials(&self, partials: &[Vec<C32>], padded_m: usize) -> Vec<C32> {
+        let mut y = vec![CZERO; self.tiling.m];
         let _span = trace::span("comm_avoiding.host_reduce");
         let moved = 8 * to_u64(partials.len() * padded_m + self.tiling.m);
         trace::add_bytes("comm_avoiding.host_reduce", moved, moved);
-        let mut y = vec![CZERO; self.tiling.m];
         for part in partials {
             for (i, yi) in y.iter_mut().enumerate() {
                 *yi += part[i];
@@ -551,17 +554,15 @@ impl CommAvoiding {
         let padded_m = self.tiling.tile_rows() * nb;
         let chunks = self.chunks(stack_width);
         self.trace_fused_cost(nb);
-        let partials: Vec<Vec<C32>> = {
+        // As in `apply`: allocate partials before the span opens (HP01).
+        let mut partials: Vec<Vec<C32>> = chunks.iter().map(|_| vec![CZERO; padded_m]).collect();
+        {
             let _span = trace::span("comm_avoiding.fused");
-            chunks
-                .par_iter()
-                .map(|ch| {
-                    let mut part = vec![CZERO; padded_m];
-                    ch.apply_into(&x[ch.c0..ch.c0 + ch.cl], &mut part, nb);
-                    part
-                })
-                .collect()
-        };
+            partials.par_iter_mut().enumerate().for_each(|(c, part)| {
+                let ch = &chunks[c];
+                ch.apply_into(&x[ch.c0..ch.c0 + ch.cl], part, nb);
+            });
+        }
         let y = self.reduce_partials(&partials, padded_m);
         assert_finite("comm_avoiding.apply_chunked.y", &y);
         y

@@ -51,40 +51,43 @@ pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
     let t = tlr.tiling();
     assert_eq!(x.nrows(), t.n, "X row count must match operator columns");
     assert_finite("tlr_mmm.x", x.as_slice());
+    let s = x.ncols();
+    let mt = t.tile_rows();
+    // Row panels are allocated before the span opens: the traced hot
+    // phase is pure tile arithmetic (lint rule HP01).
+    let mut row_panels: Vec<Matrix<C32>> = (0..mt)
+        .map(|i| {
+            let (_, rl) = t.row_range(i);
+            Matrix::zeros(rl, s)
+        })
+        .collect();
     let _span = trace::span("tlr_mmm.apply");
     if trace::is_enabled() {
         let c = tlr_mmm_cost(tlr, x.ncols());
         trace::add_cost("tlr_mmm.apply", c.flops, c.relative_bytes, c.absolute_bytes);
     }
-    let s = x.ncols();
-    let mt = t.tile_rows();
 
-    let row_panels: Vec<Matrix<C32>> = (0..mt)
-        .into_par_iter()
-        .map(|i| {
-            let (_, rl) = t.row_range(i);
-            let mut y = Matrix::zeros(rl, s);
-            for j in 0..t.tile_cols() {
-                let (c0, cl) = t.col_range(j);
-                let tile = tlr.tile(i, j);
-                if tile.rank() == 0 {
-                    continue;
-                }
-                debug_assert_eq!(tile.u.nrows(), rl, "tile U height mismatch");
-                debug_assert_eq!(tile.v.nrows(), cl, "tile V height mismatch");
-                let xj = x.block(c0, 0, cl, s);
-                // T = Vᴴ X_j  (k × s), then Y += U T.
-                let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.v, &xj);
-                let contrib = gemm(&tile.u, &tcoef);
-                for col in 0..s {
-                    for (yi, ci) in y.col_mut(col).iter_mut().zip(contrib.col(col)) {
-                        *yi += *ci;
-                    }
+    row_panels.par_iter_mut().enumerate().for_each(|(i, y)| {
+        let (_, rl) = t.row_range(i);
+        for j in 0..t.tile_cols() {
+            let (c0, cl) = t.col_range(j);
+            let tile = tlr.tile(i, j);
+            if tile.rank() == 0 {
+                continue;
+            }
+            debug_assert_eq!(tile.u.nrows(), rl, "tile U height mismatch");
+            debug_assert_eq!(tile.v.nrows(), cl, "tile V height mismatch");
+            let xj = x.block(c0, 0, cl, s);
+            // T = Vᴴ X_j  (k × s), then Y += U T.
+            let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.v, &xj);
+            let contrib = gemm(&tile.u, &tcoef);
+            for col in 0..s {
+                for (yi, ci) in y.col_mut(col).iter_mut().zip(contrib.col(col)) {
+                    *yi += *ci;
                 }
             }
-            y
-        })
-        .collect();
+        }
+    });
 
     let mut y = Matrix::zeros(t.m, s);
     for (i, panel) in row_panels.iter().enumerate() {
@@ -100,6 +103,15 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
     let t = tlr.tiling();
     assert_eq!(y.nrows(), t.m, "Y row count must match operator rows");
     assert_finite("tlr_mmm_adjoint.y", y.as_slice());
+    let s = y.ncols();
+    let nt = t.tile_cols();
+    // Column panels are allocated before the span opens (lint rule HP01).
+    let mut col_panels: Vec<Matrix<C32>> = (0..nt)
+        .map(|j| {
+            let (_, cl) = t.col_range(j);
+            Matrix::zeros(cl, s)
+        })
+        .collect();
     let _span = trace::span("tlr_mmm.adjoint");
     if trace::is_enabled() {
         // Same tile traffic as the forward MMM, transposed roles.
@@ -111,33 +123,25 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
             c.absolute_bytes,
         );
     }
-    let s = y.ncols();
-    let nt = t.tile_cols();
 
-    let col_panels: Vec<Matrix<C32>> = (0..nt)
-        .into_par_iter()
-        .map(|j| {
-            let (_, cl) = t.col_range(j);
-            let mut x = Matrix::zeros(cl, s);
-            for i in 0..t.tile_rows() {
-                let (r0, rl) = t.row_range(i);
-                let tile = tlr.tile(i, j);
-                if tile.rank() == 0 {
-                    continue;
-                }
-                let yi = y.block(r0, 0, rl, s);
-                // T = Uᴴ Y_i (k × s), then X += V T.
-                let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.u, &yi);
-                let contrib = gemm(&tile.v, &tcoef);
-                for col in 0..s {
-                    for (xi, ci) in x.col_mut(col).iter_mut().zip(contrib.col(col)) {
-                        *xi += *ci;
-                    }
+    col_panels.par_iter_mut().enumerate().for_each(|(j, x)| {
+        for i in 0..t.tile_rows() {
+            let (r0, rl) = t.row_range(i);
+            let tile = tlr.tile(i, j);
+            if tile.rank() == 0 {
+                continue;
+            }
+            let yi = y.block(r0, 0, rl, s);
+            // T = Uᴴ Y_i (k × s), then X += V T.
+            let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.u, &yi);
+            let contrib = gemm(&tile.v, &tcoef);
+            for col in 0..s {
+                for (xi, ci) in x.col_mut(col).iter_mut().zip(contrib.col(col)) {
+                    *xi += *ci;
                 }
             }
-            x
-        })
-        .collect();
+        }
+    });
 
     let mut x = Matrix::zeros(t.n, s);
     for (j, panel) in col_panels.iter().enumerate() {
@@ -181,36 +185,37 @@ pub fn comm_avoiding_mmm(ca: &CommAvoiding, x: &Matrix<C32>) -> Matrix<C32> {
     let t = ca.tiling();
     assert_eq!(x.nrows(), t.n);
     assert_finite("comm_avoiding_mmm.x", x.as_slice());
-    let _span = trace::span("tlr_mmm.comm_avoiding");
     let s = x.ncols();
     let nb = t.nb;
     let padded_m = t.tile_rows() * nb;
-
-    let partials: Vec<Matrix<C32>> = ca
+    // Partials are allocated before the span opens (lint rule HP01).
+    let mut partials: Vec<Matrix<C32>> = ca
         .columns()
-        .par_iter()
-        .map(|cs| {
-            let xj = x.block(cs.c0, 0, cs.cl, s);
-            let tcoef = seismic_la::blas::gemm_conj_transpose_left(&cs.vstack, &xj);
-            let mut part = Matrix::zeros(padded_m, s);
-            for col in 0..s {
-                for r in 0..cs.rank() {
-                    let coeff = tcoef[(r, col)];
-                    if coeff == C32::new(0.0, 0.0) {
-                        continue;
-                    }
-                    let dst0 = cs.row_block[r] * nb;
-                    let len = cs.row_len[r];
-                    let ucol = &cs.ustack.col(r)[..len];
-                    let out = &mut part.col_mut(col)[dst0..dst0 + len];
-                    for (o, &u) in out.iter_mut().zip(ucol) {
-                        *o += u * coeff;
-                    }
+        .iter()
+        .map(|_| Matrix::zeros(padded_m, s))
+        .collect();
+    let _span = trace::span("tlr_mmm.comm_avoiding");
+
+    partials.par_iter_mut().enumerate().for_each(|(c, part)| {
+        let cs = &ca.columns()[c];
+        let xj = x.block(cs.c0, 0, cs.cl, s);
+        let tcoef = seismic_la::blas::gemm_conj_transpose_left(&cs.vstack, &xj);
+        for col in 0..s {
+            for r in 0..cs.rank() {
+                let coeff = tcoef[(r, col)];
+                if coeff == C32::new(0.0, 0.0) {
+                    continue;
+                }
+                let dst0 = cs.row_block[r] * nb;
+                let len = cs.row_len[r];
+                let ucol = &cs.ustack.col(r)[..len];
+                let out = &mut part.col_mut(col)[dst0..dst0 + len];
+                for (o, &u) in out.iter_mut().zip(ucol) {
+                    *o += u * coeff;
                 }
             }
-            part
-        })
-        .collect();
+        }
+    });
 
     let mut y = Matrix::zeros(t.m, s);
     for part in &partials {

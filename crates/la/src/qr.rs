@@ -5,7 +5,7 @@
 //! per-tile `U·Vᴴ` factors.
 
 use crate::dense::Matrix;
-use crate::scalar::{Real, Scalar};
+use crate::scalar::{exactly_zero_f64, Real, Scalar};
 
 /// Compact-WY-free Householder QR factorization: `A = Q R` with `Q`
 /// represented by reflectors stored below the diagonal of `factors`.
@@ -115,7 +115,7 @@ fn make_reflector<S: Scalar>(x: &mut [S]) -> S {
         tail_sq += v.abs_sqr().to_f64();
     }
     let alpha_abs_sq = alpha.abs_sqr().to_f64();
-    if tail_sq == 0.0 && alpha.imag() == S::Real::ZERO {
+    if exactly_zero_f64(tail_sq) && alpha.imag().exactly_zero() {
         // Already in the right form.
         return S::ZERO;
     }

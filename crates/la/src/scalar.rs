@@ -70,6 +70,10 @@ pub trait Real:
     fn exp(self) -> Self;
     /// Natural logarithm.
     fn ln(self) -> Self;
+    /// `true` iff the value is exactly `±0.0`. This is a bitwise test
+    /// (never true for NaN), so exact-zero short-circuits don't need a
+    /// float `==` comparison (lint rule `FE01`).
+    fn exactly_zero(self) -> bool;
 }
 
 macro_rules! impl_real {
@@ -140,12 +144,31 @@ macro_rules! impl_real {
             fn ln(self) -> Self {
                 self.ln()
             }
+            #[inline(always)]
+            fn exactly_zero(self) -> bool {
+                // Shifting out the sign bit leaves 0 only for ±0.0.
+                self.to_bits() << 1 == 0
+            }
         }
     };
 }
 
 impl_real!(f32);
 impl_real!(f64);
+
+/// `true` iff `x` is exactly `±0.0` — the bitwise form of `x == 0.0`
+/// (identical semantics: both reject NaN) that exact-zero short-circuit
+/// tests use instead of a float `==` comparison (lint rule `FE01`).
+#[inline(always)]
+pub fn exactly_zero_f32(x: f32) -> bool {
+    x.to_bits() << 1 == 0
+}
+
+/// `f64` counterpart of [`exactly_zero_f32`].
+#[inline(always)]
+pub fn exactly_zero_f64(x: f64) -> bool {
+    x.to_bits() << 1 == 0
+}
 
 /// Cartesian complex number over a [`Real`] field.
 ///
@@ -608,5 +631,20 @@ mod tests {
     fn widen_narrow() {
         let a = c32(1.0, -2.0);
         assert_eq!(a.widen().narrow(), a);
+    }
+
+    #[test]
+    fn exact_zero_tests() {
+        assert!(exactly_zero_f32(0.0));
+        assert!(exactly_zero_f32(-0.0));
+        assert!(!exactly_zero_f32(f32::MIN_POSITIVE / 2.0)); // subnormal
+        assert!(!exactly_zero_f32(f32::NAN));
+        assert!(exactly_zero_f64(0.0));
+        assert!(exactly_zero_f64(-0.0));
+        assert!(!exactly_zero_f64(1e-300));
+        assert!(!exactly_zero_f64(f64::NAN));
+        assert!(Real::exactly_zero(0.0f32));
+        assert!(Real::exactly_zero(-0.0f64));
+        assert!(!Real::exactly_zero(f64::EPSILON));
     }
 }

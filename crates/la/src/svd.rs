@@ -11,7 +11,7 @@
 
 use crate::dense::Matrix;
 use crate::lowrank::LowRank;
-use crate::scalar::{Real, Scalar};
+use crate::scalar::{exactly_zero_f64, Real, Scalar};
 
 /// Full (thin) singular value decomposition `A = U diag(s) Vᴴ`.
 pub struct Svd<S: Scalar> {
@@ -102,7 +102,7 @@ pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Svd<S> {
             for q in p + 1..n {
                 let app = col_norm_sq(&w, p);
                 let aqq = col_norm_sq(&w, q);
-                if app == 0.0 && aqq == 0.0 {
+                if exactly_zero_f64(app) && exactly_zero_f64(aqq) {
                     continue;
                 }
                 let apq = col_dotc(&w, p, q); // w_pᴴ w_q

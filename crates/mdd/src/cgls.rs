@@ -4,7 +4,7 @@
 //! Included as the baseline iterative scheme for solver ablations.
 
 use seismic_la::blas::nrm2;
-use seismic_la::scalar::C32;
+use seismic_la::scalar::{exactly_zero_f32, C32};
 use tlr_mvm::precision::to_u64;
 use tlr_mvm::{trace, LinearOperator};
 
@@ -40,7 +40,7 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
 
     let mut iterations = 0;
     for _ in 0..opts.max_iters {
-        if gamma == 0.0 {
+        if exactly_zero_f32(gamma) {
             break;
         }
         let iter_start = trace::is_enabled().then(std::time::Instant::now);
@@ -48,7 +48,7 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         let q = a.apply(&p);
         let q_norm_sq: f32 = q.iter().map(|v| v.norm_sqr()).sum::<f32>()
             + damp_sq * p.iter().map(|v| v.norm_sqr()).sum::<f32>();
-        if q_norm_sq == 0.0 {
+        if exactly_zero_f32(q_norm_sq) {
             break;
         }
         let alpha = gamma / q_norm_sq;

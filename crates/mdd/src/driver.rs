@@ -5,7 +5,7 @@
 use rayon::prelude::*;
 use seis_wave::SyntheticDataset;
 use seismic_geom::Ordering;
-use seismic_la::scalar::C32;
+use seismic_la::scalar::{exactly_zero_f32, C32};
 use serde::{Deserialize, Serialize};
 use tlr_mvm::{compress, CompressionConfig, LinearOperator, TlrMatrix};
 
@@ -108,7 +108,7 @@ fn scaled_to_match(a: &[C32], t: &[C32]) -> Vec<C32> {
         num += ai.conj() * *ti;
         den += ai.norm_sqr();
     }
-    if den == 0.0 {
+    if exactly_zero_f32(den) {
         return a.to_vec();
     }
     let alpha = num.scale(1.0 / den);

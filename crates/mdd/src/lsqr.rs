@@ -2,7 +2,7 @@
 //! solver the paper uses for MDD ("30 iterations of LSQR", §6.2).
 
 use seismic_la::blas::nrm2;
-use seismic_la::scalar::C32;
+use seismic_la::scalar::{exactly_zero_f32, C32};
 use tlr_mvm::precision::to_u64;
 use tlr_mvm::{trace, LinearOperator};
 
@@ -65,7 +65,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
     // β₁ u₁ = b.
     let mut u = b.to_vec();
     let mut beta = nrm2(&u);
-    if beta == 0.0 {
+    if exactly_zero_f32(beta) {
         return LsqrResult {
             x,
             residual_history: history,
@@ -76,7 +76,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
     // α₁ v₁ = Aᴴ u₁.
     let mut v = a.apply_adjoint(&u);
     let mut alpha = nrm2(&v);
-    if alpha == 0.0 {
+    if exactly_zero_f32(alpha) {
         return LsqrResult {
             x,
             residual_history: history,
@@ -130,7 +130,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         // bidiagonal entries vanished and the rotation would divide by
         // zero.
         let rho = rhobar1.hypot(beta);
-        if rho == 0.0 {
+        if exactly_zero_f32(rho) {
             break;
         }
         let c = rhobar1 / rho;

@@ -1,7 +1,7 @@
 //! Solution-quality metrics: NMSE and the paper's Fig. 12 traffic-light
 //! classification.
 
-use seismic_la::scalar::C32;
+use seismic_la::scalar::{exactly_zero_f64, C32};
 use serde::{Deserialize, Serialize};
 
 /// Normalized mean square error `‖est − truth‖² / ‖truth‖²`.
@@ -13,8 +13,8 @@ pub fn nmse(est: &[C32], truth: &[C32]) -> f64 {
         num += (*e - *t).norm_sqr() as f64;
         den += t.norm_sqr() as f64;
     }
-    if den == 0.0 {
-        if num == 0.0 {
+    if exactly_zero_f64(den) {
+        if exactly_zero_f64(num) {
             0.0
         } else {
             f64::INFINITY
@@ -28,8 +28,8 @@ pub fn nmse(est: &[C32], truth: &[C32]) -> f64 {
 /// quantity plotted in Fig. 12 top ("% NMSE change" against the `nb = 70`,
 /// `acc = 1e-4` benchmark).
 pub fn nmse_change_pct(nmse_config: f64, nmse_benchmark: f64) -> f64 {
-    if nmse_benchmark == 0.0 {
-        return if nmse_config == 0.0 {
+    if exactly_zero_f64(nmse_benchmark) {
+        return if exactly_zero_f64(nmse_config) {
             0.0
         } else {
             f64::INFINITY

@@ -12,6 +12,8 @@
 // an iterator would obscure the leapfrog structure.
 #![allow(clippy::needless_range_loop)]
 
+use seismic_la::scalar::exactly_zero_f64;
+
 use crate::velocity::VelocityModel;
 use crate::wavelet::ricker;
 
@@ -208,7 +210,7 @@ pub fn simulate(
 /// magnitude. Returns the sample index.
 pub fn first_break(trace: &[f64], frac: f64) -> usize {
     let peak = trace.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-    if peak == 0.0 {
+    if exactly_zero_f64(peak) {
         return 0;
     }
     trace

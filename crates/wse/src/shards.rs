@@ -2,6 +2,7 @@
 //! with load balancing, and report per-shard statistics — the §6.5 "six
 //! shards … evenly distributed workloads as much as possible".
 
+use seismic_la::scalar::exactly_zero_f64;
 use serde::{Deserialize, Serialize};
 use tlr_mvm::precision::{to_u64, to_usize};
 
@@ -49,7 +50,7 @@ impl ShardAssignment {
         let max = self.shards.iter().map(|s| s.flops).max().unwrap_or(0) as f64;
         let total: u64 = self.shards.iter().map(|s| s.flops).sum();
         let mean = total as f64 / self.shards.len().max(1) as f64;
-        if mean == 0.0 {
+        if exactly_zero_f64(mean) {
             1.0
         } else {
             max / mean
@@ -61,7 +62,7 @@ impl ShardAssignment {
         let max = self.shards.iter().map(|s| s.pes_used).max().unwrap_or(0) as f64;
         let total: u64 = self.shards.iter().map(|s| s.pes_used).sum();
         let mean = total as f64 / self.shards.len().max(1) as f64;
-        if mean == 0.0 {
+        if exactly_zero_f64(mean) {
             1.0
         } else {
             max / mean

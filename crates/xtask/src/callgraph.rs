@@ -1,0 +1,886 @@
+//! Approximate workspace call graph and the `PF01` hot-path
+//! panic-freedom proof.
+//!
+//! Built purely on the [`crate::lexer`] token stream — no type
+//! inference, no `syn`. Extraction walks every lib-crate file once,
+//! recording `fn` items with their approximate module path (file path +
+//! inline `mod` stack) and `impl` self type, then collects call sites
+//! and panic-family tokens per body.
+//!
+//! Resolution is deliberately **conservative** (over-approximate): a
+//! method call `.name(…)` links to *every* workspace method of that
+//! name (this is what makes trait-object and same-name-method calls
+//! sound — "assume reachable"); a path call `a::b::name(…)` prefers
+//! candidates whose self type, module path, or crate matches the
+//! nearest qualifier, falling back to all same-name items when nothing
+//! matches; calls with no workspace candidate are external (`std`,
+//! `rayon`) and dropped. A shadowed local `fn` therefore links in
+//! *addition* to its module-level namesake, never instead of it. An
+//! over-approximate graph can produce false PF01 positives but never a
+//! false "proven panic-free".
+//!
+//! `PF01` then runs BFS from the exported hot entry points and reports
+//! every reachable panic-family token with a witness path
+//! (entry → … → panic site). Sanctioned sinks — `lint.toml` `[[allow]]`
+//! entries with `rule = "PF01"` — stop traversal at a named callee
+//! (e.g. `precision::checked_cast`, whose `panic!` is unreachable for
+//! range-checked inputs by construction).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use wse_sim::verify::{Diagnostic, Severity};
+
+use crate::lexer::{Tok, TokKind, STMT_KEYWORDS};
+use crate::lint::{AllowEntry, LoadedFile, PANIC_MACROS, PANIC_METHODS};
+
+/// The exported hot entry points whose closure must be panic-free:
+/// the three-phase and comm-avoiding TLR-MVM drivers, the TLR-MMM
+/// kernels, the iterative solvers, and the MDC operator the solvers
+/// invert (`Type::name` pins the method to one `impl`).
+pub const HOT_ENTRY_POINTS: &[&str] = &[
+    "ThreePhase::apply",
+    "CommAvoiding::apply",
+    "CommAvoiding::apply_adjoint",
+    "CommAvoiding::apply_chunked",
+    "tlr_mmm",
+    "tlr_mmm_adjoint",
+    "comm_avoiding_mmm",
+    "lsqr",
+    "cgls",
+    "MdcOperator::apply",
+    "MdcOperator::apply_adjoint",
+];
+
+/// One `fn` item found in the workspace.
+pub struct FnItem {
+    /// Crate directory name (`core`, `la`, …).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Approximate module path: file modules plus inline `mod` stack.
+    pub module: Vec<String>,
+    /// Enclosing `impl` self type, if any (`ThreePhase`, `MdcOperator`).
+    pub self_ty: Option<String>,
+    /// The function name.
+    pub name: String,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Call sites found in the body.
+    pub calls: Vec<CallSite>,
+    /// Panic-family tokens found in the body.
+    pub panics: Vec<PanicSite>,
+}
+
+impl FnItem {
+    /// `Type::name` or plain `name`, for messages and sink matching.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site inside a function body.
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// Path qualifiers, nearest first (`precision` in
+    /// `crate::precision::to_u64`); empty for method calls.
+    pub quals: Vec<String>,
+    /// `true` for `.name(…)` receiver calls.
+    pub method: bool,
+}
+
+/// One panic-family token inside a function body.
+pub struct PanicSite {
+    /// The offending token (`unwrap`, `panic!`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// The extracted workspace call graph.
+pub struct CallGraph {
+    /// Every `fn` item, test regions included (resolution skips them).
+    pub items: Vec<FnItem>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+/// Crate directory name → library crate name as used in `use` paths.
+pub fn crate_lib_name(dir: &str) -> &str {
+    match dir {
+        "core" => "tlr_mvm",
+        "la" => "seismic_la",
+        "fft" => "seismic_fft",
+        "geom" => "seismic_geom",
+        "wave" => "seis_wave",
+        "mdd" => "seismic_mdd",
+        "wse" => "wse_sim",
+        "bench" => "seismic_bench",
+        other => other,
+    }
+}
+
+/// Build the call graph over pre-lexed workspace files.
+pub fn build(files: &[LoadedFile]) -> CallGraph {
+    let mut items = Vec::new();
+    for f in files {
+        extract_file(f, &mut items);
+    }
+    let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    for (id, it) in items.iter().enumerate() {
+        if !it.in_test {
+            by_name.entry(it.name.clone()).or_default().push(id);
+        }
+    }
+    CallGraph { items, by_name }
+}
+
+/// Module path a file contributes: `crates/core/src/layouts.rs` →
+/// `["layouts"]`, `src/lib.rs` → `[]`, `src/sub/mod.rs` → `["sub"]`.
+fn file_modules(rel: &str) -> Vec<String> {
+    let Some(pos) = rel.find("/src/") else {
+        return Vec::new();
+    };
+    rel[pos + 5..]
+        .trim_end_matches(".rs")
+        .split('/')
+        .filter(|s| !s.is_empty() && *s != "lib" && *s != "mod" && *s != "main")
+        .map(str::to_string)
+        .collect()
+}
+
+enum Scope {
+    Mod(String),
+    Impl(Option<String>),
+}
+
+fn extract_file(f: &LoadedFile, items: &mut Vec<FnItem>) {
+    let code: Vec<&Tok> = f
+        .toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let text = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(&f.src)) };
+    let file_mods = file_modules(&f.rel);
+    let mut depth = 0usize;
+    // (depth the scope's brace opens at, scope kind).
+    let mut scopes: Vec<(usize, Scope)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        match (t.kind, text(i)) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                i += 1;
+            }
+            (TokKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|(d, _)| *d > depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            (TokKind::Ident, "mod")
+                if code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) =>
+            {
+                if text(i + 2) == "{" {
+                    scopes.push((depth + 1, Scope::Mod(text(i + 1).to_string())));
+                    i += 2; // the `{` is handled by the next iteration
+                } else {
+                    i += 3; // `mod name;` — an out-of-line module file
+                }
+            }
+            (TokKind::Ident, "impl") => {
+                // Self type: last depth-0 ident before the body, with
+                // everything after `for` replacing what came before and
+                // `where` ending consideration.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut ty: Option<String> = None;
+                let mut done = false;
+                while j < code.len() && text(j) != "{" && text(j) != ";" {
+                    match (code[j].kind, text(j)) {
+                        (TokKind::Punct, "<") => angle += 1,
+                        (TokKind::Punct, ">") => angle -= 1,
+                        (TokKind::Ident, "for") if angle == 0 && !done => ty = None,
+                        (TokKind::Ident, "where") if angle == 0 => done = true,
+                        (TokKind::Ident, w) if angle == 0 && !done && w != "dyn" && w != "mut" => {
+                            ty = Some(w.to_string());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if text(j) == "{" {
+                    scopes.push((depth + 1, Scope::Impl(ty)));
+                    i = j; // the `{` is handled by the next iteration
+                } else {
+                    i = j + 1;
+                }
+            }
+            (TokKind::Ident, "fn") if code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                i = extract_fn(f, &code, i, &file_mods, &scopes, items);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parse one `fn` item starting at the `fn` keyword; record it (unless
+/// it is a bodiless trait declaration) and return the token index to
+/// resume the outer walk at — the body's `{`, so nested items are
+/// still discovered while the signature (which may contain `impl`
+/// in return position) is skipped.
+fn extract_fn(
+    f: &LoadedFile,
+    code: &[&Tok],
+    fn_idx: usize,
+    file_mods: &[String],
+    scopes: &[(usize, Scope)],
+    items: &mut Vec<FnItem>,
+) -> usize {
+    let text = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(&f.src)) };
+    let name = text(fn_idx + 1).to_string();
+    let line = code[fn_idx].line;
+
+    // Parameter list `(`, skipping `<…>` generics (parens inside
+    // generic bounds like `Fn(u32) -> u8` stay at angle > 0).
+    let mut j = fn_idx + 2;
+    let mut angle = 0i32;
+    while j < code.len() {
+        match text(j) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" if angle <= 0 => break,
+            "{" | ";" => return j, // malformed; resume conservatively
+            _ => {}
+        }
+        j += 1;
+    }
+
+    // Receiver: a bare `self` in the first parameter segment.
+    let mut paren = 0i32;
+    let mut has_self = false;
+    let mut first_seg = true;
+    let mut k = j;
+    while k < code.len() {
+        match (code[k].kind, text(k)) {
+            (TokKind::Punct, "(") => paren += 1,
+            (TokKind::Punct, ")") => {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            }
+            (TokKind::Punct, ",") if paren == 1 => first_seg = false,
+            (TokKind::Ident, "self") if paren == 1 && first_seg => has_self = true,
+            _ => {}
+        }
+        k += 1;
+    }
+
+    // Return type / where clause up to the body `{` or a decl `;`.
+    let mut m = k + 1;
+    while m < code.len() && text(m) != "{" && text(m) != ";" {
+        m += 1;
+    }
+    if m >= code.len() || text(m) == ";" {
+        return m + 1; // trait method declaration — nothing to record
+    }
+
+    // Body token range: matching close brace of the `{` at `m`.
+    let mut d = 0i32;
+    let mut e = m;
+    while e < code.len() {
+        match text(e) {
+            "{" => d += 1,
+            "}" => {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        e += 1;
+    }
+
+    let mut module = file_mods.to_vec();
+    let mut self_ty = None;
+    for (_, s) in scopes {
+        match s {
+            Scope::Mod(name) => module.push(name.clone()),
+            Scope::Impl(ty) => self_ty = ty.clone(),
+        }
+    }
+
+    let mut item = FnItem {
+        krate: f.krate.clone(),
+        file: f.rel.clone(),
+        module,
+        self_ty,
+        name,
+        has_self,
+        line,
+        in_test: f.line_is_test(line),
+        calls: Vec::new(),
+        panics: Vec::new(),
+    };
+    collect_body(f, code, m, e, &mut item);
+    items.push(item);
+    m // resume at the body `{` so nested `fn`s are found too
+}
+
+/// Token index just past an optional turbofish (`::<…>`) after `idx`,
+/// so `collect::<Vec<_>>(` and `helper::<T>(` still look like calls.
+fn after_turbofish(src: &str, code: &[&Tok], idx: usize) -> usize {
+    let text = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(src)) };
+    if text(idx + 1) == "::" && text(idx + 2) == "<" {
+        let mut angle = 0i32;
+        let mut j = idx + 2;
+        while j < code.len() {
+            match text(j) {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    idx + 1
+}
+
+/// Collect call sites and panic-family tokens from a body token range.
+/// Nested `fn` items are skipped: they are extracted as their own graph
+/// nodes, so attributing their tokens to the parent as well would
+/// double-report every panic behind a shadowed local fn.
+fn collect_body(f: &LoadedFile, code: &[&Tok], lo: usize, hi: usize, item: &mut FnItem) {
+    let text = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(&f.src)) };
+    let mut j = lo;
+    while j <= hi.min(code.len().saturating_sub(1)) {
+        let t = code[j];
+        if f.line_is_test(t.line) {
+            j += 1;
+            continue;
+        }
+        if j > lo
+            && t.kind == TokKind::Ident
+            && text(j) == "fn"
+            && code.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            // Skip the nested item: to its body `{`/decl `;`, then past
+            // the matching close brace.
+            let mut m = j + 2;
+            while m < code.len() && text(m) != "{" && text(m) != ";" {
+                m += 1;
+            }
+            if text(m) == "{" {
+                let mut d = 0i32;
+                while m < code.len() {
+                    match text(m) {
+                        "{" => d += 1,
+                        "}" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+            }
+            j = m + 1;
+            continue;
+        }
+        // Panic sites — same family as NP01.
+        if t.kind == TokKind::Punct
+            && text(j) == "."
+            && code.get(j + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && PANIC_METHODS.contains(&n.text(&f.src))
+            })
+            && text(j + 2) == "("
+        {
+            item.panics.push(PanicSite {
+                what: text(j + 1).to_string(),
+                line: t.line,
+            });
+        }
+        if t.kind == TokKind::Ident && PANIC_MACROS.contains(&text(j)) && text(j + 1) == "!" {
+            item.panics.push(PanicSite {
+                what: format!("{}!", text(j)),
+                line: t.line,
+            });
+        }
+        // Call sites: `name(` / `name::<T>(`, not a definition, not a
+        // macro (macros have `!` before the paren and never match).
+        let is_callee = t.kind == TokKind::Ident
+            && !STMT_KEYWORDS.contains(&text(j))
+            && text(after_turbofish(&f.src, code, j)) == "(";
+        if is_callee {
+            let prev = if j > 0 { text(j - 1) } else { "" };
+            if prev == "." {
+                item.calls.push(CallSite {
+                    name: text(j).to_string(),
+                    quals: Vec::new(),
+                    method: true,
+                });
+            } else {
+                // Walk back through `a::b::` qualifiers, nearest first;
+                // a `>::` head means UFCS — harvest the idents inside
+                // `<…>` as hints.
+                let mut quals = Vec::new();
+                let mut k = j;
+                while k >= 2 && text(k - 1) == "::" && code[k - 2].kind == TokKind::Ident {
+                    quals.push(text(k - 2).to_string());
+                    k -= 2;
+                }
+                if k >= 2 && text(k - 1) == "::" && text(k - 2) == ">" {
+                    let mut angle = 0i32;
+                    let mut a = k - 2;
+                    loop {
+                        match text(a) {
+                            ">" => angle += 1,
+                            "<" => {
+                                angle -= 1;
+                                if angle == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if code[a].kind == TokKind::Ident {
+                                    quals.push(text(a).to_string());
+                                }
+                            }
+                        }
+                        if a == 0 {
+                            break;
+                        }
+                        a -= 1;
+                    }
+                }
+                item.calls.push(CallSite {
+                    name: text(j).to_string(),
+                    quals,
+                    method: false,
+                });
+            }
+        }
+        j += 1;
+    }
+}
+
+impl CallGraph {
+    /// Resolve one call site to candidate item ids (conservative).
+    fn resolve(&self, call: &CallSite) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new(); // external (std / rayon / num) — no edge
+        };
+        if call.method {
+            return cands
+                .iter()
+                .copied()
+                .filter(|&id| self.items[id].has_self)
+                .collect();
+        }
+        let Some(q) = call.quals.first() else {
+            return cands.clone();
+        };
+        if matches!(q.as_str(), "crate" | "self" | "super" | "Self") {
+            return cands.clone();
+        }
+        let filtered: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let it = &self.items[id];
+                it.self_ty.as_deref() == Some(q.as_str())
+                    || it.module.iter().any(|m| m == q)
+                    || crate_lib_name(&it.krate) == q
+                    || it.krate == *q
+            })
+            .collect();
+        if filtered.is_empty() {
+            cands.clone() // nothing matched the qualifier: assume reachable
+        } else {
+            filtered
+        }
+    }
+
+    /// Items matching an entry spec (`name` or `Type::name`), tests
+    /// excluded.
+    pub fn find_entries(&self, spec: &str) -> Vec<usize> {
+        let (ty, name) = match spec.rsplit_once("::") {
+            Some((ty, name)) => (Some(ty), name),
+            None => (None, spec),
+        };
+        self.by_name
+            .get(name)
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| ty.is_none() || self.items[id].self_ty.as_deref() == ty)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Result of the PF01 pass.
+pub struct Pf01Report {
+    /// One error per reachable panic site (with witness path), plus one
+    /// per missing entry point.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Entry specs that resolved to at least one item.
+    pub entries_found: usize,
+    /// Distinct functions reachable from the entry set.
+    pub reachable: usize,
+    /// Traversals stopped at a sanctioned sink.
+    pub sanctioned: usize,
+}
+
+/// Prove no panic-family token is reachable from `entries`. `allows`
+/// entries with `rule = "PF01"` sanction sinks: a callee whose file
+/// starts with the entry's `path` and whose qualified name contains its
+/// `contains` needle is not traversed into (`hits` records the use, so
+/// LT02 keeps the sanction honest).
+pub fn prove_panic_free(
+    graph: &CallGraph,
+    entries: &[&str],
+    allows: &[AllowEntry],
+    hits: &mut [usize],
+) -> Pf01Report {
+    let mut diagnostics = Vec::new();
+    let mut entries_found = 0usize;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut visited: HashSet<usize> = HashSet::new();
+    // parent[id] = caller id (for witness paths); entries map to None.
+    let mut parent: HashMap<usize, Option<usize>> = HashMap::new();
+    let mut sanctioned = 0usize;
+
+    for spec in entries {
+        let ids = graph.find_entries(spec);
+        if ids.is_empty() {
+            diagnostics.push(Diagnostic {
+                rule: "PF01",
+                severity: Severity::Error,
+                location: "callgraph".to_string(),
+                message: format!(
+                    "hot entry point `{spec}` not found in the call graph — \
+                     update callgraph::HOT_ENTRY_POINTS if it was renamed"
+                ),
+            });
+            continue;
+        }
+        entries_found += 1;
+        for id in ids {
+            if visited.insert(id) {
+                parent.insert(id, None);
+                queue.push_back(id);
+            }
+        }
+    }
+
+    while let Some(id) = queue.pop_front() {
+        let item = &graph.items[id];
+        if let Some(p) = item.panics.first() {
+            let mut path = vec![format!(
+                "{} ({}:{})",
+                item.qualified(),
+                item.file,
+                item.line
+            )];
+            let mut cur = id;
+            while let Some(Some(up)) = parent.get(&cur) {
+                let u = &graph.items[*up];
+                path.push(u.qualified());
+                cur = *up;
+            }
+            path.reverse();
+            diagnostics.push(Diagnostic {
+                rule: "PF01",
+                severity: Severity::Error,
+                location: format!("{}:{}", item.file, p.line),
+                message: format!(
+                    "panic-family token `{}` reachable from a hot entry point; \
+                     witness: {}",
+                    p.what,
+                    path.join(" -> ")
+                ),
+            });
+        }
+        for call in &item.calls {
+            'cand: for cand in graph.resolve(call) {
+                if visited.contains(&cand) {
+                    continue;
+                }
+                let target = &graph.items[cand];
+                let qualified = target.qualified();
+                for (ai, a) in allows.iter().enumerate() {
+                    if a.rule == "PF01"
+                        && target.file.starts_with(&a.path)
+                        && a.contains
+                            .as_ref()
+                            .map_or(true, |needle| qualified.contains(needle))
+                    {
+                        hits[ai] += 1;
+                        sanctioned += 1;
+                        continue 'cand;
+                    }
+                }
+                visited.insert(cand);
+                parent.insert(cand, Some(id));
+                queue.push_back(cand);
+            }
+        }
+    }
+
+    Pf01Report {
+        diagnostics,
+        entries_found,
+        reachable: visited.len(),
+        sanctioned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(files: &[(&str, &str)]) -> Vec<LoadedFile> {
+        files
+            .iter()
+            .map(|(rel, src)| LoadedFile::new(rel, src.to_string()))
+            .collect()
+    }
+
+    fn prove(files: &[(&str, &str)], entries: &[&str]) -> Pf01Report {
+        let loaded = load(files);
+        let graph = build(&loaded);
+        prove_panic_free(&graph, entries, &[], &mut [])
+    }
+
+    #[test]
+    fn direct_and_transitive_panics_found_with_witness() {
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry(x: u32) -> u32 { stage_one(x) }\n\
+                 fn stage_one(x: u32) -> u32 { stage_two(x) }\n\
+                 fn stage_two(x: u32) -> u32 { x.checked_add(1).unwrap() }\n",
+            )],
+            &["entry"],
+        );
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        let msg = &report.diagnostics[0].message;
+        assert!(msg.contains("entry -> stage_one -> stage_two"), "{msg}");
+        assert!(report.diagnostics[0].location.ends_with(":3"));
+    }
+
+    #[test]
+    fn clean_graph_proves_panic_free() {
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry(x: u32) -> u32 { helper(x) }\n\
+                 fn helper(x: u32) -> u32 { x + 1 }\n\
+                 fn unrelated() { never_called.unwrap(); }\n",
+            )],
+            &["entry"],
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.reachable, 2, "entry + helper; unrelated not reached");
+    }
+
+    #[test]
+    fn same_name_methods_on_different_types_both_reachable() {
+        // `.go()` cannot be typed without inference: both impls link,
+        // so the panicking one is (conservatively) reported.
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "struct Clean;\n\
+                 impl Clean { fn go(&self) -> u32 { 1 } }\n\
+                 struct Dirty;\n\
+                 impl Dirty { fn go(&self) -> u32 { panic!(\"boom\") } }\n\
+                 pub fn entry(c: Clean) -> u32 { c.go() }\n",
+            )],
+            &["entry"],
+        );
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(
+            report.diagnostics[0].message.contains("Dirty::go"),
+            "{}",
+            report.diagnostics[0].message
+        );
+    }
+
+    #[test]
+    fn shadowed_local_fn_links_in_addition() {
+        // A nested `fn helper` shadows the module-level one inside
+        // `entry`; resolution links both, so the panic is still seen.
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "fn helper(x: u32) -> u32 { x }\n\
+                 pub fn entry(x: u32) -> u32 {\n\
+                     fn helper(x: u32) -> u32 { todo!() }\n\
+                     helper(x)\n\
+                 }\n",
+            )],
+            &["entry"],
+        );
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert!(report.diagnostics[0].message.contains("todo!"));
+    }
+
+    #[test]
+    fn trait_object_calls_assume_reachable() {
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "trait Op { fn run(&self) -> u32; }\n\
+                 struct A;\n\
+                 impl Op for A { fn run(&self) -> u32 { unreachable!() } }\n\
+                 pub fn entry(op: &dyn Op) -> u32 { op.run() }\n",
+            )],
+            &["entry"],
+        );
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.diagnostics[0].message.contains("A::run"));
+    }
+
+    #[test]
+    fn cross_crate_core_la_wse_chain() {
+        let report = prove(
+            &[
+                (
+                    "crates/core/src/kernels.rs",
+                    "pub fn entry(x: u32) -> u32 { seismic_la::factor(x) }\n",
+                ),
+                (
+                    "crates/la/src/lib.rs",
+                    "pub fn factor(x: u32) -> u32 { wse_sim::place(x) }\n",
+                ),
+                (
+                    "crates/wse/src/place.rs",
+                    "pub fn place(x: u32) -> u32 { x.checked_mul(2).expect(\"overflow\") }\n",
+                ),
+            ],
+            &["entry"],
+        );
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        let msg = &report.diagnostics[0].message;
+        assert!(msg.contains("entry -> factor -> place"), "{msg}");
+        assert!(report.diagnostics[0].location.starts_with("crates/wse/"));
+    }
+
+    #[test]
+    fn qualifier_filters_same_name_free_fns() {
+        // Two free fns named `norm`; the qualified call resolves to the
+        // `la` one only, so `geom::norm`'s panic stays unreported.
+        let report = prove(
+            &[
+                (
+                    "crates/core/src/a.rs",
+                    "pub fn entry(x: u32) -> u32 { seismic_la::norm(x) }\n",
+                ),
+                ("crates/la/src/lib.rs", "pub fn norm(x: u32) -> u32 { x }\n"),
+                (
+                    "crates/geom/src/lib.rs",
+                    "pub fn norm(x: u32) -> u32 { panic!(\"no\") }\n",
+                ),
+            ],
+            &["entry"],
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn test_region_fns_are_not_candidates() {
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry(x: u32) -> u32 { helper(x) }\n\
+                 pub fn helper(x: u32) -> u32 { x }\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                     fn helper(x: u32) -> u32 { panic!(\"test-only\") }\n\
+                 }\n",
+            )],
+            &["entry"],
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn missing_entry_point_is_an_error() {
+        let report = prove(&[("crates/core/src/a.rs", "pub fn real() {}\n")], &["gone"]);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.diagnostics[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn sanctioned_sink_stops_traversal_and_counts_hit() {
+        let loaded = load(&[(
+            "crates/core/src/precision.rs",
+            "pub fn entry(x: f64) -> u64 { checked_cast(x) }\n\
+             pub fn checked_cast(x: f64) -> u64 { match try_cast(x) { Ok(v) => v, Err(_) => panic!(\"range\") } }\n",
+        )]);
+        let graph = build(&loaded);
+        let allows = vec![AllowEntry {
+            rule: "PF01".to_string(),
+            path: "crates/core/src/precision.rs".to_string(),
+            contains: Some("checked_cast".to_string()),
+            reason: "range-proved by construction".to_string(),
+        }];
+        let mut hits = vec![0usize];
+        let report = prove_panic_free(&graph, &["entry"], &allows, &mut hits);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(hits[0], 1, "sanction use recorded for LT02");
+        assert_eq!(report.sanctioned, 1);
+    }
+
+    #[test]
+    fn ufcs_and_turbofish_calls_are_seen() {
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "struct T;\n\
+                 impl T { fn assoc(x: u32) -> u32 { panic!(\"ufcs\") } }\n\
+                 fn generic<V>(v: V) -> V { unimplemented!() }\n\
+                 pub fn entry(x: u32) -> u32 { <T>::assoc(x) + generic::<u32>(x) }\n",
+            )],
+            &["entry"],
+        );
+        assert_eq!(report.diagnostics.len(), 2, "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn method_resolution_requires_receiver() {
+        // A free fn named like a method is not a `.call()` candidate.
+        let report = prove(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn scale(x: u32) -> u32 { panic!(\"free\") }\n\
+                 pub fn entry(m: M) -> u32 { m.scale() }\n\
+                 struct M;\n\
+                 impl M { fn scale(&self) -> u32 { 1 } }\n",
+            )],
+            &["entry"],
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+}

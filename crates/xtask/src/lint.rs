@@ -1,49 +1,389 @@
-//! The source-level lint rules and the `lint.toml` allowlist.
+//! The token-level source lint rules and the `lint.toml` allowlist.
 //!
-//! Rule inventory:
+//! Rule inventory (all rebuilt on [`crate::lexer`] token streams — no
+//! rule ever matches inside a string, char literal, or comment):
 //!
 //! * `NA01` — no `as` casts to integer types in `core`/`la`/`wse`
 //!   library code; use the `tlr_mvm::precision` checked helpers.
 //! * `NP01` — no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
-//!   `unimplemented!` in library-crate code, `repro` included (only
+//!   `unimplemented!` in library-crate code, `bench` included (only
 //!   test regions are exempt).
 //! * `AT01` — every library crate keeps `#![forbid(unsafe_code)]`.
 //! * `AT02` — every library crate keeps `#![deny(missing_docs)]`.
+//! * `HP01` — no heap allocation (`Vec::new`, `vec![`, `.to_vec()`,
+//!   `.clone()`, `.collect()`, `Box::new`) inside the lexical region of
+//!   a `trace::span` phase guard in `core`/`wse` kernels: a traced phase
+//!   measures the memory-wall traffic of the paper's §6.6 cost model,
+//!   and an allocator call inside it both pollutes the timing and stalls
+//!   the kernel.
+//! * `FE01` — no `==`/`!=` between float-typed operands in lib code
+//!   (a float literal, or a binding known to be `f32`/`f64`, on either
+//!   side); use the `seismic_la::scalar` exact-zero helpers or an
+//!   explicit tolerance.
+//! * `LT01` — `lint.toml` entries must be well-formed.
+//! * `LT02` — `lint.toml` entries must be *live*: an `[[allow]]` entry
+//!   matching zero diagnostics is stale and must be deleted, so the
+//!   allowlist can only shrink.
 //!
-//! Exceptions live in `lint.toml` at the workspace root: `[[allow]]`
-//! entries carrying a rule id, a path prefix, an optional `contains`
-//! line-substring, and a mandatory reason.
+//! Interprocedural panic-freedom (`PF01`) lives in [`crate::callgraph`].
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use wse_sim::verify::{Diagnostic, Severity};
 
-use crate::scan::{mask_source, test_region_lines};
+use crate::lexer::{is_float_literal, lex, Tok, TokKind};
+use crate::scan::test_region_lines;
 
 /// Crates whose hot paths must not use raw integer `as` casts.
-const NA01_CRATES: &[&str] = &["core", "la", "wse"];
+pub const NA01_CRATES: &[&str] = &["core", "la", "wse"];
 /// Crates covered by the panic lint — every library crate plus the
-/// `bench` harness, whose `repro` binary propagates errors as of the
-/// telemetry PR (xtask itself is the only exempt binary).
-const NP01_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
+/// `bench` harness (xtask itself is the only exempt binary).
+pub const NP01_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
 /// Crates whose `lib.rs` must carry the two crate-level attributes.
-const ATTR_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
+pub const ATTR_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
+/// Crates whose traced kernels must be allocation-free inside spans.
+pub const HP01_CRATES: &[&str] = &["core", "wse"];
+/// Crates covered by the float-equality lint.
+pub const FE01_CRATES: &[&str] = NP01_CRATES;
 
 /// Integer destination types of a forbidden cast.
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
 ];
 
-/// Panic-family tokens (checked against masked source).
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
+/// Panic-family macro names (checked as `name` followed by `!`).
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Panic-family method names (checked as `.name(`).
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// One source file, lexed once and shared by every pass (lint rules and
+/// the call graph).
+pub struct LoadedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Crate directory name (`core`, `la`, …).
+    pub krate: String,
+    /// File contents.
+    pub src: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Per-line `#[cfg(test)]` region flags (1-based line − 1).
+    pub in_test: Vec<bool>,
+}
+
+impl LoadedFile {
+    /// Lex and region-scan one source text.
+    pub fn new(rel: &str, src: String) -> Self {
+        let toks = lex(&src);
+        let in_test = test_region_lines(&src, &toks);
+        let krate = rel.split('/').nth(1).unwrap_or("").to_string();
+        Self {
+            rel: rel.to_string(),
+            krate,
+            src,
+            toks,
+            in_test,
+        }
+    }
+
+    /// Whether a 1-based line sits inside a `#[cfg(test)]` region.
+    pub fn line_is_test(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The source text of a 1-based line (for allowlist `contains`).
+    pub fn line_text(&self, line: usize) -> &str {
+        self.src.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+}
+
+/// Load every `.rs` file under `crates/*/src` (library code only).
+pub fn load_workspace(root: &Path) -> Vec<LoadedFile> {
+    workspace_lib_sources(root)
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            fs::read_to_string(&path)
+                .ok()
+                .map(|src| LoadedFile::new(&rel, src))
+        })
+        .collect()
+}
+
+/// One raw (pre-allowlist) finding from a token rule.
+pub struct Finding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Which token rules to run on a file (derived from its crate).
+#[derive(Clone, Copy, Default)]
+pub struct RuleSet {
+    /// Run the integer-cast rule.
+    pub na01: bool,
+    /// Run the panic-token rule.
+    pub np01: bool,
+    /// Run the allocation-in-span rule.
+    pub hp01: bool,
+    /// Run the float-equality rule.
+    pub fe01: bool,
+}
+
+impl RuleSet {
+    /// The rule set for a crate directory name.
+    pub fn for_crate(krate: &str) -> Self {
+        Self {
+            na01: NA01_CRATES.contains(&krate),
+            np01: NP01_CRATES.contains(&krate),
+            hp01: HP01_CRATES.contains(&krate),
+            fe01: FE01_CRATES.contains(&krate),
+        }
+    }
+
+    /// Every rule on (used by the self-test fixtures).
+    pub fn all() -> Self {
+        Self {
+            na01: true,
+            np01: true,
+            hp01: true,
+            fe01: true,
+        }
+    }
+}
+
+/// Run the enabled token rules over one file.
+pub fn lint_file(f: &LoadedFile, rules: RuleSet) -> Vec<Finding> {
+    // Comments carry no rule-relevant tokens; work on the code view.
+    let code: Vec<&Tok> = f
+        .toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut out = Vec::new();
+    let text = |i: usize| code[i].text(&f.src);
+    let is = |i: usize, kind: TokKind, s: &str| -> bool {
+        code.get(i)
+            .is_some_and(|t| t.kind == kind && t.text(&f.src) == s)
+    };
+
+    // Pass 1 — pointwise patterns (NA01 / NP01).
+    for i in 0..code.len() {
+        let t = code[i];
+        if f.line_is_test(t.line) {
+            continue;
+        }
+        if rules.na01 && t.kind == TokKind::Ident && text(i) == "as" {
+            if let Some(ty) = code
+                .get(i + 1)
+                .and_then(|n| (n.kind == TokKind::Ident).then(|| n.text(&f.src)))
+            {
+                if INT_TYPES.contains(&ty) && !is(i + 2, TokKind::Punct, "::") {
+                    out.push(Finding {
+                        rule: "NA01",
+                        line: t.line,
+                        message: format!(
+                            "raw `as {ty}` cast — use tlr_mvm::precision::checked_cast / to_u64 / to_usize"
+                        ),
+                    });
+                }
+            }
+        }
+        if rules.np01 {
+            if t.kind == TokKind::Punct
+                && text(i) == "."
+                && code.get(i + 1).is_some_and(|n| {
+                    n.kind == TokKind::Ident && PANIC_METHODS.contains(&n.text(&f.src))
+                })
+                && is(i + 2, TokKind::Punct, "(")
+            {
+                out.push(Finding {
+                    rule: "NP01",
+                    line: t.line,
+                    message: format!(
+                        "`{}` in library code — return a Result or add a lint.toml exception",
+                        text(i + 1)
+                    ),
+                });
+            }
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&text(i))
+                && is(i + 1, TokKind::Punct, "!")
+            {
+                out.push(Finding {
+                    rule: "NP01",
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in library code — return a Result or add a lint.toml exception",
+                        text(i)
+                    ),
+                });
+            }
+        }
+    }
+
+    if rules.hp01 {
+        hp01_alloc_in_span(f, &code, &mut out);
+    }
+    if rules.fe01 {
+        fe01_float_equality(f, &code, &mut out);
+    }
+    out
+}
+
+/// HP01: flag allocation tokens inside the lexical region of a
+/// `trace::span("…")` guard — from the span call to the end of its
+/// enclosing block (the guard's drop point).
+fn hp01_alloc_in_span(f: &LoadedFile, code: &[&Tok], out: &mut Vec<Finding>) {
+    let text = |i: usize| code[i].text(&f.src);
+    let is = |i: usize, s: &str| code.get(i).is_some_and(|t| t.text(&f.src) == s);
+    let mut depth = 0usize;
+    // Active span regions: (min brace depth, span name). A region dies
+    // when depth drops below its recorded depth.
+    let mut regions: Vec<(usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        match (t.kind, text(i)) {
+            (TokKind::Punct, "{") => depth += 1,
+            (TokKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                regions.retain(|(d, _)| depth >= *d);
+            }
+            (TokKind::Ident, "trace") if is(i + 1, "::") && is(i + 2, "span") && is(i + 3, "(") => {
+                let name = code
+                    .get(i + 4)
+                    .filter(|n| n.kind == TokKind::Str)
+                    .map(|n| n.text(&f.src).trim_matches('"').to_string())
+                    .unwrap_or_else(|| "?".to_string());
+                regions.push((depth, name));
+                i += 4;
+            }
+            _ => {}
+        }
+        if !regions.is_empty() && !f.line_is_test(t.line) {
+            let alloc: Option<&str> = if t.kind == TokKind::Ident
+                && text(i) == "Vec"
+                && is(i + 1, "::")
+                && is(i + 2, "new")
+            {
+                Some("Vec::new")
+            } else if t.kind == TokKind::Ident && text(i) == "vec" && is(i + 1, "!") {
+                Some("vec![")
+            } else if t.kind == TokKind::Ident
+                && text(i) == "Box"
+                && is(i + 1, "::")
+                && is(i + 2, "new")
+            {
+                Some("Box::new")
+            } else if t.kind == TokKind::Punct && text(i) == "." {
+                match code.get(i + 1).map(|n| n.text(&f.src)) {
+                    Some(m @ ("to_vec" | "clone" | "collect")) if is(i + 2, "(") => Some(match m {
+                        "to_vec" => ".to_vec()",
+                        "clone" => ".clone()",
+                        _ => ".collect()",
+                    }),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if let Some(what) = alloc {
+                let span = &regions.last().expect("regions is non-empty").1;
+                out.push(Finding {
+                    rule: "HP01",
+                    line: t.line,
+                    message: format!(
+                        "heap allocation `{what}` inside traced phase span `{span}` — \
+                         hoist the allocation above the span guard so the phase measures \
+                         kernel traffic, not the allocator"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// FE01: flag `==`/`!=` where either adjacent operand token is a float
+/// literal or an identifier known to be `f32`/`f64`-typed (from a
+/// `name: f32` annotation anywhere in the file, or `let name = <float>`).
+fn fe01_float_equality(f: &LoadedFile, code: &[&Tok], out: &mut Vec<Finding>) {
+    let text = |i: usize| code[i].text(&f.src);
+    // Pass 1: collect known float bindings.
+    let mut known: Vec<&str> = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : f32|f64` (let annotations, params, fields, consts).
+        if code.get(i + 1).is_some_and(|n| n.text(&f.src) == ":")
+            && code
+                .get(i + 2)
+                .is_some_and(|n| matches!(n.text(&f.src), "f32" | "f64"))
+        {
+            known.push(text(i));
+        }
+        // `let [mut] name = <float literal>`.
+        if text(i) == "let" {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.text(&f.src) == "mut") {
+                j += 1;
+            }
+            if code.get(j).is_some_and(|n| n.kind == TokKind::Ident)
+                && code.get(j + 1).is_some_and(|n| n.text(&f.src) == "=")
+                && code
+                    .get(j + 2)
+                    .is_some_and(|n| n.kind == TokKind::Num && is_float_literal(n.text(&f.src)))
+            {
+                known.push(code[j].text(&f.src));
+            }
+        }
+    }
+
+    // Pass 2: the comparisons.
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Punct || !matches!(text(i), "==" | "!=") || f.line_is_test(t.line) {
+            continue;
+        }
+        let floaty = |idx: Option<usize>| -> bool {
+            let Some(idx) = idx.and_then(|x| code.get(x).map(|_| x)) else {
+                return false;
+            };
+            let n = code[idx];
+            match n.kind {
+                TokKind::Num => is_float_literal(n.text(&f.src)),
+                TokKind::Ident => known.contains(&n.text(&f.src)),
+                _ => false,
+            }
+        };
+        if floaty(i.checked_sub(1)) || floaty(Some(i + 1)) {
+            out.push(Finding {
+                rule: "FE01",
+                line: t.line,
+                message: format!(
+                    "float `{}` comparison in library code — use \
+                     seismic_la::scalar::{{exactly_zero_f32, exactly_zero_f64}} for exact \
+                     zero tests or compare against an explicit tolerance",
+                    text(i)
+                ),
+            });
+        }
+    }
+}
 
 /// One `[[allow]]` entry from `lint.toml`.
 #[derive(Clone, Debug)]
@@ -52,14 +392,16 @@ pub struct AllowEntry {
     pub rule: String,
     /// Path prefix (workspace-relative, `/`-separated).
     pub path: String,
-    /// Optional substring the offending line must contain.
+    /// Optional substring the offending line (or, for `PF01`, the
+    /// sanctioned callee's qualified name) must contain.
     pub contains: Option<String>,
     /// Why the exception is justified (mandatory, surfaced in reports).
     pub reason: String,
 }
 
 impl AllowEntry {
-    fn matches(&self, rule: &str, rel_path: &str, line: &str) -> bool {
+    /// Line-level match used by the token rules.
+    pub fn matches(&self, rule: &str, rel_path: &str, line: &str) -> bool {
         self.rule == rule
             && rel_path.starts_with(&self.path)
             && self
@@ -137,6 +479,28 @@ pub fn parse_lint_toml(text: &str, origin: &str) -> (Vec<AllowEntry>, Vec<Diagno
     (entries, problems)
 }
 
+/// LT02: every `[[allow]]` entry must have matched at least one
+/// diagnostic this run; stale entries are themselves errors so the
+/// allowlist can only shrink. `hits[i]` counts matches for entry `i`
+/// across *all* passes (token rules and PF01 sanctioned sinks).
+pub fn stale_allow_entries(allows: &[AllowEntry], hits: &[usize]) -> Vec<Diagnostic> {
+    allows
+        .iter()
+        .zip(hits)
+        .filter(|(_, &h)| h == 0)
+        .map(|(a, _)| Diagnostic {
+            rule: "LT02",
+            severity: Severity::Error,
+            location: "lint.toml".to_string(),
+            message: format!(
+                "stale [[allow]] entry (rule {}, path {}) matches zero diagnostics — \
+                 delete this entry",
+                a.rule, a.path
+            ),
+        })
+        .collect()
+}
+
 /// Outcome of the lint pass: surviving diagnostics plus counts for the
 /// summary line.
 pub struct LintOutcome {
@@ -148,11 +512,17 @@ pub struct LintOutcome {
     pub files: usize,
 }
 
-/// Run every source-level rule over the workspace.
-pub fn run_lints(root: &Path, allows: &[AllowEntry]) -> LintOutcome {
+/// Run every token rule plus the crate-attribute checks over the
+/// pre-loaded workspace, recording allowlist hits into `hits` (parallel
+/// to `allows`).
+pub fn run_lints(
+    root: &Path,
+    files: &[LoadedFile],
+    allows: &[AllowEntry],
+    hits: &mut [usize],
+) -> LintOutcome {
     let mut diagnostics = Vec::new();
     let mut allowed = 0usize;
-    let mut files = 0usize;
 
     // AT01/AT02 — crate-level attributes.
     for krate in ATTR_CRATES {
@@ -167,155 +537,85 @@ pub fn run_lints(root: &Path, allows: &[AllowEntry]) -> LintOutcome {
             });
             continue;
         };
-        if !text.contains("#![forbid(unsafe_code)]") {
-            push_or_allow(
-                &mut diagnostics,
-                &mut allowed,
-                allows,
-                "AT01",
-                &rel,
-                1,
-                "",
-                "crate must keep #![forbid(unsafe_code)]",
-            );
-        }
-        if !text.contains("#![deny(missing_docs)]") {
-            push_or_allow(
-                &mut diagnostics,
-                &mut allowed,
-                allows,
-                "AT02",
-                &rel,
-                1,
-                "",
-                "crate must keep #![deny(missing_docs)]",
-            );
+        for d in lint_crate_attributes(&rel, &text) {
+            push_or_allow(&mut diagnostics, &mut allowed, allows, hits, &rel, "", d);
         }
     }
 
-    // NA01/NP01 — per-line source scanning of library code.
-    for path in workspace_lib_sources(root) {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Ok(src) = fs::read_to_string(&path) else {
-            continue;
-        };
-        files += 1;
-        let masked = mask_source(&src);
-        let in_test = test_region_lines(&masked);
-        let krate = rel.split('/').nth(1).unwrap_or("");
-        let na01 = NA01_CRATES.contains(&krate);
-        let np01 = NP01_CRATES.contains(&krate);
-        let originals: Vec<&str> = src.lines().collect();
-
-        for (idx, line) in masked.lines().enumerate() {
-            if in_test.get(idx).copied().unwrap_or(false) {
-                continue;
-            }
-            let original = originals.get(idx).copied().unwrap_or(line);
-            if np01 {
-                for tok in PANIC_TOKENS {
-                    if line.contains(tok) {
-                        push_or_allow(
-                            &mut diagnostics,
-                            &mut allowed,
-                            allows,
-                            "NP01",
-                            &rel,
-                            idx + 1,
-                            original,
-                            &format!("`{}` in library code — return a Result or add a lint.toml exception", tok.trim_matches(['.', '(', ')'])),
-                        );
-                    }
-                }
-            }
-            if na01 {
-                if let Some(ty) = find_int_cast(line) {
-                    push_or_allow(
-                        &mut diagnostics,
-                        &mut allowed,
-                        allows,
-                        "NA01",
-                        &rel,
-                        idx + 1,
-                        original,
-                        &format!("raw `as {ty}` cast — use tlr_mvm::precision::checked_cast / to_u64 / to_usize"),
-                    );
-                }
-            }
+    // Token rules.
+    for f in files {
+        let rules = RuleSet::for_crate(&f.krate);
+        for finding in lint_file(f, rules) {
+            let line_text = f.line_text(finding.line);
+            let d = Diagnostic {
+                rule: finding.rule,
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, finding.line),
+                message: finding.message,
+            };
+            push_or_allow(
+                &mut diagnostics,
+                &mut allowed,
+                allows,
+                hits,
+                &f.rel,
+                line_text,
+                d,
+            );
         }
     }
 
     LintOutcome {
         diagnostics,
         allowed,
-        files,
+        files: files.len(),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// AT01/AT02 over one crate root's text (fixture-friendly).
+pub fn lint_crate_attributes(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !text.contains("#![forbid(unsafe_code)]") {
+        out.push(Diagnostic {
+            rule: "AT01",
+            severity: Severity::Error,
+            location: rel.to_string(),
+            message: "crate must keep #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+    if !text.contains("#![deny(missing_docs)]") {
+        out.push(Diagnostic {
+            rule: "AT02",
+            severity: Severity::Error,
+            location: rel.to_string(),
+            message: "crate must keep #![deny(missing_docs)]".to_string(),
+        });
+    }
+    out
+}
+
 fn push_or_allow(
     diagnostics: &mut Vec<Diagnostic>,
     allowed: &mut usize,
     allows: &[AllowEntry],
-    rule: &'static str,
+    hits: &mut [usize],
     rel: &str,
-    line_no: usize,
     line: &str,
-    message: &str,
+    d: Diagnostic,
 ) {
-    if allows.iter().any(|a| a.matches(rule, rel, line)) {
-        *allowed += 1;
-        return;
-    }
-    diagnostics.push(Diagnostic {
-        rule,
-        severity: Severity::Error,
-        location: format!("{rel}:{line_no}"),
-        message: message.to_string(),
-    });
-}
-
-/// Find an `as <int-type>` cast on a masked line; returns the
-/// destination type. Word-boundary matching, so identifiers like
-/// `alias` or paths like `usize::MAX` never trip it.
-fn find_int_cast(line: &str) -> Option<&'static str> {
-    let bytes = line.as_bytes();
-    let mut idx = 0;
-    while let Some(at) = line[idx..].find("as") {
-        let s = idx + at;
-        let e = s + 2;
-        idx = e;
-        let before_ok = s == 0 || !(bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_');
-        let after_ok = e < bytes.len() && bytes[e] == b' ';
-        if !(before_ok && after_ok) {
-            continue;
-        }
-        let rest = line[e..].trim_start();
-        for ty in INT_TYPES {
-            if let Some(after) = rest.strip_prefix(ty) {
-                let boundary = after
-                    .bytes()
-                    .next()
-                    .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == b'_'));
-                // `usize::MAX as u64` ends after the type; `x as usize::MAX`
-                // is not valid Rust, so a following `::` means this was a
-                // path, not a cast target.
-                let not_path = !after.starts_with("::");
-                if boundary && not_path {
-                    return Some(ty);
-                }
-            }
+    for (i, a) in allows.iter().enumerate() {
+        if a.matches(d.rule, rel, line) {
+            hits[i] += 1;
+            *allowed += 1;
+            return;
         }
     }
-    None
+    diagnostics.push(d);
 }
 
-/// Every `.rs` file under `crates/*/src` (library code only — `tests/`
-/// and `benches/` directories are exempt by construction).
+/// Every `.rs` file under `crates/*/src` except `xtask` itself
+/// (library code only — `tests/` and `benches/` directories are exempt
+/// by construction; xtask is the analyzer, not analysis input).
 fn workspace_lib_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
@@ -325,7 +625,7 @@ fn workspace_lib_sources(root: &Path) -> Vec<PathBuf> {
     let mut crate_dirs: Vec<PathBuf> = entries
         .flatten()
         .map(|e| e.path())
-        .filter(|p| p.is_dir())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
         .collect();
     crate_dirs.sort();
     for dir in crate_dirs {
@@ -353,13 +653,126 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 mod tests {
     use super::*;
 
+    fn findings(rel: &str, src: &str, rules: RuleSet) -> Vec<(String, usize)> {
+        let f = LoadedFile::new(rel, src.to_string());
+        lint_file(&f, rules)
+            .into_iter()
+            .map(|x| (x.rule.to_string(), x.line))
+            .collect()
+    }
+
     #[test]
     fn int_casts_found_with_word_boundaries() {
-        assert_eq!(find_int_cast("let x = y as u64;"), Some("u64"));
-        assert_eq!(find_int_cast("let x = (a + b) as usize;"), Some("usize"));
-        assert_eq!(find_int_cast("let x = y as f64;"), None);
-        assert_eq!(find_int_cast("let alias = basic;"), None);
-        assert_eq!(find_int_cast("let m = usize::MAX;"), None);
+        let rules = RuleSet {
+            na01: true,
+            ..Default::default()
+        };
+        let hits = findings(
+            "crates/core/src/x.rs",
+            "fn f() {\n let x = y as u64;\n let z = (a + b) as usize;\n let f = y as f64;\n \
+             let alias = basic;\n let m = usize::MAX;\n let w = usize::MAX as u64;\n}",
+            rules,
+        );
+        assert_eq!(
+            hits,
+            vec![("NA01".into(), 2), ("NA01".into(), 3), ("NA01".into(), 7)]
+        );
+    }
+
+    #[test]
+    fn panic_tokens_found_outside_strings_only() {
+        let rules = RuleSet {
+            np01: true,
+            ..Default::default()
+        };
+        let hits = findings(
+            "crates/mdd/src/x.rs",
+            "fn f() {\n let s = \"panic!(no)\"; // unwrap()\n x.unwrap();\n y.expect(\"m\");\n \
+             panic!(\"boom\");\n unreachable!();\n let ok = x.unwrap_or(0);\n}",
+            rules,
+        );
+        assert_eq!(
+            hits.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let rules = RuleSet {
+            np01: true,
+            ..Default::default()
+        };
+        let hits = findings(
+            "crates/mdd/src/x.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n",
+            rules,
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn hp01_fires_inside_span_region_only() {
+        let rules = RuleSet {
+            hp01: true,
+            ..Default::default()
+        };
+        let src = "fn kernel() {\n\
+                   let pre = vec![0.0; 8];\n\
+                   let _span = trace::span(\"phase.x\");\n\
+                   let bad = vec![0.0; 8];\n\
+                   let also = Vec::new();\n\
+                   let b = data.to_vec();\n\
+                   let c = data.clone();\n\
+                   let d: Vec<_> = it.collect();\n\
+                   let e = Box::new(1);\n\
+                   }\n\
+                   fn after() { let ok = vec![1]; }\n";
+        let hits = findings("crates/core/src/k.rs", src, rules);
+        assert_eq!(
+            hits.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7, 8, 9],
+            "pre-span and post-fn allocations are fine; all six alloc forms fire"
+        );
+    }
+
+    #[test]
+    fn hp01_region_ends_with_enclosing_block() {
+        let rules = RuleSet {
+            hp01: true,
+            ..Default::default()
+        };
+        let src = "fn kernel() {\n\
+                   {\n\
+                   let _span = trace::span(\"inner\");\n\
+                   work();\n\
+                   }\n\
+                   let ok = vec![0.0; 8];\n\
+                   }\n";
+        let hits = findings("crates/wse/src/k.rs", src, rules);
+        assert!(hits.is_empty(), "span died with its block: {hits:?}");
+    }
+
+    #[test]
+    fn fe01_literal_and_known_binding() {
+        let rules = RuleSet {
+            fe01: true,
+            ..Default::default()
+        };
+        let src = "fn f(alpha: f32, n: usize) {\n\
+                   if beta == 0.0 { }\n\
+                   if alpha != other { }\n\
+                   let t: f64 = g();\n\
+                   if t == u { }\n\
+                   if n == 0 { }\n\
+                   if name == \"x\" { }\n\
+                   }\n";
+        let hits = findings("crates/mdd/src/x.rs", src, rules);
+        assert_eq!(
+            hits.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![2, 3, 5],
+            "literal, param-typed, and let-annotated operands fire; ints and strings do not"
+        );
     }
 
     #[test]
@@ -391,5 +804,31 @@ reason = "reproduction harness"
         assert!(entries.is_empty());
         assert_eq!(problems.len(), 1);
         assert_eq!(problems[0].rule, "LT01");
+    }
+
+    #[test]
+    fn stale_entries_reported() {
+        let (entries, _) = parse_lint_toml(
+            "[[allow]]\nrule = \"NA01\"\npath = \"crates/x\"\nreason = \"r\"\n",
+            "lint.toml",
+        );
+        let stale = stale_allow_entries(&entries, &[0]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "LT02");
+        assert!(stale[0].message.contains("delete this entry"));
+        assert!(stale_allow_entries(&entries, &[3]).is_empty());
+    }
+
+    #[test]
+    fn crate_attributes_checked() {
+        let missing = lint_crate_attributes("crates/x/src/lib.rs", "//! docs\n");
+        assert_eq!(missing.len(), 2);
+        assert_eq!(missing[0].rule, "AT01");
+        assert_eq!(missing[1].rule, "AT02");
+        let ok = lint_crate_attributes(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n",
+        );
+        assert!(ok.is_empty());
     }
 }

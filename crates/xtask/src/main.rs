@@ -1,18 +1,29 @@
 //! `cargo run -p xtask -- analyze` — the workspace static-analysis
-//! driver.
+//! driver, token-level engine (v2).
 //!
-//! Three passes, all reporting through the shared
+//! Passes, all reporting through the shared
 //! [`wse_sim::verify::Diagnostic`] type:
 //!
-//! 1. **Source lints** ([`lint`]): `NA01` (no raw integer `as` casts in
-//!    `core`/`la`/`wse` library code), `NP01` (no panic family in
-//!    library crates), `AT01`/`AT02` (crate attributes), with a
-//!    `lint.toml` allowlist for justified exceptions.
-//! 2. **Static plan verification** ([`plan`]): the paper's Table 1
+//! 1. **Token lints** ([`lint`] on the [`lexer`] stream): `NA01` (no raw
+//!    integer `as` casts in `core`/`la`/`wse`), `NP01` (no panic family
+//!    in library crates), `AT01`/`AT02` (crate attributes), `HP01` (no
+//!    heap allocation inside `trace::span` regions in `core`/`wse`),
+//!    `FE01` (no `==`/`!=` on float operands), with a `lint.toml`
+//!    allowlist for justified exceptions.
+//! 2. **Panic-freedom proof** ([`callgraph`]): `PF01` — BFS over the
+//!    approximate workspace call graph proves no panic-family token is
+//!    reachable from the hot TLR-MVM/MMM/solver entry points, printing
+//!    a witness call path for every violation.
+//! 3. **Static plan verification** ([`plan`]): the paper's Table 1
 //!    configurations must pass the `WV..` rules of
 //!    [`wse_sim::verify::verify_plan`] without being placed or run.
-//! 3. **Allowlist hygiene**: malformed `lint.toml` entries are
-//!    themselves diagnostics (`LT01`).
+//! 4. **Allowlist hygiene**: malformed entries are `LT01`; entries that
+//!    matched nothing this run are `LT02` (stale — delete them).
+//!
+//! Flags: `--sarif <path>` writes a SARIF 2.1.0 report ([`sarif`]),
+//! `--json` prints a machine-readable summary to stdout instead of the
+//! human lines, `--self-test` ([`selftest`]) proves every rule fires on
+//! embedded fixtures (exit 0 iff all nine do).
 //!
 //! Exit status: `0` when no error-severity diagnostic survives the
 //! allowlist, `1` otherwise — suitable as a blocking CI step.
@@ -22,20 +33,25 @@
 
 #![forbid(unsafe_code)]
 
+mod callgraph;
+mod lexer;
 mod lint;
 mod perfgate;
 mod plan;
+mod sarif;
 mod scan;
+mod selftest;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use seismic_bench::jsonio::Json;
 use wse_sim::verify::{Diagnostic, Severity};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("analyze") => analyze(),
+        Some("analyze") => analyze(&args[1..]),
         Some("perfgate") => perfgate::run(&workspace_root(), &args[1..]),
         Some("help") | None => {
             print_usage();
@@ -53,8 +69,13 @@ fn print_usage() {
     eprintln!(
         "usage: cargo run -p xtask -- <command>\n\n\
          commands:\n  \
-         analyze   run the static-analysis suite (source lints NA01/NP01/AT01/AT02,\n            \
-         lint.toml allowlist, static WSE plan verification WV01..WV07)\n  \
+         analyze   run the static-analysis suite: token lints (NA01/NP01/AT01/AT02/\n            \
+         HP01/FE01), call-graph panic-freedom proof (PF01), lint.toml\n            \
+         allowlist hygiene (LT01/LT02), static WSE plan verification\n            \
+         (WV01..WV07)\n            \
+         [--sarif <path>  write a SARIF 2.1.0 report]\n            \
+         [--json          machine-readable output on stdout]\n            \
+         [--self-test     prove every rule fires on embedded fixtures]\n  \
          perfgate  compare a `repro perfbench --json` run against the committed\n            \
          BENCH_table2.json baseline; fails (>15% median regression or\n            \
          trace-checksum drift) with the offending kernel named\n            \
@@ -73,7 +94,46 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn analyze() -> ExitCode {
+struct AnalyzeConfig {
+    sarif: Option<PathBuf>,
+    json: bool,
+    self_test: bool,
+}
+
+fn parse_analyze_args(args: &[String]) -> Result<AnalyzeConfig, String> {
+    let mut cfg = AnalyzeConfig {
+        sarif: None,
+        json: false,
+        self_test: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => cfg.json = true,
+            "--self-test" => cfg.self_test = true,
+            "--sarif" => {
+                cfg.sarif = Some(PathBuf::from(
+                    it.next().ok_or("--sarif needs a path")?.clone(),
+                ));
+            }
+            other => return Err(format!("unknown analyze flag: {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let cfg = match parse_analyze_args(args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cfg.self_test {
+        return selftest::run();
+    }
+
     let root = workspace_root();
     let mut all: Vec<Diagnostic> = Vec::new();
 
@@ -84,27 +144,108 @@ fn analyze() -> ExitCode {
         Err(_) => (Vec::new(), Vec::new()),
     };
     all.append(&mut toml_problems);
+    let mut hits = vec![0usize; allows.len()];
 
-    // Pass 1: source lints.
-    let outcome = lint::run_lints(&root, &allows);
-    let files = outcome.files;
+    // Lex the workspace once; the lints and the call graph share it.
+    let files = lint::load_workspace(&root);
+
+    // Pass 1: token lints.
+    let outcome = lint::run_lints(&root, &files, &allows, &mut hits);
+    let n_files = outcome.files;
     let allowed = outcome.allowed;
     all.extend(outcome.diagnostics);
 
-    // Pass 2: static plan verification of the paper configurations.
+    // Pass 2: PF01 panic-freedom proof over the call graph.
+    let graph = callgraph::build(&files);
+    let pf01 = callgraph::prove_panic_free(&graph, callgraph::HOT_ENTRY_POINTS, &allows, &mut hits);
+    let pf01_clean = pf01.diagnostics.is_empty();
+    let (pf01_entries, pf01_reachable, pf01_sanctioned) =
+        (pf01.entries_found, pf01.reachable, pf01.sanctioned);
+    all.extend(pf01.diagnostics);
+
+    // Pass 3: static plan verification of the paper configurations.
     let (plan_diags, plans_checked) = plan::verify_paper_plans();
     all.extend(plan_diags);
 
-    for d in &all {
-        println!("{d}");
-    }
+    // Pass 4: allowlist hygiene — every entry must have earned its keep.
+    all.extend(lint::stale_allow_entries(&allows, &hits));
+
     let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
     let warnings = all.len() - errors;
-    println!(
-        "analyze: {files} files linted, {plans_checked} plans verified, \
-         {errors} errors, {warnings} warnings, {allowed} allowed by lint.toml ({} entries)",
-        allows.len()
-    );
+
+    if let Some(path) = &cfg.sarif {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let doc = sarif::sarif_report(&all);
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => {
+                if !cfg.json {
+                    println!("analyze: SARIF written to {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("analyze: cannot write SARIF to {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if cfg.json {
+        let diags: Vec<Json> = all
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("rule".to_string(), Json::str(d.rule)),
+                    ("severity".to_string(), Json::str(&d.severity.to_string())),
+                    ("location".to_string(), Json::str(&d.location)),
+                    ("message".to_string(), Json::str(&d.message)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("files".to_string(), Json::u64(n_files as u64)),
+            (
+                "plans_verified".to_string(),
+                Json::u64(plans_checked as u64),
+            ),
+            ("errors".to_string(), Json::u64(errors as u64)),
+            ("warnings".to_string(), Json::u64(warnings as u64)),
+            ("allowed".to_string(), Json::u64(allowed as u64)),
+            (
+                "pf01".to_string(),
+                Json::Obj(vec![
+                    ("clean".to_string(), Json::Bool(pf01_clean)),
+                    ("entry_points".to_string(), Json::u64(pf01_entries as u64)),
+                    (
+                        "reachable_fns".to_string(),
+                        Json::u64(pf01_reachable as u64),
+                    ),
+                    (
+                        "sanctioned_sinks".to_string(),
+                        Json::u64(pf01_sanctioned as u64),
+                    ),
+                ]),
+            ),
+            ("diagnostics".to_string(), Json::Arr(diags)),
+        ]);
+        print!("{}", doc.to_pretty());
+    } else {
+        for d in &all {
+            println!("{d}");
+        }
+        if pf01_clean {
+            println!(
+                "analyze: PF01 proved {pf01_entries} hot entry points panic-free \
+                 ({pf01_reachable} reachable fns, {pf01_sanctioned} sanctioned sink calls)"
+            );
+        }
+        println!(
+            "analyze: {n_files} files linted, {plans_checked} plans verified, \
+             {errors} errors, {warnings} warnings, {allowed} allowed by lint.toml ({} entries)",
+            allows.len()
+        );
+    }
     if errors > 0 {
         ExitCode::FAILURE
     } else {

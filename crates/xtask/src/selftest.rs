@@ -1,0 +1,189 @@
+//! `analyze --self-test` — prove every rule can actually fire.
+//!
+//! Mirrors `perfgate --self-test`: each rule is run against an embedded
+//! fixture that violates it, and the command exits 0 **iff** every rule
+//! (NA01, NP01, AT01, AT02, HP01, FE01, PF01, LT01, LT02) produces the
+//! expected diagnostic. A lint engine that silently stops matching is a
+//! worse failure mode than a noisy one; this is the regression gate for
+//! the engine itself, runnable in CI without touching the workspace
+//! sources.
+
+use std::process::ExitCode;
+
+use crate::callgraph::{build, prove_panic_free};
+use crate::lint::{
+    lint_crate_attributes, lint_file, parse_lint_toml, stale_allow_entries, LoadedFile, RuleSet,
+};
+
+/// A fixture that plants one violation per token rule. The `#[cfg(test)]`
+/// block plants the same violations again — if test-region exemption
+/// breaks, extra findings fail the count checks below.
+const TOKEN_RULE_FIXTURE: &str = r#"
+pub fn na01_site(x: f64) -> u64 {
+    x as u64
+}
+pub fn np01_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+pub fn hp01_site(n: usize) -> Vec<f32> {
+    let _span = trace::span("fixture.phase");
+    let y = vec![0.0f32; n];
+    y
+}
+pub fn fe01_site(alpha: f32) -> bool {
+    alpha == 0.0
+}
+#[cfg(test)]
+mod tests {
+    fn exempt(x: f64, v: Option<u32>, alpha: f32) {
+        let _ = x as u64;
+        let _ = v.unwrap();
+        let _ = alpha == 0.0;
+    }
+}
+"#;
+
+/// PF01 fixture: the planted violation is two hops away from the entry,
+/// so the emitted witness must spell out the full call path.
+const PF01_FIXTURE: &str = "\
+pub fn hot_entry(x: u32) -> u32 { stage_one(x) }\n\
+fn stage_one(x: u32) -> u32 { stage_two(x) }\n\
+fn stage_two(x: u32) -> u32 { if x > 3 { panic!(\"planted\") } else { x } }\n";
+
+struct Check {
+    rule: &'static str,
+    ok: bool,
+    detail: String,
+}
+
+fn token_rule_checks() -> Vec<Check> {
+    let f = LoadedFile::new(
+        "crates/core/src/selftest_fixture.rs",
+        TOKEN_RULE_FIXTURE.to_string(),
+    );
+    let findings = lint_file(&f, RuleSet::all());
+    let count = |rule: &str| findings.iter().filter(|x| x.rule == rule).count();
+    let one = |rule: &'static str, what: &str| Check {
+        rule,
+        ok: count(rule) == 1,
+        detail: format!(
+            "{what}: {} finding(s), expected 1 (test region exempt)",
+            count(rule)
+        ),
+    };
+    vec![
+        one("NA01", "raw `as u64` cast fixture"),
+        one("NP01", "`.unwrap()` fixture"),
+        one("HP01", "`vec![]` inside trace::span fixture"),
+        one("FE01", "`alpha == 0.0` fixture"),
+    ]
+}
+
+fn attr_rule_checks() -> Vec<Check> {
+    let diags = lint_crate_attributes("crates/core/src/lib.rs", "//! fixture with no attributes\n");
+    let has = |rule: &str| diags.iter().any(|d| d.rule == rule);
+    vec![
+        Check {
+            rule: "AT01",
+            ok: has("AT01"),
+            detail: "missing #![forbid(unsafe_code)] detected".to_string(),
+        },
+        Check {
+            rule: "AT02",
+            ok: has("AT02"),
+            detail: "missing #![deny(missing_docs)] detected".to_string(),
+        },
+    ]
+}
+
+fn allowlist_checks() -> Vec<Check> {
+    let (entries, problems) = parse_lint_toml("[[allow]]\nrule = \"NA01\"\n", "selftest-lint.toml");
+    let lt01 = Check {
+        rule: "LT01",
+        ok: entries.is_empty() && problems.iter().any(|d| d.rule == "LT01"),
+        detail: "entry without path/reason rejected".to_string(),
+    };
+    let (entries, _) = parse_lint_toml(
+        "[[allow]]\nrule = \"NA01\"\npath = \"crates/none\"\nreason = \"stale fixture\"\n",
+        "selftest-lint.toml",
+    );
+    let stale = stale_allow_entries(&entries, &[0]);
+    let lt02 = Check {
+        rule: "LT02",
+        ok: stale.len() == 1 && stale[0].message.contains("delete this entry"),
+        detail: "zero-hit allow entry flagged for deletion".to_string(),
+    };
+    vec![lt01, lt02]
+}
+
+fn pf01_check() -> (Check, Option<String>) {
+    let f = LoadedFile::new("crates/core/src/selftest_pf01.rs", PF01_FIXTURE.to_string());
+    let graph = build(std::slice::from_ref(&f));
+    let report = prove_panic_free(&graph, &["hot_entry"], &[], &mut []);
+    let witness = report.diagnostics.first().map(|d| d.message.clone());
+    let ok = report.diagnostics.len() == 1
+        && witness
+            .as_deref()
+            .is_some_and(|m| m.contains("hot_entry -> stage_one -> stage_two"));
+    (
+        Check {
+            rule: "PF01",
+            ok,
+            detail: "planted panic 2 hops from entry reported with witness path".to_string(),
+        },
+        witness,
+    )
+}
+
+/// Run all fixture checks; exit 0 iff every rule fired as expected.
+pub fn run() -> ExitCode {
+    let mut checks = token_rule_checks();
+    checks.extend(attr_rule_checks());
+    checks.extend(allowlist_checks());
+    let (pf, witness) = pf01_check();
+    checks.push(pf);
+
+    let mut failed = 0usize;
+    for c in &checks {
+        let tag = if c.ok { "ok" } else { "BROKEN" };
+        println!("analyze --self-test: [{tag}] {} — {}", c.rule, c.detail);
+        if !c.ok {
+            failed += 1;
+        }
+    }
+    if let Some(w) = witness {
+        println!("analyze --self-test: PF01 witness: {w}");
+    }
+    if failed > 0 {
+        eprintln!(
+            "analyze --self-test: BROKEN — {failed}/{} rules did not fire on their fixture",
+            checks.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "analyze --self-test: ok — all {} rules fire on their fixtures",
+            checks.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_check_passes() {
+        let mut checks = token_rule_checks();
+        checks.extend(attr_rule_checks());
+        checks.extend(allowlist_checks());
+        let (pf, witness) = pf01_check();
+        checks.push(pf);
+        for c in &checks {
+            assert!(c.ok, "rule {} fixture broken: {}", c.rule, c.detail);
+        }
+        assert_eq!(checks.len(), 9, "all nine analyze rules covered");
+        assert!(witness.expect("witness emitted").contains("panic!"));
+    }
+}
