@@ -17,10 +17,14 @@
 //!   reports (`repro <exp> --timeline`).
 //! * [`jsonio`] — the self-contained JSON tree those artifacts are
 //!   written and parsed with.
+//! * [`atlas_experiments`] — the fabric atlas: per-PE-group heatmap
+//!   frames with exact cross-layer reconciliation
+//!   (`repro <exp> --atlas`, `repro atlas-sweep`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod atlas_experiments;
 pub mod jsonio;
 pub mod mdd_experiments;
 pub mod mmm_experiments;

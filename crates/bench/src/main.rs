@@ -8,6 +8,7 @@
 
 use std::process::ExitCode;
 
+use seismic_bench::atlas_experiments as atlasx;
 use seismic_bench::mdd_experiments as mddx;
 use seismic_bench::mmm_experiments as mmmx;
 use seismic_bench::perf;
@@ -24,15 +25,18 @@ type RunResult<T = ()> = Result<T, Box<dyn std::error::Error>>;
 
 const USAGE: &str = "\
 repro — regenerate every table and figure of the paper\n\n\
-USAGE: repro <experiment> [--json] [--trace] [--timeline]\n\n\
+USAGE: repro <experiment> [--json] [--trace] [--timeline] [--atlas]\n\n\
 experiments:\n  \
 fig11 fig12 fig13 fig14 — MDD quality & bandwidth figures\n  \
 table1 table2 table3 table4 table5 — CS-2 mapping & scaling tables\n  \
 fig15 fig16 — rooflines;  recon — roofline reconciliation (% of peak)\n  \
 power — §7.6 energy;  mmm — §8 TLR-MMM;  io — §6.6 host link\n  \
 appbench — whole-application dense vs TLR;  coupling — §4 ablation\n  \
-precision — bf16 bases;  all — everything\n  \
-perfbench — host-kernel microbenchmarks (BENCH_*.json; not part of all)\n\n\
+precision — bf16 bases;  tab2wse — fabric-atlas heatmap summary\n  \
+all — everything\n  \
+perfbench — host-kernel microbenchmarks (BENCH_*.json; not part of all)\n  \
+atlas-sweep — one atlas frame per stack width per validated config\n  \
+              (writes target/trace/atlas-sweep.atlas.json; not in all)\n\n\
 --json additionally writes machine-readable results to target/repro/\n\
         (perfbench: target/perf/BENCH_table2.json)\n\
 --trace enables the runtime observability layer and writes the phase\n\
@@ -42,8 +46,14 @@ perfbench — host-kernel microbenchmarks (BENCH_*.json; not part of all)\n\n\
 --timeline writes a Chrome Trace Event / Perfetto timeline to\n\
         target/trace/<experiment>.timeline.json (host span tracks +\n\
         modeled WSE PE-group tracks; open in ui.perfetto.dev)\n\
+--atlas collects the per-PE-group fabric atlas (occupancy, SRAM bank\n\
+        pressure, link traffic, flops, energy) for the validated\n\
+        configs under both layouts, verifies every grid total against\n\
+        the placement aggregates, and writes\n\
+        target/trace/<experiment>.atlas.json plus a terminal heatmap\n\
 REPRO_SCALE=<n> overrides the dataset downscale factor (default 12)\n\
-PERFBENCH_REPS=<n> overrides perfbench's median-of-N sample count";
+PERFBENCH_REPS=<n> overrides perfbench's median-of-N sample count\n\
+ATLAS_SWEEP_POINTS=<1-4> stack widths per config in atlas-sweep (default 3)";
 
 fn main() -> ExitCode {
     match run() {
@@ -64,6 +74,7 @@ fn run() -> RunResult<ExitCode> {
     let json = args.iter().any(|a| a == "--json");
     let trace_on = args.iter().any(|a| a == "--trace");
     let timeline_on = args.iter().any(|a| a == "--timeline");
+    let atlas_on = args.iter().any(|a| a == "--atlas");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -142,19 +153,36 @@ fn run() -> RunResult<ExitCode> {
         precision(json)?;
         ran = true;
     }
+    if all || which == "tab2wse" {
+        tab2wse(atlas_on)?;
+        ran = true;
+    }
     // Deliberately NOT part of `all`: a measurement tool, not a paper
     // artifact, and its timings are only meaningful run on their own.
     if which == "perfbench" {
         perfbench(json)?;
         ran = true;
     }
+    // Also outside `all`: sweeps several stack widths per config, so it
+    // multiplies the tab2wse cost without adding new paper tables.
+    if which == "atlas-sweep" {
+        atlas_sweep()?;
+        ran = true;
+    }
     if !ran {
         eprintln!(
             "unknown experiment '{which}'; choose from: fig11 fig12 fig13 fig14 \
              table1 table2 table3 table4 table5 fig15 fig16 power mmm io \
-             appbench coupling precision recon perfbench all"
+             appbench coupling precision tab2wse recon perfbench atlas-sweep all"
         );
         return Ok(ExitCode::from(2));
+    }
+    // Atlas epilogue for every other experiment: the validated-config
+    // frame set under the requested experiment's artifact name.
+    if atlas_on && which != "tab2wse" && which != "atlas-sweep" {
+        let frames = atlasx::tab2wse_frames()?;
+        let path = atlasx::write_atlas_json(&which, &frames)?;
+        println!("\n  atlas written to {}", path.display());
     }
 
     if trace_on || timeline_on {
@@ -687,6 +715,8 @@ fn recon(json: bool) -> RunResult {
                 format!("{:.1}%", r.abs_bw_pct_peak),
                 format!("{:.1}%", r.flops_pct_peak),
                 format!("{:.0}%", r.pct_of_attainable),
+                format!("{:.1}", r.pj_per_flop),
+                format!("{:.2}", r.total_energy_pj as f64 / 1e12),
             ]
         })
         .collect();
@@ -702,7 +732,9 @@ fn recon(json: bool) -> RunResult {
                 "rel bw %peak",
                 "abs bw %peak",
                 "flops %peak",
-                "% of roofline"
+                "% of roofline",
+                "pJ/flop",
+                "total J"
             ],
             &rows
         )
@@ -711,11 +743,99 @@ fn recon(json: bool) -> RunResult {
         "  %peak columns normalize the placement model's sustained relative /\n  \
          absolute bandwidth and flop rate by the Fig. 15/16 ceilings of the\n  \
          cluster that hosts the row; '% of roofline' compares the flop rate\n  \
-         against min(peak_flops, intensity x peak_bw) at the row's intensity."
+         against min(peak_flops, intensity x peak_bw) at the row's intensity;\n  \
+         the §7.6 energy columns use the integer-picojoule path the fabric\n  \
+         atlas distributes, so they reconcile with `tab2wse --atlas` exactly."
     );
     if json {
         write_json("recon", &rows_data)?;
     }
+    Ok(())
+}
+
+fn print_atlas_summary(title: &str, frames: &[wse_sim::AtlasFrame]) {
+    let rows: Vec<Vec<String>> = atlasx::summarize(frames)
+        .iter()
+        .map(|r| {
+            vec![
+                r.nb.to_string(),
+                format!("{:.0e}", r.acc),
+                r.stack_width.to_string(),
+                r.layout.to_string(),
+                format!("{:.0}%", 100.0 * r.occupancy),
+                fmt_bytes(r.north),
+                fmt_bytes(r.south),
+                fmt_bytes(r.shuffle),
+                fmt_bytes(r.peak_bank),
+                format!("{:.2}", r.energy_pj as f64 / 1e12),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            title,
+            &[
+                "nb",
+                "acc",
+                "stack w",
+                "layout",
+                "occup.",
+                "north B",
+                "south B",
+                "shuffle B",
+                "peak bank",
+                "energy J"
+            ],
+            &rows
+        )
+    );
+}
+
+fn tab2wse(atlas: bool) -> RunResult {
+    println!(
+        "\n[tab2wse] Fabric atlas: per-PE-group heatmaps of the validated six-shard\n\
+         configurations, three-phase vs communication-avoiding layouts"
+    );
+    let frames = atlasx::tab2wse_frames()?;
+    for f in &frames {
+        atlasx::verify_frame(f).map_err(atlasx::AtlasError::Reconciliation)?;
+    }
+    print_atlas_summary(
+        "atlas frames — grid totals reconcile exactly with the placement",
+        &frames,
+    );
+    println!(
+        "  the shuffle column is the §6.6 three-phase `16·Σrank` byte term; the\n  \
+         comm-avoiding rows are identically zero — the traffic the paper's\n  \
+         layout eliminates. checksum {:#018x}",
+        atlasx::atlas_checksum(&frames)
+    );
+    if let Some(f) = frames.first() {
+        println!(
+            "\n  occupancy map (nb={}, {}; 16x16 sum-pooled, ' '=idle '@'=full):",
+            f.nb,
+            f.layout.token()
+        );
+        print!("{}", atlasx::ascii_occupancy(f));
+    }
+    if atlas {
+        let path = atlasx::write_atlas_json("tab2wse", &frames)?;
+        println!("\n  atlas written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn atlas_sweep() -> RunResult {
+    let points = atlasx::sweep_points_from_env();
+    println!(
+        "\n[atlas-sweep] One atlas frame per stack width per validated config\n\
+         ({points} width(s) per config, both layouts)"
+    );
+    let frames = atlasx::sweep_frames(points)?;
+    print_atlas_summary("atlas sweep frames", &frames);
+    let path = atlasx::write_atlas_json("atlas-sweep", &frames)?;
+    println!("\n  atlas written to {}", path.display());
     Ok(())
 }
 

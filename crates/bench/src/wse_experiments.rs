@@ -10,9 +10,9 @@ use tlr_mvm::{
     ThreePhase, ToleranceMode,
 };
 use wse_sim::{
-    choose_stack_width, constant_size_bandwidth, energy_report, execute_chunks, fig15_machines,
-    fig16_machines, place, strategy1_phase_costs, Cluster, Cs2Config, MachineDescriptor,
-    PlacementReport, RankModel, Strategy,
+    choose_stack_width, constant_size_bandwidth, energy_report, energy_total_pj, execute_chunks,
+    fig15_machines, fig16_machines, place, strategy1_phase_costs, Cluster, Cs2Config,
+    MachineDescriptor, PlacementReport, RankModel, Strategy,
 };
 
 /// The paper's five validated configurations (Table 1 rows).
@@ -515,6 +515,13 @@ pub struct ReconRow {
     /// `flops_per_s` as % of `attainable_flops` — how close the mapping
     /// gets to its own roofline, the reconciliation headline.
     pub pct_of_attainable: f64,
+    /// §7.6 energy cost per flop, picojoules — the fabric atlas's
+    /// energy grid distributes exactly `total_energy_pj`, so this
+    /// column reconciles with `repro tab2wse --atlas` by construction.
+    pub pj_per_flop: f64,
+    /// Total energy of one TLR-MVM invocation, integer picojoules
+    /// ([`energy_total_pj`] — the same arithmetic path the atlas uses).
+    pub total_energy_pj: u64,
 }
 
 fn recon_row(
@@ -523,9 +530,11 @@ fn recon_row(
     acc: f32,
     report: &PlacementReport,
     machine: &MachineDescriptor,
+    cluster: &Cluster,
 ) -> ReconRow {
     let intensity = report.flops as f64 / (report.relative_bytes as f64).max(1.0);
     let attainable = machine.attainable(intensity);
+    let total_energy_pj = energy_total_pj(report, cluster);
     ReconRow {
         setting: setting.to_string(),
         machine: machine.name.clone(),
@@ -544,6 +553,8 @@ fn recon_row(
         } else {
             0.0
         },
+        pj_per_flop: total_energy_pj as f64 / (report.flops as f64).max(1.0),
+        total_energy_pj,
     }
 }
 
@@ -553,6 +564,7 @@ fn recon_row(
 pub fn roofline_reconciliation() -> Result<Vec<ReconRow>, ExperimentError> {
     let fig15_ceiling = &fig15_machines()[0];
     let fig16_ceiling = &fig16_machines()[0];
+    let six_cluster = Cluster::new(6);
     let mut rows = Vec::new();
     for r in six_shard_rows()? {
         rows.push(recon_row(
@@ -561,6 +573,7 @@ pub fn roofline_reconciliation() -> Result<Vec<ReconRow>, ExperimentError> {
             r.acc,
             &r.report,
             fig15_ceiling,
+            &six_cluster,
         ));
     }
     for t in table5()? {
@@ -570,6 +583,7 @@ pub fn roofline_reconciliation() -> Result<Vec<ReconRow>, ExperimentError> {
             1e-4,
             &t.report,
             fig16_ceiling,
+            &Cluster::new(t.shards),
         ));
     }
     Ok(rows)
@@ -878,6 +892,17 @@ mod tests {
                 r.pct_of_attainable <= 100.0 + 1e-9,
                 "{} exceeds its roofline",
                 r.setting
+            );
+        }
+        // §7.6 energy columns: every placed row burns real energy, at a
+        // per-flop cost in the paper's qualitative range (tens of pJ).
+        for r in &rows {
+            assert!(r.total_energy_pj > 0, "{} has no energy", r.setting);
+            assert!(
+                r.pj_per_flop > 1.0 && r.pj_per_flop < 1_000.0,
+                "{}: {} pJ/flop",
+                r.setting,
+                r.pj_per_flop
             );
         }
         // The paper's shape: relative bandwidth lands at ~10 % of the

@@ -48,6 +48,11 @@
 //! * [`record_solver_iteration`] appends one `(solver, iteration,
 //!   residual, nanos)` row per iterative-solver step (LSQR / CGLS), and
 //!   [`record_tile_rank`] grows the compression rank histogram.
+//! * [`add_grid`] accumulates named **2-D grid counters** (element-wise
+//!   saturating adds over a row-major `u64` grid) — the fabric-atlas
+//!   heatmaps. The first call for a name fixes the grid's dimensions;
+//!   later calls with mismatched dimensions are ignored (documented on
+//!   [`add_grid`]), so a grid can never silently change shape mid-trace.
 //!
 //! Reports serialize with serde; the JSON schema is documented in
 //! `DESIGN.md` §9 and written by `repro --trace` under `target/trace/`.
@@ -138,6 +143,8 @@ struct Collector {
     latency: BTreeMap<String, LatencyBuckets>,
     events: Vec<SpanEvent>,
     dropped_events: u64,
+    /// Named 2-D grid counters: name → (rows, cols, row-major cells).
+    grids: BTreeMap<String, (usize, usize, Vec<u64>)>,
     /// Wall-clock zero of the current trace window; set on [`reset`] and
     /// lazily on the first span completion after process start.
     epoch: Option<Instant>,
@@ -152,6 +159,7 @@ impl Collector {
             latency: BTreeMap::new(),
             events: Vec::new(),
             dropped_events: 0,
+            grids: BTreeMap::new(),
             epoch: None,
         }
     }
@@ -169,6 +177,7 @@ impl Collector {
         self.latency.clear();
         self.events.clear();
         self.dropped_events = 0;
+        self.grids.clear();
         self.epoch = None;
     }
 }
@@ -277,15 +286,32 @@ pub struct LatencyEntry {
     pub buckets: Vec<LatencyBucket>,
 }
 
+/// Sentinel returned by [`LatencyEntry::percentile_ns`] for an **empty**
+/// histogram (`count == 0`). An empty distribution has no percentiles;
+/// returning 0 ns (the old behavior) was indistinguishable from a real
+/// sub-nanosecond observation, so "no data" now reads as `u64::MAX` —
+/// a value no real span can produce (it would be ~584 years of wall
+/// time, and the bucket floors only go up to `2^63`).
+pub const LATENCY_EMPTY_SENTINEL: u64 = u64::MAX;
+
 impl LatencyEntry {
     /// Nearest-rank percentile over the log2 buckets: the floor of the
     /// bucket holding the `⌈q·count⌉`-th smallest observation (so the
     /// estimate is a lower bound, tight to within the bucket's factor of
-    /// two). `q` is clamped to `[0, 1]`; returns 0 when no spans were
-    /// observed.
+    /// two). `q` is clamped to `[0, 1]`.
+    ///
+    /// Edge cases (both regression-tested):
+    ///
+    /// * **Empty histogram** (`count == 0`): returns
+    ///   [`LATENCY_EMPTY_SENTINEL`] for every `q` — there is no
+    ///   distribution to take a percentile of, and the sentinel cannot
+    ///   be confused with a real bucket floor.
+    /// * **Single sample** (`count == 1`): every `q` returns the exact
+    ///   bucket floor of the one observation — a deterministic, defined
+    ///   value, never an interpolated bucket midpoint.
     pub fn percentile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0;
+            return LATENCY_EMPTY_SENTINEL;
         }
         let q = q.clamp(0.0, 1.0);
         // ceil(q·count), at least rank 1, never above count. A count
@@ -304,7 +330,34 @@ impl LatencyEntry {
                 return b.floor_ns;
             }
         }
-        self.buckets.last().map_or(0, |b| b.floor_ns)
+        // Malformed entry (count > 0 with no buckets — only reachable
+        // via hand-built or deserialized data): also "no data".
+        self.buckets
+            .last()
+            .map_or(LATENCY_EMPTY_SENTINEL, |b| b.floor_ns)
+    }
+}
+
+/// One named 2-D grid counter: a row-major `rows × cols` field of
+/// monotonic `u64` accumulators (fabric-atlas heatmaps — busy cycles,
+/// link bytes, SRAM bytes per PE group).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridEntry {
+    /// Grid name (e.g. `wse.atlas.busy_cycles`).
+    pub name: String,
+    /// Grid height.
+    pub rows: u64,
+    /// Grid width.
+    pub cols: u64,
+    /// Row-major cells, length `rows · cols`.
+    pub cells: Vec<u64>,
+}
+
+impl GridEntry {
+    /// Saturating sum of every cell — the aggregate the grid must
+    /// reconcile against.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().fold(0u64, |a, &c| a.saturating_add(c))
     }
 }
 
@@ -340,6 +393,10 @@ pub struct TraceReport {
     /// Span events discarded after the cap was hit.
     #[serde(default)]
     pub dropped_span_events: u64,
+    /// Named 2-D grid counters, sorted by name. `default` so pre-atlas
+    /// trace JSON still deserializes.
+    #[serde(default)]
+    pub grids: Vec<GridEntry>,
 }
 
 impl TraceReport {
@@ -351,6 +408,11 @@ impl TraceReport {
     /// Look up a latency distribution by span label.
     pub fn latency_for(&self, name: &str) -> Option<&LatencyEntry> {
         self.latency.iter().find(|l| l.name == name)
+    }
+
+    /// Look up a grid counter by name.
+    pub fn grid_for(&self, name: &str) -> Option<&GridEntry> {
+        self.grids.iter().find(|g| g.name == name)
     }
 
     /// Sum of `nanos` over phases whose name starts with `prefix`.
@@ -524,6 +586,36 @@ pub fn record_solver_iteration(solver: &'static str, iteration: u64, residual: f
     p.iterations = p.iterations.saturating_add(1);
 }
 
+/// Accumulate a row-major 2-D grid counter (element-wise saturating
+/// adds under one lock acquisition).
+///
+/// The **first** call for a `name` fixes the grid's dimensions. Later
+/// calls must pass the same `rows × cols`; a mismatched call — or any
+/// call where `cells.len() != rows · cols` — is ignored rather than
+/// resized, so a grid can never silently change shape mid-trace (the
+/// atlas pre-sizes every grid from the placement before simulation, so
+/// a mismatch is always a caller bug, not data).
+#[inline]
+pub fn add_grid(name: &str, rows: usize, cols: usize, cells: &[u64]) {
+    if !is_enabled() {
+        return;
+    }
+    if cells.len() != rows.saturating_mul(cols) {
+        return;
+    }
+    let mut c = COLLECTOR.lock();
+    let (grows, gcols, gcells) = c
+        .grids
+        .entry(name.to_string())
+        .or_insert_with(|| (rows, cols, vec![0u64; cells.len()]));
+    if *grows != rows || *gcols != cols {
+        return;
+    }
+    for (dst, &src) in gcells.iter_mut().zip(cells) {
+        *dst = dst.saturating_add(src);
+    }
+}
+
 /// Count one compressed tile of the given rank into the histogram.
 #[inline]
 pub fn record_tile_rank(rank: usize) {
@@ -585,6 +677,16 @@ pub fn snapshot() -> TraceReport {
             .collect(),
         span_events: c.events.clone(),
         dropped_span_events: c.dropped_events,
+        grids: c
+            .grids
+            .iter()
+            .map(|(name, (rows, cols, cells))| GridEntry {
+                name: name.clone(),
+                rows: crate::precision::to_u64(*rows),
+                cols: crate::precision::to_u64(*cols),
+                cells: cells.clone(),
+            })
+            .collect(),
     }
 }
 
@@ -745,6 +847,81 @@ mod tests {
             assert!(w[0].dur_ns > 0);
         }
         assert_eq!(rep.dropped_span_events, 0);
+    }
+
+    /// Satellite regression test: an empty latency histogram returns the
+    /// documented sentinel for every quantile — never a fake 0 ns.
+    #[test]
+    fn empty_histogram_percentile_is_sentinel() {
+        let empty = LatencyEntry {
+            name: "test.empty".to_string(),
+            count: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            buckets: vec![],
+        };
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.percentile_ns(q), LATENCY_EMPTY_SENTINEL);
+        }
+    }
+
+    /// Satellite regression test: a single-sample histogram returns the
+    /// exact bucket floor of the one observation for every quantile —
+    /// a defined value, not an interpolated midpoint.
+    #[test]
+    fn single_sample_percentile_is_exact_bucket_floor() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        {
+            let _s = span("test.single");
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        set_enabled(false);
+        let rep = snapshot();
+        let lat = rep.latency_for("test.single").expect("latency entry");
+        assert_eq!(lat.count, 1);
+        let floor = lat.buckets[0].floor_ns;
+        assert_ne!(floor, LATENCY_EMPTY_SENTINEL);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(lat.percentile_ns(q), floor);
+        }
+        assert_eq!((lat.p50_ns, lat.p95_ns, lat.p99_ns), (floor, floor, floor));
+    }
+
+    #[test]
+    fn grid_counters_accumulate_elementwise() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        add_grid("test.grid", 2, 3, &[1, 2, 3, 4, 5, 6]);
+        add_grid("test.grid", 2, 3, &[10, 0, 0, 0, 0, 1]);
+        // Mismatched dims and mismatched length: both ignored.
+        add_grid("test.grid", 3, 2, &[9, 9, 9, 9, 9, 9]);
+        add_grid("test.grid", 2, 3, &[1, 1]);
+        set_enabled(false);
+        let rep = snapshot();
+        let g = rep.grid_for("test.grid").expect("grid entry");
+        assert_eq!((g.rows, g.cols), (2, 3));
+        assert_eq!(g.cells, vec![11, 2, 3, 4, 5, 7]);
+        assert_eq!(g.total(), 32);
+    }
+
+    #[test]
+    fn grid_counters_saturate_and_respect_disable() {
+        let _g = locked();
+        reset();
+        set_enabled(false);
+        add_grid("test.grid.off", 1, 1, &[5]);
+        set_enabled(true);
+        add_grid("test.grid.sat", 1, 2, &[u64::MAX - 1, 0]);
+        add_grid("test.grid.sat", 1, 2, &[7, 3]);
+        set_enabled(false);
+        let rep = snapshot();
+        assert!(rep.grid_for("test.grid.off").is_none());
+        let g = rep.grid_for("test.grid.sat").expect("grid entry");
+        assert_eq!(g.cells, vec![u64::MAX, 3]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! power, calibrated to those two operating points.
 
 use serde::{Deserialize, Serialize};
+use tlr_mvm::precision::f64_to_u64;
 
 use crate::machine::Cluster;
 use crate::placement::PlacementReport;
@@ -35,6 +36,15 @@ pub fn energy_report(report: &PlacementReport, cluster: &Cluster) -> EnergyRepor
         gflops_per_w: report.flops_per_s / 1e9 / total,
         energy_per_mvm_j: total * report.time_s,
     }
+}
+
+/// Total energy of one TLR-MVM invocation in **integer picojoules**:
+/// `round(energy_per_mvm_j · 1e12)`. This is the single arithmetic path
+/// both the `repro recon` energy column and the atlas energy grid start
+/// from, so the grid total reconciles with the recon aggregate exactly
+/// (integer pJ distribute without float drift).
+pub fn energy_total_pj(report: &PlacementReport, cluster: &Cluster) -> u64 {
+    f64_to_u64((energy_report(report, cluster).energy_per_mvm_j * 1e12).round())
 }
 
 #[cfg(test)]
@@ -98,5 +108,19 @@ mod tests {
         let e = energy_report(&rep, &cluster);
         assert_eq!(e.power_per_system_w, cluster.cs2.idle_power_w);
         assert_eq!(e.gflops_per_w, 0.0);
+    }
+
+    #[test]
+    fn integer_picojoules_track_the_float_model() {
+        let cluster = Cluster::new(6);
+        let cfg = Cs2Config::default();
+        let w = RankModel::paper(50, 1e-4).unwrap().generate();
+        let sw = choose_stack_width(&w, cluster.total_pes() as u64, cfg.max_stack_width(50));
+        let rep = place(&w, sw, Strategy::FusedSinglePe, &cluster).unwrap();
+        let pj = energy_total_pj(&rep, &cluster);
+        let joules = energy_report(&rep, &cluster).energy_per_mvm_j;
+        // Within half a picojoule of the float model (it IS the rounding).
+        assert!((pj as f64 - joules * 1e12).abs() <= 0.5);
+        assert!(pj > 0);
     }
 }

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 
 use tlr_mvm::trace;
 
+use crate::atlas::ExecAtlas;
 use crate::cycles::{strategy1_phase_costs, MvmTask};
 use crate::machine::Cs2Config;
 use crate::placement::Strategy;
@@ -48,6 +49,35 @@ pub fn execute_chunks(
     nb: usize,
     strategy: Strategy,
     cfg: &Cs2Config,
+) -> ExecResult {
+    execute_chunks_inner(chunks, x, m, nb, strategy, cfg, None)
+}
+
+/// [`execute_chunks`], additionally scattering each chunk's modeled
+/// cycles and kernel-counted fmacs into a pre-sized [`ExecAtlas`] during
+/// the host reduction (pure indexed adds — the traced region stays
+/// allocation-free, and the default path records exactly what it always
+/// did).
+pub fn execute_chunks_with_atlas(
+    chunks: &[RankChunk],
+    x: &[C32],
+    m: usize,
+    nb: usize,
+    strategy: Strategy,
+    cfg: &Cs2Config,
+    atlas: &mut ExecAtlas,
+) -> ExecResult {
+    execute_chunks_inner(chunks, x, m, nb, strategy, cfg, Some(atlas))
+}
+
+fn execute_chunks_inner(
+    chunks: &[RankChunk],
+    x: &[C32],
+    m: usize,
+    nb: usize,
+    strategy: Strategy,
+    cfg: &Cs2Config,
+    mut atlas: Option<&mut ExecAtlas>,
 ) -> ExecResult {
     let tile_rows = m.div_ceil(nb);
     let padded_m = tile_rows * nb;
@@ -114,12 +144,15 @@ pub fn execute_chunks(
     // Host reduction.
     let mut worst_cycles = 0u64;
     let mut fmacs = 0u64;
-    for p in &partials {
+    for (c, p) in partials.iter().enumerate() {
         for (i, yi) in y.iter_mut().enumerate() {
             *yi += p.y[i];
         }
         worst_cycles = worst_cycles.max(p.cycles);
         fmacs += p.fmacs;
+        if let Some(a) = atlas.as_deref_mut() {
+            a.record(c, p.cycles, p.fmacs);
+        }
     }
     let pes_per_chunk = match strategy {
         Strategy::FusedSinglePe => 1,
@@ -239,6 +272,46 @@ mod tests {
         }
         assert!(s2.worst_cycles < s1.worst_cycles);
         assert_eq!(s2.pes_used, 8 * s1.pes_used);
+    }
+
+    #[test]
+    fn exec_atlas_reconciles_with_exec_result() {
+        use crate::atlas::AtlasConfig;
+        let a = kernel(60, 44);
+        let tlr = compress(
+            &a,
+            CompressionConfig {
+                nb: 12,
+                acc: 1e-4,
+                method: CompressionMethod::Svd,
+                mode: ToleranceMode::RelativeTile,
+            },
+        );
+        let ca = CommAvoiding::new(&tlr);
+        let x = test_x(44);
+        let cfg = Cs2Config::default();
+        let chunks = ca.chunks(5);
+        let plain = execute_chunks(&chunks, &x, 60, 12, Strategy::FusedSinglePe, &cfg);
+        let mut atlas = ExecAtlas::new(&cfg, &AtlasConfig::default(), Strategy::FusedSinglePe);
+        let res = execute_chunks_with_atlas(
+            &chunks,
+            &x,
+            60,
+            12,
+            Strategy::FusedSinglePe,
+            &cfg,
+            &mut atlas,
+        );
+        // Same answer and counters as the default path…
+        for (p, q) in plain.y.iter().zip(&res.y) {
+            assert_eq!(p, q);
+        }
+        assert_eq!(plain.fmacs, res.fmacs);
+        // …and the grids reconcile: fmacs exactly, worst-PE cycles as a
+        // lower bound of the busiest cell.
+        assert_eq!(atlas.fmacs.total(), res.fmacs);
+        assert!(atlas.busy_cycles.max() >= res.worst_cycles);
+        assert!(atlas.busy_cycles.total() > 0);
     }
 
     #[test]

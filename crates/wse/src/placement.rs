@@ -100,6 +100,81 @@ impl PlacementReport {
     }
 }
 
+/// Per-PE resource quota for **one slot** of a chunk's placement: what a
+/// single physical PE is charged when a chunk of some `(cl, w)` shape is
+/// placed. [`place`] sums quotas into its aggregates and the fabric
+/// atlas scatters the *same* quotas into per-PE-group grids, which is
+/// why grid totals reconcile with the placement report exactly (the
+/// same multiset of u64 additions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeQuota {
+    /// Modeled cycle count of this PE's program.
+    pub cycles: u64,
+    /// Real FP32 flops this PE executes.
+    pub flops: u64,
+    /// Relative (cache-model) bytes this PE moves.
+    pub relative_bytes: u64,
+    /// Absolute (flat-SRAM) bytes this PE moves.
+    pub absolute_bytes: u64,
+    /// SRAM bytes resident on this PE (from the bank planner).
+    pub sram_bytes: u64,
+}
+
+/// The per-PE quotas one chunk of shape `(cl, w)` occupies under a
+/// strategy: one fused PE ([`Strategy::FusedSinglePe`]), or eight
+/// scattered PEs — four V-side (`w × cl` dot-form) then four U-side
+/// (`nb × w` axpy-form) — for [`Strategy::ScatterEightPes`]. SRAM
+/// feasibility is checked via the same planners [`place`] uses; the
+/// error text matches the placement errors verbatim.
+pub fn shape_pe_quotas(
+    nb: usize,
+    cl: usize,
+    w: usize,
+    strategy: Strategy,
+    cfg: &crate::machine::Cs2Config,
+) -> Result<Vec<PeQuota>, PlaceError> {
+    match strategy {
+        Strategy::FusedSinglePe => {
+            let plan = plan_strategy1_pe(cfg, nb, cl, w)
+                .map_err(|e| PlaceError::SramOverflow(format!("cl={cl} w={w}: {e}")))?;
+            let cost = pe_cost(&strategy1_tasks(nb, cl, w), cfg, true);
+            Ok(vec![PeQuota {
+                cycles: cost.cycles,
+                flops: cost.flops,
+                relative_bytes: cost.relative_bytes,
+                absolute_bytes: cost.absolute_bytes,
+                sram_bytes: to_u64(plan.used_bytes),
+            }])
+        }
+        Strategy::ScatterEightPes => {
+            // Four PEs run the V-side MVM (w × cl, dot form), four the
+            // U-side (nb × w, axpy form); each holds one real base
+            // matrix.
+            let v_plan = plan_strategy2_pe(cfg, w, cl)
+                .map_err(|e| PlaceError::SramOverflow(format!("V cl={cl} w={w}: {e}")))?;
+            let u_plan = plan_strategy2_pe(cfg, nb, w)
+                .map_err(|e| PlaceError::SramOverflow(format!("U nb={nb} w={w}: {e}")))?;
+            let vc = pe_cost(&[MvmTask::dot_form(w, cl)], cfg, true);
+            let uc = pe_cost(&[MvmTask::axpy_form(nb, w)], cfg, true);
+            let vq = PeQuota {
+                cycles: vc.cycles,
+                flops: vc.flops,
+                relative_bytes: vc.relative_bytes,
+                absolute_bytes: vc.absolute_bytes,
+                sram_bytes: to_u64(v_plan.used_bytes),
+            };
+            let uq = PeQuota {
+                cycles: uc.cycles,
+                flops: uc.flops,
+                relative_bytes: uc.relative_bytes,
+                absolute_bytes: uc.absolute_bytes,
+                sram_bytes: to_u64(u_plan.used_bytes),
+            };
+            Ok(vec![vq, vq, vq, vq, uq, uq, uq, uq])
+        }
+    }
+}
+
 /// Place a workload on a cluster at a given stack width and compute the
 /// paper's metrics. SRAM feasibility is checked per chunk shape.
 pub fn place(
@@ -119,36 +194,13 @@ pub fn place(
     let mut flops: u64 = 0;
 
     for (&(cl, w), &count) in &census {
-        match strategy {
-            Strategy::FusedSinglePe => {
-                plan_strategy1_pe(cfg, nb, cl, w)
-                    .map_err(|e| PlaceError::SramOverflow(format!("cl={cl} w={w}: {e}")))?;
-                let cost = pe_cost(&strategy1_tasks(nb, cl, w), cfg, true);
-                pes_used += count;
-                worst_cycles = worst_cycles.max(cost.cycles);
-                relative_bytes += cost.relative_bytes * count;
-                absolute_bytes += cost.absolute_bytes * count;
-                flops += cost.flops * count;
-            }
-            Strategy::ScatterEightPes => {
-                // Four PEs run the V-side MVM (w × cl, dot form), four
-                // the U-side (nb × w, axpy form); each holds one real
-                // base matrix.
-                let v_task = MvmTask::dot_form(w, cl);
-                let u_task = MvmTask::axpy_form(nb, w);
-                plan_strategy2_pe(cfg, w, cl)
-                    .map_err(|e| PlaceError::SramOverflow(format!("V cl={cl} w={w}: {e}")))?;
-                plan_strategy2_pe(cfg, nb, w)
-                    .map_err(|e| PlaceError::SramOverflow(format!("U nb={nb} w={w}: {e}")))?;
-                let vc = pe_cost(&[v_task], cfg, true);
-                let uc = pe_cost(&[u_task], cfg, true);
-                pes_used += 8 * count;
-                worst_cycles = worst_cycles.max(vc.cycles).max(uc.cycles);
-                // 4 V-side + 4 U-side real MVMs per chunk.
-                relative_bytes += 4 * (vc.relative_bytes + uc.relative_bytes) * count;
-                absolute_bytes += 4 * (vc.absolute_bytes + uc.absolute_bytes) * count;
-                flops += 4 * (vc.flops + uc.flops) * count;
-            }
+        let quotas = shape_pe_quotas(nb, cl, w, strategy, cfg)?;
+        pes_used += to_u64(quotas.len()) * count;
+        for q in &quotas {
+            worst_cycles = worst_cycles.max(q.cycles);
+            relative_bytes += q.relative_bytes * count;
+            absolute_bytes += q.absolute_bytes * count;
+            flops += q.flops * count;
         }
     }
 
@@ -300,6 +352,35 @@ mod tests {
         }
         // Paper ordering: nb=70 (92.58) > nb=50 (91.15) > nb=25 (87.73).
         assert!(rels[2].1 > rels[0].1, "nb=70 should beat nb=25: {rels:?}");
+    }
+
+    #[test]
+    fn shape_quotas_sum_to_legacy_accumulation() {
+        // The quota decomposition must reproduce the exact aggregate
+        // arithmetic place() historically used, slot by slot.
+        let cfg = Cs2Config::default();
+        let (nb, cl, w) = (50usize, 50usize, 32usize);
+        let fused = shape_pe_quotas(nb, cl, w, Strategy::FusedSinglePe, &cfg).unwrap();
+        assert_eq!(fused.len(), 1);
+        let cost = pe_cost(&strategy1_tasks(nb, cl, w), &cfg, true);
+        assert_eq!(fused[0].cycles, cost.cycles);
+        assert_eq!(fused[0].flops, cost.flops);
+        assert_eq!(fused[0].relative_bytes, cost.relative_bytes);
+        assert_eq!(fused[0].absolute_bytes, cost.absolute_bytes);
+
+        let scatter = shape_pe_quotas(nb, cl, w, Strategy::ScatterEightPes, &cfg).unwrap();
+        assert_eq!(scatter.len(), 8);
+        let vc = pe_cost(&[MvmTask::dot_form(w, cl)], &cfg, true);
+        let uc = pe_cost(&[MvmTask::axpy_form(nb, w)], &cfg, true);
+        let rel: u64 = scatter.iter().map(|q| q.relative_bytes).sum();
+        let fl: u64 = scatter.iter().map(|q| q.flops).sum();
+        assert_eq!(rel, 4 * (vc.relative_bytes + uc.relative_bytes));
+        assert_eq!(fl, 4 * (vc.flops + uc.flops));
+        let worst = scatter.iter().map(|q| q.cycles).max().unwrap();
+        assert_eq!(worst, vc.cycles.max(uc.cycles));
+        for q in &scatter {
+            assert!(q.sram_bytes > 0);
+        }
     }
 
     #[test]

@@ -70,6 +70,18 @@ impl ShardAssignment {
     }
 }
 
+/// Number of chunks (out of `count` interchangeable ones) that shard
+/// `idx` of `n` receives under the even base-plus-remainder split used
+/// by [`assign_shards`]: `⌊count/n⌋` each, with the first `count mod n`
+/// shards taking one extra. The atlas uses the same function so its
+/// per-shard grids reconcile exactly with the shard assignment.
+pub fn shard_share(count: u64, idx: usize, n: usize) -> u64 {
+    let n64 = to_u64(n.max(1));
+    let base = count / n64;
+    let rem = to_usize(count % n64);
+    base + u64::from(idx < rem)
+}
+
 /// Assign chunks to shards round-robin over the chunk-shape census
 /// (chunks of the same shape are interchangeable, so the census is
 /// assigned proportionally — the same result as the paper's even split of
@@ -99,11 +111,8 @@ pub fn assign_shards(
             }
         };
         // Spread `count` chunks of this shape evenly: base + remainder.
-        let n64 = to_u64(n);
-        let base = count / n64;
-        let rem = to_usize(count % n64);
         for (idx, shard) in shards.iter_mut().enumerate() {
-            let c = base + if idx < rem { 1 } else { 0 };
+            let c = shard_share(count, idx, n);
             if c == 0 {
                 continue;
             }
@@ -157,6 +166,17 @@ mod tests {
         // No shard exceeds its wafer.
         for s in &assign.shards {
             assert!(s.pes_used <= cluster.cs2.usable_pes() as u64);
+        }
+    }
+
+    #[test]
+    fn shard_share_conserves_and_balances() {
+        for (count, n) in [(0u64, 6usize), (5, 6), (6, 6), (1_000_003, 48), (7, 1)] {
+            let total: u64 = (0..n).map(|i| shard_share(count, i, n)).sum();
+            assert_eq!(total, count, "count={count} n={n}");
+            let shares: Vec<u64> = (0..n).map(|i| shard_share(count, i, n)).collect();
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "shares differ by >1: {shares:?}");
         }
     }
 

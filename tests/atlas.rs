@@ -1,0 +1,289 @@
+//! Integration tests for the fabric atlas: the ISSUE's load-bearing
+//! reconciliation rule — **every grid sums exactly to the corresponding
+//! trace counter / placement aggregate** — plus the three-phase vs
+//! comm-avoiding shuffle-traffic acceptance criterion, property-based
+//! random-workload reconciliation, and artifact checksum determinism.
+//!
+//! Tests that open a trace window hold `TRACE_LOCK`, like
+//! `tests/trace.rs`.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use seismic_bench::atlas_experiments::{
+    atlas_checksum, atlas_json, smoke_frames, verify_frame, ATLAS_SCHEMA_VERSION,
+};
+use seismic_bench::jsonio::Json;
+use seismic_la::scalar::C32;
+use seismic_la::Matrix;
+use tlr_mvm::{compress, three_phase_cost, trace, CommAvoiding, CompressionConfig};
+use wse_sim::{
+    collect_atlas, energy_total_pj, execute_chunks, execute_chunks_with_atlas, AtlasConfig,
+    AtlasLayout, Cluster, Cs2Config, ExecAtlas, Strategy, Workload,
+};
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn test_workload() -> Workload {
+    Workload {
+        nb: 14,
+        n_freqs: 3,
+        cols_per_freq: 6,
+        col_widths: vec![14; 18],
+        col_ranks: vec![9, 0, 17, 4, 12, 7, 3, 15, 6, 10, 1, 8, 13, 2, 11, 5, 16, 4],
+    }
+}
+
+/// The tentpole invariant, cross-layer: a traced `collect_atlas` run
+/// must land its grid totals in the `wse.atlas.*` trace counters AND in
+/// the snapshot's grid entries — with `==`, not a tolerance.
+#[test]
+fn atlas_grids_reconcile_with_trace_counters_exactly() {
+    let _g = locked();
+    let w = test_workload();
+    let cluster = Cluster::new(2);
+    trace::reset();
+    trace::set_enabled(true);
+    let f = collect_atlas(
+        &w,
+        5,
+        Strategy::FusedSinglePe,
+        AtlasLayout::ThreePhase,
+        &cluster,
+        &AtlasConfig::default(),
+    )
+    .expect("workload places");
+    trace::set_enabled(false);
+    let report = trace::snapshot();
+    trace::reset();
+
+    let atlas = report.phase("wse.atlas").expect("wse.atlas phase recorded");
+    assert_eq!(atlas.stats.flops, f.flops.total());
+    assert_eq!(atlas.stats.relative_bytes, f.relative_bytes.total());
+    assert_eq!(atlas.stats.absolute_bytes, f.absolute_bytes.total());
+    assert_eq!(atlas.stats.cycles, f.busy_cycles.total());
+    assert_eq!(atlas.stats.sram_bytes, f.sram_bytes.total());
+    assert_eq!(atlas.stats.iterations, f.pes.total());
+    let shuffle = report
+        .phase("wse.atlas.shuffle")
+        .expect("shuffle counter recorded");
+    assert_eq!(shuffle.stats.relative_bytes, f.shuffle_link.total());
+
+    // Grid-counter entries carry the full per-cell fields, not just
+    // totals: cells must match element-wise.
+    for (name, grid) in [
+        ("wse.atlas.pes", &f.pes),
+        ("wse.atlas.busy_cycles", &f.busy_cycles),
+        ("wse.atlas.flops", &f.flops),
+        ("wse.atlas.relative_bytes", &f.relative_bytes),
+        ("wse.atlas.shuffle_link", &f.shuffle_link),
+        ("wse.atlas.energy_pj", &f.energy_pj),
+    ] {
+        let entry = report.grid_for(name).expect(name);
+        assert_eq!(entry.total(), grid.total(), "{name} total");
+        assert_eq!(entry.cells.len(), grid.cells.len(), "{name} shape");
+        assert!(
+            entry.cells.iter().zip(&grid.cells).all(|(a, b)| a == b),
+            "{name} cells diverge"
+        );
+    }
+
+    // The hot collection phase recorded its span.
+    assert!(report.phase("wse.atlas.collect").is_some());
+}
+
+/// The acceptance criterion: comm-avoiding frames show **zero**
+/// shuffle-phase inter-PE link traffic, three-phase frames show the
+/// exact §6.6 term — verified against a *real compressed matrix*
+/// through `three_phase_cost`, not just against the rank model.
+#[test]
+fn shuffle_traffic_matches_three_phase_cost_model() {
+    let nb = 12;
+    let (m, n) = (5 * nb + 3, 4 * nb + 5);
+    let a = Matrix::from_fn(m, n, |i, j| {
+        let x = i as f32 / m as f32;
+        let y = j as f32 / n as f32;
+        let d = ((x - y) * (x - y) + 0.03).sqrt();
+        C32::from_polar(1.0 / (1.0 + 2.0 * d), -7.0 * d)
+    });
+    let tlr = compress(&a, CompressionConfig::paper_default().with_nb(nb));
+    let model = three_phase_cost(&tlr);
+    let w = Workload::from_tlr_matrices(std::slice::from_ref(&tlr));
+    let cluster = Cluster::new(1);
+
+    let tp = collect_atlas(
+        &w,
+        4,
+        Strategy::FusedSinglePe,
+        AtlasLayout::ThreePhase,
+        &cluster,
+        &AtlasConfig::default(),
+    )
+    .expect("three-phase frame places");
+    let ca = collect_atlas(
+        &w,
+        4,
+        Strategy::FusedSinglePe,
+        AtlasLayout::CommAvoiding,
+        &cluster,
+        &AtlasConfig::default(),
+    )
+    .expect("comm-avoiding frame places");
+
+    // Three-phase: the atlas's shuffle grid total IS the cost model's
+    // shuffle byte term (16 bytes per stacked rank entry).
+    assert_eq!(tp.shuffle_link.total(), model.shuffle.relative_bytes);
+    assert_eq!(tp.shuffle_link.total(), 16 * w.total_rank());
+    assert!(tp.shuffle_link.total() > 0);
+    // Comm-avoiding: identically zero — the eliminated traffic.
+    assert_eq!(ca.shuffle_link.total(), 0);
+    assert_eq!(ca.link_east.total(), 0);
+    // Everything else is layout-invariant.
+    assert_eq!(tp.pes.total(), ca.pes.total());
+    assert_eq!(tp.flops.total(), ca.flops.total());
+    assert_eq!(tp.link_north.total(), ca.link_north.total());
+    assert_eq!(tp.link_south.total(), ca.link_south.total());
+}
+
+/// The functional executor's atlas agrees with its own `ExecResult` and
+/// with the plain (atlas-free) path bit-for-bit.
+#[test]
+fn exec_atlas_totals_match_exec_result() {
+    let nb = 10;
+    let (m, n) = (4 * nb + 6, 3 * nb + 7);
+    let a = Matrix::from_fn(m, n, |i, j| {
+        let x = i as f32 / m as f32;
+        let y = j as f32 / n as f32;
+        C32::new((3.0 * x - 2.0 * y).cos(), (x + 2.0 * y).sin() * 0.5)
+    });
+    let tlr = compress(&a, CompressionConfig::paper_default().with_nb(nb));
+    let ca = CommAvoiding::new(&tlr);
+    let chunks = ca.chunks(4);
+    let x: Vec<C32> = (0..n)
+        .map(|i| C32::new((i as f32 * 0.23).sin(), (i as f32 * 0.11).cos()))
+        .collect();
+    let cfg = Cs2Config::default();
+
+    let plain = execute_chunks(&chunks, &x, m, nb, Strategy::FusedSinglePe, &cfg);
+    let mut atlas = ExecAtlas::new(&cfg, &AtlasConfig::default(), Strategy::FusedSinglePe);
+    let traced = execute_chunks_with_atlas(
+        &chunks,
+        &x,
+        m,
+        nb,
+        Strategy::FusedSinglePe,
+        &cfg,
+        &mut atlas,
+    );
+
+    assert_eq!(plain.fmacs, traced.fmacs);
+    assert_eq!(plain.y.len(), traced.y.len());
+    assert_eq!(atlas.fmacs.total(), traced.fmacs);
+    assert!(atlas.busy_cycles.max() >= traced.worst_cycles);
+}
+
+/// Artifact determinism, perfbench-style: two collections checksum
+/// identically, the JSON round-trips through `jsonio`, and the embedded
+/// checksum matches a recomputation from the parsed artifact's source
+/// frames.
+#[test]
+fn atlas_artifact_checksum_is_deterministic() {
+    let a = smoke_frames().expect("smoke frames collect");
+    let b = smoke_frames().expect("smoke frames collect");
+    assert_eq!(atlas_checksum(&a), atlas_checksum(&b));
+    let tree = atlas_json("determinism", &a).expect("frames verify");
+    let parsed = Json::parse(&tree.to_pretty()).expect("artifact parses");
+    assert_eq!(
+        parsed.get("schema_version").and_then(Json::as_u64),
+        Some(ATLAS_SCHEMA_VERSION)
+    );
+    assert_eq!(
+        parsed.get("checksum").and_then(Json::as_u64),
+        Some(atlas_checksum(&b)),
+        "embedded checksum must match an independent collection"
+    );
+    // Per-frame grid totals survive the writer/parser loop exactly.
+    let frames = parsed.get("frames").and_then(Json::as_arr).expect("frames");
+    for (fj, f) in frames.iter().zip(&a) {
+        let grids = fj.get("grids").expect("grids object");
+        for (name, grid) in [
+            ("pes", &f.pes),
+            ("energy_pj", &f.energy_pj),
+            ("shuffle_link", &f.shuffle_link),
+        ] {
+            let total = grids
+                .get(name)
+                .and_then(|g| g.get("total"))
+                .and_then(Json::as_u64);
+            assert_eq!(total, Some(grid.total()), "{name}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random workloads: every sum-grid reconciles exactly with the
+    /// placement aggregates under both layouts, and the energy grid
+    /// distributes the integer-pJ total without losing a picojoule.
+    #[test]
+    fn random_workloads_reconcile(
+        nb in 4usize..12,
+        n_freqs in 1usize..4,
+        cols in 1usize..6,
+        sw in 1usize..8,
+        seed in 0u64..1_000,
+        three_phase in proptest::bool::ANY,
+    ) {
+        let n_cols = n_freqs * cols;
+        // Deterministic pseudo-ranks from the seed (splitmix-ish).
+        let col_ranks: Vec<u64> = (0..n_cols)
+            .map(|i| {
+                let mut z = seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                (z ^ (z >> 27)) % 50
+            })
+            .collect();
+        let w = Workload {
+            nb,
+            n_freqs,
+            cols_per_freq: cols,
+            col_widths: vec![nb; n_cols],
+            col_ranks,
+        };
+        let layout = if three_phase {
+            AtlasLayout::ThreePhase
+        } else {
+            AtlasLayout::CommAvoiding
+        };
+        let cluster = Cluster::new(2);
+        let f = collect_atlas(
+            &w,
+            sw,
+            Strategy::FusedSinglePe,
+            layout,
+            &cluster,
+            &AtlasConfig::default(),
+        )
+        .expect("small workloads always place");
+        prop_assert_eq!(f.pes.total(), f.placement.pes_used);
+        prop_assert_eq!(f.pe_capacity.total(), f.placement.pes_available);
+        prop_assert_eq!(f.flops.total(), f.placement.flops);
+        prop_assert_eq!(f.relative_bytes.total(), f.placement.relative_bytes);
+        prop_assert_eq!(f.absolute_bytes.total(), f.placement.absolute_bytes);
+        prop_assert_eq!(f.energy_pj.total(), f.total_energy_pj);
+        prop_assert_eq!(f.total_energy_pj, energy_total_pj(&f.placement, &cluster));
+        if three_phase {
+            prop_assert_eq!(f.shuffle_link.total(), 16 * w.total_rank());
+        } else {
+            prop_assert_eq!(f.shuffle_link.total(), 0);
+        }
+        prop_assert_eq!(f.link_west.total(), 0);
+        prop_assert!(verify_frame(&f).is_ok());
+    }
+}

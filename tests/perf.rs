@@ -53,14 +53,17 @@ fn percentiles_exact_on_synthetic_fill() {
 
 #[test]
 fn percentiles_degenerate_cases() {
-    // Single observation: every percentile is its bucket floor.
+    // Single observation: every percentile is its exact bucket floor
+    // (documented behavior, never an interpolated midpoint).
     let one = entry(&[(2048, 1)]);
     for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
         assert_eq!(one.percentile_ns(q), 2048);
     }
-    // Empty: always 0.
+    // Empty: the documented "no data" sentinel, for every q.
     let none = entry(&[]);
-    assert_eq!(none.percentile_ns(0.5), 0);
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(none.percentile_ns(q), trace::LATENCY_EMPTY_SENTINEL);
+    }
     // Out-of-range q clamps instead of panicking.
     let e = entry(&[(0, 3), (8, 1)]);
     assert_eq!(e.percentile_ns(-1.0), e.percentile_ns(0.0));
@@ -106,9 +109,14 @@ proptest! {
         let p99 = e.percentile_ns(0.99);
         prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
         prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
-        // And every result is a bucket floor (or 0 for the empty case).
+        // Every result is a bucket floor, or the documented sentinel
+        // when the histogram is empty.
         for p in [p50, p95, p99] {
-            prop_assert!(p == 0 || p == 64 || p == 4096 || p == 1 << 20);
+            if e.count == 0 {
+                prop_assert!(p == trace::LATENCY_EMPTY_SENTINEL);
+            } else {
+                prop_assert!(p == 0 || p == 64 || p == 4096 || p == 1 << 20);
+            }
         }
     }
 }
