@@ -1,0 +1,311 @@
+//! Bounds-proof-licensed fast kernels for the TLR-MVM hot phases.
+//!
+//! Every `unsafe` block in this module is written in the exact idiom the
+//! `xtask` BD01 bounds pass can discharge: the length facts are hoisted
+//! into `assert!` guards (or loop headers) *outside* the inner loop, the
+//! index expressions inside are affine in the guarded variables, and the
+//! block carries a `// SAFETY(BD01: fn@file)` sanction that the US01
+//! ledger re-verifies against the live proof on every `analyze` run.
+//! Deleting a guard flips the BD01 verdict, which voids the sanction,
+//! which fails CI — the unsafe surface cannot drift ahead of the proof.
+//!
+//! The payoff (committed in `BENCH_table2.json`, gated by `perfgate`):
+//!
+//! * [`gather`] — the phase-2 shuffle as an inverse-permutation gather,
+//!   without the two data-dependent bound checks per element;
+//! * [`dotc_fast`] / [`gemv_conj_transpose_fast`] — four-accumulator
+//!   conjugated dots and eight-column-blocked Aᴴx for the V-batch
+//!   (shares each `x` load across eight columns);
+//! * [`gemv_acc_fast`] — four-column register-blocked accumulation for
+//!   the U-batch (reads `y` once per four columns instead of once per
+//!   column).
+//!
+//! Everything here is a drop-in for the corresponding
+//! [`seismic_la::blas`] kernel and is exercised against it in the unit
+//! tests below (which are also the `cargo miri test -p tlr-mvm fastpath`
+//! UB-sanitizer surface in CI).
+
+// The crate denies unsafe_code; this module is the single sanctioned
+// exception, and every block below is individually US01-ledgered.
+#![allow(unsafe_code)]
+
+use seismic_la::blas::axpy;
+use seismic_la::dense::Matrix;
+use seismic_la::scalar::Scalar;
+
+/// Permutation gather `dst[p] = src[idx[p]]` — the three-phase shuffle
+/// (paper Fig. 6) as a gather over the inverse permutation, without the
+/// two data-dependent bound checks per element.
+///
+/// The hoisted guards are the BD01 facts: `p` ranges over `dst` so
+/// `p < dst.len() <= idx.len()`, and every gathered index is checked
+/// against `src` once, up front. The gather formulation (sequential
+/// stores, random loads) lets the random *loads* overlap freely in the
+/// check-free body; note that the up-front forall guard is itself an
+/// `O(n)` pass, so whether this beats the safe loop is host-dependent —
+/// `BENCH_table2.json` records the honest pairing either way.
+#[inline]
+pub fn gather<S: Scalar>(dst: &mut [S], idx: &[usize], src: &[S]) {
+    assert!(dst.len() <= idx.len());
+    assert!(idx.iter().all(|&q| q < src.len()));
+    for (p, d) in dst.iter_mut().enumerate() {
+        // SAFETY(BD01: gather@crates/core/src/fastpath.rs): p < dst.len() <= idx.len()
+        // from the enumerate bound and the first guard; idx[p] < src.len() from the
+        // forall guard (element term).
+        unsafe {
+            *d = *src.get_unchecked(idx[p]);
+        }
+    }
+}
+
+/// Conjugated dot `xᴴ y` with four independent accumulators.
+///
+/// The four-way unroll is what the bounds proof buys: the safe zip loop
+/// is already check-free but serializes on one accumulator, and LLVM
+/// must not reassociate FP adds on its own. Splitting the sum is a
+/// semantic change (different rounding order) we make deliberately,
+/// and the unchecked loads keep the unrolled body branch-free.
+#[inline]
+pub fn dotc_fast<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert!(x.len() == y.len());
+    let n = x.len();
+    let mut a0 = S::ZERO;
+    let mut a1 = S::ZERO;
+    let mut a2 = S::ZERO;
+    let mut a3 = S::ZERO;
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY(BD01: dotc_fast@crates/core/src/fastpath.rs): i + 3 < n from the
+        // while guard, and n aliases both x.len() and y.len() via the hoisted assert.
+        unsafe {
+            a0 += (*x.get_unchecked(i)).conj() * *y.get_unchecked(i);
+            a1 += (*x.get_unchecked(i + 1)).conj() * *y.get_unchecked(i + 1);
+            a2 += (*x.get_unchecked(i + 2)).conj() * *y.get_unchecked(i + 2);
+            a3 += (*x.get_unchecked(i + 3)).conj() * *y.get_unchecked(i + 3);
+        }
+        i += 4;
+    }
+    while i < n {
+        a0 += x[i].conj() * y[i];
+        i += 1;
+    }
+    (a0 + a1) + (a2 + a3)
+}
+
+/// `y = Aᴴ x` (overwrite) with eight-column blocking — drop-in for
+/// [`seismic_la::blas::gemv_conj_transpose`] on the V-batch path.
+///
+/// Eight conjugated dots advance in lockstep sharing each `x` load, so
+/// the block reads `1.125` values per product instead of `2`, and the
+/// eight independent accumulator chains keep the FP pipes full — the
+/// win on a load-throughput-bound host. The column tail falls back to
+/// [`dotc_fast`].
+#[inline]
+pub fn gemv_conj_transpose_fast<S: Scalar>(a: &Matrix<S>, x: &[S], y: &mut [S]) {
+    assert_eq!(a.nrows(), x.len(), "gemv_h_fast: x length mismatch");
+    assert_eq!(a.ncols(), y.len(), "gemv_h_fast: y length mismatch");
+    let m = x.len();
+    let n = y.len();
+    let mut j = 0;
+    while j + 8 <= n {
+        let c0 = a.col(j);
+        let c1 = a.col(j + 1);
+        let c2 = a.col(j + 2);
+        let c3 = a.col(j + 3);
+        let c4 = a.col(j + 4);
+        let c5 = a.col(j + 5);
+        let c6 = a.col(j + 6);
+        let c7 = a.col(j + 7);
+        assert!(m <= c0.len() && m <= c1.len() && m <= c2.len() && m <= c3.len());
+        assert!(m <= c4.len() && m <= c5.len() && m <= c6.len() && m <= c7.len());
+        let mut a0 = S::ZERO;
+        let mut a1 = S::ZERO;
+        let mut a2 = S::ZERO;
+        let mut a3 = S::ZERO;
+        let mut a4 = S::ZERO;
+        let mut a5 = S::ZERO;
+        let mut a6 = S::ZERO;
+        let mut a7 = S::ZERO;
+        for i in 0..m {
+            // SAFETY(BD01: gemv_conj_transpose_fast@crates/core/src/fastpath.rs):
+            // i < m = x.len() from the range bound, and m <= ck.len() for all eight
+            // columns from the two hoisted asserts directly above.
+            unsafe {
+                let xi = *x.get_unchecked(i);
+                a0 += (*c0.get_unchecked(i)).conj() * xi;
+                a1 += (*c1.get_unchecked(i)).conj() * xi;
+                a2 += (*c2.get_unchecked(i)).conj() * xi;
+                a3 += (*c3.get_unchecked(i)).conj() * xi;
+                a4 += (*c4.get_unchecked(i)).conj() * xi;
+                a5 += (*c5.get_unchecked(i)).conj() * xi;
+                a6 += (*c6.get_unchecked(i)).conj() * xi;
+                a7 += (*c7.get_unchecked(i)).conj() * xi;
+            }
+        }
+        y[j] = a0;
+        y[j + 1] = a1;
+        y[j + 2] = a2;
+        y[j + 3] = a3;
+        y[j + 4] = a4;
+        y[j + 5] = a5;
+        y[j + 6] = a6;
+        y[j + 7] = a7;
+        j += 8;
+    }
+    while j < n {
+        y[j] = dotc_fast(a.col(j), x);
+        j += 1;
+    }
+}
+
+/// `y += A x` with four-column register blocking — drop-in for
+/// [`seismic_la::blas::gemv_acc`] on the U-batch path.
+///
+/// The column-sweep `gemv_acc` streams `y` through the cache once per
+/// column; blocking four columns cuts that traffic 4× and the hoisted
+/// length guard licenses an unchecked inner loop over the block.
+#[inline]
+pub fn gemv_acc_fast<S: Scalar>(a: &Matrix<S>, x: &[S], y: &mut [S]) {
+    assert_eq!(a.ncols(), x.len(), "gemv_acc_fast: x length mismatch");
+    assert_eq!(a.nrows(), y.len(), "gemv_acc_fast: y length mismatch");
+    let m = y.len();
+    let n = x.len();
+    let mut j = 0;
+    while j + 4 <= n {
+        let c0 = a.col(j);
+        let c1 = a.col(j + 1);
+        let c2 = a.col(j + 2);
+        let c3 = a.col(j + 3);
+        assert!(m <= c0.len() && m <= c1.len() && m <= c2.len() && m <= c3.len());
+        let x0 = x[j];
+        let x1 = x[j + 1];
+        let x2 = x[j + 2];
+        let x3 = x[j + 3];
+        for i in 0..m {
+            // SAFETY(BD01: gemv_acc_fast@crates/core/src/fastpath.rs): i < m = y.len()
+            // from the range bound, and m <= ck.len() for all four columns from the
+            // hoisted assert directly above.
+            unsafe {
+                let acc = *y.get_unchecked(i)
+                    + *c0.get_unchecked(i) * x0
+                    + *c1.get_unchecked(i) * x1
+                    + *c2.get_unchecked(i) * x2
+                    + *c3.get_unchecked(i) * x3;
+                *y.get_unchecked_mut(i) = acc;
+            }
+        }
+        j += 4;
+    }
+    while j < n {
+        axpy(x[j], a.col(j), y);
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seismic_la::blas::{gemv_acc, gemv_conj_transpose};
+    use seismic_la::scalar::c32;
+    use seismic_la::C32;
+
+    fn close(a: C32, b: C32, tol: f32) -> bool {
+        (a - b).abs() < tol
+    }
+
+    fn vecs_close(a: &[C32], b: &[C32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&p, &q)) in a.iter().zip(b).enumerate() {
+            assert!(close(p, q, tol), "element {i}: {p:?} vs {q:?}");
+        }
+    }
+
+    fn test_vec(n: usize, phase: f32) -> Vec<C32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 * 0.37 + phase;
+                c32(t.sin(), t.cos() * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fastpath_gather_matches_safe_loop() {
+        // A permutation with non-trivial structure, plus a partial map
+        // (destination shorter than the index vector) from a larger
+        // source.
+        for (ndst, nsrc) in [(16, 16), (9, 9), (7, 31)] {
+            let src = test_vec(nsrc, 0.0);
+            let idx: Vec<usize> = (0..ndst).map(|p| (p * 7 + 3) % nsrc).collect();
+            let mut safe = vec![C32::ZERO; ndst];
+            for (p, d) in safe.iter_mut().enumerate() {
+                *d = src[idx[p]];
+            }
+            let mut fast = vec![C32::ZERO; ndst];
+            gather(&mut fast, &idx, &src);
+            // Pure moves — the results must be bit-identical, not just close.
+            assert_eq!(fast, safe);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fastpath_gather_rejects_out_of_range_index() {
+        let src = test_vec(4, 0.0);
+        let idx = vec![0usize, 1, 2, 9];
+        let mut dst = vec![C32::ZERO; 4];
+        gather(&mut dst, &idx, &src);
+    }
+
+    #[test]
+    fn fastpath_dotc_matches_reference_for_all_tail_lengths() {
+        for n in 0..33 {
+            let x = test_vec(n, 0.1);
+            let y = test_vec(n, 1.7);
+            let fast = dotc_fast(&x, &y);
+            let reference = seismic_la::blas::dotc(&x, &y);
+            assert!(
+                close(fast, reference, 1e-4 * (n as f32 + 1.0)),
+                "n={n}: {fast:?} vs {reference:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fastpath_gemv_conj_transpose_matches_reference() {
+        for (m, n) in [
+            (16, 12),
+            (17, 5),
+            (10, 6),
+            (9, 7),
+            (3, 8),
+            (20, 9),
+            (21, 10),
+            (19, 11),
+            (12, 15),
+            (64, 64),
+        ] {
+            let a = Matrix::from_fn(m, n, |i, j| c32((i * 3 + j) as f32 * 0.01, j as f32 * 0.02));
+            let x = test_vec(m, 0.4);
+            let mut reference = vec![C32::ZERO; n];
+            gemv_conj_transpose(&a, &x, &mut reference);
+            let mut fast = vec![C32::ZERO; n];
+            gemv_conj_transpose_fast(&a, &x, &mut fast);
+            vecs_close(&fast, &reference, 1e-3);
+        }
+    }
+
+    #[test]
+    fn fastpath_gemv_acc_matches_reference_for_all_column_tails() {
+        for n in [4usize, 5, 6, 7, 8, 11, 12] {
+            let m = 23;
+            let a = Matrix::from_fn(m, n, |i, j| c32(i as f32 * 0.03 - j as f32 * 0.05, 0.11));
+            let x = test_vec(n, 2.2);
+            let mut reference = test_vec(m, 5.0);
+            let mut fast = reference.clone();
+            gemv_acc(&a, &x, &mut reference);
+            gemv_acc_fast(&a, &x, &mut fast);
+            vecs_close(&fast, &reference, 1e-3);
+        }
+    }
+}

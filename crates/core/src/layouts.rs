@@ -12,11 +12,11 @@
 #![allow(clippy::needless_range_loop)]
 
 use rayon::prelude::*;
-use seismic_la::blas::{gemv_acc, gemv_conj_transpose};
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 
 use crate::accounting::{absolute_bytes, mvm_flops, relative_bytes};
+use crate::fastpath::{gather, gemv_acc_fast, gemv_conj_transpose_fast};
 use crate::invariant::assert_finite;
 use crate::matrix::TlrMatrix;
 use crate::precision::to_u64;
@@ -36,9 +36,12 @@ pub struct ThreePhase {
     col_offsets: Vec<usize>,
     /// Flat offsets of each row segment in the `yu` vector.
     row_offsets: Vec<usize>,
-    /// `yu[shuffle[p]] = yv[p]` — the phase-2 projection from V- to
-    /// U-ordering (paper Fig. 6).
-    shuffle: Vec<usize>,
+    /// The phase-2 projection from V- to U-ordering (paper Fig. 6),
+    /// stored as the *inverse* permutation: `yu[q] = yv[shuffle_inv[q]]`.
+    /// Phase 2 executes as a gather over this map — sequential stores
+    /// and random loads overlap better than random stores, and the
+    /// [`crate::fastpath::gather`] guard is checked once per call.
+    shuffle_inv: Vec<usize>,
     total_rank: usize,
 }
 
@@ -120,13 +123,19 @@ impl ThreePhase {
             }
         }
 
+        // Phase 2 runs as a gather over the inverse map.
+        let mut shuffle_inv = vec![0usize; total_rank];
+        for (p, &q) in shuffle.iter().enumerate() {
+            shuffle_inv[q] = p;
+        }
+
         Self {
             tiling,
             vstacks,
             ustacks,
             col_offsets,
             row_offsets,
-            shuffle,
+            shuffle_inv,
             total_rank,
         }
     }
@@ -168,7 +177,7 @@ impl ThreePhase {
         }
         segments.par_iter_mut().enumerate().for_each(|(j, seg)| {
             let (c0, cl) = self.tiling.col_range(j);
-            gemv_conj_transpose(&self.vstacks[j], &x[c0..c0 + cl], seg);
+            gemv_conj_transpose_fast(&self.vstacks[j], &x[c0..c0 + cl], seg);
         });
         assert_finite("three_phase.v_batch.yv", &yv);
         yv
@@ -182,9 +191,7 @@ impl ThreePhase {
         // Pure data movement: read + write 8 bytes per rank entry.
         let moved = 16 * to_u64(self.total_rank);
         trace::add_bytes("tlr_mvm.shuffle", moved, moved);
-        for (p, &q) in self.shuffle.iter().enumerate() {
-            yu[q] = yv[p];
-        }
+        gather(&mut yu, &self.shuffle_inv, yv);
         assert_finite("three_phase.shuffle.yu", &yu);
         yu
     }
@@ -220,7 +227,7 @@ impl ThreePhase {
         segments.par_iter_mut().enumerate().for_each(|(i, seg)| {
             let lo = self.row_offsets[i];
             let hi = self.row_offsets[i + 1];
-            gemv_acc(&self.ustacks[i], &yu[lo..hi], seg);
+            gemv_acc_fast(&self.ustacks[i], &yu[lo..hi], seg);
         });
         assert_finite("three_phase.u_batch.y", &y);
         y
@@ -277,7 +284,7 @@ impl ColumnStack {
         );
         let k = self.rank();
         let mut yv = vec![CZERO; k];
-        gemv_conj_transpose(&self.vstack, x_col, &mut yv);
+        gemv_conj_transpose_fast(&self.vstack, x_col, &mut yv);
         for r in 0..k {
             let coeff = yv[r];
             if coeff == CZERO {
@@ -364,7 +371,7 @@ impl RankChunk {
         );
         let w = self.width();
         let mut yv = vec![CZERO; w];
-        gemv_conj_transpose(&self.v, x_col, &mut yv);
+        gemv_conj_transpose_fast(&self.v, x_col, &mut yv);
         for r in 0..w {
             let coeff = yv[r];
             let dst0 = self.row_block[r] * nb;
@@ -525,7 +532,7 @@ impl CommAvoiding {
                 }
                 // x_j = Vstack_j t
                 let mut xj = vec![CZERO; cs.cl];
-                gemv_acc(&cs.vstack, &t, &mut xj);
+                gemv_acc_fast(&cs.vstack, &t, &mut xj);
                 xj
             })
             .collect();
@@ -646,7 +653,7 @@ mod tests {
         let t = tlr(48, 36, 10);
         let layout = ThreePhase::new(&t);
         let mut seen = vec![false; layout.total_rank()];
-        for &q in &layout.shuffle {
+        for &q in &layout.shuffle_inv {
             assert!(!seen[q]);
             seen[q] = true;
         }

@@ -45,11 +45,15 @@
 //! assert_eq!(y.len(), 128);
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid): the `fastpath` kernels hold the workspace's only
+// `unsafe` blocks, each licensed by a `// SAFETY(BD01: …)` sanction that
+// `cargo run -p xtask -- analyze` re-proves on every run (US01 ledger).
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod accounting;
 pub mod compress;
+pub mod fastpath;
 pub mod invariant;
 pub mod layouts;
 pub mod matrix;
@@ -65,6 +69,7 @@ pub use accounting::{
     ThreePhaseCost, TlrMvmCost,
 };
 pub use compress::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
+pub use fastpath::{dotc_fast, gather, gemv_acc_fast, gemv_conj_transpose_fast};
 pub use layouts::{ColumnStack, CommAvoiding, RankChunk, ThreePhase};
 pub use matrix::TlrMatrix;
 pub use mmm::{comm_avoiding_mmm, tlr_mmm, tlr_mmm_adjoint, tlr_mmm_cost};

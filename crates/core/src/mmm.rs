@@ -9,7 +9,7 @@
 //! per-PE SRAM must now hold `s` input and output panels.
 
 use rayon::prelude::*;
-use seismic_la::blas::gemm;
+use crate::fastpath::gemv_acc_fast;
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 
@@ -78,13 +78,12 @@ pub fn tlr_mmm(tlr: &TlrMatrix, x: &Matrix<C32>) -> Matrix<C32> {
             debug_assert_eq!(tile.u.nrows(), rl, "tile U height mismatch");
             debug_assert_eq!(tile.v.nrows(), cl, "tile V height mismatch");
             let xj = x.block(c0, 0, cl, s);
-            // T = Vᴴ X_j  (k × s), then Y += U T.
+            // T = Vᴴ X_j  (k × s), then Y += U T — accumulated straight
+            // into the row panel per source column (BD01-proven inner
+            // loop), skipping the `contrib` intermediate entirely.
             let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.v, &xj);
-            let contrib = gemm(&tile.u, &tcoef);
             for col in 0..s {
-                for (yi, ci) in y.col_mut(col).iter_mut().zip(contrib.col(col)) {
-                    *yi += *ci;
-                }
+                gemv_acc_fast(&tile.u, tcoef.col(col), y.col_mut(col));
             }
         }
     });
@@ -132,13 +131,11 @@ pub fn tlr_mmm_adjoint(tlr: &TlrMatrix, y: &Matrix<C32>) -> Matrix<C32> {
                 continue;
             }
             let yi = y.block(r0, 0, rl, s);
-            // T = Uᴴ Y_i (k × s), then X += V T.
+            // T = Uᴴ Y_i (k × s), then X += V T — fused accumulation as
+            // in the forward MMM.
             let tcoef = seismic_la::blas::gemm_conj_transpose_left(&tile.u, &yi);
-            let contrib = gemm(&tile.v, &tcoef);
             for col in 0..s {
-                for (xi, ci) in x.col_mut(col).iter_mut().zip(contrib.col(col)) {
-                    *xi += *ci;
-                }
+                gemv_acc_fast(&tile.v, tcoef.col(col), x.col_mut(col));
             }
         }
     });

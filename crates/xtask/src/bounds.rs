@@ -1,0 +1,1600 @@
+//! `BD01` — the intra-procedural bounds proof that licenses unchecked
+//! indexing in the hot kernels.
+//!
+//! The pass runs over the [`crate::lexer`] token stream of every
+//! library function that either opens a `trace::span` hot phase (the
+//! same region detection `HP01` uses) or contains `unsafe` /
+//! `get_unchecked` tokens. It collects *length facts* from
+//!
+//! * hoisted `assert!` / `debug_assert!` / `assert_eq!` guards
+//!   (conjunctions split on `&&`; `xs.iter().all(|&q| q < bound)`
+//!   becomes a universal element fact),
+//! * loop headers (`for i in 0..n` bounds `i < n` inside the loop body;
+//!   `for (p, &q) in xs.iter().enumerate()` bounds `p < xs.len()` and
+//!   marks `q` as an element of `xs`),
+//! * `while i + k <= n` conditions (valid until the first mutation of
+//!   an involved variable), and
+//! * `let n = xs.len();` aliases,
+//!
+//! propagates them through affine index expressions (`i`, `i + 3`,
+//! `q - 1`) with a difference-constraint solver, and classifies every
+//! slice-indexing site in the function as **PROVEN** (index < length on
+//! all paths) or **UNPROVEN** with the missing fact named.
+//!
+//! Index expressions may also be *element terms*: at an index-site
+//! position (only), `src[idx[p]]` parses with `idx[p]` as "an element
+//! of `idx`", discharged by a universal `idx.iter().all(|&q| q < …)`
+//! guard (the inner `idx[p]` is proven as its own site). Guard-side
+//! comparisons never accept this form — one element's bound must not
+//! masquerade as a fact about the whole slice.
+//!
+//! Severity policy: an UNPROVEN *safe* indexing site is a report-only
+//! record (the hardware bounds check still runs); an UNPROVEN
+//! `get_unchecked` / `get_unchecked_mut` site is a hard error. The set
+//! of functions whose unchecked sites are all proven feeds the `US01`
+//! unsafe-sanction ledger ([`crate::unsafe_ledger`]): no `unsafe` block
+//! survives without a live proof from this pass, this run.
+//!
+//! Facts are lexically scoped (to their enclosing block or loop body)
+//! and invalidated at the first subsequent mutation (`v = …`,
+//! `v += …`) of an involved variable, so a guard can never outlive the
+//! state it described.
+
+use std::collections::{HashMap, HashSet};
+
+use wse_sim::verify::{Diagnostic, Severity};
+
+use crate::lexer::{Tok, TokKind};
+use crate::lint::LoadedFile;
+
+/// One function found in a lib source file (tests excluded), with the
+/// line extent of its body — `US01` uses this to resolve the enclosing
+/// function of an `unsafe` block.
+pub struct FnBody {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// `Type::name` inside an impl block, bare `name` otherwise.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line_start: usize,
+    /// 1-based line of the body's closing brace.
+    pub line_end: usize,
+}
+
+/// One slice-indexing site inside an analyzed function.
+pub struct Site {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the indexing site.
+    pub line: usize,
+    /// Qualified name of the enclosing function.
+    pub func: String,
+    /// `true` for `get_unchecked`/`get_unchecked_mut`, `false` for `[…]`.
+    pub unchecked: bool,
+    /// Whether the in-bounds obligation was discharged.
+    pub proven: bool,
+    /// Human-readable site text, e.g. `dst[q]` or `src.get_unchecked(p)`.
+    pub what: String,
+    /// The missing fact when unproven (empty when proven).
+    pub missing: String,
+}
+
+/// Outcome of the BD01 pass over the workspace.
+pub struct BoundsReport {
+    /// Every indexing site in every analyzed function.
+    pub sites: Vec<Site>,
+    /// Hard errors: unproven `get_unchecked` sites.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every lib function found (for `US01` enclosing-fn resolution).
+    pub fns: Vec<FnBody>,
+    /// `"qualified@file"` keys of functions with at least one unchecked
+    /// site, all of whose unchecked sites were proven this run.
+    pub proved: HashSet<String>,
+    /// Functions that met the analysis trigger (span region or unsafe).
+    pub analyzed_fns: usize,
+}
+
+impl BoundsReport {
+    /// Count of proven sites.
+    pub fn proven_sites(&self) -> usize {
+        self.sites.iter().filter(|s| s.proven).count()
+    }
+    /// Count of unchecked sites (proven or not).
+    pub fn unchecked_sites(&self) -> usize {
+        self.sites.iter().filter(|s| s.unchecked).count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Terms and facts
+// ---------------------------------------------------------------------
+
+/// The base of an affine term in the difference-constraint system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Base {
+    /// The constant zero (integer literals are `Zero + n`).
+    Zero,
+    /// A plain variable, e.g. `i`.
+    Var(String),
+    /// `path.len()` of a slice-valued path, e.g. `self.shuffle`.
+    Len(String),
+    /// Universal upper bound over the elements of a slice (from
+    /// `xs.iter().all(|&q| q < bound)` guards and element bindings).
+    Elem(String),
+}
+
+/// An affine term `base + off`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Term {
+    base: Base,
+    off: i64,
+}
+
+impl Term {
+    fn lit(n: i64) -> Self {
+        Term {
+            base: Base::Zero,
+            off: n,
+        }
+    }
+    fn show(&self) -> String {
+        let b = match &self.base {
+            Base::Zero => String::new(),
+            Base::Var(v) => v.clone(),
+            Base::Len(p) => format!("{p}.len()"),
+            Base::Elem(p) => format!("{p}[..]"),
+        };
+        match (b.is_empty(), self.off) {
+            (true, n) => n.to_string(),
+            (false, 0) => b,
+            (false, n) if n > 0 => format!("{b} + {n}"),
+            (false, n) => format!("{b} - {}", -n),
+        }
+    }
+}
+
+/// One difference constraint `to <= from + w`, i.e. a weighted edge
+/// `from → to` in the constraint graph.
+#[derive(Clone, Debug)]
+struct Edge {
+    from: Base,
+    to: Base,
+    w: i64,
+}
+
+/// A scoped set of constraints harvested from one guard or loop header.
+struct Fact {
+    edges: Vec<Edge>,
+    /// Code-token index range (inclusive start, exclusive end) in which
+    /// the fact holds.
+    valid: (usize, usize),
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Run the BD01 pass over the pre-loaded workspace.
+pub fn analyze(files: &[LoadedFile]) -> BoundsReport {
+    let mut report = BoundsReport {
+        sites: Vec::new(),
+        diagnostics: Vec::new(),
+        fns: Vec::new(),
+        proved: HashSet::new(),
+        analyzed_fns: 0,
+    };
+    for f in files {
+        analyze_file(f, &mut report);
+    }
+    report
+}
+
+fn analyze_file(f: &LoadedFile, report: &mut BoundsReport) {
+    let code: Vec<Tok> = f
+        .toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .copied()
+        .collect();
+    let src = f.src.as_str();
+    let close = brace_matches(src, &code);
+
+    // Impl scopes: (body token range, self type).
+    let impls = impl_scopes(src, &code, &close);
+
+    // Function discovery (nested fns included: the scan continues into
+    // every body).
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].kind == TokKind::Ident
+            && code[i].text(src) == "fn"
+            && code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let name = code[i + 1].text(src).to_string();
+            if let Some(lb) = body_open(src, &code, i + 2) {
+                let rb = close.get(&lb).copied().unwrap_or(code.len() - 1);
+                let self_ty = impls
+                    .iter()
+                    .filter(|(range, _)| range.0 < i && i < range.1)
+                    .next_back()
+                    .map(|(_, ty)| ty.clone());
+                let qualified = match self_ty {
+                    Some(ty) => format!("{ty}::{name}"),
+                    None => name.clone(),
+                };
+                if !f.line_is_test(code[i].line) {
+                    report.fns.push(FnBody {
+                        file: f.rel.clone(),
+                        qualified: qualified.clone(),
+                        line_start: code[i].line,
+                        line_end: code[rb].line,
+                    });
+                    if wants_analysis(src, &code, lb, rb) {
+                        report.analyzed_fns += 1;
+                        analyze_fn(f, &code, &close, lb, rb, &qualified, report);
+                    }
+                }
+                i = lb + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Match every `{` to its `}` by token index.
+fn brace_matches(src: &str, code: &[Tok]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text(src) {
+                "{" => stack.push(i),
+                "}" => {
+                    if let Some(open) = stack.pop() {
+                        map.insert(open, i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}
+
+/// Collect `(body token range, self type)` for every impl block.
+fn impl_scopes(
+    src: &str,
+    code: &[Tok],
+    close: &HashMap<usize, usize>,
+) -> Vec<((usize, usize), String)> {
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text(src) != "impl" {
+            continue;
+        }
+        let mut angle = 0i64;
+        let mut ty: Option<String> = None;
+        let mut j = i + 1;
+        while j < code.len() {
+            let s = code[j].text(src);
+            match (code[j].kind, s) {
+                (TokKind::Punct, "<") => angle += 1,
+                (TokKind::Punct, ">") => angle -= 1,
+                (TokKind::Punct, "{") if angle <= 0 => break,
+                (TokKind::Punct, ";") => {
+                    j = code.len();
+                    break;
+                }
+                (TokKind::Ident, "for") => ty = None,
+                (TokKind::Ident, "where") => {}
+                (TokKind::Ident, w) if angle == 0 && ty.is_none() => ty = Some(w.to_string()),
+                _ => {}
+            }
+            j += 1;
+        }
+        if j < code.len() {
+            if let (Some(ty), Some(&end)) = (ty, close.get(&j)) {
+                out.push(((j, end), ty));
+            }
+        }
+    }
+    out
+}
+
+/// Find the body `{` of a fn whose signature starts at `from`; `None`
+/// for bodyless trait declarations.
+fn body_open(src: &str, code: &[Tok], from: usize) -> Option<usize> {
+    let mut paren = 0i64;
+    let mut j = from;
+    while j < code.len() {
+        let t = &code[j];
+        if t.kind == TokKind::Punct {
+            match t.text(src) {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" if paren == 0 => return Some(j),
+                ";" if paren == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Analysis trigger: the body opens a `trace::span` region (HP01's
+/// pattern) or touches `unsafe` / `get_unchecked`.
+fn wants_analysis(src: &str, code: &[Tok], lb: usize, rb: usize) -> bool {
+    for i in lb..rb {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text(src) {
+            "trace"
+                if code.get(i + 1).is_some_and(|x| x.text(src) == "::")
+                    && code.get(i + 2).is_some_and(|x| x.text(src) == "span") =>
+            {
+                return true;
+            }
+            "unsafe" | "get_unchecked" | "get_unchecked_mut" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Per-function analysis
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_fn(
+    f: &LoadedFile,
+    code: &[Tok],
+    close: &HashMap<usize, usize>,
+    lb: usize,
+    rb: usize,
+    qualified: &str,
+    report: &mut BoundsReport,
+) {
+    let src = f.src.as_str();
+    let facts = collect_facts(src, code, close, lb, rb);
+    let sites = collect_sites(src, code, lb, rb);
+
+    let mut all_unchecked_proven = true;
+    let mut any_unchecked = false;
+    for s in sites {
+        let active: Vec<&Edge> = facts
+            .iter()
+            .filter(|fact| fact.valid.0 <= s.at && s.at < fact.valid.1)
+            .flat_map(|fact| fact.edges.iter())
+            .collect();
+        let (proven, missing) = prove_site(&s, &active);
+        if s.unchecked {
+            any_unchecked = true;
+            if !proven {
+                all_unchecked_proven = false;
+                report.diagnostics.push(Diagnostic {
+                    rule: "BD01",
+                    severity: Severity::Error,
+                    location: format!("{}:{}", f.rel, code[s.at].line),
+                    message: format!(
+                        "UNPROVEN unchecked indexing `{}` in `{qualified}` — {missing}",
+                        s.what
+                    ),
+                });
+            }
+        }
+        report.sites.push(Site {
+            file: f.rel.clone(),
+            line: code[s.at].line,
+            func: qualified.to_string(),
+            unchecked: s.unchecked,
+            proven,
+            what: s.what,
+            missing: if proven { String::new() } else { missing },
+        });
+    }
+    if any_unchecked && all_unchecked_proven {
+        report.proved.insert(format!("{qualified}@{}", f.rel));
+    }
+}
+
+/// An indexing site pending proof: `recv[idx…]` or
+/// `recv.get_unchecked(idx…)`.
+struct PendingSite {
+    /// Token index used for fact-scope lookup and line reporting.
+    at: usize,
+    unchecked: bool,
+    what: String,
+    recv: String,
+    /// The proof obligations: (term, strict) pairs, each demanding
+    /// `term < recv.len()` (strict) or `term <= recv.len()`.
+    obligations: Vec<(Term, bool)>,
+    /// Obligation the parser could not express (unsupported index
+    /// expression shape) — always unproven, with this text.
+    opaque: Option<String>,
+}
+
+fn prove_site(s: &PendingSite, edges: &[&Edge]) -> (bool, String) {
+    if let Some(why) = &s.opaque {
+        return (
+            false,
+            format!("index expression `{why}` is outside the affine fragment BD01 can reason about"),
+        );
+    }
+    let len = Base::Len(s.recv.clone());
+    for (term, strict) in &s.obligations {
+        // term.base + term.off  <  len + 0   ⇔  dist(len → base) ≤ −off − 1
+        let budget = if *strict { -term.off - 1 } else { -term.off };
+        match shortest(edges, &len, &term.base) {
+            Some(d) if d <= budget => {}
+            _ => {
+                let rel = if *strict { "<" } else { "<=" };
+                return (
+                    false,
+                    format!(
+                        "missing fact: `{} {rel} {}.len()` — hoist an assert!/debug_assert! \
+                         guard (or loop bound) establishing it before this site",
+                        term.show(),
+                        s.recv
+                    ),
+                );
+            }
+        }
+    }
+    (true, String::new())
+}
+
+/// Bellman-Ford over the active difference constraints: the tightest
+/// `to <= from + d` implied, or `None` when unconnected.
+fn shortest(edges: &[&Edge], from: &Base, to: &Base) -> Option<i64> {
+    if from == to {
+        return Some(0);
+    }
+    let mut nodes: Vec<&Base> = Vec::new();
+    for e in edges {
+        if !nodes.contains(&&e.from) {
+            nodes.push(&e.from);
+        }
+        if !nodes.contains(&&e.to) {
+            nodes.push(&e.to);
+        }
+    }
+    if !nodes.contains(&from) || !nodes.contains(&to) {
+        return None;
+    }
+    let mut dist: HashMap<&Base, i64> = HashMap::new();
+    dist.insert(from, 0);
+    for _ in 0..=nodes.len() {
+        let mut changed = false;
+        for e in edges {
+            if let Some(&df) = dist.get(&e.from) {
+                let cand = df + e.w;
+                if dist.get(&e.to).is_none_or(|&d| cand < d) {
+                    dist.insert(&e.to, cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist.get(to).copied()
+}
+
+// ---------------------------------------------------------------------
+// Fact collection
+// ---------------------------------------------------------------------
+
+fn collect_facts(
+    src: &str,
+    code: &[Tok],
+    close: &HashMap<usize, usize>,
+    lb: usize,
+    rb: usize,
+) -> Vec<Fact> {
+    let mut facts = Vec::new();
+    // Stack of open `{` indices: the enclosing-block scope for guards.
+    let mut blocks: Vec<usize> = vec![lb];
+    let text = |i: usize| code[i].text(src);
+    let mut i = lb + 1;
+    while i < rb {
+        let t = &code[i];
+        if t.kind == TokKind::Punct {
+            match text(i) {
+                "{" => blocks.push(i),
+                "}" => {
+                    blocks.pop();
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let scope_end = blocks
+            .last()
+            .and_then(|b| close.get(b).copied())
+            .unwrap_or(rb);
+        match text(i) {
+            // assert!(…) / debug_assert!(…) / assert_eq!(…, …) / debug_assert_eq!(…, …)
+            m @ ("assert" | "debug_assert" | "assert_eq" | "debug_assert_eq")
+                if code.get(i + 1).is_some_and(|x| x.text(src) == "!")
+                    && code.get(i + 2).is_some_and(|x| x.text(src) == "(") =>
+            {
+                let args_end = paren_close(src, code, i + 2).unwrap_or(rb);
+                let mut edges = Vec::new();
+                if m.ends_with("_eq") {
+                    // First two comma-separated args are equal.
+                    if let Some(comma) = top_level(src, code, i + 3, args_end, ",") {
+                        if let (Some(a), Some(b)) = (
+                            parse_term_exact(src, code, i + 3, comma),
+                            parse_term_exact(
+                                src,
+                                code,
+                                comma + 1,
+                                top_level(src, code, comma + 1, args_end, ",")
+                                    .unwrap_or(args_end),
+                            ),
+                        ) {
+                            push_cmp(&mut edges, &a, "==", &b);
+                        }
+                    }
+                } else {
+                    // Message part (after a top-level comma) is ignored.
+                    let cond_end =
+                        top_level(src, code, i + 3, args_end, ",").unwrap_or(args_end);
+                    harvest_condition(src, code, i + 3, cond_end, &mut edges);
+                }
+                if !edges.is_empty() {
+                    let valid_to = invalidate(src, code, args_end, scope_end, &edges);
+                    facts.push(Fact {
+                        edges,
+                        valid: (args_end, valid_to),
+                    });
+                }
+                i = args_end + 1;
+                continue;
+            }
+            // let [mut] v = <affine term or path.len()>;
+            "let" => {
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|x| x.text(src) == "mut") {
+                    j += 1;
+                }
+                if code.get(j).is_some_and(|x| x.kind == TokKind::Ident)
+                    && code.get(j + 1).is_some_and(|x| x.text(src) == "=")
+                {
+                    let v = text(j).to_string();
+                    if let Some(semi) = top_level(src, code, j + 2, scope_end, ";") {
+                        if let Some(rhs) = parse_term_exact(src, code, j + 2, semi) {
+                            let lhs = Term {
+                                base: Base::Var(v),
+                                off: 0,
+                            };
+                            let mut edges = Vec::new();
+                            push_cmp(&mut edges, &lhs, "==", &rhs);
+                            let valid_to = invalidate(src, code, semi, scope_end, &edges);
+                            facts.push(Fact {
+                                edges,
+                                valid: (semi, valid_to),
+                            });
+                        }
+                    }
+                }
+            }
+            // for <pat> in <iter> { body }
+            "for" => {
+                if let Some((edges, body_lb)) = for_header_facts(src, code, i, rb) {
+                    let body_rb = close.get(&body_lb).copied().unwrap_or(rb);
+                    if !edges.is_empty() {
+                        facts.push(Fact {
+                            edges,
+                            valid: (body_lb, body_rb),
+                        });
+                    }
+                    i = body_lb + 1;
+                    continue;
+                }
+            }
+            // while <cond> { body } — cond facts hold until the first
+            // mutation of an involved variable inside the body.
+            "while" => {
+                if let Some(body_lb) = body_open(src, code, i + 1) {
+                    let body_rb = close.get(&body_lb).copied().unwrap_or(rb);
+                    let mut edges = Vec::new();
+                    harvest_condition(src, code, i + 1, body_lb, &mut edges);
+                    if !edges.is_empty() {
+                        let valid_to = invalidate(src, code, body_lb, body_rb, &edges);
+                        facts.push(Fact {
+                            edges,
+                            valid: (body_lb, valid_to),
+                        });
+                    }
+                    i = body_lb + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Split a condition on top-level `&&` and harvest each conjunct as a
+/// comparison or a `.iter().all(|&q| q < bound)` universal fact.
+fn harvest_condition(src: &str, code: &[Tok], s: usize, e: usize, edges: &mut Vec<Edge>) {
+    let mut start = s;
+    loop {
+        // `&&` lexes as two `&` puncts.
+        let amp = top_level_pred(src, code, start, e, |i| {
+            code[i].text(src) == "&"
+                && code.get(i + 1).is_some_and(|x| x.text(src) == "&")
+        });
+        let end = amp.unwrap_or(e);
+        harvest_conjunct(src, code, start, end, edges);
+        match amp {
+            Some(a) => start = a + 2,
+            None => break,
+        }
+    }
+}
+
+fn harvest_conjunct(src: &str, code: &[Tok], s: usize, e: usize, edges: &mut Vec<Edge>) {
+    // Universal element fact: path.iter().all(|&q| q OP bound)
+    if let Some((path, q, inner_s, inner_e)) = parse_forall(src, code, s, e) {
+        let mut inner = Vec::new();
+        harvest_comparison(src, code, inner_s, inner_e, &mut inner);
+        for mut edge in inner {
+            let subst = |b: &mut Base| {
+                if *b == Base::Var(q.clone()) {
+                    *b = Base::Elem(path.clone());
+                }
+            };
+            subst(&mut edge.from);
+            subst(&mut edge.to);
+            edges.push(edge);
+        }
+        return;
+    }
+    harvest_comparison(src, code, s, e, edges);
+}
+
+/// Parse a single comparison `A op B` over affine terms; on success
+/// push the equivalent difference constraints.
+fn harvest_comparison(src: &str, code: &[Tok], s: usize, e: usize, edges: &mut Vec<Edge>) {
+    // Find the top-level comparison operator.
+    let op_at = top_level_pred(src, code, s, e, |i| {
+        matches!(code[i].text(src), "<" | ">" | "==")
+    });
+    let Some(op_i) = op_at else {
+        return;
+    };
+    let (op, rhs_s): (&str, usize) = match code[op_i].text(src) {
+        "<" if code.get(op_i + 1).is_some_and(|x| x.text(src) == "=") => ("<=", op_i + 2),
+        ">" if code.get(op_i + 1).is_some_and(|x| x.text(src) == "=") => (">=", op_i + 2),
+        "<" => ("<", op_i + 1),
+        ">" => (">", op_i + 1),
+        _ => ("==", op_i + 1),
+    };
+    if let (Some(a), Some(b)) = (
+        parse_term_exact(src, code, s, op_i),
+        parse_term_exact(src, code, rhs_s, e),
+    ) {
+        push_cmp(edges, &a, op, &b);
+    }
+}
+
+/// `a op b` → difference constraints (edge `from → to` means
+/// `to <= from + w`).
+fn push_cmp(edges: &mut Vec<Edge>, a: &Term, op: &str, b: &Term) {
+    let le = |edges: &mut Vec<Edge>, x: &Term, y: &Term, slack: i64| {
+        // x.base + x.off + slack <= y.base + y.off
+        edges.push(Edge {
+            from: y.base.clone(),
+            to: x.base.clone(),
+            w: y.off - x.off - slack,
+        });
+    };
+    match op {
+        "<" => le(edges, a, b, 1),
+        "<=" => le(edges, a, b, 0),
+        ">" => le(edges, b, a, 1),
+        ">=" => le(edges, b, a, 0),
+        "==" => {
+            le(edges, a, b, 0);
+            le(edges, b, a, 0);
+        }
+        _ => {}
+    }
+}
+
+/// Recognize `path.iter().all(|&q| …)` (also `iter_mut`); returns
+/// (path, closure var, inner range).
+fn parse_forall(
+    src: &str,
+    code: &[Tok],
+    s: usize,
+    e: usize,
+) -> Option<(String, String, usize, usize)> {
+    let (path, mut j) = parse_path(src, code, s)?;
+    if !(code.get(j).is_some_and(|x| x.text(src) == ".")
+        && code
+            .get(j + 1)
+            .is_some_and(|x| matches!(x.text(src), "iter" | "iter_mut"))
+        && code.get(j + 2).is_some_and(|x| x.text(src) == "(")
+        && code.get(j + 3).is_some_and(|x| x.text(src) == ")")
+        && code.get(j + 4).is_some_and(|x| x.text(src) == ".")
+        && code.get(j + 5).is_some_and(|x| x.text(src) == "all")
+        && code.get(j + 6).is_some_and(|x| x.text(src) == "("))
+    {
+        return None;
+    }
+    let all_close = paren_close(src, code, j + 6)?;
+    if all_close > e {
+        return None;
+    }
+    j += 7;
+    if code.get(j).is_some_and(|x| x.text(src) == "|") {
+        j += 1;
+    } else {
+        return None;
+    }
+    while code.get(j).is_some_and(|x| x.text(src) == "&") {
+        j += 1;
+    }
+    let q = code
+        .get(j)
+        .filter(|x| x.kind == TokKind::Ident)?
+        .text(src)
+        .to_string();
+    if !code.get(j + 1).is_some_and(|x| x.text(src) == "|") {
+        return None;
+    }
+    Some((path, q, j + 2, all_close))
+}
+
+/// `for` header at `i`; returns loop-scoped edges and the body `{`.
+fn for_header_facts(src: &str, code: &[Tok], i: usize, rb: usize) -> Option<(Vec<Edge>, usize)> {
+    let body_lb = body_open(src, code, i + 1)?;
+    if body_lb >= rb {
+        return None;
+    }
+    let in_at = top_level_pred(src, code, i + 1, body_lb, |k| {
+        code[k].kind == TokKind::Ident && code[k].text(src) == "in"
+    })?;
+    let mut edges = Vec::new();
+
+    // Pattern side: `v`, `(p, q)`, `(p, &q)`, `&q`.
+    let mut pat: Vec<String> = Vec::new();
+    for k in i + 1..in_at {
+        if code[k].kind == TokKind::Ident {
+            pat.push(code[k].text(src).to_string());
+        }
+    }
+
+    // Iterator side.
+    // Form 1: `lo .. hi` range (`..` lexes as two `.` puncts).
+    if let Some(dot) = top_level_pred(src, code, in_at + 1, body_lb, |k| {
+        code[k].text(src) == "." && code.get(k + 1).is_some_and(|x| x.text(src) == ".")
+    }) {
+        // Inclusive ranges `..=` bound `v <= hi`, exclusive bound `v < hi`.
+        let (hi_s, strict) = if code.get(dot + 2).is_some_and(|x| x.text(src) == "=") {
+            (dot + 3, false)
+        } else {
+            (dot + 2, true)
+        };
+        if let (Some(v), Some(hi)) = (
+            pat.first().cloned(),
+            parse_term_exact(src, code, hi_s, body_lb),
+        ) {
+            let var = Term {
+                base: Base::Var(v),
+                off: 0,
+            };
+            push_cmp(&mut edges, &var, if strict { "<" } else { "<=" }, &hi);
+        }
+        return Some((edges, body_lb));
+    }
+    // Form 2: `path.iter().enumerate()` / `path.iter()`.
+    if let Some((path, mut j)) = parse_path(src, code, in_at + 1) {
+        if code.get(j).is_some_and(|x| x.text(src) == ".")
+            && code
+                .get(j + 1)
+                .is_some_and(|x| matches!(x.text(src), "iter" | "iter_mut"))
+            && code.get(j + 2).is_some_and(|x| x.text(src) == "(")
+            && code.get(j + 3).is_some_and(|x| x.text(src) == ")")
+        {
+            j += 4;
+            let enumerated = code.get(j).is_some_and(|x| x.text(src) == ".")
+                && code.get(j + 1).is_some_and(|x| x.text(src) == "enumerate");
+            if enumerated && pat.len() == 2 {
+                // (p, q): p < path.len(), q is an element of path.
+                let p = Term {
+                    base: Base::Var(pat[0].clone()),
+                    off: 0,
+                };
+                let len = Term {
+                    base: Base::Len(path.clone()),
+                    off: 0,
+                };
+                push_cmp(&mut edges, &p, "<", &len);
+                edges.push(Edge {
+                    from: Base::Elem(path.clone()),
+                    to: Base::Var(pat[1].clone()),
+                    w: 0,
+                });
+            } else if !enumerated && pat.len() == 1 {
+                edges.push(Edge {
+                    from: Base::Elem(path.clone()),
+                    to: Base::Var(pat[0].clone()),
+                    w: 0,
+                });
+            }
+        }
+    }
+    Some((edges, body_lb))
+}
+
+// ---------------------------------------------------------------------
+// Scanning helpers
+// ---------------------------------------------------------------------
+
+/// First token index in `[s, e)` at paren/bracket depth 0 whose text
+/// matches `needle`.
+fn top_level(src: &str, code: &[Tok], s: usize, e: usize, needle: &str) -> Option<usize> {
+    top_level_pred(src, code, s, e, |i| code[i].text(src) == needle)
+}
+
+fn top_level_pred(
+    src: &str,
+    code: &[Tok],
+    s: usize,
+    e: usize,
+    pred: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    for i in s..e.min(code.len()) {
+        let t = code[i].text(src);
+        if code[i].kind == TokKind::Punct {
+            match t {
+                "(" | "[" | "{" => {
+                    depth += 1;
+                    continue;
+                }
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if depth == 0 && pred(i) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// The `)` matching the `(` at `open`.
+fn paren_close(src: &str, code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text(src) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// A dotted path of identifiers (`self.shuffle`, `xs`); returns the
+/// canonical text and the index one past the path. Stops before
+/// `.method(` segments — the caller inspects what follows.
+fn parse_path(src: &str, code: &[Tok], s: usize) -> Option<(String, usize)> {
+    let first = code.get(s).filter(|t| t.kind == TokKind::Ident)?;
+    let mut parts = vec![first.text(src).to_string()];
+    let mut j = s + 1;
+    while code.get(j).is_some_and(|x| x.text(src) == ".")
+        && code.get(j + 1).is_some_and(|x| x.kind == TokKind::Ident)
+        && !code.get(j + 2).is_some_and(|x| x.text(src) == "(")
+    {
+        parts.push(code[j + 1].text(src).to_string());
+        j += 2;
+    }
+    Some((parts.join("."), j))
+}
+
+/// Parse the token range `[s, e)` as exactly one affine term:
+/// `lit`, `path`, `path.len()`, each ± a literal, or `lit + path`.
+fn parse_term_exact(src: &str, code: &[Tok], s: usize, e: usize) -> Option<Term> {
+    let (term, next) = parse_term_with(src, code, s, false)?;
+    if next == e {
+        Some(term)
+    } else {
+        None
+    }
+}
+
+/// [`parse_term_exact`] plus *element terms*: `path[<idx>]` parses as
+/// [`Base::Elem`]`(path)` (the inner index is proven as its own site).
+/// Only index-site obligations may use this form — an element bound is
+/// discharged by a `forall` guard over the whole slice, so accepting it
+/// on the guard side would let one element's comparison (`idx[p] < n`)
+/// masquerade as a fact about every element.
+fn parse_term_exact_elem(src: &str, code: &[Tok], s: usize, e: usize) -> Option<Term> {
+    let (term, next) = parse_term_with(src, code, s, true)?;
+    if next == e {
+        Some(term)
+    } else {
+        None
+    }
+}
+
+fn parse_term_with(
+    src: &str,
+    code: &[Tok],
+    s: usize,
+    allow_elem: bool,
+) -> Option<(Term, usize)> {
+    let lit = |i: usize| -> Option<(i64, usize)> {
+        let t = code.get(i)?;
+        if t.kind == TokKind::Num {
+            let txt = t.text(src).replace('_', "");
+            let txt = txt
+                .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                .trim_end_matches(|c: char| c.is_ascii_digit() && false);
+            // strip integer suffixes like usize/u64 conservatively
+            let digits: String = t
+                .text(src)
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '_')
+                .filter(|c| *c != '_')
+                .collect();
+            let _ = txt;
+            digits.parse::<i64>().ok().map(|n| (n, i + 1))
+        } else {
+            None
+        }
+    };
+
+    let (mut term, mut j) = if let Some((n, j)) = lit(s) {
+        (Term::lit(n), j)
+    } else {
+        let (path, j) = parse_path(src, code, s)?;
+        // `path.len()` — parse_path stopped before the method segment.
+        if code.get(j).is_some_and(|x| x.text(src) == ".")
+            && code.get(j + 1).is_some_and(|x| x.text(src) == "len")
+            && code.get(j + 2).is_some_and(|x| x.text(src) == "(")
+            && code.get(j + 3).is_some_and(|x| x.text(src) == ")")
+        {
+            (
+                Term {
+                    base: Base::Len(path),
+                    off: 0,
+                },
+                j + 4,
+            )
+        } else if allow_elem && code.get(j).is_some_and(|x| x.text(src) == "[") {
+            // `path[<idx>]` — the element itself as the term's base.
+            let cl = bracket_close(src, code, j)?;
+            (
+                Term {
+                    base: Base::Elem(path),
+                    off: 0,
+                },
+                cl + 1,
+            )
+        } else if code.get(j).is_some_and(|x| x.text(src) == ".") {
+            // Other method call — opaque.
+            return None;
+        } else {
+            (
+                Term {
+                    base: Base::Var(path),
+                    off: 0,
+                },
+                j,
+            )
+        }
+    };
+
+    // Optional `± lit` or `+ path` (when the head was a literal).
+    if let Some(sign) = code.get(j).map(|x| x.text(src)) {
+        if sign == "+" || sign == "-" {
+            if let Some((n, k)) = lit(j + 1) {
+                term.off += if sign == "+" { n } else { -n };
+                j = k;
+            } else if sign == "+" && term.base == Base::Zero {
+                if let Some((path, k)) = parse_path(src, code, j + 1) {
+                    if !code.get(k).is_some_and(|x| x.text(src) == ".") {
+                        term.base = Base::Var(path);
+                        j = k;
+                    }
+                }
+            }
+        }
+    }
+    Some((term, j))
+}
+
+/// Shrink a fact's validity to the first subsequent mutation
+/// (`v = …`, `v += …`, `v -= …`, `v *= …`) of an involved variable.
+fn invalidate(src: &str, code: &[Tok], from: usize, to: usize, edges: &[Edge]) -> usize {
+    let mut vars: Vec<&str> = Vec::new();
+    for e in edges {
+        for b in [&e.from, &e.to] {
+            if let Base::Var(v) = b {
+                if !vars.contains(&v.as_str()) {
+                    vars.push(v);
+                }
+            }
+        }
+    }
+    if vars.is_empty() {
+        return to;
+    }
+    for i in from..to.min(code.len()) {
+        if code[i].kind == TokKind::Ident && vars.contains(&code[i].text(src)) {
+            let n1 = code.get(i + 1).map(|x| x.text(src));
+            let n2 = code.get(i + 2).map(|x| x.text(src));
+            let mutated = matches!(n1, Some("="))
+                || (matches!(n1, Some("+" | "-" | "*" | "/")) && matches!(n2, Some("=")));
+            if mutated {
+                return i;
+            }
+        }
+    }
+    to
+}
+
+// ---------------------------------------------------------------------
+// Site collection
+// ---------------------------------------------------------------------
+
+fn collect_sites(src: &str, code: &[Tok], lb: usize, rb: usize) -> Vec<PendingSite> {
+    let mut out = Vec::new();
+    let text = |i: usize| code[i].text(src);
+    for i in lb + 1..rb {
+        // Safe indexing: `path [ expr ]` where the previous token ends a
+        // dotted identifier path (excludes `#[…]`, `vec![…]`, `[T; N]`,
+        // and slicing of call results, which stay safe anyway).
+        if code[i].kind == TokKind::Punct && text(i) == "[" {
+            if code
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.kind == TokKind::Ident)
+            {
+                let Some((recv, recv_start)) = path_ending_at(src, code, i - 1) else {
+                    continue;
+                };
+                // Exclude attribute/macro brackets and the receiver
+                // being a bare keyword position.
+                if recv_start > 0
+                    && matches!(code[recv_start - 1].text(src), "#" | "!")
+                {
+                    continue;
+                }
+                if matches!(
+                    recv.as_str(),
+                    "mut" | "ref" | "let" | "in" | "as" | "dyn" | "return"
+                ) {
+                    continue;
+                }
+                let Some(cl) = bracket_close(src, code, i) else {
+                    continue;
+                };
+                out.push(classify_index(src, code, i, &recv, i + 1, cl, false));
+            }
+        }
+        // Unchecked: `. get_unchecked[_mut] ( expr )`.
+        if code[i].kind == TokKind::Ident
+            && matches!(text(i), "get_unchecked" | "get_unchecked_mut")
+            && i > 0
+            && text(i - 1) == "."
+            && code.get(i + 1).is_some_and(|x| x.text(src) == "(")
+        {
+            let recv = path_ending_at(src, code, i - 2)
+                .map(|(r, _)| r)
+                .unwrap_or_else(|| "<expr>".to_string());
+            let Some(cl) = paren_close(src, code, i + 1) else {
+                continue;
+            };
+            let mut site = classify_index(src, code, i, &recv, i + 2, cl, true);
+            site.what = format!(
+                "{recv}.{}({})",
+                text(i),
+                range_text(src, code, i + 2, cl)
+            );
+            out.push(site);
+        }
+    }
+    out
+}
+
+/// Build the proof obligations for one indexing site with index tokens
+/// `[s, e)`.
+fn classify_index(
+    src: &str,
+    code: &[Tok],
+    at: usize,
+    recv: &str,
+    s: usize,
+    e: usize,
+    unchecked: bool,
+) -> PendingSite {
+    let mut site = PendingSite {
+        at,
+        unchecked,
+        what: format!("{recv}[{}]", range_text(src, code, s, e)),
+        recv: recv.to_string(),
+        obligations: Vec::new(),
+        opaque: None,
+    };
+    // Range index `a..b` (two `.` puncts at top level)?
+    if let Some(dot) = top_level_pred(src, code, s, e, |k| {
+        code[k].text(src) == "." && code.get(k + 1).is_some_and(|x| x.text(src) == ".")
+    }) {
+        // `[..]` — the full slice, trivially in bounds.
+        if dot == s && dot + 2 == e {
+            return site;
+        }
+        // `[a..]` — only `a <= len` required.
+        if dot + 2 == e {
+            match parse_term_exact_elem(src, code, s, dot) {
+                Some(a) => site.obligations.push((a, false)),
+                None => site.opaque = Some(range_text(src, code, s, e)),
+            }
+            return site;
+        }
+        // `[a..b]` — `b <= len` (slicing itself checks `a <= b`).
+        match parse_term_exact_elem(src, code, dot + 2, e) {
+            Some(b) => site.obligations.push((b, false)),
+            None => site.opaque = Some(range_text(src, code, s, e)),
+        }
+        return site;
+    }
+    match parse_term_exact_elem(src, code, s, e) {
+        Some(t) => site.obligations.push((t, true)),
+        None => site.opaque = Some(range_text(src, code, s, e)),
+    }
+    site
+}
+
+/// The dotted path whose last identifier token is at `end_i`; returns
+/// (canonical text, index of the path's first token).
+fn path_ending_at(src: &str, code: &[Tok], end_i: usize) -> Option<(String, usize)> {
+    let last = code.get(end_i).filter(|t| t.kind == TokKind::Ident)?;
+    let mut parts = vec![last.text(src).to_string()];
+    let mut start = end_i;
+    while start >= 2
+        && code[start - 1].text(src) == "."
+        && code[start - 2].kind == TokKind::Ident
+    {
+        start -= 2;
+        parts.push(code[start].text(src).to_string());
+    }
+    parts.reverse();
+    Some((parts.join("."), start))
+}
+
+/// The `]` matching the `[` at `open`.
+fn bracket_close(src: &str, code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text(src) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Source text of a token range, space-joined.
+fn range_text(src: &str, code: &[Tok], s: usize, e: usize) -> String {
+    let mut out = String::new();
+    for t in code.iter().take(e.min(code.len())).skip(s) {
+        if !out.is_empty()
+            && !matches!(t.text(src), "." | "," | ")" | "]")
+            && !out.ends_with('.')
+        {
+            out.push(' ');
+        }
+        out.push_str(t.text(src));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> BoundsReport {
+        let f = LoadedFile::new("crates/core/src/fixture.rs", src.to_string());
+        analyze(std::slice::from_ref(&f))
+    }
+
+    #[test]
+    fn enumerate_and_forall_guards_prove_a_gather() {
+        let r = run("\
+pub fn gather(dst: &mut [f32], idx: &[usize], src: &[f32]) {
+    assert!(idx.len() <= src.len());
+    debug_assert!(idx.iter().all(|&q| q < dst.len()));
+    for (p, &q) in idx.iter().enumerate() {
+        unsafe {
+            *dst.get_unchecked_mut(q) = *src.get_unchecked(p);
+        }
+    }
+}
+");
+        assert_eq!(r.analyzed_fns, 1);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics[0].message);
+        assert_eq!(r.unchecked_sites(), 2);
+        assert_eq!(r.proven_sites(), 2);
+        assert!(r.proved.contains("gather@crates/core/src/fixture.rs"));
+    }
+
+    #[test]
+    fn forall_guard_proves_an_element_indexed_gather() {
+        // `src[idx[p]]` as an unchecked site: the inner `idx[p]` is its
+        // own (safe) site, the outer obligation is an element term
+        // discharged by the forall guard.
+        let r = run("\
+pub fn gather(dst: &mut [f32], idx: &[usize], src: &[f32]) {
+    assert!(dst.len() <= idx.len());
+    assert!(idx.iter().all(|&q| q < src.len()));
+    for (p, d) in dst.iter_mut().enumerate() {
+        unsafe {
+            *d = *src.get_unchecked(idx[p]);
+        }
+    }
+}
+");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics[0].message);
+        assert_eq!(r.unchecked_sites(), 1);
+        assert!(r.proved.contains("gather@crates/core/src/fixture.rs"));
+    }
+
+    #[test]
+    fn element_term_is_rejected_without_its_forall_guard() {
+        let r = run("\
+pub fn gather(dst: &mut [f32], idx: &[usize], src: &[f32]) {
+    assert!(dst.len() <= idx.len());
+    for (p, d) in dst.iter_mut().enumerate() {
+        unsafe {
+            *d = *src.get_unchecked(idx[p]);
+        }
+    }
+}
+");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert!(
+            r.diagnostics[0].message.contains("src.len()"),
+            "{}",
+            r.diagnostics[0].message
+        );
+        assert!(r.proved.is_empty());
+    }
+
+    #[test]
+    fn guard_side_element_comparison_does_not_generalize() {
+        // A bound on ONE element (`idx[0] < src.len()`) must not prove a
+        // site indexed by a DIFFERENT element of the same slice.
+        let r = run("\
+pub fn cherry(dst: &mut [f32], idx: &[usize], src: &[f32]) {
+    assert!(dst.len() <= idx.len());
+    assert!(idx[0] < src.len());
+    for (p, d) in dst.iter_mut().enumerate() {
+        unsafe {
+            *d = *src.get_unchecked(idx[p]);
+        }
+    }
+}
+");
+        assert!(
+            !r.diagnostics.is_empty(),
+            "single-element guard must not discharge the universal obligation"
+        );
+        assert!(r.proved.is_empty());
+    }
+
+    #[test]
+    fn while_unroll_with_len_alias_proves_offsets() {
+        let r = run("\
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    assert!(b.len() == n);
+    let mut s = 0.0f32;
+    let mut i = 0usize;
+    while i + 4 <= n {
+        unsafe {
+            s += a.get_unchecked(i) * b.get_unchecked(i + 3);
+        }
+        i += 4;
+    }
+    while i < n {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics[0].message);
+        assert_eq!(r.sites.len(), 4);
+        assert!(r.sites.iter().all(|s| s.proven), "all four sites proven");
+    }
+
+    #[test]
+    fn off_by_one_loop_bound_is_unproven() {
+        // `for i in 0..n + 1` drives i == n == xs.len(): must not prove.
+        let r = run("\
+pub fn bad(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    let mut s = 0.0f32;
+    for i in 0..n + 1 {
+        unsafe {
+            s += xs.get_unchecked(i);
+        }
+    }
+    s
+}
+");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert!(r.diagnostics[0].message.contains("missing fact"));
+        assert!(r.proved.is_empty());
+    }
+
+    #[test]
+    fn missing_guard_is_unproven_with_fact_named() {
+        let r = run("\
+pub fn bad(dst: &mut [f32], idx: &[usize]) {
+    for (p, &q) in idx.iter().enumerate() {
+        unsafe {
+            *dst.get_unchecked_mut(q) = p as f32;
+        }
+    }
+}
+");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert!(
+            r.diagnostics[0].message.contains("q < dst.len()"),
+            "{}",
+            r.diagnostics[0].message
+        );
+    }
+
+    #[test]
+    fn guard_on_the_wrong_slice_does_not_transfer() {
+        let r = run("\
+pub fn bad(dst: &mut [f32], other: &mut [f32], idx: &[usize]) {
+    assert!(idx.iter().all(|&q| q < other.len()));
+    for (p, &q) in idx.iter().enumerate() {
+        let _ = p;
+        unsafe {
+            *dst.get_unchecked_mut(q) = 1.0;
+        }
+    }
+}
+");
+        assert_eq!(r.diagnostics.len(), 1, "guard bounds `other`, not `dst`");
+    }
+
+    #[test]
+    fn fact_dies_with_its_variable_mutation() {
+        let r = run("\
+pub fn bad(xs: &[f32]) -> f32 {
+    let mut i = 0usize;
+    assert!(i < xs.len());
+    i += 10;
+    unsafe { *xs.get_unchecked(i) }
+}
+");
+        assert_eq!(r.diagnostics.len(), 1, "mutated index var voids the guard");
+    }
+
+    #[test]
+    fn safe_unproven_sites_are_records_not_diagnostics() {
+        let r = run("\
+pub fn hot(xs: &[f32], k: usize) -> f32 {
+    let _span = trace::span(\"fixture.hot\");
+    xs[k]
+}
+");
+        assert_eq!(r.analyzed_fns, 1);
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.sites.len(), 1);
+        assert!(!r.sites[0].proven && !r.sites[0].unchecked);
+        assert!(r.sites[0].missing.contains("k < xs.len()"));
+    }
+
+    #[test]
+    fn range_slices_need_only_the_upper_bound() {
+        let r = run("\
+pub fn hot(xs: &[f32], lo: usize, hi: usize) -> f32 {
+    let _span = trace::span(\"fixture.hot\");
+    assert!(hi <= xs.len());
+    let window = &xs[lo..hi];
+    let all = &xs[..];
+    window.len() as f32 + all.len() as f32
+}
+");
+        assert!(r.diagnostics.is_empty());
+        let proven: Vec<bool> = r.sites.iter().map(|s| s.proven).collect();
+        assert_eq!(proven, vec![true, true], "{:?}", r.sites.len());
+    }
+
+    #[test]
+    fn test_regions_and_plain_fns_are_skipped() {
+        let r = run("\
+pub fn plain(xs: &[f32]) -> f32 { xs[0] }
+#[cfg(test)]
+mod tests {
+    fn t(xs: &[f32]) -> f32 { unsafe { *xs.get_unchecked(99) } }
+}
+");
+        assert_eq!(r.analyzed_fns, 0, "no span, no unsafe outside tests");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let r = run("\
+struct S { data: Vec<f32> }
+impl S {
+    fn peek(&self, i: usize) -> f32 {
+        assert!(i < self.data.len());
+        unsafe { *self.data.get_unchecked(i) }
+    }
+}
+");
+        assert!(r.diagnostics.is_empty(), "{}", r.diagnostics[0].message);
+        assert!(r.proved.contains("S::peek@crates/core/src/fixture.rs"));
+    }
+}
+
+#[cfg(test)]
+mod soundness_proptests {
+    //! Property: BD01 is *sound* — it never marks PROVEN an indexing
+    //! site that some runtime input can drive out of bounds. We generate
+    //! small probe functions from a template family whose semantics we
+    //! can interpret exhaustively, run the analyzer on the source text,
+    //! and whenever it claims a proof we search a small input domain for
+    //! a counterexample witness. (Completeness is *not* claimed: an
+    //! UNPROVEN verdict on a safe probe is fine; a PROVEN verdict on an
+    //! unsafe one is the bug.)
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn run(src: String) -> BoundsReport {
+        let f = LoadedFile::new("crates/core/src/fixture.rs", src);
+        analyze(std::slice::from_ref(&f))
+    }
+
+    /// Loop shape: iterate `i in 0..k`, access `xs[i + c]`, optionally
+    /// guarded by `assert!(k + ga <= xs.len())`.
+    fn loop_probe(guard: bool, ga: usize, c: usize) -> String {
+        let g = if guard {
+            format!("    assert!(k + {ga} <= xs.len());\n")
+        } else {
+            String::new()
+        };
+        format!(
+            "pub fn probe(xs: &[f32], k: usize) -> f32 {{\n\
+             {g}    let mut s = 0.0f32;\n\
+             \x20   for i in 0..k {{\n\
+             \x20       unsafe {{ s += *xs.get_unchecked(i + {c}); }}\n\
+             \x20   }}\n\
+             \x20   s\n\
+             }}\n"
+        )
+    }
+
+    /// Exhaustive witness search for the loop shape over a small domain.
+    fn loop_witness(guard: bool, ga: usize, c: usize) -> bool {
+        for xs_len in 0..=8usize {
+            for k in 0..=8usize {
+                if guard && k + ga > xs_len {
+                    continue;
+                }
+                for i in 0..k {
+                    if i + c >= xs_len {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Scalar shape: a single access `xs[k + c]`, optionally guarded by
+    /// `assert!(k + ga <= xs.len())`.
+    fn scalar_probe(guard: bool, ga: usize, c: usize) -> String {
+        let g = if guard {
+            format!("    assert!(k + {ga} <= xs.len());\n")
+        } else {
+            String::new()
+        };
+        format!(
+            "pub fn probe(xs: &[f32], k: usize) -> f32 {{\n\
+             {g}    unsafe {{ *xs.get_unchecked(k + {c}) }}\n\
+             }}\n"
+        )
+    }
+
+    fn scalar_witness(guard: bool, ga: usize, c: usize) -> bool {
+        for xs_len in 0..=8usize {
+            for k in 0..=8usize {
+                if guard && k + ga > xs_len {
+                    continue;
+                }
+                if k + c >= xs_len {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn proven(r: &BoundsReport) -> bool {
+        r.diagnostics.is_empty() && r.proved.contains("probe@crates/core/src/fixture.rs")
+    }
+
+    /// Anti-vacuity anchor: the canonical safe instances of both shapes
+    /// must be PROVEN, so the property below is exercised on real proofs
+    /// rather than passing because the analyzer rejects everything.
+    #[test]
+    fn canonical_safe_probes_are_proven() {
+        let r = run(scalar_probe(true, 1, 0));
+        assert!(proven(&r), "scalar ga=1 c=0: {:?}", r.diagnostics.first());
+        let r = run(loop_probe(true, 0, 0));
+        assert!(proven(&r), "loop ga=0 c=0: {:?}", r.diagnostics.first());
+    }
+
+    proptest! {
+        #[test]
+        fn bd01_never_proves_a_site_with_a_runtime_oob_witness(
+            scalar in proptest::bool::ANY,
+            guard in proptest::bool::ANY,
+            ga in 0usize..4,
+            c in 0usize..4,
+        ) {
+            let (src, witness) = if scalar {
+                (scalar_probe(guard, ga, c), scalar_witness(guard, ga, c))
+            } else {
+                (loop_probe(guard, ga, c), loop_witness(guard, ga, c))
+            };
+            let r = run(src);
+            if proven(&r) {
+                prop_assert!(
+                    !witness,
+                    "BD01 claimed a proof for scalar={} guard={} ga={} c={} but a runtime witness drives it OOB",
+                    scalar, guard, ga, c
+                );
+            }
+        }
+    }
+}

@@ -8,7 +8,11 @@
 //! * `NP01` — no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
 //!   `unimplemented!` in library-crate code, `bench` included (only
 //!   test regions are exempt).
-//! * `AT01` — every library crate keeps `#![forbid(unsafe_code)]`.
+//! * `AT01` — every library crate keeps `#![forbid(unsafe_code)]`;
+//!   crates in [`DENY_UNSAFE_CRATES`] may instead keep
+//!   `#![deny(unsafe_code)]`, because their `unsafe` blocks are
+//!   individually licensed by the `US01` ledger (see
+//!   [`crate::unsafe_ledger`]) — nothing else may weaken the attribute.
 //! * `AT02` — every library crate keeps `#![deny(missing_docs)]`.
 //! * `HP01` — no heap allocation (`Vec::new`, `vec![`, `.to_vec()`,
 //!   `.clone()`, `.collect()`, `Box::new`) inside the lexical region of
@@ -20,10 +24,22 @@
 //!   (a float literal, or a binding known to be `f32`/`f64`, on either
 //!   side); use the `seismic_la::scalar` exact-zero helpers or an
 //!   explicit tolerance.
-//! * `LT01` — `lint.toml` entries must be well-formed.
+//! * `LT01` — `lint.toml` entries must be well-formed, and inline
+//!   `// SANCTION(RULE): reason` comments must carry a reason.
 //! * `LT02` — `lint.toml` entries must be *live*: an `[[allow]]` entry
 //!   matching zero diagnostics is stale and must be deleted, so the
-//!   allowlist can only shrink.
+//!   allowlist can only shrink. The same liveness contract applies to
+//!   inline sanctions: a `// SANCTION(RULE): …` comment that suppresses
+//!   zero findings is an error.
+//!
+//! ### Inline sanctions
+//!
+//! A token-rule finding can be suppressed at the site itself instead of
+//! in `lint.toml`: a line comment `// SANCTION(RULE): reason` on the
+//! offending line or the line directly above covers findings of that
+//! rule on that line only. This is the preferred form for single-site
+//! exceptions (the justification lives next to the code it excuses and
+//! moves with it); `lint.toml` remains for path-scoped exceptions.
 //!
 //! Interprocedural panic-freedom (`PF01`) lives in [`crate::callgraph`].
 
@@ -42,6 +58,11 @@ pub const NA01_CRATES: &[&str] = &["core", "la", "wse"];
 pub const NP01_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
 /// Crates whose `lib.rs` must carry the two crate-level attributes.
 pub const ATTR_CRATES: &[&str] = &["core", "la", "fft", "geom", "wave", "mdd", "wse", "bench"];
+/// Crates permitted to hold `#![deny(unsafe_code)]` instead of
+/// `#![forbid(unsafe_code)]`: their `unsafe` blocks are licensed
+/// one-by-one by the US01 ledger against live BD01 proofs. Everything
+/// else must keep the forbid.
+pub const DENY_UNSAFE_CRATES: &[&str] = &["core"];
 /// Crates whose traced kernels must be allocation-free inside spans.
 pub const HP01_CRATES: &[&str] = &["core", "wse"];
 /// Crates covered by the float-equality lint.
@@ -385,6 +406,68 @@ fn fe01_float_equality(f: &LoadedFile, code: &[&Tok], out: &mut Vec<Finding>) {
     }
 }
 
+/// One inline `// SANCTION(RULE): reason` comment: a line-scoped
+/// exception that lives next to the code it excuses.
+#[derive(Clone, Debug)]
+pub struct InlineSanction {
+    /// Rule id the sanction applies to.
+    pub rule: String,
+    /// 1-based line of the comment. The sanction covers findings of
+    /// `rule` on this line or the line directly below.
+    pub line: usize,
+    /// Mandatory justification (everything after the `:`).
+    pub reason: String,
+}
+
+impl InlineSanction {
+    /// Whether this sanction covers a finding of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.rule == rule && (self.line == line || self.line + 1 == line)
+    }
+}
+
+/// Scan one file's comment tokens for inline sanctions. Malformed
+/// sanctions (missing reason) come back as LT01 diagnostics.
+pub fn collect_sanctions(f: &LoadedFile) -> (Vec<InlineSanction>, Vec<Diagnostic>) {
+    let mut sanctions = Vec::new();
+    let mut problems = Vec::new();
+    for t in &f.toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(&f.src);
+        let Some(rest) = text.split("SANCTION(").nth(1) else {
+            continue;
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            continue;
+        };
+        let reason = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("")
+            .to_string();
+        if reason.is_empty() {
+            problems.push(Diagnostic {
+                rule: "LT01",
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, t.line),
+                message: format!(
+                    "inline sanction `// SANCTION({}): …` needs a non-empty reason",
+                    rule.trim()
+                ),
+            });
+            continue;
+        }
+        sanctions.push(InlineSanction {
+            rule: rule.trim().to_string(),
+            line: t.line,
+            reason,
+        });
+    }
+    (sanctions, problems)
+}
+
 /// One `[[allow]]` entry from `lint.toml`.
 #[derive(Clone, Debug)]
 pub struct AllowEntry {
@@ -542,10 +625,22 @@ pub fn run_lints(
         }
     }
 
-    // Token rules.
+    // Token rules, with inline sanctions taking precedence over the
+    // path-scoped lint.toml entries.
     for f in files {
         let rules = RuleSet::for_crate(&f.krate);
+        let (sanctions, mut problems) = collect_sanctions(f);
+        diagnostics.append(&mut problems);
+        let mut sanction_hits = vec![0usize; sanctions.len()];
         for finding in lint_file(f, rules) {
+            if let Some(i) = sanctions
+                .iter()
+                .position(|s| s.covers(finding.rule, finding.line))
+            {
+                sanction_hits[i] += 1;
+                allowed += 1;
+                continue;
+            }
             let line_text = f.line_text(finding.line);
             let d = Diagnostic {
                 rule: finding.rule,
@@ -563,6 +658,20 @@ pub fn run_lints(
                 d,
             );
         }
+        for (s, h) in sanctions.iter().zip(&sanction_hits) {
+            if *h == 0 {
+                diagnostics.push(Diagnostic {
+                    rule: "LT02",
+                    severity: Severity::Error,
+                    location: format!("{}:{}", f.rel, s.line),
+                    message: format!(
+                        "stale inline sanction `// SANCTION({}): {}` suppresses zero \
+                         findings — delete the comment",
+                        s.rule, s.reason
+                    ),
+                });
+            }
+        }
     }
 
     LintOutcome {
@@ -572,15 +681,26 @@ pub fn run_lints(
     }
 }
 
-/// AT01/AT02 over one crate root's text (fixture-friendly).
+/// AT01/AT02 over one crate root's text (fixture-friendly). The crate
+/// directory name is derived from `rel` to decide whether the weaker
+/// `#![deny(unsafe_code)]` attribute is acceptable.
 pub fn lint_crate_attributes(rel: &str, text: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    if !text.contains("#![forbid(unsafe_code)]") {
+    let krate = rel.split('/').nth(1).unwrap_or("");
+    let deny_ok = DENY_UNSAFE_CRATES.contains(&krate);
+    let has_forbid = text.contains("#![forbid(unsafe_code)]");
+    let has_deny = text.contains("#![deny(unsafe_code)]");
+    if !(has_forbid || (deny_ok && has_deny)) {
         out.push(Diagnostic {
             rule: "AT01",
             severity: Severity::Error,
             location: rel.to_string(),
-            message: "crate must keep #![forbid(unsafe_code)]".to_string(),
+            message: if deny_ok {
+                "crate must keep #![forbid(unsafe_code)] or (US01-ledgered) #![deny(unsafe_code)]"
+                    .to_string()
+            } else {
+                "crate must keep #![forbid(unsafe_code)]".to_string()
+            },
         });
     }
     if !text.contains("#![deny(missing_docs)]") {
@@ -849,5 +969,72 @@ reason = "reproduction harness"
             "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n",
         );
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn deny_unsafe_accepted_only_for_ledgered_crates() {
+        let text = "#![deny(unsafe_code)]\n#![deny(missing_docs)]\n";
+        assert!(
+            lint_crate_attributes("crates/core/src/lib.rs", text).is_empty(),
+            "core is US01-ledgered, deny(unsafe_code) is enough"
+        );
+        let other = lint_crate_attributes("crates/la/src/lib.rs", text);
+        assert_eq!(other.len(), 1);
+        assert_eq!(other[0].rule, "AT01");
+        assert!(other[0].message.contains("forbid"));
+    }
+
+    #[test]
+    fn inline_sanction_parses_and_covers_its_line_pair() {
+        let src = "fn f() {\n\
+                   // SANCTION(NP01): the Err arm is statically unreachable here\n\
+                   x.unwrap();\n\
+                   }\n";
+        let f = LoadedFile::new("crates/core/src/x.rs", src.to_string());
+        let (sanctions, problems) = collect_sanctions(&f);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(sanctions.len(), 1);
+        assert_eq!(sanctions[0].rule, "NP01");
+        assert!(sanctions[0].covers("NP01", 2), "same line");
+        assert!(sanctions[0].covers("NP01", 3), "line below");
+        assert!(!sanctions[0].covers("NP01", 4));
+        assert!(!sanctions[0].covers("NA01", 3), "other rules unaffected");
+    }
+
+    #[test]
+    fn inline_sanction_without_reason_is_lt01() {
+        let src = "// SANCTION(NP01):\nfn f() {}\n";
+        let f = LoadedFile::new("crates/core/src/x.rs", src.to_string());
+        let (sanctions, problems) = collect_sanctions(&f);
+        assert!(sanctions.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].rule, "LT01");
+        assert!(problems[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn sanctioned_finding_suppressed_and_stale_sanction_fails() {
+        use std::path::Path;
+        // A file with one sanctioned unwrap and one stale sanction.
+        let src = "fn f() {\n\
+                   // SANCTION(NP01): fixture — checked by the caller\n\
+                   x.unwrap();\n\
+                   // SANCTION(NA01): nothing on the next line casts\n\
+                   let y = 1;\n\
+                   }\n";
+        let files = vec![LoadedFile::new("crates/mdd/src/x.rs", src.to_string())];
+        let out = run_lints(Path::new("/nonexistent"), &files, &[], &mut []);
+        assert_eq!(out.allowed, 1, "the unwrap was sanctioned");
+        // Expect: one LT02 for the stale NA01 sanction; the NP01 finding
+        // itself is gone. (AT01/AT02 diagnostics for the fake root are
+        // filtered out by rule id below.)
+        let lt02: Vec<_> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "LT02")
+            .collect();
+        assert_eq!(lt02.len(), 1, "{:?}", out.diagnostics);
+        assert!(lt02[0].message.contains("stale inline sanction"));
+        assert!(!out.diagnostics.iter().any(|d| d.rule == "NP01"));
     }
 }

@@ -10,20 +10,29 @@
 //!    heap allocation inside `trace::span` regions in `core`/`wse`),
 //!    `FE01` (no `==`/`!=` on float operands), with a `lint.toml`
 //!    allowlist for justified exceptions.
-//! 2. **Panic-freedom proof** ([`callgraph`]): `PF01` — BFS over the
+//! 2. **Bounds proof** ([`bounds`]): `BD01` — intra-procedural
+//!    interval/dataflow analysis over hot-phase functions classifies
+//!    every slice-indexing site as PROVEN or UNPROVEN; an unproven
+//!    `get_unchecked` site is a hard error with the missing fact named.
+//! 3. **Unsafe-sanction ledger** ([`unsafe_ledger`]): `US01` — every
+//!    `unsafe` block in lib code must carry a
+//!    `// SAFETY(BD01: <fn>@<file>)` comment whose referenced function
+//!    BD01 actually proved *this run*; unsanctioned unsafe, forged
+//!    references, and stale proofs are hard errors.
+//! 4. **Panic-freedom proof** ([`callgraph`]): `PF01` — BFS over the
 //!    approximate workspace call graph proves no panic-family token is
 //!    reachable from the hot TLR-MVM/MMM/solver entry points, printing
 //!    a witness call path for every violation.
-//! 3. **Static plan verification** ([`plan`]): the paper's Table 1
+//! 5. **Static plan verification** ([`plan`]): the paper's Table 1
 //!    configurations must pass the `WV..` rules of
 //!    [`wse_sim::verify::verify_plan`] without being placed or run.
-//! 4. **Allowlist hygiene**: malformed entries are `LT01`; entries that
+//! 6. **Allowlist hygiene**: malformed entries are `LT01`; entries that
 //!    matched nothing this run are `LT02` (stale — delete them).
 //!
 //! Flags: `--sarif <path>` writes a SARIF 2.1.0 report ([`sarif`]),
 //! `--json` prints a machine-readable summary to stdout instead of the
 //! human lines, `--self-test` ([`selftest`]) proves every rule fires on
-//! embedded fixtures (exit 0 iff all nine do).
+//! embedded fixtures (exit 0 iff all of them do).
 //!
 //! Exit status: `0` when no error-severity diagnostic survives the
 //! allowlist, `1` otherwise — suitable as a blocking CI step.
@@ -33,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+mod bounds;
 mod callgraph;
 mod lexer;
 mod lint;
@@ -41,6 +51,7 @@ mod plan;
 mod sarif;
 mod scan;
 mod selftest;
+mod unsafe_ledger;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -70,16 +81,16 @@ fn print_usage() {
         "usage: cargo run -p xtask -- <command>\n\n\
          commands:\n  \
          analyze   run the static-analysis suite: token lints (NA01/NP01/AT01/AT02/\n            \
-         HP01/FE01), call-graph panic-freedom proof (PF01), lint.toml\n            \
-         allowlist hygiene (LT01/LT02), static WSE plan verification\n            \
-         (WV01..WV07)\n            \
+         HP01/FE01), bounds proof (BD01), unsafe-sanction ledger (US01),\n            \
+         call-graph panic-freedom proof (PF01), lint.toml allowlist\n            \
+         hygiene (LT01/LT02), static WSE plan verification (WV01..WV07)\n            \
          [--sarif <path>  write a SARIF 2.1.0 report]\n            \
          [--json          machine-readable output on stdout]\n            \
          [--self-test     prove every rule fires on embedded fixtures]\n  \
          perfgate  compare a `repro perfbench --json` run against the committed\n            \
          BENCH_table2.json baseline; fails (>15% median regression or\n            \
          trace-checksum drift) with the offending kernel named\n            \
-         [--compare-only --self-test --baseline P --current P\n             \
+         [--compare-only --self-test --bless --baseline P --current P\n             \
          --fail-pct F --warn-pct F]\n  \
          help      show this message"
     );
@@ -155,6 +166,23 @@ fn analyze(args: &[String]) -> ExitCode {
     let allowed = outcome.allowed;
     all.extend(outcome.diagnostics);
 
+    // Pass 1b: BD01 bounds proof over hot-phase/unsafe functions.
+    let mut bd01 = bounds::analyze(&files);
+    let bd01_clean = bd01.diagnostics.is_empty();
+    let (bd01_sites, bd01_proven, bd01_unchecked, bd01_fns) = (
+        bd01.sites.len(),
+        bd01.proven_sites(),
+        bd01.unchecked_sites(),
+        bd01.analyzed_fns,
+    );
+    all.append(&mut bd01.diagnostics);
+
+    // Pass 1c: US01 unsafe-sanction ledger against this run's proofs.
+    let us01 = unsafe_ledger::check(&files, &bd01);
+    let us01_clean = us01.diagnostics.is_empty();
+    let (us01_blocks, us01_sanctioned) = (us01.unsafe_blocks, us01.sanctioned);
+    all.extend(us01.diagnostics);
+
     // Pass 2: PF01 panic-freedom proof over the call graph.
     let graph = callgraph::build(&files);
     let pf01 = callgraph::prove_panic_free(&graph, callgraph::HOT_ENTRY_POINTS, &allows, &mut hits);
@@ -227,6 +255,51 @@ fn analyze(args: &[String]) -> ExitCode {
                     ),
                 ]),
             ),
+            (
+                "bd01".to_string(),
+                Json::Obj(vec![
+                    ("clean".to_string(), Json::Bool(bd01_clean)),
+                    ("analyzed_fns".to_string(), Json::u64(bd01_fns as u64)),
+                    ("sites".to_string(), Json::u64(bd01_sites as u64)),
+                    ("proven".to_string(), Json::u64(bd01_proven as u64)),
+                    (
+                        "unchecked_sites".to_string(),
+                        Json::u64(bd01_unchecked as u64),
+                    ),
+                    (
+                        "site_records".to_string(),
+                        Json::Arr(
+                            bd01.sites
+                                .iter()
+                                .map(|s| {
+                                    Json::Obj(vec![
+                                        (
+                                            "location".to_string(),
+                                            Json::str(&format!("{}:{}", s.file, s.line)),
+                                        ),
+                                        ("function".to_string(), Json::str(&s.func)),
+                                        ("site".to_string(), Json::str(&s.what)),
+                                        ("unchecked".to_string(), Json::Bool(s.unchecked)),
+                                        (
+                                            "verdict".to_string(),
+                                            Json::str(if s.proven { "PROVEN" } else { "UNPROVEN" }),
+                                        ),
+                                        ("missing".to_string(), Json::str(&s.missing)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "us01".to_string(),
+                Json::Obj(vec![
+                    ("clean".to_string(), Json::Bool(us01_clean)),
+                    ("unsafe_blocks".to_string(), Json::u64(us01_blocks as u64)),
+                    ("sanctioned".to_string(), Json::u64(us01_sanctioned as u64)),
+                ]),
+            ),
             ("diagnostics".to_string(), Json::Arr(diags)),
         ]);
         print!("{}", doc.to_pretty());
@@ -238,6 +311,18 @@ fn analyze(args: &[String]) -> ExitCode {
             println!(
                 "analyze: PF01 proved {pf01_entries} hot entry points panic-free \
                  ({pf01_reachable} reachable fns, {pf01_sanctioned} sanctioned sink calls)"
+            );
+        }
+        if bd01_clean {
+            println!(
+                "analyze: BD01 proved {bd01_proven}/{bd01_sites} indexing sites over \
+                 {bd01_fns} hot fns ({bd01_unchecked} unchecked, all proven)"
+            );
+        }
+        if us01_clean {
+            println!(
+                "analyze: US01 ledger clean — {us01_sanctioned}/{us01_blocks} unsafe \
+                 blocks carry a live BD01 sanction"
             );
         }
         println!(

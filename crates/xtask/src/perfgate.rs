@@ -8,6 +8,13 @@
 //! kernel; 8–15 % warns; trace-checksum mismatches fail as accounting
 //! drift regardless of timing.
 //!
+//! `--bless` re-baselines: it runs a fresh `repro perfbench --json`
+//! (honoring `--compare-only` to reuse an existing run), prints the
+//! delta against the old baseline, and copies the run over the committed
+//! `BENCH_table2.json` byte-for-byte — the one sanctioned way to move
+//! the baseline, so a re-bless is always a reviewable diff of the same
+//! deterministic writer.
+//!
 //! `--self-test` proves the gate can actually fail: it loads the
 //! baseline, doubles every median in memory, and exits 0 **iff** the
 //! gate rejects that synthetic 2× slowdown with at least one named
@@ -28,6 +35,7 @@ struct GateConfig {
     thresholds: GateThresholds,
     compare_only: bool,
     self_test: bool,
+    bless: bool,
     inject_slowdown: Option<f64>,
 }
 
@@ -38,6 +46,7 @@ fn parse_config(root: &Path, args: &[String]) -> Result<GateConfig, String> {
         thresholds: GateThresholds::default(),
         compare_only: false,
         self_test: false,
+        bless: false,
         inject_slowdown: None,
     };
     let mut it = args.iter();
@@ -50,6 +59,7 @@ fn parse_config(root: &Path, args: &[String]) -> Result<GateConfig, String> {
         match arg.as_str() {
             "--compare-only" => cfg.compare_only = true,
             "--self-test" => cfg.self_test = true,
+            "--bless" => cfg.bless = true,
             "--baseline" => cfg.baseline = PathBuf::from(value("--baseline")?),
             "--current" => cfg.current = PathBuf::from(value("--current")?),
             "--fail-pct" => {
@@ -122,6 +132,77 @@ fn print_outcome(
     }
 }
 
+/// Spawn `repro perfbench --json` (release) in `root`; the run writes
+/// `target/perf/BENCH_table2.json`.
+fn spawn_perfbench(root: &Path) -> Result<(), ExitCode> {
+    println!("perfgate: running `repro perfbench --json` (release)...");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "seismic-bench",
+            "--bin",
+            "repro",
+            "--",
+            "perfbench",
+            "--json",
+        ])
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => {
+            eprintln!("perfgate: perfbench run failed with {s}");
+            Err(ExitCode::FAILURE)
+        }
+        Err(e) => {
+            eprintln!("perfgate: could not spawn cargo: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `--bless`: measure (or reuse) a current run, show the delta against
+/// the old baseline, and install the run as the new committed baseline.
+fn bless(cfg: &GateConfig, root: &Path) -> ExitCode {
+    if !cfg.compare_only {
+        if let Err(code) = spawn_perfbench(root) {
+            return code;
+        }
+    }
+    let current = match read_bench_json(&cfg.current) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perfgate --bless: no current run ({e})");
+            return ExitCode::FAILURE;
+        }
+    };
+    match read_bench_json(&cfg.baseline) {
+        Ok(old) => {
+            // Informational: what the re-baseline changes.
+            print_outcome(&compare_reports(&old, &current, cfg.thresholds), cfg.thresholds);
+        }
+        Err(e) => println!("perfgate --bless: no prior baseline ({e}) — first bless"),
+    }
+    // Byte-for-byte copy of the deterministic writer's output, so the
+    // committed file never depends on a second serialization pass.
+    if let Err(e) = std::fs::copy(&cfg.current, &cfg.baseline) {
+        eprintln!(
+            "perfgate --bless: copying {} -> {} failed: {e}",
+            cfg.current.display(),
+            cfg.baseline.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perfgate --bless: {} kernels written to {}",
+        current.kernels.len(),
+        cfg.baseline.display()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Entry point for `cargo run -p xtask -- perfgate [flags]`.
 pub fn run(root: &Path, args: &[String]) -> ExitCode {
     let cfg = match parse_config(root, args) {
@@ -131,6 +212,10 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if cfg.bless {
+        return bless(&cfg, root);
+    }
 
     let baseline = match read_bench_json(&cfg.baseline) {
         Ok(b) => b,
@@ -164,31 +249,8 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
     }
 
     if !cfg.compare_only {
-        println!("perfgate: running `repro perfbench --json` (release)...");
-        let status = Command::new("cargo")
-            .args([
-                "run",
-                "--release",
-                "-p",
-                "seismic-bench",
-                "--bin",
-                "repro",
-                "--",
-                "perfbench",
-                "--json",
-            ])
-            .current_dir(root)
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("perfgate: perfbench run failed with {s}");
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("perfgate: could not spawn cargo: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(code) = spawn_perfbench(root) {
+            return code;
         }
     }
 

@@ -22,8 +22,19 @@ pub const RULES: &[(&str, &str)] = &[
         "no raw `as` integer casts in core/la/wse library code",
     ),
     ("NP01", "no panic-family tokens in library crates"),
-    ("AT01", "crates keep #![forbid(unsafe_code)]"),
+    (
+        "AT01",
+        "crates keep #![forbid(unsafe_code)] (#![deny(unsafe_code)] only for US01-ledgered crates)",
+    ),
     ("AT02", "crates keep #![deny(missing_docs)]"),
+    (
+        "BD01",
+        "every slice-indexing site in hot-phase fns is bounds-proven; unchecked sites must be PROVEN",
+    ),
+    (
+        "US01",
+        "every unsafe block carries a live `// SAFETY(BD01: fn@file)` sanction proved this run",
+    ),
     (
         "HP01",
         "no heap allocation inside traced phase spans in core/wse",

@@ -2,8 +2,8 @@
 //!
 //! Mirrors `perfgate --self-test`: each rule is run against an embedded
 //! fixture that violates it, and the command exits 0 **iff** every rule
-//! (NA01, NP01, AT01, AT02, HP01, FE01, PF01, LT01, LT02) produces the
-//! expected diagnostic. A lint engine that silently stops matching is a
+//! (NA01, NP01, AT01, AT02, BD01, US01, HP01, FE01, PF01, LT01, LT02)
+//! produces the expected diagnostic. A lint engine that silently stops matching is a
 //! worse failure mode than a noisy one; this is the regression gate for
 //! the engine itself, runnable in CI without touching the workspace
 //! sources.
@@ -14,6 +14,7 @@ use crate::callgraph::{build, prove_panic_free};
 use crate::lint::{
     lint_crate_attributes, lint_file, parse_lint_toml, stale_allow_entries, LoadedFile, RuleSet,
 };
+use crate::{bounds, unsafe_ledger};
 
 /// A fixture that plants one violation per token rule. The `#[cfg(test)]`
 /// block plants the same violations again — if test-region exemption
@@ -116,6 +117,144 @@ fn allowlist_checks() -> Vec<Check> {
     vec![lt01, lt02]
 }
 
+/// A fully-guarded gather whose unchecked sites BD01 must prove, with a
+/// live US01 sanction. The failure fixtures below are derived from it
+/// by perturbing exactly one ingredient.
+const BD01_PROVEN_FIXTURE: &str = "\
+pub fn gather(dst: &mut [f32], idx: &[usize], src: &[f32]) {
+    assert!(idx.len() <= src.len());
+    assert!(idx.iter().all(|&q| q < dst.len()));
+    for (p, &q) in idx.iter().enumerate() {
+        // SAFETY(BD01: gather@crates/core/src/selftest_bd01.rs): guards hoisted above
+        unsafe {
+            *dst.get_unchecked_mut(q) = *src.get_unchecked(p);
+        }
+    }
+}
+";
+
+fn bd01_checks() -> Vec<Check> {
+    let run = |src: &str| {
+        let f = LoadedFile::new("crates/core/src/selftest_bd01.rs", src.to_string());
+        bounds::analyze(std::slice::from_ref(&f))
+    };
+
+    // Prove path: both unchecked sites discharge and the fn enters the
+    // proved set US01 draws from.
+    let proven = run(BD01_PROVEN_FIXTURE);
+    let prove = Check {
+        rule: "BD01",
+        ok: proven.diagnostics.is_empty()
+            && proven.proved.contains("gather@crates/core/src/selftest_bd01.rs"),
+        detail: format!(
+            "hoisted guards prove both unchecked sites ({} diags, proved={:?})",
+            proven.diagnostics.len(),
+            proven.proved
+        ),
+    };
+
+    // Fail path 1: off-by-one loop bound (`0..len + 1`) breaks the proof.
+    let off = run(&BD01_PROVEN_FIXTURE.replace(
+        "for (p, &q) in idx.iter().enumerate() {",
+        "let n = idx.len();\n    for p in 0..n + 1 {\n        let q = idx[p - p];",
+    ));
+    let off_by_one = Check {
+        rule: "BD01",
+        ok: !off.diagnostics.is_empty() && off.proved.is_empty(),
+        detail: format!(
+            "off-by-one loop bound rejected ({} diag(s))",
+            off.diagnostics.len()
+        ),
+    };
+
+    // Fail path 2: missing guard — the forall fact on dst is deleted, so
+    // the write site is UNPROVEN and the missing fact is named.
+    let missing = run(&BD01_PROVEN_FIXTURE.replace(
+        "    assert!(idx.iter().all(|&q| q < dst.len()));\n",
+        "",
+    ));
+    let named = missing
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("dst.len()"));
+    let missing_guard = Check {
+        rule: "BD01",
+        ok: !missing.diagnostics.is_empty() && named,
+        detail: format!(
+            "deleted guard leaves UNPROVEN site with missing fact named ({} diag(s), names dst.len()={named})",
+            missing.diagnostics.len()
+        ),
+    };
+
+    // Fail path 3: guard on the wrong slice — a bound on src does not
+    // transfer to dst.
+    let wrong = run(&BD01_PROVEN_FIXTURE.replace(
+        "assert!(idx.iter().all(|&q| q < dst.len()));",
+        "assert!(idx.iter().all(|&q| q < src.len()));",
+    ));
+    let wrong_slice = Check {
+        rule: "BD01",
+        ok: !wrong.diagnostics.is_empty() && wrong.proved.is_empty(),
+        detail: format!(
+            "guard on the wrong slice does not transfer ({} diag(s))",
+            wrong.diagnostics.len()
+        ),
+    };
+
+    vec![prove, off_by_one, missing_guard, wrong_slice]
+}
+
+fn us01_checks() -> Vec<Check> {
+    let run = |src: &str| {
+        let f = LoadedFile::new("crates/core/src/selftest_bd01.rs", src.to_string());
+        let files = vec![f];
+        let b = bounds::analyze(&files);
+        unsafe_ledger::check(&files, &b)
+    };
+
+    let unsanctioned = run(&BD01_PROVEN_FIXTURE.replace(
+        "        // SAFETY(BD01: gather@crates/core/src/selftest_bd01.rs): guards hoisted above\n",
+        "",
+    ));
+    let a = Check {
+        rule: "US01",
+        ok: unsanctioned.diagnostics.len() == 1
+            && unsanctioned.diagnostics[0].message.contains("unsanctioned"),
+        detail: "unsafe block without a SAFETY(BD01:) comment rejected".to_string(),
+    };
+
+    // Stale: guards deleted → the referenced proof no longer holds.
+    let stale = run(
+        &BD01_PROVEN_FIXTURE
+            .replace("    assert!(idx.len() <= src.len());\n", "")
+            .replace("    assert!(idx.iter().all(|&q| q < dst.len()));\n", ""),
+    );
+    let b = Check {
+        rule: "US01",
+        ok: stale
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("stale sanction")),
+        detail: "sanction referencing a proof BD01 no longer discharges rejected".to_string(),
+    };
+
+    // Forged: the sanction points at another file.
+    let forged = run(&BD01_PROVEN_FIXTURE.replace(
+        "gather@crates/core/src/selftest_bd01.rs",
+        "gather@crates/core/src/other.rs",
+    ));
+    let c = Check {
+        rule: "US01",
+        ok: forged
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("forged")),
+        detail: "sanction borrowing a proof from another file rejected".to_string(),
+    };
+
+    vec![a, b, c]
+}
+
 fn pf01_check() -> (Check, Option<String>) {
     let f = LoadedFile::new("crates/core/src/selftest_pf01.rs", PF01_FIXTURE.to_string());
     let graph = build(std::slice::from_ref(&f));
@@ -139,6 +278,8 @@ fn pf01_check() -> (Check, Option<String>) {
 pub fn run() -> ExitCode {
     let mut checks = token_rule_checks();
     checks.extend(attr_rule_checks());
+    checks.extend(bd01_checks());
+    checks.extend(us01_checks());
     checks.extend(allowlist_checks());
     let (pf, witness) = pf01_check();
     checks.push(pf);
@@ -177,13 +318,19 @@ mod tests {
     fn every_fixture_check_passes() {
         let mut checks = token_rule_checks();
         checks.extend(attr_rule_checks());
+        checks.extend(bd01_checks());
+        checks.extend(us01_checks());
         checks.extend(allowlist_checks());
         let (pf, witness) = pf01_check();
         checks.push(pf);
         for c in &checks {
             assert!(c.ok, "rule {} fixture broken: {}", c.rule, c.detail);
         }
-        assert_eq!(checks.len(), 9, "all nine analyze rules covered");
+        assert_eq!(
+            checks.len(),
+            16,
+            "all analyze rules covered: 4 token + 2 attr + 4 BD01 + 3 US01 + 2 allowlist + PF01"
+        );
         assert!(witness.expect("witness emitted").contains("panic!"));
     }
 }

@@ -1,0 +1,268 @@
+//! `US01` — the workspace-wide unsafe-sanction ledger.
+//!
+//! Policy: **no `unsafe` without a live proof.** Every `unsafe` block
+//! in library code must carry a sanction comment of the form
+//!
+//! ```text
+//! // SAFETY(BD01: <qualified_fn>@<workspace_rel_file>): <justification>
+//! ```
+//!
+//! within the five lines above (or on) the `unsafe` keyword, and the
+//! referenced site must be one the [`crate::bounds`] BD01 pass *proved
+//! this run* — i.e. the named function contains at least one
+//! `get_unchecked` site and every unchecked site in it was discharged.
+//! Four failure modes are hard errors:
+//!
+//! * **unsanctioned** — an `unsafe` block with no sanction comment;
+//! * **forged** — the sanction names a different file or a function
+//!   other than the one enclosing the block (a proof cannot be
+//!   borrowed from elsewhere);
+//! * **stale / unproven** — the referenced function is not in this
+//!   run's proved set (the guard was edited, the fact no longer holds,
+//!   or the function never had a proof);
+//! * `unsafe fn` / `unsafe impl` / `unsafe trait` — categorically
+//!   rejected: the ledger only licenses *blocks* whose bodies BD01 can
+//!   see.
+//!
+//! Because the ledger re-derives the proof on every run, the unsafe
+//! surface can never drift ahead of the analysis: deleting a guard in
+//! the kernel flips the BD01 verdict, which voids the sanction, which
+//! fails CI.
+
+use wse_sim::verify::{Diagnostic, Severity};
+
+use crate::bounds::BoundsReport;
+use crate::lexer::TokKind;
+use crate::lint::LoadedFile;
+
+/// How many lines above the `unsafe` keyword a sanction comment may
+/// sit (inclusive of the keyword's own line).
+const SANCTION_WINDOW: usize = 5;
+
+/// Outcome of the US01 pass.
+pub struct LedgerReport {
+    /// Hard errors (unsanctioned / forged / stale / unsafe items).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total `unsafe` block sites seen in lib code.
+    pub unsafe_blocks: usize,
+    /// Blocks carrying a live, verified sanction.
+    pub sanctioned: usize,
+}
+
+/// One parsed `// SAFETY(BD01: fn@file): …` comment.
+struct Sanction {
+    func: String,
+    file: String,
+}
+
+/// Parse a line comment's text into a sanction, if it is one.
+fn parse_sanction(comment: &str) -> Option<Sanction> {
+    let rest = comment.split("SAFETY(BD01:").nth(1)?;
+    let inner = rest.split(')').next()?.trim();
+    let (func, file) = inner.split_once('@')?;
+    Some(Sanction {
+        func: func.trim().to_string(),
+        file: file.trim().to_string(),
+    })
+}
+
+/// Run the ledger over the pre-loaded workspace against this run's
+/// BD01 report.
+pub fn check(files: &[LoadedFile], bounds: &BoundsReport) -> LedgerReport {
+    let mut report = LedgerReport {
+        diagnostics: Vec::new(),
+        unsafe_blocks: 0,
+        sanctioned: 0,
+    };
+    for f in files {
+        check_file(f, bounds, &mut report);
+    }
+    report
+}
+
+fn check_file(f: &LoadedFile, bounds: &BoundsReport, report: &mut LedgerReport) {
+    let src = f.src.as_str();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text(src) != "unsafe" || f.line_is_test(t.line) {
+            continue;
+        }
+        // Next *code* token decides the form.
+        let next = f.toks[i + 1..]
+            .iter()
+            .find(|x| !matches!(x.kind, TokKind::LineComment | TokKind::BlockComment));
+        let next_text = next.map(|x| x.text(src)).unwrap_or("");
+        if matches!(next_text, "fn" | "impl" | "trait" | "extern") {
+            report.diagnostics.push(Diagnostic {
+                rule: "US01",
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, t.line),
+                message: format!(
+                    "`unsafe {next_text}` in library code — the ledger only licenses \
+                     `unsafe {{}}` blocks whose bodies carry a BD01 proof"
+                ),
+            });
+            continue;
+        }
+        report.unsafe_blocks += 1;
+
+        // Enclosing function (innermost fn whose body lines cover this).
+        let enclosing = bounds
+            .fns
+            .iter()
+            .filter(|fb| fb.file == f.rel && fb.line_start <= t.line && t.line <= fb.line_end)
+            .max_by_key(|fb| fb.line_start);
+
+        // Sanction comment within the window.
+        let lo = t.line.saturating_sub(SANCTION_WINDOW - 1);
+        let sanction = f
+            .toks
+            .iter()
+            .filter(|x| x.kind == TokKind::LineComment && lo <= x.line && x.line <= t.line)
+            .filter_map(|x| parse_sanction(x.text(src)))
+            .next_back();
+
+        let Some(s) = sanction else {
+            report.diagnostics.push(Diagnostic {
+                rule: "US01",
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, t.line),
+                message: format!(
+                    "unsanctioned `unsafe` block — add `// SAFETY(BD01: <fn>@{}): …` \
+                     referencing the enclosing function once BD01 proves its unchecked sites",
+                    f.rel
+                ),
+            });
+            continue;
+        };
+
+        // Anti-forgery: the sanction must name *this* file and the
+        // *enclosing* function.
+        if s.file != f.rel {
+            report.diagnostics.push(Diagnostic {
+                rule: "US01",
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, t.line),
+                message: format!(
+                    "forged sanction: SAFETY(BD01: {}@{}) references another file — a \
+                     proof cannot be borrowed across files (this is {})",
+                    s.func, s.file, f.rel
+                ),
+            });
+            continue;
+        }
+        let enclosing_name = enclosing.map(|fb| fb.qualified.as_str()).unwrap_or("");
+        if s.func != enclosing_name {
+            report.diagnostics.push(Diagnostic {
+                rule: "US01",
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, t.line),
+                message: format!(
+                    "forged sanction: SAFETY(BD01: {}@…) does not name the enclosing \
+                     function `{enclosing_name}` — the proof must cover the block it licenses",
+                    s.func
+                ),
+            });
+            continue;
+        }
+
+        // Liveness: BD01 must have proved that function this run.
+        let key = format!("{}@{}", s.func, s.file);
+        if !bounds.proved.contains(&key) {
+            report.diagnostics.push(Diagnostic {
+                rule: "US01",
+                severity: Severity::Error,
+                location: format!("{}:{}", f.rel, t.line),
+                message: format!(
+                    "stale sanction: BD01 did not prove `{}` this run — the referenced \
+                     guard no longer discharges every unchecked site (re-hoist the \
+                     assert!/debug_assert! facts or remove the unsafe block)",
+                    s.func
+                ),
+            });
+            continue;
+        }
+        report.sanctioned += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::lint::LoadedFile;
+
+    fn run(src: &str) -> (LedgerReport, bounds::BoundsReport) {
+        let f = LoadedFile::new("crates/core/src/fixture.rs", src.to_string());
+        let files = vec![f];
+        let b = bounds::analyze(&files);
+        let l = check(&files, &b);
+        (l, b)
+    }
+
+    const PROVEN: &str = "\
+pub fn gather(dst: &mut [f32], idx: &[usize], src: &[f32]) {
+    assert!(idx.len() <= src.len());
+    assert!(idx.iter().all(|&q| q < dst.len()));
+    for (p, &q) in idx.iter().enumerate() {
+        // SAFETY(BD01: gather@crates/core/src/fixture.rs): idx maps into dst
+        unsafe {
+            *dst.get_unchecked_mut(q) = *src.get_unchecked(p);
+        }
+    }
+}
+";
+
+    #[test]
+    fn live_sanction_passes() {
+        let (l, b) = run(PROVEN);
+        assert!(
+            b.proved.contains("gather@crates/core/src/fixture.rs"),
+            "BD01 proved set: {:?}",
+            b.proved
+        );
+        assert!(l.diagnostics.is_empty(), "{:?}", l.diagnostics);
+        assert_eq!((l.unsafe_blocks, l.sanctioned), (1, 1));
+    }
+
+    #[test]
+    fn unsanctioned_block_is_an_error() {
+        let src = PROVEN.replace(
+            "        // SAFETY(BD01: gather@crates/core/src/fixture.rs): idx maps into dst\n",
+            "",
+        );
+        let (l, _) = run(&src);
+        assert_eq!(l.diagnostics.len(), 1);
+        assert!(l.diagnostics[0].message.contains("unsanctioned"));
+    }
+
+    #[test]
+    fn forged_file_reference_is_an_error() {
+        let src = PROVEN.replace(
+            "gather@crates/core/src/fixture.rs",
+            "gather@crates/core/src/other.rs",
+        );
+        let (l, _) = run(&src);
+        assert_eq!(l.diagnostics.len(), 1);
+        assert!(l.diagnostics[0].message.contains("forged"));
+    }
+
+    #[test]
+    fn stale_proof_is_an_error() {
+        // Remove the guards: BD01 can no longer prove the sites, so the
+        // sanction references a proof that does not hold this run.
+        let src = PROVEN
+            .replace("    assert!(idx.len() <= src.len());\n", "")
+            .replace("    assert!(idx.iter().all(|&q| q < dst.len()));\n", "");
+        let (l, b) = run(&src);
+        assert!(b.proved.is_empty());
+        assert_eq!(l.diagnostics.len(), 1);
+        assert!(l.diagnostics[0].message.contains("stale sanction"));
+    }
+
+    #[test]
+    fn unsafe_fn_rejected() {
+        let (l, _) = run("pub unsafe fn raw(p: *const f32) -> f32 { *p }\n");
+        assert_eq!(l.diagnostics.len(), 1);
+        assert!(l.diagnostics[0].message.contains("unsafe fn"));
+    }
+}
