@@ -13,6 +13,11 @@
 //! * [`report`] — text tables and JSON output (`target/repro/*.json`).
 //! * [`perf`] — host-kernel microbenchmarks, the `BENCH_*.json` baseline
 //!   schema, and the `xtask perfgate` regression comparison.
+//! * [`serve_sim`] — the closed-loop serving simulation against the
+//!   batched engine: latency vs offered QPS with per-stage percentiles
+//!   (`repro serve-sim`, DESIGN.md §13).
+//! * [`cli`] — the `repro` subcommand table the help text, `all` list,
+//!   and dispatcher self-check are generated from.
 //! * [`timeline`] — Chrome Trace Event / Perfetto export of trace
 //!   reports (`repro <exp> --timeline`).
 //! * [`jsonio`] — the self-contained JSON tree those artifacts are
@@ -25,11 +30,13 @@
 #![deny(missing_docs)]
 
 pub mod atlas_experiments;
+pub mod cli;
 pub mod jsonio;
 pub mod mdd_experiments;
 pub mod mmm_experiments;
 pub mod perf;
 pub mod report;
+pub mod serve_sim;
 pub mod timeline;
 pub mod wse_experiments;
 

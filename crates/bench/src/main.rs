@@ -1,20 +1,27 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--json] [--trace] [--timeline]
-//!   experiments: fig11 fig12 fig13 fig14 table1 table2 table3 table4
-//!                table5 fig15 fig16 power recon perfbench all
+//! repro <experiment> [--json] [--trace] [--timeline] [--atlas]
+//! repro --help         full experiment list (generated from one table)
+//! repro --self-check   verify help and dispatcher agree
 //! ```
+//!
+//! The experiment list, the `all` sequence, and the unknown-experiment
+//! error all derive from [`cli::SUBCOMMANDS`]; [`handler_for`] is the
+//! only other place a subcommand name appears, and `--self-check` (plus
+//! the `serve_cli` integration tests) holds the two in lockstep.
 
 use std::process::ExitCode;
 
 use seismic_bench::atlas_experiments as atlasx;
+use seismic_bench::cli;
 use seismic_bench::mdd_experiments as mddx;
 use seismic_bench::mmm_experiments as mmmx;
 use seismic_bench::perf;
 use seismic_bench::report::{
     fmt_bytes, fmt_pbs, render_table, write_json, write_trace_json, TraceArtifact,
 };
+use seismic_bench::serve_sim as servesim;
 use seismic_bench::timeline;
 use seismic_bench::wse_experiments as wsex;
 use tlr_mvm::trace;
@@ -23,37 +30,83 @@ use tlr_mvm::trace;
 /// experiment configuration error.
 type RunResult<T = ()> = Result<T, Box<dyn std::error::Error>>;
 
-const USAGE: &str = "\
-repro — regenerate every table and figure of the paper\n\n\
-USAGE: repro <experiment> [--json] [--trace] [--timeline] [--atlas]\n\n\
-experiments:\n  \
-fig11 fig12 fig13 fig14 — MDD quality & bandwidth figures\n  \
-table1 table2 table3 table4 table5 — CS-2 mapping & scaling tables\n  \
-fig15 fig16 — rooflines;  recon — roofline reconciliation (% of peak)\n  \
-power — §7.6 energy;  mmm — §8 TLR-MMM;  io — §6.6 host link\n  \
-appbench — whole-application dense vs TLR;  coupling — §4 ablation\n  \
-precision — bf16 bases;  tab2wse — fabric-atlas heatmap summary\n  \
-all — everything\n  \
-perfbench — host-kernel microbenchmarks (BENCH_*.json; not part of all)\n  \
-atlas-sweep — one atlas frame per stack width per validated config\n  \
-              (writes target/trace/atlas-sweep.atlas.json; not in all)\n\n\
---json additionally writes machine-readable results to target/repro/\n\
-        (perfbench: target/perf/BENCH_table2.json)\n\
---trace enables the runtime observability layer and writes the phase\n\
-        breakdown (spans, flop/byte counters, solver iterations) to\n\
-        target/trace/<experiment>.json; table2 additionally prints the\n\
-        per-phase V/shuffle/U table against the cost model\n\
---timeline writes a Chrome Trace Event / Perfetto timeline to\n\
-        target/trace/<experiment>.timeline.json (host span tracks +\n\
-        modeled WSE PE-group tracks; open in ui.perfetto.dev)\n\
---atlas collects the per-PE-group fabric atlas (occupancy, SRAM bank\n\
-        pressure, link traffic, flops, energy) for the validated\n\
-        configs under both layouts, verifies every grid total against\n\
-        the placement aggregates, and writes\n\
-        target/trace/<experiment>.atlas.json plus a terminal heatmap\n\
-REPRO_SCALE=<n> overrides the dataset downscale factor (default 12)\n\
-PERFBENCH_REPS=<n> overrides perfbench's median-of-N sample count\n\
-ATLAS_SWEEP_POINTS=<1-4> stack widths per config in atlas-sweep (default 3)";
+/// Flags shared by every experiment handler.
+struct Ctx {
+    json: bool,
+    atlas: bool,
+}
+
+/// One experiment's entry point. Closures that capture nothing coerce
+/// to this, so the match arms below stay one line each.
+type Handler = fn(&Ctx) -> RunResult;
+
+/// The dispatcher: maps a [`cli::SUBCOMMANDS`] name to its handler.
+/// `--self-check` asserts this covers the table exactly.
+fn handler_for(name: &str) -> Option<Handler> {
+    Some(match name {
+        "fig11" => |c: &Ctx| fig11(c.json),
+        "fig12" => |c: &Ctx| fig12(c.json),
+        "fig13" => |c: &Ctx| fig13(c.json),
+        "fig14" => |c: &Ctx| fig14(c.json),
+        "table1" | "table2" | "table3" => {
+            // One handler per name so each table prints alone; the
+            // shared row computation happens inside `tables123`.
+            match name {
+                "table1" => |c: &Ctx| tables123("table1", false, c.json),
+                "table2" => |c: &Ctx| tables123("table2", false, c.json),
+                _ => |c: &Ctx| tables123("table3", false, c.json),
+            }
+        }
+        "table4" => |c: &Ctx| table4(c.json),
+        "table5" => |c: &Ctx| table5(c.json),
+        "fig15" => |c: &Ctx| fig15(c.json),
+        "fig16" => |c: &Ctx| fig16(c.json),
+        "recon" => |c: &Ctx| recon(c.json),
+        "power" => |c: &Ctx| power(c.json),
+        "mmm" => |c: &Ctx| mmm(c.json),
+        "io" => |c: &Ctx| io_study(c.json),
+        "appbench" => |c: &Ctx| appbench(c.json),
+        "coupling" => |c: &Ctx| coupling(c.json),
+        "precision" => |c: &Ctx| precision(c.json),
+        "tab2wse" => |c: &Ctx| tab2wse(c.atlas),
+        "perfbench" => |c: &Ctx| perfbench(c.json),
+        "atlas-sweep" => |_c: &Ctx| atlas_sweep(),
+        "serve-sim" => |c: &Ctx| serve_sim_cmd(c.json),
+        _ => return None,
+    })
+}
+
+/// Verify the help table and the dispatcher agree: every listed
+/// subcommand resolves to a handler and appears in the usage text.
+fn self_check() -> ExitCode {
+    let usage = cli::usage();
+    let mut bad = 0;
+    for s in cli::SUBCOMMANDS {
+        if handler_for(s.name).is_none() {
+            eprintln!(
+                "self-check: '{}' is listed in --help but does not dispatch",
+                s.name
+            );
+            bad += 1;
+        }
+        if !usage.contains(s.name) {
+            eprintln!(
+                "self-check: '{}' dispatches but is missing from --help",
+                s.name
+            );
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!(
+            "self-check ok: {} experiments listed, all dispatch",
+            cli::SUBCOMMANDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -68,8 +121,11 @@ fn main() -> ExitCode {
 fn run() -> RunResult<ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{USAGE}");
+        println!("{}", cli::usage());
         return Ok(ExitCode::SUCCESS);
+    }
+    if args.iter().any(|a| a == "--self-check") {
+        return Ok(self_check());
     }
     let json = args.iter().any(|a| a == "--json");
     let trace_on = args.iter().any(|a| a == "--trace");
@@ -86,94 +142,22 @@ fn run() -> RunResult<ExitCode> {
         trace::set_enabled(true);
     }
 
-    let all = which == "all";
-    let mut ran = false;
-
-    if all || which == "fig11" {
-        fig11(json)?;
-        ran = true;
-    }
-    if all || which == "fig12" {
-        fig12(json)?;
-        ran = true;
-    }
-    if all || which == "fig13" {
-        fig13(json)?;
-        ran = true;
-    }
-    if all || which == "fig14" {
-        fig14(json)?;
-        ran = true;
-    }
-    if all || which == "table1" || which == "table2" || which == "table3" {
-        tables123(&which, all, json)?;
-        ran = true;
-    }
-    if all || which == "table4" {
-        table4(json)?;
-        ran = true;
-    }
-    if all || which == "table5" {
-        table5(json)?;
-        ran = true;
-    }
-    if all || which == "fig15" {
-        fig15(json)?;
-        ran = true;
-    }
-    if all || which == "fig16" {
-        fig16(json)?;
-        ran = true;
-    }
-    if all || which == "recon" {
-        recon(json)?;
-        ran = true;
-    }
-    if all || which == "power" {
-        power(json)?;
-        ran = true;
-    }
-    if all || which == "mmm" {
-        mmm(json)?;
-        ran = true;
-    }
-    if all || which == "io" {
-        io_study(json)?;
-        ran = true;
-    }
-    if all || which == "appbench" {
-        appbench(json)?;
-        ran = true;
-    }
-    if all || which == "coupling" {
-        coupling(json)?;
-        ran = true;
-    }
-    if all || which == "precision" {
-        precision(json)?;
-        ran = true;
-    }
-    if all || which == "tab2wse" {
-        tab2wse(atlas_on)?;
-        ran = true;
-    }
-    // Deliberately NOT part of `all`: a measurement tool, not a paper
-    // artifact, and its timings are only meaningful run on their own.
-    if which == "perfbench" {
-        perfbench(json)?;
-        ran = true;
-    }
-    // Also outside `all`: sweeps several stack widths per config, so it
-    // multiplies the tab2wse cost without adding new paper tables.
-    if which == "atlas-sweep" {
-        atlas_sweep()?;
-        ran = true;
-    }
-    if !ran {
+    let ctx = Ctx {
+        json,
+        atlas: atlas_on,
+    };
+    if which == "all" {
+        for sc in cli::SUBCOMMANDS.iter().filter(|s| s.in_all) {
+            let h = handler_for(sc.name)
+                .ok_or_else(|| format!("'{}' listed but not dispatchable", sc.name))?;
+            h(&ctx)?;
+        }
+    } else if let Some(h) = handler_for(&which) {
+        h(&ctx)?;
+    } else {
         eprintln!(
-            "unknown experiment '{which}'; choose from: fig11 fig12 fig13 fig14 \
-             table1 table2 table3 table4 table5 fig15 fig16 power mmm io \
-             appbench coupling precision tab2wse recon perfbench atlas-sweep all"
+            "unknown experiment '{which}'; choose from: {}",
+            cli::names_joined(" ")
         );
         return Ok(ExitCode::from(2));
     }
@@ -205,7 +189,7 @@ fn run() -> RunResult<ExitCode> {
             );
         }
         if trace_on {
-            let phase_breakdown = if all || which == "table2" {
+            let phase_breakdown = if which == "all" || which == "table2" {
                 let rows = wsex::phase_breakdown();
                 print_phase_breakdown(&rows);
                 rows
@@ -1093,4 +1077,99 @@ fn power(json: bool) -> RunResult {
         write_json("power", &p)?;
     }
     Ok(())
+}
+
+fn serve_sim_cmd(json: bool) -> RunResult {
+    let jobs = servesim::jobs_from_env();
+    let ladder = servesim::offered_ladder(servesim::rungs_from_env());
+    println!(
+        "\n[serve-sim] closed-loop synthetic MVM load against the batched engine\n\
+         ({jobs} jobs per rung, {} rungs; DESIGN.md §13)",
+        ladder.len()
+    );
+    let rep = servesim::run_serve_sim(jobs, &ladder);
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    let rows: Vec<Vec<String>> = rep
+        .rungs
+        .iter()
+        .map(|r| {
+            let stage = |name: &str| {
+                r.stages
+                    .iter()
+                    .find(|s| s.stage == name)
+                    .map(|s| format!("{}/{}/{}", us(s.p50_ns), us(s.p95_ns), us(s.p99_ns)))
+                    .unwrap_or_default()
+            };
+            vec![
+                format!("{:.0}", r.offered_qps),
+                format!("{:.0}", r.achieved_qps),
+                stage("engine.queue_wait"),
+                stage("engine.exec_mvm"),
+                stage("engine.job_total"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "latency vs offered load (p50/p95/p99, µs; log2-bucket floors)",
+            &[
+                "offered QPS",
+                "achieved QPS",
+                "queue wait",
+                "exec",
+                "end-to-end"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "  engine: {} workers, queue depth {}; operator cache {} miss / {} hit\n  \
+         across the ladder; {} jobs stolen by idle workers. Achieved QPS\n  \
+         flattens below offered once submit-side backpressure closes the loop.",
+        rep.workers, rep.queue_depth, rep.cache_misses, rep.cache_hits, rep.stolen
+    );
+    if json {
+        let path = servesim::write_serve_sim_json(&rep)?;
+        println!("  latency curve written to {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every subcommand the help table lists must dispatch, and the
+    /// dispatcher must not know names the table omits — the drift this
+    /// PR's CLI rework exists to prevent.
+    #[test]
+    fn every_listed_subcommand_dispatches() {
+        for s in cli::SUBCOMMANDS {
+            assert!(
+                handler_for(s.name).is_some(),
+                "'{}' is in --help but has no handler",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn dispatcher_rejects_unlisted_names() {
+        for bogus in ["fig99", "table9", "serve", "bench", ""] {
+            assert!(handler_for(bogus).is_none(), "'{bogus}' must not dispatch");
+        }
+        // `all` is a meta-command handled by `run`, never a handler.
+        assert!(handler_for("all").is_none());
+    }
+
+    #[test]
+    fn usage_and_error_text_come_from_the_table() {
+        let usage = cli::usage();
+        let joined = cli::names_joined(" ");
+        for s in cli::SUBCOMMANDS {
+            assert!(usage.contains(s.name));
+            assert!(joined.contains(s.name));
+        }
+    }
 }

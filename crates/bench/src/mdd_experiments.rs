@@ -268,7 +268,7 @@ pub fn app_bench(ds: &SyntheticDataset) -> Vec<AppBenchRow> {
 }
 
 /// Mixed-precision ablation row (the companion work's "multiple
-/// precisions", refs [23]/[24]): FP32 vs bf16 base storage.
+/// precisions", refs \[23\]/\[24\]): FP32 vs bf16 base storage.
 #[derive(Clone, Debug, Serialize)]
 pub struct PrecisionRow {
     /// Storage format label.

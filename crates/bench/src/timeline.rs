@@ -5,7 +5,7 @@
 //! The export renders two process groups:
 //!
 //! * **pid 1 — host wall clock**: one track (tid) per span label, with
-//!   one complete `"X"` event per recorded [`SpanEvent`]
+//!   one complete `"X"` event per recorded [`tlr_mvm::trace::SpanEvent`]
 //!   (`ts`/`dur` in microseconds, measured from the trace epoch). This
 //!   is real measured time on the machine that ran `repro`.
 //! * **pid 2 — WSE simulator (modeled)**: one track per

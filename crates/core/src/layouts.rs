@@ -42,7 +42,39 @@ pub struct ThreePhase {
     /// and random loads overlap better than random stores, and the
     /// [`crate::fastpath::gather`] guard is checked once per call.
     shuffle_inv: Vec<usize>,
+    /// The *forward* permutation (`yu[shuffle[p]] = yv[p]`), kept so the
+    /// adjoint's phase 2 (`yv[p] = yu[shuffle[p]]`) is also a gather.
+    shuffle: Vec<usize>,
     total_rank: usize,
+}
+
+/// Reusable intermediate buffers for [`ThreePhase::apply_with_scratch`]
+/// and [`ThreePhase::apply_adjoint_with_scratch`].
+///
+/// A single scratch can be reused across *different* operators (e.g.
+/// one per engine worker, swept over every frequency): buffers grow to
+/// the largest total rank seen and are then reused without further
+/// allocation, which is what keeps the batched sweep's hot loop clean
+/// under lint rule HP01.
+#[derive(Default)]
+pub struct ThreePhaseScratch {
+    yv: Vec<C32>,
+    yu: Vec<C32>,
+}
+
+impl ThreePhaseScratch {
+    /// Empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow (never shrink) both rank-length buffers to `total_rank`.
+    fn reserve_rank(&mut self, total_rank: usize) {
+        if self.yv.len() < total_rank {
+            self.yv.resize(total_rank, CZERO);
+            self.yu.resize(total_rank, CZERO);
+        }
+    }
 }
 
 impl ThreePhase {
@@ -136,6 +168,7 @@ impl ThreePhase {
             col_offsets,
             row_offsets,
             shuffle_inv,
+            shuffle,
             total_rank,
         }
     }
@@ -145,15 +178,52 @@ impl ThreePhase {
         self.total_rank
     }
 
+    /// The tile grid this layout was built from.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// Output length of [`ThreePhase::apply`] (matrix rows).
+    pub fn nrows(&self) -> usize {
+        self.tiling.m
+    }
+
+    /// Heap bytes this layout keeps resident: stacked bases (8 bytes per
+    /// complex word) plus the permutation and offset tables. This is the
+    /// figure the engine's operator cache budgets against.
+    pub fn resident_bytes(&self) -> usize {
+        let words: usize = self.vstacks.iter().map(Matrix::len).sum::<usize>()
+            + self.ustacks.iter().map(Matrix::len).sum::<usize>();
+        let indices = self.shuffle.len()
+            + self.shuffle_inv.len()
+            + self.col_offsets.len()
+            + self.row_offsets.len();
+        8 * words + core::mem::size_of::<usize>() * indices
+    }
+
+    /// Input length of [`ThreePhase::apply`] (matrix cols).
+    pub fn ncols(&self) -> usize {
+        self.tiling.n
+    }
+
     /// Phase 1 (paper Fig. 5): batched `yv_j = Vstack_jᴴ x_j`.
     pub fn v_batch(&self, x: &[C32]) -> Vec<C32> {
-        assert_eq!(x.len(), self.tiling.n);
-        assert_finite("three_phase.v_batch.x", x);
-        // Output and segment scratch are allocated before the span opens:
-        // the traced hot phase is pure batched MVM work (lint rule HP01).
         let mut yv = vec![CZERO; self.total_rank];
+        self.v_batch_into(x, &mut yv);
+        yv
+    }
+
+    /// Phase 1 into a caller-owned buffer (`yv.len() == total_rank`).
+    /// Bit-identical to [`ThreePhase::v_batch`]; allocation-free past
+    /// the per-call segment table.
+    pub fn v_batch_into(&self, x: &[C32], yv: &mut [C32]) {
+        assert_eq!(x.len(), self.tiling.n);
+        assert_eq!(yv.len(), self.total_rank);
+        assert_finite("three_phase.v_batch.x", x);
+        // Segment table is built before the span opens: the traced hot
+        // phase is pure batched MVM work (lint rule HP01).
         let mut segments: Vec<&mut [C32]> = Vec::with_capacity(self.vstacks.len());
-        let mut rest = yv.as_mut_slice();
+        let mut rest = &mut yv[..];
         for j in 0..self.vstacks.len() {
             let len = self.col_offsets[j + 1] - self.col_offsets[j];
             let (seg, tail) = rest.split_at_mut(len);
@@ -179,30 +249,43 @@ impl ThreePhase {
             let (c0, cl) = self.tiling.col_range(j);
             gemv_conj_transpose_fast(&self.vstacks[j], &x[c0..c0 + cl], seg);
         });
-        assert_finite("three_phase.v_batch.yv", &yv);
-        yv
+        assert_finite("three_phase.v_batch.yv", yv);
     }
 
     /// Phase 2 (paper Fig. 6): project coefficients from V- to U-ordering.
     pub fn shuffle(&self, yv: &[C32]) -> Vec<C32> {
-        assert_eq!(yv.len(), self.total_rank);
         let mut yu = vec![CZERO; self.total_rank];
+        self.shuffle_into(yv, &mut yu);
+        yu
+    }
+
+    /// Phase 2 into a caller-owned buffer (`yu.len() == total_rank`).
+    pub fn shuffle_into(&self, yv: &[C32], yu: &mut [C32]) {
+        assert_eq!(yv.len(), self.total_rank);
+        assert_eq!(yu.len(), self.total_rank);
         let _span = trace::span("tlr_mvm.shuffle");
         // Pure data movement: read + write 8 bytes per rank entry.
         let moved = 16 * to_u64(self.total_rank);
         trace::add_bytes("tlr_mvm.shuffle", moved, moved);
-        gather(&mut yu, &self.shuffle_inv, yv);
-        assert_finite("three_phase.shuffle.yu", &yu);
-        yu
+        gather(yu, &self.shuffle_inv, yv);
+        assert_finite("three_phase.shuffle.yu", yu);
     }
 
     /// Phase 3 (paper Fig. 7): batched `y_i = Ustack_i · yu_i`.
     pub fn u_batch(&self, yu: &[C32]) -> Vec<C32> {
-        assert_eq!(yu.len(), self.total_rank);
-        // As in `v_batch`: allocate before the span opens (HP01).
         let mut y = vec![CZERO; self.tiling.m];
+        self.u_batch_into(yu, &mut y);
+        y
+    }
+
+    /// Phase 3 into a caller-owned buffer. `y` must be **zeroed** by the
+    /// caller (`y.len() == nrows()`): the row-stack kernel accumulates.
+    pub fn u_batch_into(&self, yu: &[C32], y: &mut [C32]) {
+        assert_eq!(yu.len(), self.total_rank);
+        assert_eq!(y.len(), self.tiling.m);
+        // As in `v_batch_into`: segment table built before the span (HP01).
         let mut segments: Vec<&mut [C32]> = Vec::with_capacity(self.ustacks.len());
-        let mut rest = y.as_mut_slice();
+        let mut rest = &mut y[..];
         for i in 0..self.ustacks.len() {
             let (_, rl) = self.tiling.row_range(i);
             let (seg, tail) = rest.split_at_mut(rl);
@@ -229,8 +312,7 @@ impl ThreePhase {
             let hi = self.row_offsets[i + 1];
             gemv_acc_fast(&self.ustacks[i], &yu[lo..hi], seg);
         });
-        assert_finite("three_phase.u_batch.y", &y);
-        y
+        assert_finite("three_phase.u_batch.y", y);
     }
 
     /// Full three-phase TLR-MVM: `y = Ã x`.
@@ -238,6 +320,99 @@ impl ThreePhase {
         let yv = self.v_batch(x);
         let yu = self.shuffle(&yv);
         self.u_batch(&yu)
+    }
+
+    /// Full three-phase TLR-MVM into caller-owned buffers: `y = Ã x`
+    /// with both rank-length intermediates taken from `scratch`.
+    ///
+    /// Bit-identical to [`ThreePhase::apply`] (same kernels over the
+    /// same disjoint segments); the only difference is that nothing is
+    /// allocated when the scratch has already grown to this operator's
+    /// total rank — the shape the batched multi-frequency sweep needs.
+    pub fn apply_with_scratch(&self, x: &[C32], scratch: &mut ThreePhaseScratch, y: &mut [C32]) {
+        scratch.reserve_rank(self.total_rank);
+        let k = self.total_rank;
+        self.v_batch_into(x, &mut scratch.yv[..k]);
+        self.shuffle_into(&scratch.yv[..k], &mut scratch.yu[..k]);
+        y.fill(CZERO);
+        self.u_batch_into(&scratch.yu[..k], y);
+    }
+
+    /// Adjoint three-phase TLR-MVM: `x = Ãᴴ y`.
+    ///
+    /// Runs the pipeline backwards — `yu_i = Ustack_iᴴ y_i`, the
+    /// *forward* shuffle map as a gather (`yv[p] = yu[shuffle[p]]`),
+    /// then `x_j = Vstack_j yv_j` — so the adjoint reuses the exact
+    /// stacked bases and fastpath kernels of the forward pass.
+    pub fn apply_adjoint(&self, y: &[C32]) -> Vec<C32> {
+        let mut x = vec![CZERO; self.tiling.n];
+        let mut scratch = ThreePhaseScratch::new();
+        self.apply_adjoint_with_scratch(y, &mut scratch, &mut x);
+        x
+    }
+
+    /// Adjoint into caller-owned buffers (see
+    /// [`ThreePhase::apply_adjoint`]); `x.len() == ncols()`.
+    pub fn apply_adjoint_with_scratch(
+        &self,
+        y: &[C32],
+        scratch: &mut ThreePhaseScratch,
+        x: &mut [C32],
+    ) {
+        assert_eq!(y.len(), self.tiling.m);
+        assert_eq!(x.len(), self.tiling.n);
+        assert_finite("three_phase.adjoint.y", y);
+        scratch.reserve_rank(self.total_rank);
+        let k = self.total_rank;
+
+        // Phase 3ᴴ: yu_i = Ustack_iᴴ y_i. Segment table before the span
+        // (HP01), as in the forward phases.
+        {
+            let yu = &mut scratch.yu[..k];
+            let mut segments: Vec<&mut [C32]> = Vec::with_capacity(self.ustacks.len());
+            let mut rest = &mut yu[..];
+            for i in 0..self.ustacks.len() {
+                let len = self.row_offsets[i + 1] - self.row_offsets[i];
+                let (seg, tail) = rest.split_at_mut(len);
+                segments.push(seg);
+                rest = tail;
+            }
+            let _span = trace::span("tlr_mvm.adj_u_batch");
+            segments.par_iter_mut().enumerate().for_each(|(i, seg)| {
+                let (r0, rl) = self.tiling.row_range(i);
+                gemv_conj_transpose_fast(&self.ustacks[i], &y[r0..r0 + rl], seg);
+            });
+        }
+
+        // Phase 2ᴴ: the forward permutation applied as a gather.
+        {
+            let _span = trace::span("tlr_mvm.adj_shuffle");
+            let moved = 16 * to_u64(self.total_rank);
+            trace::add_bytes("tlr_mvm.adj_shuffle", moved, moved);
+            gather(&mut scratch.yv[..k], &self.shuffle, &scratch.yu[..k]);
+        }
+
+        // Phase 1ᴴ: x_j = Vstack_j yv_j into disjoint column segments.
+        // The column kernel accumulates, so zero the output first.
+        x.fill(CZERO);
+        {
+            let yv = &scratch.yv[..k];
+            let mut segments: Vec<&mut [C32]> = Vec::with_capacity(self.vstacks.len());
+            let mut rest = &mut x[..];
+            for j in 0..self.vstacks.len() {
+                let (_, cl) = self.tiling.col_range(j);
+                let (seg, tail) = rest.split_at_mut(cl);
+                segments.push(seg);
+                rest = tail;
+            }
+            let _span = trace::span("tlr_mvm.adj_v_batch");
+            segments.par_iter_mut().enumerate().for_each(|(j, seg)| {
+                let lo = self.col_offsets[j];
+                let hi = self.col_offsets[j + 1];
+                gemv_acc_fast(&self.vstacks[j], &yv[lo..hi], seg);
+            });
+        }
+        assert_finite("three_phase.adjoint.x", x);
     }
 }
 
@@ -687,6 +862,69 @@ mod tests {
         // Total chunk width must equal total rank.
         let total: usize = ca.chunks(w).iter().map(|c| c.width()).sum();
         assert_eq!(total, t.total_rank());
+    }
+
+    #[test]
+    fn apply_with_scratch_is_bit_identical_to_apply() {
+        let t = tlr(70, 55, 16);
+        let layout = ThreePhase::new(&t);
+        let x = test_x(55);
+        let want = layout.apply(&x);
+        let mut scratch = ThreePhaseScratch::new();
+        let mut y = vec![CZERO; 70];
+        for _ in 0..3 {
+            // Reused (dirty) scratch must not change a single bit.
+            layout.apply_with_scratch(&x, &mut scratch, &mut y);
+            for (a, b) in y.iter().zip(&want) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_shareable_across_operators() {
+        let t_big = tlr(70, 55, 16);
+        let t_small = tlr(40, 30, 8);
+        let big = ThreePhase::new(&t_big);
+        let small = ThreePhase::new(&t_small);
+        let mut scratch = ThreePhaseScratch::new();
+        let mut y = vec![CZERO; 70];
+        big.apply_with_scratch(&test_x(55), &mut scratch, &mut y);
+        let want_small = small.apply(&test_x(30));
+        let mut y_small = vec![CZERO; 40];
+        // Scratch grown by the big operator, reused by the small one.
+        small.apply_with_scratch(&test_x(30), &mut scratch, &mut y_small);
+        assert_close(&y_small, &want_small, 1e-6);
+    }
+
+    #[test]
+    fn three_phase_adjoint_matches_matrix_adjoint() {
+        let t = tlr(70, 55, 16);
+        let tp = ThreePhase::new(&t);
+        let y: Vec<C32> = (0..70)
+            .map(|i| C32::new((i as f32 * 0.11).cos(), (i as f32 * 0.23).sin()))
+            .collect();
+        assert_close(&tp.apply_adjoint(&y), &t.apply_adjoint(&y), 1e-5);
+    }
+
+    #[test]
+    fn three_phase_adjoint_satisfies_inner_product_identity() {
+        // ⟨Ax, y⟩ == ⟨x, Aᴴy⟩ — the defining adjoint property.
+        let t = tlr(48, 36, 10);
+        let tp = ThreePhase::new(&t);
+        let x = test_x(36);
+        let y: Vec<C32> = (0..48)
+            .map(|i| C32::new((i as f32 * 0.31).sin(), (i as f32 * 0.13).cos()))
+            .collect();
+        let ax = tp.apply(&x);
+        let aty = tp.apply_adjoint(&y);
+        let lhs = seismic_la::blas::dotc(&y, &ax);
+        let rhs = seismic_la::blas::dotc(&aty, &x);
+        assert!(
+            (lhs - rhs).abs() <= 1e-4 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

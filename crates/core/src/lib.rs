@@ -70,7 +70,7 @@ pub use accounting::{
 };
 pub use compress::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
 pub use fastpath::{dotc_fast, gather, gemv_acc_fast, gemv_conj_transpose_fast};
-pub use layouts::{ColumnStack, CommAvoiding, RankChunk, ThreePhase};
+pub use layouts::{ColumnStack, CommAvoiding, RankChunk, ThreePhase, ThreePhaseScratch};
 pub use matrix::TlrMatrix;
 pub use mmm::{comm_avoiding_mmm, tlr_mmm, tlr_mmm_adjoint, tlr_mmm_cost};
 pub use ops::{BlockDiagonal, LinearOperator};

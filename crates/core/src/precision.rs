@@ -1,6 +1,6 @@
 //! Mixed-precision base storage — the ablation from the paper's companion
 //! work (Hong et al., "HPC Seismic Redatuming by Inversion with Algebraic
-//! Compression and *Multiple Precisions*", refs [23]/[24]): store the
+//! Compression and *Multiple Precisions*", refs \[23\]/\[24\]): store the
 //! `U`/`V` bases in a narrower format and widen on the fly, halving the
 //! memory footprint (and on bandwidth-bound hardware, the traffic) at a
 //! quantization-noise cost that the `acc` tolerance already budgets for.
@@ -250,11 +250,11 @@ mod tests {
         // truncation semantics everywhere in the accepted input range.
         let cases = [
             0.0,
-            f64::MIN_POSITIVE,        // largest subnormal neighborhood → 0
-            5e-324,                   // smallest subnormal → 0
-            0.999_999_999_999_999_9,  // just below 1 → 0
+            f64::MIN_POSITIVE,       // largest subnormal neighborhood → 0
+            5e-324,                  // smallest subnormal → 0
+            0.999_999_999_999_999_9, // just below 1 → 0
             1.0,
-            1.5,                      // fractional part dropped
+            1.5, // fractional part dropped
             2.75,
             12.999,
             4_503_599_627_370_495.5,  // 2^52 - 0.5, last half-integer double

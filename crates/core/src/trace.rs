@@ -495,6 +495,28 @@ fn duration_nanos(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Record one externally-timed observation for `name`: bumps the
+/// phase's call/nano counters and feeds its latency histogram exactly
+/// as a completed [`span`] would — but without a [`Span`] guard, so the
+/// measured interval may start on one thread and end on another (the
+/// engine's queue-wait stage is timed from submission on the caller's
+/// thread to dequeue on a worker). No [`SpanEvent`] is appended: there
+/// is no single on-thread span to stamp against the epoch.
+#[inline]
+pub fn record_duration(name: &str, nanos: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut c = COLLECTOR.lock();
+    let p = c.phase_mut(name);
+    p.calls = p.calls.saturating_add(1);
+    p.nanos = p.nanos.saturating_add(nanos);
+    c.latency
+        .entry(name.to_string())
+        .or_insert_with(|| LatencyBuckets([0; LATENCY_BUCKETS]))
+        .record(nanos);
+}
+
 /// Add real-FP32 flops to a phase (saturating).
 #[inline]
 pub fn add_flops(name: &str, flops: u64) {
@@ -768,6 +790,37 @@ mod tests {
             outer >= inner,
             "outer span includes inner: {outer} vs {inner}"
         );
+    }
+
+    #[test]
+    fn record_duration_feeds_counters_and_histogram() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        record_duration("test.dur", 1 << 20);
+        record_duration("test.dur", 1 << 20);
+        record_duration("test.dur", 1 << 10);
+        set_enabled(false);
+        let rep = snapshot();
+        let p = rep.phase("test.dur").map(|p| p.stats).unwrap_or_default();
+        assert_eq!(p.calls, 3);
+        assert_eq!(p.nanos, (1 << 21) + (1 << 10));
+        let lat = rep.latency_for("test.dur").expect("latency entry");
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.p50_ns, 1 << 20);
+        // No span event: the interval has no on-thread span to stamp.
+        assert!(rep.span_events.iter().all(|e| e.name != "test.dur"));
+    }
+
+    #[test]
+    fn record_duration_respects_disable() {
+        let _g = locked();
+        reset();
+        set_enabled(false);
+        record_duration("test.dur.off", 123);
+        let rep = snapshot();
+        assert!(rep.phase("test.dur.off").is_none());
+        assert!(rep.latency_for("test.dur.off").is_none());
     }
 
     #[test]

@@ -1,6 +1,21 @@
 //! The end-to-end MDD pipeline: Hilbert-reorder → TLR-compress → build the
 //! MDC operator → adjoint (cross-correlation) and LSQR inversion →
 //! quality metrics. This is the paper's §6.2 experiment in miniature.
+//!
+//! This module is the *one-shot* path: each call compresses (or
+//! receives) the operator stack and runs a single inversion to
+//! completion on the caller's thread. Two siblings scale it out:
+//!
+//! * [`crate::multi`] fans the same pipeline over many virtual
+//!   sources (the paper's §6.4 production mode), reusing one
+//!   compressed stack across all of them.
+//! * [`crate::engine`] (DESIGN.md §13) is the serving layer: the same
+//!   per-frequency operators prebuilt into a batched
+//!   [`crate::engine::FrequencyOperators`] sweep, cached across
+//!   requests by compression key, and scheduled as async
+//!   [`crate::engine::JobSpec::Mdd`] jobs — an LSQR identical to the
+//!   one here, driven through the batched operator instead of
+//!   [`MdcOperator`]'s per-frequency loop.
 
 use rayon::prelude::*;
 use seis_wave::SyntheticDataset;

@@ -1,0 +1,1122 @@
+//! Batched multi-frequency TLR-MVM engine and async MDD serving layer.
+//!
+//! The paper's production workload applies ~230 per-frequency TLR
+//! operators every LSQR iteration; a serving deployment runs many such
+//! inversions concurrently. This module supplies both layers (design
+//! notes: DESIGN.md §13):
+//!
+//! * [`FrequencyOperators`] — the batched operator stack: one prebuilt
+//!   [`ThreePhase`] layout per frequency, swept in a single pass by
+//!   [`FrequencyOperators::apply_all_frequencies`]. The sweep shards
+//!   frequencies into contiguous ranges, and each shard reuses one
+//!   hoisted [`ThreePhaseScratch`] (checked out of a pool) across all
+//!   of its frequencies, so the steady-state hot loop allocates
+//!   nothing. Results are bit-identical to the serial per-frequency
+//!   loop for every shard count, because each frequency runs the exact
+//!   same three fastpath kernels over the same disjoint segments.
+//! * [`OperatorCache`] — compressed operator stacks keyed by
+//!   [`OperatorKey`] `(dataset, nb, acc)`, with byte-budget accounting
+//!   and least-recently-used eviction.
+//! * [`Engine`] — a work-stealing scheduler: per-worker job deques,
+//!   round-robin submission, idle workers stealing from the longest
+//!   peer deque, and backpressure once the total queued depth reaches
+//!   [`EngineConfig::queue_depth`] ([`Engine::submit`] blocks,
+//!   [`Engine::try_submit`] refuses). Every job reports its per-stage
+//!   time through the `tlr_mvm::trace` histograms: `engine.queue_wait`
+//!   (submission → dequeue, recorded cross-thread), `engine.exec_mvm` /
+//!   `engine.exec_mdd` (worker execution span) and `engine.job_total`
+//!   (submission → completion), so p50/p95/p99 per stage come straight
+//!   out of [`tlr_mvm::trace::snapshot`].
+//!
+//! ## Example: batched sweep
+//!
+//! ```
+//! use seismic_la::{Matrix, C32};
+//! use seismic_mdd::engine::FrequencyOperators;
+//! use tlr_mvm::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+//!
+//! // Three small per-frequency kernels, compressed as in the pipeline.
+//! let tlr: Vec<_> = (0..3)
+//!     .map(|f| {
+//!         let a = Matrix::from_fn(24, 20, |i, j| {
+//!             let d = i as f32 / 24.0 - j as f32 / 20.0 + f as f32 * 0.01;
+//!             C32::from_polar(1.0 / (1.0 + 2.0 * d.abs()), -6.0 * d)
+//!         });
+//!         compress(&a, CompressionConfig {
+//!             nb: 8,
+//!             acc: 1e-4,
+//!             method: CompressionMethod::Svd,
+//!             mode: ToleranceMode::RelativeTile,
+//!         })
+//!     })
+//!     .collect();
+//! let ops = FrequencyOperators::build(&tlr);
+//! let x = vec![C32::new(1.0, 0.5); ops.ncols_total()];
+//! let y = ops.apply_all_frequencies(&x);
+//! // One pass over all frequencies == the serial per-frequency loop.
+//! for f in 0..3 {
+//!     let yf = ops.layouts()[f].apply(&x[f * 20..(f + 1) * 20]);
+//!     assert_eq!(&y[f * 24..(f + 1) * 24], &yf[..]);
+//! }
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use seismic_la::scalar::C32;
+use tlr_mvm::invariant::assert_finite;
+use tlr_mvm::trace;
+use tlr_mvm::{LinearOperator, ThreePhase, ThreePhaseScratch, TlrMatrix};
+
+use crate::lsqr::{lsqr, LsqrOptions};
+
+const CZERO: C32 = C32::new(0.0, 0.0);
+
+/// Lock a mutex, recovering the guard if a worker panicked while
+/// holding it (the protected state is plain data, always consistent
+/// between operations).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Batched operator stack
+// ---------------------------------------------------------------------------
+
+/// Default number of frequency shards per sweep when the caller does
+/// not pick one ([`FrequencyOperators::with_shards`]).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The batched multi-frequency operator: one prebuilt [`ThreePhase`]
+/// layout per retained frequency bin, applied to the matching segment
+/// of a frequency-major concatenated vector — the same block-diagonal
+/// action as [`crate::MdcOperator`], but executed as one sweep over
+/// stacked-bases layouts with pooled scratch instead of per-tile
+/// kernels.
+pub struct FrequencyOperators {
+    layouts: Vec<ThreePhase>,
+    n_src: usize,
+    n_rec: usize,
+    shards: usize,
+    resident_bytes: usize,
+    /// Hoisted intermediates, one checked out per shard per sweep and
+    /// reused across every frequency in the shard. Grows to the number
+    /// of concurrent shards and is then allocation-free.
+    scratch_pool: Mutex<Vec<ThreePhaseScratch>>,
+}
+
+impl FrequencyOperators {
+    /// Build the stacked layouts from a compressed frequency stack.
+    /// All matrices must share their shape (the per-frequency kernels
+    /// of one dataset do).
+    pub fn build(tlr: &[TlrMatrix]) -> Self {
+        assert!(!tlr.is_empty(), "at least one frequency operator");
+        let n_src = tlr[0].nrows();
+        let n_rec = tlr[0].ncols();
+        for t in tlr {
+            assert_eq!((t.nrows(), t.ncols()), (n_src, n_rec));
+        }
+        let layouts: Vec<ThreePhase> = tlr.par_iter().map(ThreePhase::new).collect();
+        let resident_bytes = layouts.iter().map(ThreePhase::resident_bytes).sum();
+        Self {
+            layouts,
+            n_src,
+            n_rec,
+            shards: DEFAULT_SHARDS,
+            resident_bytes,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Set the number of contiguous frequency shards per sweep (clamped
+    /// to `[1, n_freqs]` at apply time). Sharding never changes results
+    /// — only how the sweep is split across rayon workers.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Number of frequency blocks.
+    pub fn n_freqs(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Sources per frequency (rows of each kernel).
+    pub fn n_src(&self) -> usize {
+        self.n_src
+    }
+
+    /// Receivers per frequency (columns of each kernel).
+    pub fn n_rec(&self) -> usize {
+        self.n_rec
+    }
+
+    /// Total input length of the batched forward sweep.
+    pub fn ncols_total(&self) -> usize {
+        self.n_rec * self.layouts.len()
+    }
+
+    /// Total output length of the batched forward sweep.
+    pub fn nrows_total(&self) -> usize {
+        self.n_src * self.layouts.len()
+    }
+
+    /// The per-frequency stacked layouts.
+    pub fn layouts(&self) -> &[ThreePhase] {
+        &self.layouts
+    }
+
+    /// Heap bytes the stacked layouts keep resident — what the
+    /// [`OperatorCache`] budget accounts for.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    fn checkout_scratch(&self) -> ThreePhaseScratch {
+        lock_recover(&self.scratch_pool).pop().unwrap_or_default()
+    }
+
+    fn return_scratch(&self, s: ThreePhaseScratch) {
+        lock_recover(&self.scratch_pool).push(s);
+    }
+
+    /// Contiguous shard ranges `[lo, hi)` over the frequency axis:
+    /// `shards` near-equal pieces, remainder spread over the leading
+    /// shards.
+    fn shard_ranges(&self, shards: usize) -> Vec<(usize, usize)> {
+        let nf = self.layouts.len();
+        let shards = shards.clamp(1, nf);
+        let base = nf / shards;
+        let extra = nf % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut lo = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            ranges.push((lo, lo + len));
+            lo += len;
+        }
+        ranges
+    }
+
+    /// Batched forward sweep: `y_f = Ã_f x_f` for every frequency in
+    /// one pass. See [`FrequencyOperators::apply_all_frequencies_into`].
+    pub fn apply_all_frequencies(&self, x: &[C32]) -> Vec<C32> {
+        let mut y = vec![CZERO; self.nrows_total()];
+        self.apply_all_frequencies_into(x, &mut y);
+        y
+    }
+
+    /// Batched forward sweep into a caller-owned buffer.
+    ///
+    /// Frequencies are split into contiguous shards ([`Self::with_shards`]);
+    /// shards run under rayon, and each reuses one pooled scratch across
+    /// all of its frequencies. Bit-identical to the serial loop
+    /// `for f { y_f = layouts[f].apply(x_f) }` for every shard count:
+    /// each frequency executes the same kernels over the same disjoint
+    /// segments, so no summation order changes.
+    pub fn apply_all_frequencies_into(&self, x: &[C32], y: &mut [C32]) {
+        assert_eq!(x.len(), self.ncols_total());
+        assert_eq!(y.len(), self.nrows_total());
+        assert_finite("engine.batch_apply.x", x);
+        let ranges = self.shard_ranges(self.shards);
+        // Disjoint per-shard output views, built before the span opens.
+        let mut views: Vec<&mut [C32]> = Vec::with_capacity(ranges.len());
+        let mut rest = &mut y[..];
+        for &(lo, hi) in &ranges {
+            let (seg, tail) = rest.split_at_mut((hi - lo) * self.n_src);
+            views.push(seg);
+            rest = tail;
+        }
+        let _span = trace::span("engine.batch_apply");
+        views
+            .par_iter_mut()
+            .zip(&ranges)
+            .for_each(|(seg, &(lo, hi))| {
+                let mut scratch = self.checkout_scratch();
+                for f in lo..hi {
+                    let xf = &x[f * self.n_rec..(f + 1) * self.n_rec];
+                    let yf = &mut seg[(f - lo) * self.n_src..(f - lo + 1) * self.n_src];
+                    self.layouts[f].apply_with_scratch(xf, &mut scratch, yf);
+                }
+                self.return_scratch(scratch);
+            });
+        assert_finite("engine.batch_apply.y", y);
+    }
+
+    /// Batched adjoint sweep: `x_f = Ã_fᴴ y_f` for every frequency in
+    /// one pass, with the same sharding and scratch pooling as the
+    /// forward sweep.
+    pub fn apply_adjoint_all_frequencies(&self, y: &[C32]) -> Vec<C32> {
+        assert_eq!(y.len(), self.nrows_total());
+        assert_finite("engine.batch_adjoint.y", y);
+        let mut x = vec![CZERO; self.ncols_total()];
+        let ranges = self.shard_ranges(self.shards);
+        let mut views: Vec<&mut [C32]> = Vec::with_capacity(ranges.len());
+        let mut rest = &mut x[..];
+        for &(lo, hi) in &ranges {
+            let (seg, tail) = rest.split_at_mut((hi - lo) * self.n_rec);
+            views.push(seg);
+            rest = tail;
+        }
+        let _span = trace::span("engine.batch_adjoint");
+        views
+            .par_iter_mut()
+            .zip(&ranges)
+            .for_each(|(seg, &(lo, hi))| {
+                let mut scratch = self.checkout_scratch();
+                for f in lo..hi {
+                    let yf = &y[f * self.n_src..(f + 1) * self.n_src];
+                    let xf = &mut seg[(f - lo) * self.n_rec..(f - lo + 1) * self.n_rec];
+                    self.layouts[f].apply_adjoint_with_scratch(yf, &mut scratch, xf);
+                }
+                self.return_scratch(scratch);
+            });
+        assert_finite("engine.batch_adjoint.x", &x);
+        x
+    }
+
+    /// Reference serial per-frequency loop (fresh buffers every
+    /// frequency, no sharding, no scratch reuse) — the equivalence
+    /// baseline the batched sweep is tested against.
+    pub fn apply_serial(&self, x: &[C32]) -> Vec<C32> {
+        assert_eq!(x.len(), self.ncols_total());
+        let mut y = Vec::with_capacity(self.nrows_total());
+        for (f, layout) in self.layouts.iter().enumerate() {
+            y.extend_from_slice(&layout.apply(&x[f * self.n_rec..(f + 1) * self.n_rec]));
+        }
+        y
+    }
+}
+
+impl LinearOperator for FrequencyOperators {
+    fn nrows(&self) -> usize {
+        self.nrows_total()
+    }
+    fn ncols(&self) -> usize {
+        self.ncols_total()
+    }
+    fn apply(&self, x: &[C32]) -> Vec<C32> {
+        self.apply_all_frequencies(x)
+    }
+    fn apply_adjoint(&self, y: &[C32]) -> Vec<C32> {
+        self.apply_adjoint_all_frequencies(y)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator cache
+// ---------------------------------------------------------------------------
+
+/// Identity of a compressed operator stack: which dataset was
+/// compressed, at what tile size, to what accuracy. Two jobs with the
+/// same key can share one [`FrequencyOperators`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorKey {
+    /// Dataset identity (name or content digest).
+    pub dataset: String,
+    /// Tile size `nb`.
+    pub nb: usize,
+    /// Compression accuracy, stored as raw bits so the key is `Eq` +
+    /// `Hash` (accuracies are configured constants, not computed
+    /// floats, so bit equality is the right equality).
+    acc_bits: u32,
+}
+
+impl OperatorKey {
+    /// Key for `(dataset, nb, acc)`.
+    pub fn new(dataset: impl Into<String>, nb: usize, acc: f32) -> Self {
+        Self {
+            dataset: dataset.into(),
+            nb,
+            acc_bits: acc.to_bits(),
+        }
+    }
+
+    /// The compression accuracy this key was built with.
+    pub fn acc(&self) -> f32 {
+        f32::from_bits(self.acc_bits)
+    }
+}
+
+/// Counters describing cache behavior since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held.
+    pub used_bytes: usize,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+struct CacheSlot {
+    ops: Arc<FrequencyOperators>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<OperatorKey, CacheSlot>,
+    tick: u64,
+    used_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// LRU cache of batched operator stacks with byte-budget accounting.
+///
+/// Entries cost their [`FrequencyOperators::resident_bytes`]. When an
+/// insert pushes the total over the budget, least-recently-used entries
+/// are evicted until it fits again — except the entry just inserted,
+/// which always stays (evicting the operator the caller is about to
+/// use would just thrash).
+///
+/// ```
+/// use seismic_la::{Matrix, C32};
+/// use seismic_mdd::engine::{FrequencyOperators, OperatorCache, OperatorKey};
+/// use tlr_mvm::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+///
+/// let build = || {
+///     let a = Matrix::from_fn(16, 16, |i, j| {
+///         let d = (i as f32 - j as f32) / 16.0;
+///         C32::from_polar(1.0 / (1.0 + d.abs()), -4.0 * d)
+///     });
+///     let cfg = CompressionConfig {
+///         nb: 8,
+///         acc: 1e-3,
+///         method: CompressionMethod::Svd,
+///         mode: ToleranceMode::RelativeTile,
+///     };
+///     FrequencyOperators::build(&[compress(&a, cfg)])
+/// };
+/// let cache = OperatorCache::new(64 << 20);
+/// let key = OperatorKey::new("overthrust-tiny", 8, 1e-3);
+/// let first = cache.get_or_build(&key, build);
+/// let again = cache.get_or_build(&key, build); // served from cache
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+/// assert!(stats.used_bytes > 0);
+/// ```
+pub struct OperatorCache {
+    budget_bytes: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl OperatorCache {
+    /// Cache bounded by `budget_bytes` of operator residency.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                used_bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Fetch the operator stack for `key`, building (outside the cache
+    /// lock) on a miss. If two threads race to build the same key, the
+    /// first insert wins and the loser's build is dropped.
+    pub fn get_or_build(
+        &self,
+        key: &OperatorKey,
+        build: impl FnOnce() -> FrequencyOperators,
+    ) -> Arc<FrequencyOperators> {
+        {
+            let mut c = lock_recover(&self.inner);
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some(slot) = c.map.get_mut(key) {
+                slot.last_used = tick;
+                let ops = Arc::clone(&slot.ops);
+                c.hits += 1;
+                return ops;
+            }
+            c.misses += 1;
+        }
+        let built = Arc::new(build());
+        let bytes = built.resident_bytes();
+        let mut c = lock_recover(&self.inner);
+        if let Some(slot) = c.map.get(key) {
+            // Lost a build race: the winner's entry is the cache's.
+            return Arc::clone(&slot.ops);
+        }
+        c.tick += 1;
+        let tick = c.tick;
+        c.used_bytes += bytes;
+        c.map.insert(
+            key.clone(),
+            CacheSlot {
+                ops: Arc::clone(&built),
+                bytes,
+                last_used: tick,
+            },
+        );
+        while c.used_bytes > self.budget_bytes && c.map.len() > 1 {
+            let victim = c
+                .map
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(v) => {
+                    if let Some(slot) = c.map.remove(&v) {
+                        c.used_bytes -= slot.bytes;
+                        c.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        built
+    }
+
+    /// Whether `key` is currently resident (does not touch LRU order).
+    pub fn contains(&self, key: &OperatorKey) -> bool {
+        lock_recover(&self.inner).map.contains_key(key)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = lock_recover(&self.inner);
+        CacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            used_bytes: c.used_bytes,
+            entries: c.map.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Async job layer
+// ---------------------------------------------------------------------------
+
+/// What a submitted job computes.
+pub enum JobSpec {
+    /// One batched forward sweep over all frequencies.
+    Mvm {
+        /// The operator stack (shared via the cache).
+        ops: Arc<FrequencyOperators>,
+        /// Frequency-major input, length `ops.ncols_total()`.
+        x: Vec<C32>,
+    },
+    /// A full MDD inversion: LSQR over the batched block-diagonal
+    /// operator.
+    Mdd {
+        /// The operator stack (shared via the cache).
+        ops: Arc<FrequencyOperators>,
+        /// Frequency-major observed data, length `ops.nrows_total()`.
+        y: Vec<C32>,
+        /// Solver settings (30 iterations in the paper).
+        opts: LsqrOptions,
+    },
+}
+
+/// A finished job: its output vector and per-stage timings.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// MVM output (`nrows_total`) or MDD solution (`ncols_total`).
+    pub output: Vec<C32>,
+    /// Submission → dequeue, ns.
+    pub queue_ns: u64,
+    /// Worker execution time, ns.
+    pub exec_ns: u64,
+    /// Submission → completion, ns.
+    pub total_ns: u64,
+}
+
+struct ResultSlot {
+    done: Mutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+/// Caller's handle to a submitted job; [`JobHandle::wait`] blocks until
+/// the worker finishes it.
+pub struct JobHandle {
+    slot: Arc<ResultSlot>,
+}
+
+impl JobHandle {
+    /// Block until the job completes and take its result.
+    pub fn wait(self) -> JobResult {
+        let mut done = lock_recover(&self.slot.done);
+        loop {
+            if let Some(r) = done.take() {
+                return r;
+            }
+            done = self
+                .slot
+                .cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Take the result if the job already completed.
+    pub fn try_take(&self) -> Option<JobResult> {
+        lock_recover(&self.slot.done).take()
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    submitted: Instant,
+    slot: Arc<ResultSlot>,
+}
+
+/// Scheduler sizing and limits.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Total queued jobs (across all worker deques) beyond which
+    /// [`Engine::submit`] blocks and [`Engine::try_submit`] refuses.
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Scheduler counters, snapshotted by [`Engine::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted into the queues.
+    pub submitted: u64,
+    /// Jobs fully executed.
+    pub completed: u64,
+    /// `try_submit` refusals under backpressure.
+    pub rejected: u64,
+    /// Jobs an idle worker stole from a peer's deque.
+    pub stolen: u64,
+}
+
+struct SchedState {
+    /// One deque per worker; submission round-robins, owners pop the
+    /// front, thieves steal from the back.
+    deques: Vec<VecDeque<Job>>,
+    queued: usize,
+    next: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    /// Workers wait here for jobs.
+    work: Condvar,
+    /// Blocked submitters wait here for queue room.
+    room: Condvar,
+    queue_depth: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    stolen: AtomicU64,
+}
+
+/// Work-stealing scheduler for concurrent MVM/MDD jobs.
+///
+/// Each worker owns a deque; submissions round-robin across deques, an
+/// idle worker first drains its own deque (FIFO) and then steals from
+/// the back of the longest peer deque (LIFO for the victim, preserving
+/// the victim's locality). When the total queued depth reaches
+/// [`EngineConfig::queue_depth`], [`Engine::submit`] blocks until a
+/// worker makes room and [`Engine::try_submit`] returns the spec back —
+/// the closed-loop backpressure `repro serve-sim` measures.
+///
+/// Dropping the engine shuts it down gracefully: queued jobs finish,
+/// then workers exit.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawn `cfg.workers` worker threads.
+    pub fn start(cfg: EngineConfig) -> Self {
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                deques: (0..workers_n).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                next: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            room: Condvar::new(),
+            queue_depth: cfg.queue_depth.max(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        let workers = (0..workers_n)
+            .map(|id| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(id, &sh))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submit a job, blocking while the queues are at depth
+    /// (backpressure). Returns a handle to wait on.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let job = make_job(spec);
+        let handle = JobHandle {
+            slot: Arc::clone(&job.slot),
+        };
+        let mut st = lock_recover(&self.shared.state);
+        while st.queued >= self.shared.queue_depth && !st.shutdown {
+            st = self
+                .shared
+                .room
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        enqueue(&mut st, job);
+        self.shared.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+        drop(st);
+        self.shared.work.notify_one();
+        handle
+    }
+
+    /// Submit without blocking: at queue depth the spec is handed back
+    /// as `Err` and counted in [`EngineStats::rejected`].
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, JobSpec> {
+        let mut st = lock_recover(&self.shared.state);
+        if st.queued >= self.shared.queue_depth {
+            drop(st);
+            self.shared.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+            return Err(spec);
+        }
+        let job = make_job(spec);
+        let handle = JobHandle {
+            slot: Arc::clone(&job.slot),
+        };
+        enqueue(&mut st, job);
+        self.shared.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(handle)
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        lock_recover(&self.shared.state).queued
+    }
+
+    /// Snapshot of the scheduler counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.shared.submitted.load(AtomicOrdering::Relaxed),
+            completed: self.shared.completed.load(AtomicOrdering::Relaxed),
+            rejected: self.shared.rejected.load(AtomicOrdering::Relaxed),
+            stolen: self.shared.stolen.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: queued jobs finish, then workers exit. Called
+    /// automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = lock_recover(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.room.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn make_job(spec: JobSpec) -> Job {
+    Job {
+        spec,
+        submitted: Instant::now(),
+        slot: Arc::new(ResultSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }),
+    }
+}
+
+fn enqueue(st: &mut SchedState, job: Job) {
+    let n = st.deques.len();
+    let target = st.next % n;
+    st.next = (st.next + 1) % n;
+    st.deques[target].push_back(job);
+    st.queued += 1;
+}
+
+/// Pop work for worker `id`: own deque first (front), then steal from
+/// the back of the longest peer deque.
+fn take_job(st: &mut SchedState, id: usize, shared: &Shared) -> Option<Job> {
+    if let Some(job) = st.deques[id].pop_front() {
+        st.queued -= 1;
+        return Some(job);
+    }
+    let victim = (0..st.deques.len())
+        .filter(|&w| w != id && !st.deques[w].is_empty())
+        .max_by_key(|&w| st.deques[w].len())?;
+    let job = st.deques[victim].pop_back()?;
+    st.queued -= 1;
+    shared.stolen.fetch_add(1, AtomicOrdering::Relaxed);
+    Some(job)
+}
+
+fn worker_loop(id: usize, shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = lock_recover(&shared.state);
+            loop {
+                if let Some(job) = take_job(&mut st, id, shared) {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared
+                    .work
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        shared.room.notify_one();
+        let queue_ns = duration_ns(job.submitted.elapsed());
+        trace::record_duration("engine.queue_wait", queue_ns);
+        let exec_start = Instant::now();
+        let output = execute(job.spec);
+        let exec_ns = duration_ns(exec_start.elapsed());
+        let total_ns = duration_ns(job.submitted.elapsed());
+        trace::record_duration("engine.job_total", total_ns);
+        shared.completed.fetch_add(1, AtomicOrdering::Relaxed);
+        let result = JobResult {
+            output,
+            queue_ns,
+            exec_ns,
+            total_ns,
+        };
+        let mut done = lock_recover(&job.slot.done);
+        *done = Some(result);
+        job.slot.cv.notify_all();
+    }
+}
+
+fn execute(spec: JobSpec) -> Vec<C32> {
+    match spec {
+        JobSpec::Mvm { ops, x } => {
+            let _span = trace::span("engine.exec_mvm");
+            ops.apply_all_frequencies(&x)
+        }
+        JobSpec::Mdd { ops, y, opts } => {
+            let _span = trace::span("engine.exec_mdd");
+            lsqr(&*ops, &y, opts).x
+        }
+    }
+}
+
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_mvm::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+
+    fn kernel(m: usize, n: usize, f: usize) -> seismic_la::Matrix<C32> {
+        seismic_la::Matrix::from_fn(m, n, |i, j| {
+            let d = i as f32 / m as f32 - j as f32 / n as f32 + f as f32 * 0.013;
+            C32::from_polar(1.0 / (1.0 + 3.0 * d.abs()), -7.0 * d)
+        })
+    }
+
+    fn stack(nf: usize, m: usize, n: usize, nb: usize) -> Vec<TlrMatrix> {
+        (0..nf)
+            .map(|f| {
+                compress(
+                    &kernel(m, n, f),
+                    CompressionConfig {
+                        nb,
+                        acc: 1e-4,
+                        method: CompressionMethod::Svd,
+                        mode: ToleranceMode::RelativeTile,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn test_x(n: usize) -> Vec<C32> {
+        (0..n)
+            .map(|i| C32::new((i as f32 * 0.19).sin(), (i as f32 * 0.05).cos()))
+            .collect()
+    }
+
+    fn bits_eq(a: &[C32], b: &[C32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_to_serial_for_every_shard_count() {
+        let tlr = stack(6, 30, 24, 8);
+        let x = test_x(6 * 24);
+        let serial = FrequencyOperators::build(&tlr).apply_serial(&x);
+        for shards in [1, 2, 3, 5, 6, 64] {
+            let ops = FrequencyOperators::build(&tlr).with_shards(shards);
+            bits_eq(&ops.apply_all_frequencies(&x), &serial);
+            // Dirty scratch pool from the first sweep: still identical.
+            bits_eq(&ops.apply_all_frequencies(&x), &serial);
+        }
+    }
+
+    #[test]
+    fn batched_adjoint_matches_per_frequency_adjoint() {
+        let tlr = stack(4, 30, 24, 8);
+        let ops = FrequencyOperators::build(&tlr).with_shards(3);
+        let y = test_x(4 * 30);
+        let x = ops.apply_adjoint_all_frequencies(&y);
+        for f in 0..4 {
+            let xf = tlr[f].apply_adjoint(&y[f * 30..(f + 1) * 30]);
+            let got = &x[f * 24..(f + 1) * 24];
+            let scale = seismic_la::blas::nrm2(&xf).max(1.0);
+            for (a, b) in got.iter().zip(&xf) {
+                assert!((*a - *b).abs() <= 1e-5 * scale, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_share_and_evictions_respect_budget() {
+        let tlr = stack(2, 24, 24, 8);
+        let bytes = FrequencyOperators::build(&tlr).resident_bytes();
+        // Room for two entries, not three.
+        let cache = OperatorCache::new(2 * bytes + bytes / 2);
+        let keys: Vec<OperatorKey> = (0..3)
+            .map(|i| OperatorKey::new(format!("ds{i}"), 8, 1e-4))
+            .collect();
+        let a = cache.get_or_build(&keys[0], || FrequencyOperators::build(&tlr));
+        let a2 = cache.get_or_build(&keys[0], || panic!("must be cached"));
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _b = cache.get_or_build(&keys[1], || FrequencyOperators::build(&tlr));
+        // Touch key 0 so key 1 is the LRU victim.
+        let _ = cache.get_or_build(&keys[0], || panic!("must be cached"));
+        let _c = cache.get_or_build(&keys[2], || FrequencyOperators::build(&tlr));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.used_bytes <= cache.budget_bytes());
+        assert!(cache.contains(&keys[0]), "recently used entry survives");
+        assert!(!cache.contains(&keys[1]), "LRU entry evicted");
+        assert!(cache.contains(&keys[2]));
+    }
+
+    #[test]
+    fn oversized_single_entry_is_kept() {
+        let tlr = stack(1, 24, 24, 8);
+        let cache = OperatorCache::new(1); // absurdly small budget
+        let key = OperatorKey::new("big", 8, 1e-4);
+        let _ops = cache.get_or_build(&key, || FrequencyOperators::build(&tlr));
+        assert!(cache.contains(&key));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn operator_key_round_trips_acc() {
+        let k = OperatorKey::new("ds", 16, 1e-4);
+        assert_eq!(k.acc(), 1e-4);
+        assert_eq!(k, OperatorKey::new("ds", 16, 1e-4));
+        assert_ne!(k, OperatorKey::new("ds", 16, 1e-3));
+    }
+
+    #[test]
+    fn engine_runs_concurrent_mvm_jobs() {
+        let tlr = stack(3, 24, 20, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr).with_shards(2));
+        let want = ops.apply_serial(&test_x(3 * 20));
+        let engine = Engine::start(EngineConfig {
+            workers: 3,
+            queue_depth: 16,
+        });
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|_| {
+                engine.submit(JobSpec::Mvm {
+                    ops: Arc::clone(&ops),
+                    x: test_x(3 * 20),
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.wait();
+            bits_eq(&r.output, &want);
+            assert!(r.total_ns >= r.exec_ns);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn engine_mdd_job_matches_direct_lsqr() {
+        let tlr = stack(2, 24, 24, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr));
+        let y = test_x(2 * 24);
+        let opts = LsqrOptions {
+            max_iters: 10,
+            rel_tol: 0.0,
+            damp: 0.0,
+        };
+        let want = lsqr(&*ops, &y, opts).x;
+        let engine = Engine::start(EngineConfig::default());
+        let got = engine
+            .submit(JobSpec::Mdd {
+                ops: Arc::clone(&ops),
+                y,
+                opts,
+            })
+            .wait();
+        bits_eq(&got.output, &want);
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure_at_queue_depth() {
+        // No workers can drain while we hold... workers=1 with a slow job
+        // is racy; instead fill the queue faster than one worker can
+        // drain by using a depth of 1 and checking the refusal path via
+        // stats — the refused spec must come back intact.
+        let tlr = stack(1, 24, 24, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr));
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+        });
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            match engine.try_submit(JobSpec::Mvm {
+                ops: Arc::clone(&ops),
+                x: test_x(24),
+            }) {
+                Ok(h) => {
+                    accepted += 1;
+                    handles.push(h);
+                }
+                Err(JobSpec::Mvm { x, .. }) => {
+                    rejected += 1;
+                    assert_eq!(x.len(), 24, "refused spec comes back intact");
+                }
+                Err(_) => unreachable!("refused spec changed kind"),
+            }
+        }
+        for h in handles {
+            let _ = h.wait();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, accepted);
+        assert_eq!(stats.rejected, rejected);
+        assert_eq!(stats.completed, accepted);
+        assert!(accepted >= 1);
+    }
+
+    #[test]
+    fn engine_drains_queue_on_shutdown() {
+        let tlr = stack(1, 24, 24, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr));
+        let mut engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_depth: 64,
+        });
+        let handles: Vec<JobHandle> = (0..16)
+            .map(|_| {
+                engine.submit(JobSpec::Mvm {
+                    ops: Arc::clone(&ops),
+                    x: test_x(24),
+                })
+            })
+            .collect();
+        engine.shutdown();
+        assert_eq!(engine.stats().completed, 16);
+        for h in handles {
+            assert!(h.try_take().is_some(), "job finished before shutdown");
+        }
+    }
+
+    #[test]
+    fn queue_wait_histograms_are_recorded() {
+        // Global-trace test: guarded by the bench-side lock convention
+        // (mdd has no shared lock, so serialize on a local static).
+        static LOCAL: Mutex<()> = Mutex::new(());
+        let _g = lock_recover(&LOCAL);
+        let tlr = stack(1, 24, 24, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr));
+        trace::reset();
+        trace::set_enabled(true);
+        {
+            let engine = Engine::start(EngineConfig::default());
+            let handles: Vec<JobHandle> = (0..4)
+                .map(|_| {
+                    engine.submit(JobSpec::Mvm {
+                        ops: Arc::clone(&ops),
+                        x: test_x(24),
+                    })
+                })
+                .collect();
+            for h in handles {
+                let _ = h.wait();
+            }
+        }
+        trace::set_enabled(false);
+        let rep = trace::snapshot();
+        for stage in ["engine.queue_wait", "engine.job_total"] {
+            let lat = rep.latency_for(stage).expect(stage);
+            // ≥, not ==: sibling engine tests may run inside this trace
+            // window and add their own jobs to the same stage names.
+            assert!(lat.count >= 4, "{stage}: {}", lat.count);
+            assert!(lat.p50_ns <= lat.p99_ns);
+        }
+        assert!(rep.latency_for("engine.exec_mvm").is_some());
+        trace::reset();
+    }
+}

@@ -7,6 +7,10 @@
 //!   paper's iterative scheme (30 iterations).
 //! * [`mdc`] — the per-frequency MDC operator stack `y = Fᴴ K F x` plus
 //!   frequency→time conversion of station gathers.
+//! * [`engine`] — the batched multi-frequency sweep (one pass over all
+//!   frequency operators with pooled scratch) and the async serving
+//!   layer: work-stealing scheduler, LRU operator cache, backpressure,
+//!   per-stage latency histograms (DESIGN.md §13).
 //! * [`driver`] — the full pipeline: Hilbert reorder → TLR compress →
 //!   adjoint (cross-correlation) and LSQR inversion → NMSE metrics.
 //! * [`sections`] — Fig. 13's zero-offset panels (velocity model / full /
@@ -20,6 +24,7 @@
 
 pub mod cgls;
 pub mod driver;
+pub mod engine;
 pub mod lsqr;
 pub mod mdc;
 pub mod metrics;
@@ -33,6 +38,10 @@ pub use cgls::{cgls, CglsResult};
 pub use driver::{
     compress_dataset, compression_stats, run_mdd, run_mdd_with_operators, CompressionStats,
     MddConfig, MddRun,
+};
+pub use engine::{
+    CacheStats, Engine, EngineConfig, EngineStats, FrequencyOperators, JobHandle, JobResult,
+    JobSpec, OperatorCache, OperatorKey,
 };
 pub use lsqr::{lsqr, LsqrOptions, LsqrResult};
 pub use mdc::{freq_vectors_to_time_traces, MdcOperator};

@@ -1,6 +1,14 @@
 //! Multi-virtual-source MDD — the paper's §6.4 production mode ("tens of
 //! thousands of virtual sources … embarrassingly parallel on 708 V100
 //! GPUs") and its §8 TLR-MMM recast for simultaneous sources.
+//!
+//! Scaling is over the *source* axis here: every source solves an
+//! independent inverse problem against one shared compressed operator
+//! stack. The orthogonal axis — sweeping all *frequencies* of one
+//! problem in a single batched pass — lives in [`crate::engine`]
+//! (DESIGN.md §13); a serving deployment composes the two, submitting
+//! one [`crate::engine::JobSpec::Mdd`] job per virtual source against
+//! a cache-shared [`crate::engine::FrequencyOperators`].
 
 use rayon::prelude::*;
 use seis_wave::SyntheticDataset;

@@ -8,6 +8,15 @@
 //! data they coincide in the limit; on noisy data the decoupled solve
 //! over-fits noise at the poorly-excited band edges where the per-block
 //! conditioning is worst.
+//!
+//! Note the distinction from [`crate::engine`]'s batched sweep
+//! (DESIGN.md §13): *decoupling* here changes the inverse problem (one
+//! LSQR per frequency block), while the engine's
+//! [`crate::engine::FrequencyOperators`] only changes the *schedule*
+//! of the joint solve's operator application — it is bit-identical to
+//! the per-frequency loop inside one joint iteration, so it
+//! accelerates the quality-preserving formulation rather than trading
+//! quality for parallelism.
 
 use rayon::prelude::*;
 use seis_wave::SyntheticDataset;

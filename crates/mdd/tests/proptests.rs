@@ -1,13 +1,31 @@
 //! Property-based tests for the MDD solver stack.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use seismic_la::blas::{dotc, nrm2};
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
-use seismic_mdd::{lsqr, nmse, LsqrOptions, MdcOperator};
-use tlr_mvm::LinearOperator;
+use seismic_mdd::{
+    lsqr, nmse, Engine, EngineConfig, FrequencyOperators, JobSpec, LsqrOptions, MdcOperator,
+};
+use tlr_mvm::{
+    compress, CompressionConfig, CompressionMethod, LinearOperator, ThreePhase, TlrMatrix,
+    ToleranceMode,
+};
+
+/// Loose tile-relative SVD compression at `nb = 4` — small enough that
+/// the random 10–12-point matrices tile into a proper grid.
+fn prop_compression() -> CompressionConfig {
+    CompressionConfig {
+        nb: 4,
+        acc: 1e-3,
+        method: CompressionMethod::Svd,
+        mode: ToleranceMode::RelativeTile,
+    }
+}
 
 fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix<C32> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -107,5 +125,61 @@ proptest! {
         let free = lsqr(&a, &b, LsqrOptions { max_iters: 60, rel_tol: 0.0, damp: 0.0 });
         let reg = lsqr(&a, &b, LsqrOptions { max_iters: 60, rel_tol: 0.0, damp });
         prop_assert!(nrm2(&reg.x) <= nrm2(&free.x) * (1.0 + 1e-4));
+    }
+
+    /// The batched sweep is bit-identical to a serial per-frequency
+    /// `TlrMatrix::apply` of the same stacked layouts, for any frequency
+    /// count and any shard width: sharding only partitions disjoint
+    /// output segments, it never reorders a summation.
+    #[test]
+    fn batched_sweep_bit_identical_to_serial_loop(
+        nf in 1usize..6,
+        shards in 1usize..12,
+        seed in 0u64..300,
+    ) {
+        let (m, n) = (12usize, 10usize);
+        let tlr: Vec<TlrMatrix> = (0..nf)
+            .map(|f| compress(&rand_matrix(m, n, seed + f as u64), prop_compression()))
+            .collect();
+        let ops = FrequencyOperators::build(&tlr).with_shards(shards);
+        let x = rand_vec(nf * n, seed + 40);
+        let batched = ops.apply_all_frequencies(&x);
+        for (f, t) in tlr.iter().enumerate() {
+            let layout = ThreePhase::new(t);
+            let serial_f = layout.apply(&x[f * n..(f + 1) * n]);
+            for (a, b) in batched[f * m..(f + 1) * m].iter().zip(&serial_f) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    /// Routing the same sweep through the async engine — any worker
+    /// count, any shard width — changes nothing: a scheduled MVM job
+    /// returns the exact bits of the in-thread batched sweep.
+    #[test]
+    fn engine_job_bit_identical_across_worker_counts(
+        nf in 1usize..5,
+        shards in 1usize..8,
+        workers in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let (m, n) = (10usize, 8usize);
+        let tlr: Vec<TlrMatrix> = (0..nf)
+            .map(|f| compress(&rand_matrix(m, n, seed + 7 + f as u64), prop_compression()))
+            .collect();
+        let ops = Arc::new(FrequencyOperators::build(&tlr).with_shards(shards));
+        let x = rand_vec(nf * n, seed + 80);
+        let want = ops.apply_all_frequencies(&x);
+        let engine = Engine::start(EngineConfig { workers, queue_depth: 8 });
+        let got = engine
+            .submit(JobSpec::Mvm { ops: Arc::clone(&ops), x: x.clone() })
+            .wait()
+            .output;
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 }

@@ -5,8 +5,9 @@
 //! failing mid-placement; the functional paths ([`exec`](crate::exec),
 //! [`csl`](crate::csl)) discover them as out-of-bounds SRAM accesses.
 //! This module re-derives every such bound from the same arithmetic
-//! ([`sram`](crate::sram) planners, [`chunk_census`]
-//! (crate::workload::Workload::chunk_census), [`ChunkLayout`]) and
+//! ([`sram`](crate::sram) planners,
+//! [`chunk_census`](crate::workload::Workload::chunk_census),
+//! [`ChunkLayout`]) and
 //! reports *all* violations at once as structured diagnostics, so a bad
 //! configuration is rejected with a rule id and location instead of a
 //! panic deep in a simulated run.

@@ -1,0 +1,90 @@
+//! End-to-end checks of the `repro` binary's CLI surface: the help
+//! text, the self-check, the unknown-experiment path, and a reduced
+//! `serve-sim` run producing the latency-vs-offered-QPS artifact —
+//! exactly what the CI smoke job executes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use seismic_bench::cli;
+use seismic_bench::jsonio::Json;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn help_lists_every_subcommand_and_exits_zero() {
+    let out = repro().arg("--help").output().expect("run repro --help");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for s in cli::SUBCOMMANDS {
+        assert!(text.contains(s.name), "--help must mention '{}'", s.name);
+    }
+    assert!(text.contains("all"));
+    assert!(text.contains("--self-check"));
+}
+
+#[test]
+fn self_check_passes() {
+    let out = repro()
+        .arg("--self-check")
+        .output()
+        .expect("run repro --self-check");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("self-check ok"));
+}
+
+#[test]
+fn unknown_experiment_exits_2_and_lists_choices() {
+    let out = repro().arg("fig99").output().expect("run repro fig99");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment 'fig99'"));
+    // The choices come from the same table as --help.
+    for s in cli::SUBCOMMANDS {
+        assert!(err.contains(s.name), "error must offer '{}'", s.name);
+    }
+}
+
+/// The CI smoke shape: a tiny ladder, JSON artifact out, monotone
+/// offered load, all three stages populated.
+#[test]
+fn serve_sim_smoke_writes_monotone_latency_curve() {
+    let dir = std::env::temp_dir().join(format!("serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = repro()
+        .args(["serve-sim", "--json"])
+        .env("SERVE_SIM_JOBS", "6")
+        .env("SERVE_SIM_RUNGS", "2")
+        .current_dir(&dir)
+        .output()
+        .expect("run repro serve-sim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let path: PathBuf = dir.join("target/repro/serve_sim.json");
+    let text = std::fs::read_to_string(&path).expect("serve_sim.json written");
+    let tree = Json::parse(&text).expect("artifact parses");
+    let rungs = tree.get("rungs").and_then(Json::as_arr).expect("rungs");
+    assert_eq!(rungs.len(), 2);
+    let mut last = 0.0;
+    for rung in rungs {
+        let offered = rung.get("offered_qps").and_then(Json::as_f64).unwrap();
+        assert!(offered > last, "offered load must be monotone");
+        last = offered;
+        let stages = rung.get("stages").and_then(Json::as_arr).expect("stages");
+        assert_eq!(stages.len(), 3);
+        for s in stages {
+            assert_eq!(s.get("count").and_then(Json::as_u64), Some(6));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
