@@ -133,6 +133,11 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         blurb: "closed-loop serving load: latency vs offered QPS",
         in_all: false,
     },
+    Subcommand {
+        name: "metrics",
+        blurb: "one-shot OpenMetrics scrape (target/repro/metrics.prom)",
+        in_all: false,
+    },
 ];
 
 /// Look up a subcommand by its CLI name.
@@ -183,7 +188,11 @@ pub fn usage() -> String {
          PERFBENCH_REPS=<n> overrides perfbench's median-of-N sample count\n\
          ATLAS_SWEEP_POINTS=<1-4> stack widths per config in atlas-sweep (default 3)\n\
          SERVE_SIM_JOBS=<n> jobs per serve-sim ladder rung (default 96)\n\
-         SERVE_SIM_RUNGS=<1-8> serve-sim offered-QPS ladder rungs (default 5)",
+         SERVE_SIM_RUNGS=<1-8> serve-sim offered-QPS ladder rungs (default 5)\n\
+         serve-sim also scrapes per-rung OpenMetrics expositions to\n\
+        \x20       target/repro/metrics_<rung>.prom; with --timeline its Perfetto\n\
+        \x20       trace carries per-worker engine tracks with submit→steal→exec\n\
+        \x20       flow arrows from the flight recorder",
     );
     out
 }

@@ -30,7 +30,15 @@ use std::time::{Duration, Instant};
 
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
-use seismic_mdd::{Engine, EngineConfig, FrequencyOperators, JobSpec, OperatorCache, OperatorKey};
+use seismic_mdd::{
+    engine_metric_families, Engine, EngineConfig, FrequencyOperators, JobSpec, OperatorCache,
+    OperatorKey,
+};
+use tlr_mvm::telemetry::{
+    check_openmetrics, render_openmetrics, trace_metric_families, FlightEvent, FlightRecorder,
+    SloThresholds, Watchdog, WatchdogConfig,
+};
+use tlr_mvm::trace::TraceReport;
 use tlr_mvm::{compress, trace, CompressionConfig, CompressionMethod, ToleranceMode};
 
 use crate::jsonio::Json;
@@ -85,6 +93,21 @@ pub struct Rung {
     pub achieved_qps: f64,
     /// Per-stage latency percentiles, in [`STAGES`] order.
     pub stages: Vec<StageLatency>,
+    /// Operator-cache hits during this rung (delta, not cumulative).
+    pub cache_hits: u64,
+    /// Operator-cache misses during this rung.
+    pub cache_misses: u64,
+    /// Operator-cache evictions during this rung.
+    pub cache_evictions: u64,
+    /// Jobs accepted by the scheduler during this rung.
+    pub submitted: u64,
+    /// Jobs fully executed during this rung.
+    pub completed: u64,
+    /// `try_submit` refusals during this rung (the paced generator uses
+    /// blocking `submit`, so this stays 0 unless the loop changes).
+    pub rejected: u64,
+    /// Jobs stolen by an idle worker during this rung.
+    pub stolen: u64,
 }
 
 /// The full serve-sim result: configuration, cache/scheduler counters,
@@ -163,24 +186,87 @@ fn job_input(len: usize, job: usize) -> Vec<C32> {
         .collect()
 }
 
+/// Flight-recorder ring capacity per ring for the serving run — enough
+/// to hold every event of one rung at the default load.
+const RING_CAPACITY: usize = 8192;
+
+/// Everything a full serving run produces beyond the report: the
+/// per-rung OpenMetrics scrapes, the final rung's trace snapshot and
+/// flight-recorder drain (the raw material for the enriched
+/// `--timeline` export), and how many workers the engine ran.
+pub struct ServeSimArtifacts {
+    /// The latency-vs-offered-QPS report.
+    pub report: ServeSimReport,
+    /// One rendered OpenMetrics exposition per rung, in ladder order —
+    /// what `repro serve-sim` writes to `target/repro/metrics_<r>.prom`.
+    pub rung_metrics: Vec<String>,
+    /// Trace snapshot of the final rung (host spans + histograms).
+    pub final_trace: TraceReport,
+    /// Flight-recorder drain of the final rung, timestamp-ordered.
+    pub final_events: Vec<FlightEvent>,
+    /// Engine worker threads (the flight-recorder ring count minus the
+    /// external ring).
+    pub workers: usize,
+}
+
 /// Run the ladder. `ladder` must be strictly increasing — the report's
 /// curve is defined over monotone offered load.
 pub fn run_serve_sim(jobs_per_rung: usize, ladder: &[f64]) -> ServeSimReport {
+    run_serve_sim_full(jobs_per_rung, ladder).report
+}
+
+/// [`run_serve_sim`] plus telemetry artifacts: per-rung OpenMetrics
+/// scrapes, the final rung's flight-recorder drain, and an SLO watchdog
+/// sampling the queue while the ladder runs (breach dumps land in
+/// `target/trace/anomaly_<n>.json`).
+pub fn run_serve_sim_full(jobs_per_rung: usize, ladder: &[f64]) -> ServeSimArtifacts {
     assert!(!ladder.is_empty() && jobs_per_rung > 0);
     assert!(
         ladder.windows(2).all(|w| w[0] < w[1]),
         "offered-QPS ladder must be strictly increasing"
     );
     let cfg = EngineConfig::default();
-    let engine = Engine::start(cfg);
-    let cache = OperatorCache::new(256 << 20);
+    let (workers, queue_depth) = (cfg.workers, cfg.queue_depth);
+    let recorder = Arc::new(FlightRecorder::new(workers, RING_CAPACITY));
+    let engine = Arc::new(Engine::start(EngineConfig {
+        recorder: Some(Arc::clone(&recorder)),
+        ..cfg
+    }));
+    let cache = OperatorCache::new(256 << 20).with_recorder(Arc::clone(&recorder));
     let key = OperatorKey::new("serve-sim-synthetic", NB, ACC);
+
+    // Lenient SLOs: the stall bound sits at the backpressure depth, so a
+    // healthy closed loop never dumps; a wedged engine does.
+    let dog = {
+        let eng = Arc::clone(&engine);
+        Watchdog::start(
+            WatchdogConfig {
+                poll: Duration::from_millis(25),
+                thresholds: SloThresholds {
+                    stage_p99_ns: Vec::new(),
+                    queue_depth_limit: u64::try_from(queue_depth).unwrap_or(u64::MAX),
+                    queue_stall_polls: 40,
+                },
+                out_dir: PathBuf::from("target/trace"),
+            },
+            Arc::clone(&recorder),
+            move || u64::try_from(eng.queued()).unwrap_or(u64::MAX),
+        )
+    };
 
     let was_enabled = trace::is_enabled();
     let mut rungs = Vec::with_capacity(ladder.len());
+    let mut rung_metrics = Vec::with_capacity(ladder.len());
+    let mut final_trace = TraceReport::default();
     for &offered_qps in ladder {
+        let cs_before = cache.stats();
+        let es_before = engine.stats();
         let ops = cache.get_or_build(&key, build_operators);
         let period = Duration::from_secs_f64(1.0 / offered_qps);
+        // One rung = one trace window and one flight-recorder epoch, so
+        // timeline timestamps and metrics deltas share a zero.
+        recorder.clear();
+        recorder.reset_epoch();
         trace::reset();
         trace::set_enabled(true);
         let t0 = Instant::now();
@@ -204,6 +290,8 @@ pub fn run_serve_sim(jobs_per_rung: usize, ladder: &[f64]) -> ServeSimReport {
         let wall_s = t0.elapsed().as_secs_f64();
         trace::set_enabled(false);
         let rep = trace::snapshot();
+        let cs_after = cache.stats();
+        let es_after = engine.stats();
         let stages = STAGES
             .iter()
             .map(|&stage| {
@@ -223,22 +311,100 @@ pub fn run_serve_sim(jobs_per_rung: usize, ladder: &[f64]) -> ServeSimReport {
             wall_s,
             achieved_qps: jobs_per_rung as f64 / wall_s.max(1e-9),
             stages,
+            cache_hits: cs_after.hits - cs_before.hits,
+            cache_misses: cs_after.misses - cs_before.misses,
+            cache_evictions: cs_after.evictions - cs_before.evictions,
+            submitted: es_after.submitted - es_before.submitted,
+            completed: es_after.completed - es_before.completed,
+            rejected: es_after.rejected - es_before.rejected,
+            stolen: es_after.stolen - es_before.stolen,
         });
+        // The once-per-rung scrape: trace histograms + engine gauges.
+        let mut fams = trace_metric_families(&rep);
+        fams.extend(engine_metric_families(
+            &engine.gauges(),
+            &es_after,
+            &cs_after,
+        ));
+        rung_metrics.push(render_openmetrics(&fams));
+        final_trace = rep;
     }
+    let final_events = recorder.snapshot_events();
+    let _ = dog.stop();
     trace::reset();
     trace::set_enabled(was_enabled);
 
     let cs = cache.stats();
     let es = engine.stats();
-    ServeSimReport {
-        workers: cfg.workers,
-        queue_depth: cfg.queue_depth,
-        n_freqs: N_FREQS,
-        cache_hits: cs.hits,
-        cache_misses: cs.misses,
-        stolen: es.stolen,
-        rungs,
+    ServeSimArtifacts {
+        report: ServeSimReport {
+            workers,
+            queue_depth,
+            n_freqs: N_FREQS,
+            cache_hits: cs.hits,
+            cache_misses: cs.misses,
+            stolen: es.stolen,
+            rungs,
+        },
+        rung_metrics,
+        final_trace,
+        final_events,
+        workers,
     }
+}
+
+/// The `repro metrics` sample: a tiny deterministic engine run (one
+/// cache build + one hit, a handful of MVM jobs) whose scrape is
+/// rendered, validated against [`check_openmetrics`], and written to
+/// `target/repro/metrics.prom`. Returns the path and the number of
+/// samples the checker counted.
+///
+/// Owns the global trace collector — call outside any `--trace` window.
+pub fn run_metrics_sample() -> io::Result<(PathBuf, usize)> {
+    let recorder = Arc::new(FlightRecorder::new(2, 1024));
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_depth: 16,
+        recorder: Some(Arc::clone(&recorder)),
+    });
+    let cache = OperatorCache::new(64 << 20).with_recorder(Arc::clone(&recorder));
+    let key = OperatorKey::new("metrics-sample", NB, ACC);
+
+    let was_enabled = trace::is_enabled();
+    trace::reset();
+    trace::set_enabled(true);
+    let _build = cache.get_or_build(&key, build_operators);
+    // Second lookup is a guaranteed hit, so the scrape shows both kinds.
+    let ops = cache.get_or_build(&key, build_operators);
+    let handles: Vec<_> = (0..6)
+        .map(|j| {
+            engine.submit(JobSpec::Mvm {
+                ops: Arc::clone(&ops),
+                x: job_input(ops.ncols_total(), j),
+            })
+        })
+        .collect();
+    for h in handles {
+        std::hint::black_box(h.wait().output.len());
+    }
+    trace::set_enabled(false);
+    let rep = trace::snapshot();
+    let mut fams = trace_metric_families(&rep);
+    fams.extend(engine_metric_families(
+        &engine.gauges(),
+        &engine.stats(),
+        &cache.stats(),
+    ));
+    let text = render_openmetrics(&fams);
+    trace::reset();
+    trace::set_enabled(was_enabled);
+    let samples =
+        check_openmetrics(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let dir = Path::new("target/repro");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("metrics.prom");
+    std::fs::write(&path, &text)?;
+    Ok((path, samples))
 }
 
 /// Serialize a report to the artifact's JSON tree.
@@ -261,6 +427,16 @@ pub fn report_to_json(r: &ServeSimReport) -> Json {
                             ("jobs".to_string(), Json::u64(rung.jobs)),
                             ("wall_s".to_string(), Json::f64(rung.wall_s)),
                             ("achieved_qps".to_string(), Json::f64(rung.achieved_qps)),
+                            ("cache_hits".to_string(), Json::u64(rung.cache_hits)),
+                            ("cache_misses".to_string(), Json::u64(rung.cache_misses)),
+                            (
+                                "cache_evictions".to_string(),
+                                Json::u64(rung.cache_evictions),
+                            ),
+                            ("submitted".to_string(), Json::u64(rung.submitted)),
+                            ("completed".to_string(), Json::u64(rung.completed)),
+                            ("rejected".to_string(), Json::u64(rung.rejected)),
+                            ("stolen".to_string(), Json::u64(rung.stolen)),
                             (
                                 "stages".to_string(),
                                 Json::Arr(
@@ -286,6 +462,16 @@ pub fn report_to_json(r: &ServeSimReport) -> Json {
     ])
 }
 
+/// Write one rung's OpenMetrics scrape to
+/// `target/repro/metrics_<rung>.prom`, returning the path.
+pub fn write_rung_metrics(rung: usize, text: &str) -> io::Result<PathBuf> {
+    let dir = Path::new("target/repro");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("metrics_{rung}.prom"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
 /// Write the artifact to `target/repro/serve_sim.json` (pretty JSON),
 /// returning the path.
 pub fn write_serve_sim_json(report: &ServeSimReport) -> io::Result<PathBuf> {
@@ -299,6 +485,7 @@ pub fn write_serve_sim_json(report: &ServeSimReport) -> io::Result<PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tlr_mvm::telemetry::EventKind;
 
     /// A two-rung micro-ladder: the curve is monotone in offered load,
     /// every stage histogram saw every job, and percentiles are ordered.
@@ -357,5 +544,62 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_monotone_ladder_is_rejected() {
         run_serve_sim(1, &[200.0, 100.0]);
+    }
+
+    /// The full artifact bundle: one valid OpenMetrics scrape per rung,
+    /// per-rung cache/scheduler deltas that reconcile with the run, and
+    /// a final-rung flight-recorder snapshot covering every job.
+    #[test]
+    fn full_run_scrapes_metrics_and_drains_final_rung_events() {
+        let _g = crate::test_sync::trace_lock();
+        let jobs = 5;
+        let art = run_serve_sim_full(jobs, &[400.0, 800.0]);
+        assert_eq!(art.rung_metrics.len(), 2);
+        for text in &art.rung_metrics {
+            let n = check_openmetrics(text).expect("scrape passes the checker");
+            assert!(n > 0, "scrape must carry samples");
+            assert!(text.contains("# TYPE engine_queue_depth gauge"));
+            assert!(text.contains("engine_jobs_total{state=\"completed\"}"));
+        }
+        let jobs_u64 = u64::try_from(jobs).unwrap();
+        let first = &art.report.rungs[0];
+        let last = &art.report.rungs[1];
+        // Rung 0 builds the operator set (one miss); rung 1 re-checks
+        // it out of the warm cache (one hit, nothing evicted).
+        assert_eq!((first.cache_misses, first.cache_hits), (1, 0));
+        assert_eq!(
+            (last.cache_hits, last.cache_misses, last.cache_evictions),
+            (1, 0, 0)
+        );
+        for rung in &art.report.rungs {
+            assert_eq!(rung.submitted, jobs_u64);
+            assert_eq!(rung.completed, jobs_u64);
+            assert_eq!(rung.rejected, 0, "blocking submit never rejects");
+        }
+        // The recorder epoch resets per rung, so the final snapshot is
+        // exactly the last rung's interleaving.
+        let count = |kind: EventKind| {
+            u64::try_from(art.final_events.iter().filter(|e| e.kind == kind).count()).unwrap()
+        };
+        assert_eq!(count(EventKind::JobSubmitted), jobs_u64);
+        assert_eq!(count(EventKind::JobFinished), jobs_u64);
+        assert_eq!(count(EventKind::JobStarted), jobs_u64);
+        assert!(art.workers >= 1);
+    }
+
+    /// `repro metrics` end to end: the one-shot sample writes a file
+    /// that passes the checker and carries both trace- and
+    /// engine-derived families, including a guaranteed cache hit.
+    #[test]
+    fn metrics_sample_writes_valid_exposition() {
+        let _g = crate::test_sync::trace_lock();
+        let (path, samples) = run_metrics_sample().expect("sample runs");
+        assert!(samples > 0);
+        let text = std::fs::read_to_string(&path).expect("metrics.prom readable");
+        check_openmetrics(&text).expect("written exposition passes the checker");
+        assert!(text.contains("# TYPE cache_events counter"));
+        assert!(text.contains("cache_events_total{kind=\"hit\"} 1"));
+        assert!(text.contains("# TYPE stage_latency_ns histogram"));
+        assert!(text.ends_with("# EOF\n"));
     }
 }

@@ -19,6 +19,9 @@
 //! * [`ops`] — the [`LinearOperator`] abstraction used by the MDD solver.
 //! * [`trace`] — zero-cost-when-disabled phase spans and flop/byte
 //!   counters; the runtime accounting behind `repro --trace`.
+//! * [`telemetry`] — serving-grade observability: the lock-free flight
+//!   recorder, OpenMetrics exposition, and the SLO watchdog
+//!   (DESIGN.md §14).
 //!
 //! ## Quick start
 //!
@@ -61,6 +64,7 @@ pub mod mmm;
 pub mod ops;
 pub mod precision;
 pub mod real4;
+pub mod telemetry;
 pub mod tiling;
 pub mod trace;
 

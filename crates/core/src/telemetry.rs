@@ -1,0 +1,1547 @@
+//! Serving-grade telemetry: a lock-free flight recorder, OpenMetrics
+//! text exposition, and an SLO watchdog (DESIGN.md §14).
+//!
+//! Three layers, each usable on its own:
+//!
+//! * **Flight recorder** — [`FlightRecorder`] keeps one fixed-capacity
+//!   ring of compact binary events per engine worker (plus one
+//!   *external* ring for submit-side and cache events). Writers are
+//!   lock-free and allocation-free (the HP01 lint holds the record path
+//!   to that); readers merge all rings into one timestamp-ordered
+//!   [`FlightEvent`] list without stopping writers.
+//! * **Metrics** — [`MetricFamily`] values render to the
+//!   OpenMetrics/Prometheus text format via [`render_openmetrics`], and
+//!   [`check_openmetrics`] validates an exposition (HELP/TYPE lines,
+//!   label escaping, monotone histogram buckets ending in `+Inf`).
+//!   [`trace_metric_families`] derives families from a
+//!   [`TraceReport`]'s phase counters and latency histograms.
+//! * **Watchdog** — [`SloMonitor`] turns consecutive trace snapshots
+//!   into per-stage *delta* p99s and queue-stall verdicts;
+//!   [`Watchdog`] runs it on a sampler thread and writes
+//!   `anomaly_<n>.json` postmortem dumps ([`write_anomaly_dump`]) on
+//!   breach.
+//!
+//! Event timestamps count nanoseconds from the recorder's epoch
+//! ([`FlightRecorder::reset_epoch`]), mirroring `trace::reset`, so
+//! flight events and span events share a timeline.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::trace::{LatencyBucket, LatencyEntry, TraceReport};
+
+/// Zero-cost hot-path marker. The `xtask` HP01 lint treats the rest of
+/// the enclosing block as allocation-free territory, exactly like a
+/// `trace::span(..)` region; the call itself compiles to nothing.
+#[inline(always)]
+pub fn hot_path(_label: &'static str) {}
+
+/// Words per ring slot: `[seq, ts, kind, a, b]`.
+const SLOT_WORDS: usize = 5;
+
+/// The event vocabulary of the flight recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A job entered the scheduler (external ring; `a` = job id,
+    /// `b` = queue depth after enqueue).
+    JobSubmitted,
+    /// An idle worker stole a job from a peer's deque (`a` = job id,
+    /// `b` = victim worker).
+    JobStolen,
+    /// A worker began executing a job (`a` = job id, `b` = queue-wait
+    /// nanoseconds).
+    JobStarted,
+    /// A worker finished a job (`a` = job id, `b` = execution
+    /// nanoseconds).
+    JobFinished,
+    /// A batched sweep began one shard (`a` = job id, `b` = shard).
+    ShardBegin,
+    /// A batched sweep finished one shard (`a` = job id, `b` = shard).
+    ShardEnd,
+    /// Operator cache hit (`a` = entry bytes, `b` = resident bytes).
+    CacheHit,
+    /// Operator cache miss (`a` = entry bytes, `b` = resident bytes).
+    CacheMiss,
+    /// Operator cache eviction (`a` = evicted bytes, `b` = resident
+    /// bytes after).
+    CacheEvict,
+    /// Watchdog queue-depth sample (`a` = depth, `b` = 0).
+    QueueDepth,
+}
+
+impl EventKind {
+    /// Stable wire code (nonzero; 0 marks an empty slot).
+    pub const fn code(self) -> u64 {
+        match self {
+            EventKind::JobSubmitted => 1,
+            EventKind::JobStolen => 2,
+            EventKind::JobStarted => 3,
+            EventKind::JobFinished => 4,
+            EventKind::ShardBegin => 5,
+            EventKind::ShardEnd => 6,
+            EventKind::CacheHit => 7,
+            EventKind::CacheMiss => 8,
+            EventKind::CacheEvict => 9,
+            EventKind::QueueDepth => 10,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`].
+    pub const fn from_code(code: u64) -> Option<Self> {
+        Some(match code {
+            1 => EventKind::JobSubmitted,
+            2 => EventKind::JobStolen,
+            3 => EventKind::JobStarted,
+            4 => EventKind::JobFinished,
+            5 => EventKind::ShardBegin,
+            6 => EventKind::ShardEnd,
+            7 => EventKind::CacheHit,
+            8 => EventKind::CacheMiss,
+            9 => EventKind::CacheEvict,
+            10 => EventKind::QueueDepth,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name used in JSON dumps and timelines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::JobSubmitted => "JobSubmitted",
+            EventKind::JobStolen => "JobStolen",
+            EventKind::JobStarted => "JobStarted",
+            EventKind::JobFinished => "JobFinished",
+            EventKind::ShardBegin => "ShardBegin",
+            EventKind::ShardEnd => "ShardEnd",
+            EventKind::CacheHit => "CacheHit",
+            EventKind::CacheMiss => "CacheMiss",
+            EventKind::CacheEvict => "CacheEvict",
+            EventKind::QueueDepth => "QueueDepth",
+        }
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Ring the event was recorded on (worker id, or
+    /// [`FlightRecorder::external_ring`]).
+    pub ring: u64,
+    /// Nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind`] per-variant docs).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Per-worker lock-free ring buffers of compact binary events.
+///
+/// Layout: `workers + 1` rings of `capacity` slots, each slot five
+/// `AtomicU64` words `[seq, ts, kind, a, b]`. The last ring is the
+/// *external* ring for events with no owning worker (job submission,
+/// cache traffic, watchdog queue-depth samples).
+///
+/// Writers claim a slot with a fetch-add ticket and bracket the payload
+/// stores with odd/even sequence numbers (`2·ticket+1` while writing,
+/// `2·ticket+2` when done); readers accept a slot only when they load
+/// the same even sequence before and after the payload. Sequences grow
+/// strictly with the ticket, so a reader can never confuse two
+/// generations of the same slot. Everything is a plain atomic word —
+/// no locks, no allocation, no unsafe.
+pub struct FlightRecorder {
+    rings: usize,
+    capacity: usize,
+    base: Instant,
+    epoch_off: AtomicU64,
+    heads: Vec<AtomicU64>,
+    words: Vec<AtomicU64>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("rings", &self.rings)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with one ring per worker plus the external ring, each
+    /// holding `capacity` events (min 2).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let rings = workers.saturating_add(1);
+        let capacity = capacity.max(2);
+        let words = rings.saturating_mul(capacity).saturating_mul(SLOT_WORDS);
+        Self {
+            rings,
+            capacity,
+            base: Instant::now(),
+            epoch_off: AtomicU64::new(0),
+            heads: (0..rings).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of rings (workers + 1).
+    pub fn rings(&self) -> usize {
+        self.rings
+    }
+
+    /// Slots per ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Index of the external ring (submit/cache/watchdog events).
+    pub fn external_ring(&self) -> usize {
+        self.rings - 1
+    }
+
+    /// Total events ever recorded on `ring` (including overwritten
+    /// ones); 0 for an out-of-range ring.
+    pub fn recorded(&self, ring: usize) -> u64 {
+        self.heads
+            .get(ring)
+            .map_or(0, |h| h.load(Ordering::Relaxed))
+    }
+
+    fn base_ns(&self) -> u64 {
+        u64::try_from(self.base.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Nanoseconds since the recorder epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.base_ns()
+            .saturating_sub(self.epoch_off.load(Ordering::Relaxed))
+    }
+
+    /// Restart the epoch at "now" (lock-free; pair with `trace::reset`
+    /// so flight events and span events share a timeline).
+    pub fn reset_epoch(&self) {
+        self.epoch_off.store(self.base_ns(), Ordering::Relaxed);
+    }
+
+    /// Record an event stamped with the current epoch time.
+    pub fn record(&self, ring: usize, kind: EventKind, a: u64, b: u64) {
+        self.record_at(ring, self.now_ns(), kind, a, b);
+    }
+
+    /// Record an event with an explicit timestamp (deterministic
+    /// tests). Out-of-range rings are ignored.
+    pub fn record_at(&self, ring: usize, ts_ns: u64, kind: EventKind, a: u64, b: u64) {
+        crate::telemetry::hot_path("telemetry.record");
+        let Some(head) = self.heads.get(ring) else {
+            return;
+        };
+        let ticket = head.fetch_add(1, Ordering::Relaxed);
+        let cap = u64::try_from(self.capacity).unwrap_or(u64::MAX);
+        let slot = usize::try_from(ticket % cap).unwrap_or(0);
+        let base = (ring * self.capacity + slot) * SLOT_WORDS;
+        let Some(seq) = self.words.get(base) else {
+            return;
+        };
+        seq.store(
+            ticket.saturating_mul(2).saturating_add(1),
+            Ordering::Release,
+        );
+        self.store_word(base + 1, ts_ns);
+        self.store_word(base + 2, kind.code());
+        self.store_word(base + 3, a);
+        self.store_word(base + 4, b);
+        seq.store(
+            ticket.saturating_mul(2).saturating_add(2),
+            Ordering::Release,
+        );
+    }
+
+    #[inline(always)]
+    fn store_word(&self, idx: usize, v: u64) {
+        if let Some(w) = self.words.get(idx) {
+            w.store(v, Ordering::Relaxed);
+        }
+    }
+
+    fn load_word(&self, idx: usize, ord: Ordering) -> u64 {
+        self.words.get(idx).map_or(0, |w| w.load(ord))
+    }
+
+    /// Non-destructive merged drain: every consistently-readable event
+    /// across all rings, sorted by timestamp (ties broken by ring and
+    /// kind for determinism). Slots being overwritten mid-read are
+    /// skipped, never torn.
+    pub fn snapshot_events(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::new();
+        for ring in 0..self.rings {
+            for slot in 0..self.capacity {
+                let base = (ring * self.capacity + slot) * SLOT_WORDS;
+                let s1 = self.load_word(base, Ordering::Acquire);
+                if s1 == 0 || s1 % 2 == 1 {
+                    continue;
+                }
+                let ts_ns = self.load_word(base + 1, Ordering::Relaxed);
+                let code = self.load_word(base + 2, Ordering::Relaxed);
+                let a = self.load_word(base + 3, Ordering::Relaxed);
+                let b = self.load_word(base + 4, Ordering::Relaxed);
+                let s2 = self.load_word(base, Ordering::Acquire);
+                if s1 != s2 {
+                    continue;
+                }
+                let Some(kind) = EventKind::from_code(code) else {
+                    continue;
+                };
+                out.push(FlightEvent {
+                    ring: u64::try_from(ring).unwrap_or(u64::MAX),
+                    ts_ns,
+                    kind,
+                    a,
+                    b,
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.ts_ns, e.ring, e.kind.code(), e.a, e.b));
+        out
+    }
+
+    /// Mark every slot empty. Quiescent-use only (call between load
+    /// rungs, not while writers run); heads keep counting, so sequence
+    /// numbers stay strictly monotone across clears.
+    pub fn clear(&self) {
+        for ring in 0..self.rings {
+            for slot in 0..self.capacity {
+                let base = (ring * self.capacity + slot) * SLOT_WORDS;
+                if let Some(w) = self.words.get(base) {
+                    w.store(0, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a merged event list as a JSON array (one object per event),
+/// the flight recorder's dump format.
+pub fn events_json(events: &[FlightEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"ring\":{},\"ts_ns\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.ring,
+            e.ts_ns,
+            e.kind.name(),
+            e.a,
+            e.b
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Metric family kind, mirroring the OpenMetrics `# TYPE` vocabulary
+/// this module emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (samples rendered with the `_total` suffix).
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Cumulative-bucket histogram (`_bucket`/`_count`/`_sum` samples).
+    Histogram,
+}
+
+impl MetricKind {
+    fn token(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sample's value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A plain number (counters and gauges).
+    Scalar(f64),
+    /// A histogram: `(upper_bound, cumulative_count)` buckets in
+    /// ascending bound order (the renderer appends the `+Inf` bucket),
+    /// plus the observation count and value sum.
+    Histogram {
+        /// Cumulative buckets, ascending `le`.
+        buckets: Vec<(f64, u64)>,
+        /// Total observations (the `+Inf` bucket and `_count` sample).
+        count: u64,
+        /// Sum of observed values (the `_sum` sample).
+        sum: f64,
+    },
+}
+
+impl MetricValue {
+    /// A scalar sample from an integer counter.
+    pub fn from_u64(v: u64) -> Self {
+        MetricValue::Scalar(v as f64)
+    }
+}
+
+/// One labeled sample within a [`MetricFamily`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSample {
+    /// Label pairs, rendered in order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: MetricValue,
+}
+
+/// A named metric with HELP text, TYPE, and samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricFamily {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`; counters are rendered
+    /// with `_total` appended).
+    pub name: String,
+    /// `# HELP` line body.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Samples, in render order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricFamily {
+    /// An empty family.
+    pub fn new(name: &str, help: &str, kind: MetricKind) -> Self {
+        Self {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        }
+    }
+
+    /// A counter or gauge with one unlabeled sample.
+    pub fn scalar(name: &str, help: &str, kind: MetricKind, value: f64) -> Self {
+        let mut f = Self::new(name, help, kind);
+        f.push(&[], MetricValue::Scalar(value));
+        f
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, labels: &[(&str, &str)], value: MetricValue) {
+        self.samples.push(MetricSample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn render_le(le: f64) -> String {
+    if le.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{le}")
+    }
+}
+
+/// Render metric families to OpenMetrics/Prometheus text format,
+/// terminated by `# EOF`.
+pub fn render_openmetrics(families: &[MetricFamily]) -> String {
+    let mut out = String::new();
+    for f in families {
+        out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+        out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.token()));
+        for s in &f.samples {
+            match (&f.kind, &s.value) {
+                (MetricKind::Counter, MetricValue::Scalar(v)) => {
+                    out.push_str(&format!(
+                        "{}_total{} {v}\n",
+                        f.name,
+                        render_labels(&s.labels, None)
+                    ));
+                }
+                (MetricKind::Gauge, MetricValue::Scalar(v)) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        f.name,
+                        render_labels(&s.labels, None)
+                    ));
+                }
+                (
+                    MetricKind::Histogram,
+                    MetricValue::Histogram {
+                        buckets,
+                        count,
+                        sum,
+                    },
+                ) => {
+                    for (le, cum) in buckets {
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            f.name,
+                            render_labels(&s.labels, Some(("le", &render_le(*le))))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {count}\n",
+                        f.name,
+                        render_labels(&s.labels, Some(("le", "+Inf")))
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {count}\n",
+                        f.name,
+                        render_labels(&s.labels, None)
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {sum}\n",
+                        f.name,
+                        render_labels(&s.labels, None)
+                    ));
+                }
+                // Kind/value mismatches render as a gauge-style sample;
+                // the checker will reject the exposition, which is the
+                // loudest honest behavior short of panicking.
+                (_, MetricValue::Scalar(v)) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        f.name,
+                        render_labels(&s.labels, None)
+                    ));
+                }
+                (_, MetricValue::Histogram { count, .. }) => {
+                    out.push_str(&format!(
+                        "{}{} {count}\n",
+                        f.name,
+                        render_labels(&s.labels, None)
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse the label block body (between `{` and `}`) into pairs,
+/// validating escapes. Returns `(pairs, consumed_ok)`.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair without '=': {rest}"))?;
+        let key = &rest[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("invalid label name '{key}'"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value for '{key}' is not quoted"));
+        }
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "invalid escape '\\{}' in label '{key}'",
+                            other.map_or(String::new(), |(_, c)| c.to_string())
+                        ))
+                    }
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for '{key}'"))?;
+        pairs.push((key.to_string(), value));
+        rest = &after[1 + end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            if rest.is_empty() {
+                return Err("trailing comma in label block".to_string());
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest}"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Split a sample line into `(name, label_body, value)`.
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    if let Some(brace) = line.find('{') {
+        let name = &line[..brace];
+        // Find the closing brace, honoring quotes and escapes.
+        let body = &line[brace + 1..];
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for (i, c) in body.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_quotes => escaped = true,
+                '"' => in_quotes = !in_quotes,
+                '}' if !in_quotes => {
+                    let value = body[i + 1..].trim_start();
+                    return Ok((name, &body[..i], value));
+                }
+                _ => {}
+            }
+        }
+        Err(format!("unterminated label block: {line}"))
+    } else {
+        let sp = line
+            .find(' ')
+            .ok_or_else(|| format!("sample line without value: {line}"))?;
+        Ok((&line[..sp], "", line[sp + 1..].trim_start()))
+    }
+}
+
+/// Validate an OpenMetrics text exposition (the subset
+/// [`render_openmetrics`] emits): every sample belongs to a family with
+/// `# HELP` and `# TYPE` lines, names and label escapes are well
+/// formed, histogram buckets are cumulative with strictly increasing
+/// bounds ending in `+Inf`, `_count` matches the `+Inf` bucket, and the
+/// document ends with `# EOF`. Returns the sample count.
+pub fn check_openmetrics(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    let mut eof = false;
+    // (family, labels-without-le) -> ascending (le, cumulative count).
+    let mut hist: BTreeMap<(String, String), Vec<(f64, u64)>> = BTreeMap::new();
+    let mut hist_count: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut hist_sum: Vec<(String, String)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if eof && !line.is_empty() {
+            return Err(format!("line {lineno}: content after # EOF"));
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest == "EOF" {
+                eof = true;
+            } else if let Some(h) = rest.strip_prefix("HELP ") {
+                let name = h.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: HELP for invalid name '{name}'"));
+                }
+                helps.push(name.to_string());
+            } else if let Some(t) = rest.strip_prefix("TYPE ") {
+                let mut it = t.split_whitespace();
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: TYPE for invalid name '{name}'"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(format!("line {lineno}: unknown metric type '{kind}'"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for '{name}'"));
+                }
+            } else {
+                return Err(format!("line {lineno}: unrecognized comment '{line}'"));
+            }
+            continue;
+        }
+        // A sample line.
+        let (name, label_body, value) =
+            split_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: invalid metric name '{name}'"));
+        }
+        let labels = parse_labels(label_body).map_err(|e| format!("line {lineno}: {e}"))?;
+        let special = matches!(value, "+Inf" | "-Inf" | "NaN");
+        if !special && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value '{value}'"));
+        }
+        // Resolve the owning family from the declared TYPEs.
+        let candidates: [(&str, &str); 5] = [
+            (name.strip_suffix("_bucket").unwrap_or(""), "bucket"),
+            (name.strip_suffix("_count").unwrap_or(""), "count"),
+            (name.strip_suffix("_sum").unwrap_or(""), "sum"),
+            (name.strip_suffix("_total").unwrap_or(""), "total"),
+            (name, "plain"),
+        ];
+        let mut resolved = None;
+        for (family, role) in candidates {
+            if family.is_empty() {
+                continue;
+            }
+            let Some(kind) = types.get(family) else {
+                continue;
+            };
+            let ok = matches!(
+                (kind.as_str(), role),
+                ("counter", "total")
+                    | ("gauge", "plain")
+                    | ("histogram", "bucket" | "count" | "sum")
+            );
+            if ok {
+                resolved = Some((family.to_string(), role));
+                break;
+            }
+        }
+        let Some((family, role)) = resolved else {
+            return Err(format!(
+                "line {lineno}: sample '{name}' matches no declared # TYPE"
+            ));
+        };
+        if !helps.contains(&family) {
+            return Err(format!("line {lineno}: family '{family}' has no # HELP"));
+        }
+        samples += 1;
+        if role == "bucket" || role == "count" || role == "sum" {
+            let series_labels: Vec<&(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").collect();
+            let series_key = series_labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            match role {
+                "bucket" => {
+                    let le_str = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| format!("line {lineno}: _bucket without 'le' label"))?;
+                    let le = if le_str == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le_str
+                            .parse::<f64>()
+                            .map_err(|_| format!("line {lineno}: unparseable le '{le_str}'"))?
+                    };
+                    let cum = value.parse::<u64>().map_err(|_| {
+                        format!("line {lineno}: non-integer bucket count '{value}'")
+                    })?;
+                    hist.entry((family, series_key))
+                        .or_default()
+                        .push((le, cum));
+                }
+                "count" => {
+                    let c = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("line {lineno}: non-integer _count '{value}'"))?;
+                    hist_count.insert((family, series_key), c);
+                }
+                _ => hist_sum.push((family, series_key)),
+            }
+        }
+    }
+    if !eof {
+        return Err("missing terminal # EOF".to_string());
+    }
+    for ((family, series), buckets) in &hist {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0u64;
+        for (le, cum) in buckets {
+            if *le <= prev_le {
+                return Err(format!(
+                    "histogram '{family}'{{{series}}}: le bounds not strictly increasing"
+                ));
+            }
+            if *cum < prev_cum {
+                return Err(format!(
+                    "histogram '{family}'{{{series}}}: bucket counts not monotone"
+                ));
+            }
+            prev_le = *le;
+            prev_cum = *cum;
+        }
+        let Some((last_le, last_cum)) = buckets.last() else {
+            continue;
+        };
+        if !last_le.is_infinite() {
+            return Err(format!(
+                "histogram '{family}'{{{series}}}: buckets must end in le=\"+Inf\""
+            ));
+        }
+        let key = (family.clone(), series.clone());
+        match hist_count.get(&key) {
+            Some(c) if c == last_cum => {}
+            Some(c) => {
+                return Err(format!(
+                    "histogram '{family}'{{{series}}}: _count {c} != +Inf bucket {last_cum}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "histogram '{family}'{{{series}}}: missing _count sample"
+                ))
+            }
+        }
+        if !hist_sum.contains(&key) {
+            return Err(format!(
+                "histogram '{family}'{{{series}}}: missing _sum sample"
+            ));
+        }
+    }
+    Ok(samples)
+}
+
+/// Derive metric families from a trace report: per-phase call/nanosecond
+/// counters and one `stage_latency_ns` histogram per latency stage
+/// (log2 bucket floors become `le = 2·floor` upper bounds).
+pub fn trace_metric_families(report: &TraceReport) -> Vec<MetricFamily> {
+    let mut calls = MetricFamily::new(
+        "trace_phase_calls",
+        "Calls recorded per trace phase.",
+        MetricKind::Counter,
+    );
+    let mut nanos = MetricFamily::new(
+        "trace_phase_nanos",
+        "Wall nanoseconds accumulated per trace phase.",
+        MetricKind::Counter,
+    );
+    for p in &report.phases {
+        calls.push(&[("phase", &p.name)], MetricValue::from_u64(p.stats.calls));
+        nanos.push(&[("phase", &p.name)], MetricValue::from_u64(p.stats.nanos));
+    }
+    let mut lat = MetricFamily::new(
+        "stage_latency_ns",
+        "Per-stage latency distribution (log2 buckets), nanoseconds.",
+        MetricKind::Histogram,
+    );
+    for e in &report.latency {
+        let mut cum = 0u64;
+        let mut buckets = Vec::new();
+        for b in &e.buckets {
+            cum = cum.saturating_add(b.count);
+            let le = if b.floor_ns == 0 {
+                2.0
+            } else {
+                b.floor_ns.saturating_mul(2) as f64
+            };
+            buckets.push((le, cum));
+        }
+        let sum = report.phase(&e.name).map_or(0, |p| p.stats.nanos) as f64;
+        lat.push(
+            &[("stage", &e.name)],
+            MetricValue::Histogram {
+                buckets,
+                count: e.count,
+                sum,
+            },
+        );
+    }
+    let mut out = vec![calls, nanos];
+    if !lat.samples.is_empty() {
+        out.push(lat);
+    }
+    out
+}
+
+/// SLO thresholds the watchdog enforces.
+#[derive(Clone, Debug)]
+pub struct SloThresholds {
+    /// Per-stage rolling-p99 ceilings, nanoseconds: `(stage, limit)`.
+    pub stage_p99_ns: Vec<(String, u64)>,
+    /// Queue depth at or above which a poll counts toward a stall
+    /// (0 disables the stall check).
+    pub queue_depth_limit: u64,
+    /// Consecutive saturated polls that constitute a stall.
+    pub queue_stall_polls: u32,
+}
+
+impl Default for SloThresholds {
+    fn default() -> Self {
+        Self {
+            stage_p99_ns: Vec::new(),
+            queue_depth_limit: 0,
+            queue_stall_polls: 3,
+        }
+    }
+}
+
+/// One SLO breach verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloBreach {
+    /// `"stage_p99"` or `"queue_stall"`.
+    pub reason: &'static str,
+    /// Offending stage (empty for queue stalls).
+    pub stage: String,
+    /// Observed p99 nanoseconds, or queue depth.
+    pub observed: u64,
+    /// The configured limit that was crossed.
+    pub limit: u64,
+}
+
+/// Deterministic core of the watchdog: feeds on consecutive
+/// (cumulative) trace snapshots and a queue-depth sample, computes
+/// per-stage *delta* histograms between observations, and reports
+/// breaches. Pure — the sampler thread lives in [`Watchdog`].
+#[derive(Debug, Default)]
+pub struct SloMonitor {
+    thresholds: SloThresholds,
+    prev: BTreeMap<String, BTreeMap<u64, u64>>,
+    stall_polls: u32,
+}
+
+impl SloMonitor {
+    /// A monitor with the given thresholds and no history.
+    pub fn new(thresholds: SloThresholds) -> Self {
+        Self {
+            thresholds,
+            prev: BTreeMap::new(),
+            stall_polls: 0,
+        }
+    }
+
+    /// Observe one poll: a fresh (cumulative) trace snapshot plus the
+    /// current queue depth. Returns every breach this poll produced.
+    pub fn observe(&mut self, report: &TraceReport, queue_depth: u64) -> Vec<SloBreach> {
+        let mut out = Vec::new();
+        for (stage, limit) in &self.thresholds.stage_p99_ns {
+            let cur: BTreeMap<u64, u64> =
+                report.latency_for(stage).map_or_else(BTreeMap::new, |e| {
+                    e.buckets.iter().map(|b| (b.floor_ns, b.count)).collect()
+                });
+            let prev = self.prev.entry(stage.clone()).or_default();
+            let delta: Vec<LatencyBucket> = cur
+                .iter()
+                .filter_map(|(&floor_ns, &c)| {
+                    let p = prev.get(&floor_ns).copied().unwrap_or(0);
+                    (c > p).then_some(LatencyBucket {
+                        floor_ns,
+                        count: c - p,
+                    })
+                })
+                .collect();
+            *prev = cur;
+            let count: u64 = delta.iter().map(|b| b.count).sum();
+            if count == 0 {
+                continue;
+            }
+            let entry = LatencyEntry {
+                name: stage.clone(),
+                count,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
+                buckets: delta,
+            };
+            let p99 = entry.percentile_ns(0.99);
+            if p99 > *limit {
+                out.push(SloBreach {
+                    reason: "stage_p99",
+                    stage: stage.clone(),
+                    observed: p99,
+                    limit: *limit,
+                });
+            }
+        }
+        let limit = self.thresholds.queue_depth_limit;
+        if limit > 0 && queue_depth >= limit {
+            self.stall_polls = self.stall_polls.saturating_add(1);
+            if self.stall_polls >= self.thresholds.queue_stall_polls {
+                out.push(SloBreach {
+                    reason: "queue_stall",
+                    stage: String::new(),
+                    observed: queue_depth,
+                    limit,
+                });
+                self.stall_polls = 0;
+            }
+        } else {
+            self.stall_polls = 0;
+        }
+        out
+    }
+}
+
+/// Write an anomaly dump (`anomaly_<n>.json`): the breach verdict, the
+/// merged flight-recorder events, and a metrics snapshot. Returns the
+/// path written.
+pub fn write_anomaly_dump(
+    dir: &Path,
+    n: u64,
+    breach: &SloBreach,
+    events: &[FlightEvent],
+    metrics: &str,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("anomaly_{n}.json"));
+    let doc = format!(
+        "{{\n\"breach\": {{\"reason\": \"{}\", \"stage\": \"{}\", \"observed\": {}, \"limit\": {}}},\n\"events\": {},\n\"metrics\": \"{}\"\n}}\n",
+        breach.reason,
+        json_escape(&breach.stage),
+        breach.observed,
+        breach.limit,
+        events_json(events),
+        json_escape(metrics)
+    );
+    std::fs::write(&path, doc)?;
+    Ok(path)
+}
+
+/// Watchdog configuration: sampling cadence, thresholds, and where
+/// anomaly dumps land.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// Sampler period.
+    pub poll: Duration,
+    /// The SLOs to enforce.
+    pub thresholds: SloThresholds,
+    /// Directory receiving `anomaly_<n>.json` dumps.
+    pub out_dir: PathBuf,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            poll: Duration::from_millis(50),
+            thresholds: SloThresholds::default(),
+            out_dir: PathBuf::from("target/trace"),
+        }
+    }
+}
+
+/// The SLO watchdog sampler thread: polls the global trace collector
+/// and a queue-depth probe through an [`SloMonitor`], records
+/// [`EventKind::QueueDepth`] samples on the recorder's external ring,
+/// and writes an anomaly dump per breach. Stopped (and joined) by
+/// [`Watchdog::stop`] or drop.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    breaches: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Start the sampler thread. `queue_depth` is polled once per
+    /// period (e.g. `move || engine.queued() as u64`).
+    pub fn start<F>(cfg: WatchdogConfig, recorder: Arc<FlightRecorder>, queue_depth: F) -> Self
+    where
+        F: Fn() -> u64 + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let breaches = Arc::new(AtomicU64::new(0));
+        let t_stop = Arc::clone(&stop);
+        let t_breaches = Arc::clone(&breaches);
+        let handle = std::thread::spawn(move || {
+            let mut monitor = SloMonitor::new(cfg.thresholds.clone());
+            while !t_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(cfg.poll);
+                let depth = queue_depth();
+                recorder.record(recorder.external_ring(), EventKind::QueueDepth, depth, 0);
+                let report = crate::trace::snapshot();
+                for breach in monitor.observe(&report, depth) {
+                    let idx = t_breaches.fetch_add(1, Ordering::Relaxed);
+                    let events = recorder.snapshot_events();
+                    let metrics = render_openmetrics(&trace_metric_families(&report));
+                    let _ = write_anomaly_dump(&cfg.out_dir, idx, &breach, &events, &metrics);
+                }
+            }
+        });
+        Self {
+            stop,
+            breaches,
+            handle: Some(handle),
+        }
+    }
+
+    /// Breaches observed so far.
+    pub fn breaches(&self) -> u64 {
+        self.breaches.load(Ordering::Relaxed)
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop and join the sampler; returns the final breach count.
+    pub fn stop(mut self) -> u64 {
+        self.halt();
+        self.breaches()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn event_kind_codes_roundtrip_and_are_unique() {
+        let kinds = [
+            EventKind::JobSubmitted,
+            EventKind::JobStolen,
+            EventKind::JobStarted,
+            EventKind::JobFinished,
+            EventKind::ShardBegin,
+            EventKind::ShardEnd,
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::CacheEvict,
+            EventKind::QueueDepth,
+        ];
+        let mut codes: Vec<u64> = kinds.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len());
+        for k in kinds {
+            assert_ne!(k.code(), 0, "0 marks an empty slot");
+            assert_eq!(EventKind::from_code(k.code()), Some(k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(EventKind::from_code(999), None);
+    }
+
+    #[test]
+    fn single_writer_wraparound_keeps_last_capacity_events() {
+        let rec = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            rec.record_at(0, i, EventKind::QueueDepth, i, 0);
+        }
+        let ring0: Vec<u64> = rec
+            .snapshot_events()
+            .iter()
+            .filter(|e| e.ring == 0)
+            .map(|e| e.ts_ns)
+            .collect();
+        assert_eq!(ring0, vec![6, 7, 8, 9], "ring keeps the newest 4 events");
+        assert_eq!(rec.recorded(0), 10);
+    }
+
+    #[test]
+    fn clear_empties_rings_but_heads_stay_monotone() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.record_at(0, 1, EventKind::CacheHit, 0, 0);
+        rec.clear();
+        assert!(rec.snapshot_events().is_empty());
+        rec.record_at(0, 2, EventKind::CacheMiss, 0, 0);
+        assert_eq!(rec.snapshot_events().len(), 1);
+        assert_eq!(rec.recorded(0), 2);
+    }
+
+    #[test]
+    fn out_of_range_ring_is_ignored() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.record_at(99, 1, EventKind::CacheHit, 0, 0);
+        assert!(rec.snapshot_events().is_empty());
+        assert_eq!(rec.external_ring(), 1);
+    }
+
+    proptest! {
+        /// Wraparound: whatever the capacity and event count, a
+        /// single-writer ring drains exactly the newest
+        /// `min(n, capacity)` events, timestamp-sorted.
+        #[test]
+        fn ring_wraparound_is_exact(cap in 2usize..17, n in 0u64..60) {
+            let rec = FlightRecorder::new(1, cap);
+            for i in 0..n {
+                rec.record_at(0, i, EventKind::ShardBegin, i, i.wrapping_mul(3));
+            }
+            let got: Vec<u64> = rec
+                .snapshot_events()
+                .iter()
+                .filter(|e| e.ring == 0)
+                .map(|e| e.ts_ns)
+                .collect();
+            let keep = n.min(u64::try_from(cap).unwrap());
+            let want: Vec<u64> = (n - keep..n).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Concurrent writers on a shared ring and private rings: the
+        /// merged drain is timestamp-ordered, every event is one that
+        /// some writer actually wrote (payload words consistent with
+        /// its timestamp — no torn slots), and per-ring counts respect
+        /// capacity.
+        #[test]
+        fn merged_drain_is_ordered_and_untorn_under_concurrency(
+            writers in 1usize..4,
+            per_writer in 1usize..40,
+            cap in 2usize..33,
+        ) {
+            // Ring w per writer, plus every writer also hammers ring 0.
+            let rec = Arc::new(FlightRecorder::new(writers, cap));
+            std::thread::scope(|s| {
+                for w in 0..writers {
+                    let rec = Arc::clone(&rec);
+                    s.spawn(move || {
+                        let wu = u64::try_from(w).unwrap_or(0);
+                        for i in 0..per_writer {
+                            let iu = u64::try_from(i).unwrap_or(0);
+                            let ts = wu * 1_000_000 + iu;
+                            rec.record_at(w, ts, EventKind::JobStarted, wu, iu);
+                            rec.record_at(0, ts, EventKind::QueueDepth, wu, iu);
+                        }
+                    });
+                }
+            });
+            let events = rec.snapshot_events();
+            // Timestamp-ordered merge.
+            for pair in events.windows(2) {
+                prop_assert!(pair[0].ts_ns <= pair[1].ts_ns);
+            }
+            // No torn reads: every event's payload matches the
+            // (writer, index) encoding of its timestamp.
+            for e in &events {
+                prop_assert_eq!(e.ts_ns, e.a * 1_000_000 + e.b, "payload tearing");
+                prop_assert!(matches!(
+                    e.kind,
+                    EventKind::JobStarted | EventKind::QueueDepth
+                ));
+            }
+            for ring in 0..rec.rings() {
+                let ru = u64::try_from(ring).unwrap();
+                let count = events.iter().filter(|e| e.ring == ru).count();
+                prop_assert!(count <= cap);
+            }
+        }
+    }
+
+    fn sample_families() -> Vec<MetricFamily> {
+        let mut jobs = MetricFamily::new("engine_jobs", "Jobs by state.", MetricKind::Counter);
+        jobs.push(&[("state", "submitted")], MetricValue::from_u64(8));
+        jobs.push(&[("state", "completed")], MetricValue::from_u64(8));
+        let depth = MetricFamily::scalar(
+            "engine_queue_depth",
+            "Jobs waiting in the scheduler.",
+            MetricKind::Gauge,
+            3.0,
+        );
+        let mut lat = MetricFamily::new(
+            "stage_latency_ns",
+            "Latency distribution.",
+            MetricKind::Histogram,
+        );
+        lat.push(
+            &[("stage", "engine.queue_wait")],
+            MetricValue::Histogram {
+                buckets: vec![(2.0, 1), (4.0, 3), (8.0, 6)],
+                count: 7,
+                sum: 40.0,
+            },
+        );
+        vec![jobs, depth, lat]
+    }
+
+    #[test]
+    fn render_passes_checker_and_has_expected_lines() {
+        let text = render_openmetrics(&sample_families());
+        assert!(text.contains("# HELP engine_jobs Jobs by state.\n"));
+        assert!(text.contains("# TYPE engine_jobs counter\n"));
+        assert!(text.contains("engine_jobs_total{state=\"submitted\"} 8\n"));
+        assert!(text.contains("engine_queue_depth 3\n"));
+        assert!(text.contains("stage_latency_ns_bucket{stage=\"engine.queue_wait\",le=\"2\"} 1\n"));
+        assert!(
+            text.contains("stage_latency_ns_bucket{stage=\"engine.queue_wait\",le=\"+Inf\"} 7\n")
+        );
+        assert!(text.contains("stage_latency_ns_count{stage=\"engine.queue_wait\"} 7\n"));
+        assert!(text.contains("stage_latency_ns_sum{stage=\"engine.queue_wait\"} 40\n"));
+        assert!(text.ends_with("# EOF\n"));
+        let n = check_openmetrics(&text).expect("renderer output validates");
+        // 2 counter samples + 1 gauge + 4 buckets (incl. +Inf) + _count + _sum.
+        assert_eq!(n, 2 + 1 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn label_escaping_roundtrips_through_checker() {
+        let mut f = MetricFamily::new("weird", "Labels with escapes.", MetricKind::Gauge);
+        f.push(&[("path", "a\\b\"c\nd")], MetricValue::Scalar(1.0));
+        let text = render_openmetrics(&[f]);
+        assert!(text.contains("weird{path=\"a\\\\b\\\"c\\nd\"} 1\n"));
+        check_openmetrics(&text).expect("escaped labels validate");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        // Missing EOF.
+        assert!(check_openmetrics("# HELP a b\n# TYPE a gauge\na 1\n").is_err());
+        // Sample without TYPE.
+        assert!(check_openmetrics("a 1\n# EOF\n").is_err());
+        // Sample without HELP.
+        assert!(check_openmetrics("# TYPE a gauge\na 1\n# EOF\n").is_err());
+        // Counter sampled without _total suffix.
+        assert!(check_openmetrics("# HELP a b\n# TYPE a counter\na 1\n# EOF\n").is_err());
+        // Bad escape in a label value.
+        assert!(check_openmetrics("# HELP a b\n# TYPE a gauge\na{l=\"x\\q\"} 1\n# EOF\n").is_err());
+        // Histogram without +Inf terminal bucket.
+        let h = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_count 1\nh_sum 2\n# EOF\n";
+        assert!(check_openmetrics(h).is_err());
+        // Histogram with non-monotone counts.
+        let h = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 5\nh_bucket{le=\"4\"} 3\n\
+                 h_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 2\n# EOF\n";
+        assert!(check_openmetrics(h).is_err());
+        // _count disagreeing with the +Inf bucket.
+        let h =
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\nh_sum 2\n# EOF\n";
+        assert!(check_openmetrics(h).is_err());
+        // Content after EOF.
+        assert!(check_openmetrics("# EOF\na 1\n").is_err());
+        // A valid minimal document passes.
+        let ok = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\n\
+                  h_count 1\nh_sum 2\n# EOF\n";
+        assert_eq!(check_openmetrics(ok), Ok(4));
+    }
+
+    #[test]
+    fn trace_families_build_monotone_histograms() {
+        use crate::trace::{LatencyEntry, PhaseEntry, PhaseStats};
+        let report = TraceReport {
+            phases: vec![PhaseEntry {
+                name: "engine.queue_wait".to_string(),
+                stats: PhaseStats {
+                    calls: 7,
+                    nanos: 40,
+                    ..Default::default()
+                },
+            }],
+            latency: vec![LatencyEntry {
+                name: "engine.queue_wait".to_string(),
+                count: 7,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
+                buckets: vec![
+                    LatencyBucket {
+                        floor_ns: 0,
+                        count: 1,
+                    },
+                    LatencyBucket {
+                        floor_ns: 2,
+                        count: 2,
+                    },
+                    LatencyBucket {
+                        floor_ns: 4,
+                        count: 4,
+                    },
+                ],
+            }],
+            ..Default::default()
+        };
+        let fams = trace_metric_families(&report);
+        let text = render_openmetrics(&fams);
+        check_openmetrics(&text).expect("trace-derived families validate");
+        assert!(text.contains("stage_latency_ns_bucket{stage=\"engine.queue_wait\",le=\"2\"} 1\n"));
+        assert!(text.contains("le=\"4\"} 3\n"));
+        assert!(text.contains("le=\"8\"} 7\n"));
+        assert!(text.contains("trace_phase_calls_total{phase=\"engine.queue_wait\"} 7\n"));
+    }
+
+    fn report_with_latency(stage: &str, buckets: Vec<LatencyBucket>, count: u64) -> TraceReport {
+        TraceReport {
+            latency: vec![LatencyEntry {
+                name: stage.to_string(),
+                count,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
+                buckets,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slo_monitor_fires_on_delta_p99_not_cumulative_history() {
+        let mut mon = SloMonitor::new(SloThresholds {
+            stage_p99_ns: vec![("s".to_string(), 100)],
+            ..Default::default()
+        });
+        // First snapshot: 10 fast observations — under the limit.
+        let fast = report_with_latency(
+            "s",
+            vec![LatencyBucket {
+                floor_ns: 16,
+                count: 10,
+            }],
+            10,
+        );
+        assert!(mon.observe(&fast, 0).is_empty());
+        // Re-observing the identical snapshot: zero delta, no breach.
+        assert!(mon.observe(&fast, 0).is_empty());
+        // Now 5 *new* slow observations land; the cumulative histogram
+        // still holds the 10 fast ones, but the delta p99 is slow.
+        let mixed = report_with_latency(
+            "s",
+            vec![
+                LatencyBucket {
+                    floor_ns: 16,
+                    count: 10,
+                },
+                LatencyBucket {
+                    floor_ns: 4096,
+                    count: 5,
+                },
+            ],
+            15,
+        );
+        let breaches = mon.observe(&mixed, 0);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].reason, "stage_p99");
+        assert_eq!(breaches[0].stage, "s");
+        assert!(breaches[0].observed >= 4096);
+    }
+
+    #[test]
+    fn slo_monitor_requires_consecutive_polls_for_a_stall() {
+        let mut mon = SloMonitor::new(SloThresholds {
+            queue_depth_limit: 4,
+            queue_stall_polls: 3,
+            ..Default::default()
+        });
+        let empty = TraceReport::default();
+        assert!(mon.observe(&empty, 9).is_empty());
+        assert!(mon.observe(&empty, 9).is_empty());
+        // A dip resets the streak.
+        assert!(mon.observe(&empty, 0).is_empty());
+        assert!(mon.observe(&empty, 9).is_empty());
+        assert!(mon.observe(&empty, 9).is_empty());
+        let b = mon.observe(&empty, 9);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].reason, "queue_stall");
+        assert_eq!(b[0].observed, 9);
+        assert_eq!(b[0].limit, 4);
+    }
+
+    #[test]
+    fn anomaly_dump_is_written_and_carries_events_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("tlr-anomaly-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let events = vec![
+            FlightEvent {
+                ring: 0,
+                ts_ns: 5,
+                kind: EventKind::JobStarted,
+                a: 1,
+                b: 0,
+            },
+            FlightEvent {
+                ring: 0,
+                ts_ns: 9,
+                kind: EventKind::JobFinished,
+                a: 1,
+                b: 4,
+            },
+        ];
+        let breach = SloBreach {
+            reason: "stage_p99",
+            stage: "engine.job_total".to_string(),
+            observed: 9_000,
+            limit: 100,
+        };
+        let metrics = render_openmetrics(&sample_families());
+        let path = write_anomaly_dump(&dir, 0, &breach, &events, &metrics).expect("dump written");
+        assert!(path.ends_with("anomaly_0.json"));
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        assert!(text.contains("\"reason\": \"stage_p99\""));
+        assert!(text.contains("\"kind\":\"JobStarted\""));
+        assert!(text.contains("\"kind\":\"JobFinished\""));
+        assert!(text.contains("engine_jobs_total"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn events_json_is_ordered_and_escaped() {
+        let events = vec![FlightEvent {
+            ring: 2,
+            ts_ns: 7,
+            kind: EventKind::CacheEvict,
+            a: 64,
+            b: 128,
+        }];
+        let text = events_json(&events);
+        assert!(text.starts_with('['));
+        assert!(text.contains("\"ring\":2"));
+        assert!(text.contains("\"kind\":\"CacheEvict\""));
+        assert!(text.ends_with("]"));
+        assert_eq!(events_json(&[]), "[\n]");
+    }
+}

@@ -69,6 +69,7 @@ use std::time::Instant;
 use rayon::prelude::*;
 use seismic_la::scalar::C32;
 use tlr_mvm::invariant::assert_finite;
+use tlr_mvm::telemetry::{EventKind, FlightRecorder, MetricFamily, MetricKind, MetricValue};
 use tlr_mvm::trace;
 use tlr_mvm::{LinearOperator, ThreePhase, ThreePhaseScratch, TlrMatrix};
 
@@ -90,6 +91,20 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Default number of frequency shards per sweep when the caller does
 /// not pick one ([`FrequencyOperators::with_shards`]).
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Per-job handle a batched sweep uses to stamp `ShardBegin` /
+/// `ShardEnd` flight-recorder events (DESIGN.md §14): which recorder,
+/// which ring (the executing worker's), and which job the shards belong
+/// to. `Copy` so the rayon shard closure can capture it by value.
+#[derive(Clone, Copy)]
+pub struct ShardRecorder<'a> {
+    /// Destination flight recorder.
+    pub recorder: &'a FlightRecorder,
+    /// Ring the events land on (the executing worker's ring).
+    pub ring: usize,
+    /// Engine-assigned id of the job this sweep executes.
+    pub job: u64,
+}
 
 /// The batched multi-frequency operator: one prebuilt [`ThreePhase`]
 /// layout per retained frequency bin, applied to the matching segment
@@ -219,6 +234,21 @@ impl FrequencyOperators {
     /// each frequency executes the same kernels over the same disjoint
     /// segments, so no summation order changes.
     pub fn apply_all_frequencies_into(&self, x: &[C32], y: &mut [C32]) {
+        self.apply_all_frequencies_recorded(x, y, None);
+    }
+
+    /// [`Self::apply_all_frequencies_into`] with optional flight-recorder
+    /// shard events: when `rec` is supplied, every shard stamps a
+    /// `ShardBegin`/`ShardEnd` pair `(a = job, b = shard index)` onto the
+    /// recorder ring. With `rec = None` the only extra cost is one
+    /// `Option` test per shard — the `telemetry.overhead` perfbench pair
+    /// measures exactly this path on and off.
+    pub fn apply_all_frequencies_recorded(
+        &self,
+        x: &[C32],
+        y: &mut [C32],
+        rec: Option<ShardRecorder<'_>>,
+    ) {
         assert_eq!(x.len(), self.ncols_total());
         assert_eq!(y.len(), self.nrows_total());
         assert_finite("engine.batch_apply.x", x);
@@ -235,7 +265,13 @@ impl FrequencyOperators {
         views
             .par_iter_mut()
             .zip(&ranges)
-            .for_each(|(seg, &(lo, hi))| {
+            .enumerate()
+            .for_each(|(s, (seg, &(lo, hi)))| {
+                let shard = u64::try_from(s).unwrap_or(u64::MAX);
+                if let Some(r) = rec {
+                    r.recorder
+                        .record(r.ring, EventKind::ShardBegin, r.job, shard);
+                }
                 let mut scratch = self.checkout_scratch();
                 for f in lo..hi {
                     let xf = &x[f * self.n_rec..(f + 1) * self.n_rec];
@@ -243,6 +279,9 @@ impl FrequencyOperators {
                     self.layouts[f].apply_with_scratch(xf, &mut scratch, yf);
                 }
                 self.return_scratch(scratch);
+                if let Some(r) = rec {
+                    r.recorder.record(r.ring, EventKind::ShardEnd, r.job, shard);
+                }
             });
         assert_finite("engine.batch_apply.y", y);
     }
@@ -410,6 +449,7 @@ struct CacheInner {
 pub struct OperatorCache {
     budget_bytes: usize,
     inner: Mutex<CacheInner>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl OperatorCache {
@@ -425,6 +465,26 @@ impl OperatorCache {
                 misses: 0,
                 evictions: 0,
             }),
+            recorder: None,
+        }
+    }
+
+    /// Attach a flight recorder: `CacheHit` / `CacheMiss` / `CacheEvict`
+    /// events land on its external ring with `(a = entry bytes,
+    /// b = resident bytes after the event)`.
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn record_cache(&self, kind: EventKind, bytes: usize, resident: usize) {
+        if let Some(rec) = &self.recorder {
+            rec.record(
+                rec.external_ring(),
+                kind,
+                u64::try_from(bytes).unwrap_or(u64::MAX),
+                u64::try_from(resident).unwrap_or(u64::MAX),
+            );
         }
     }
 
@@ -448,7 +508,10 @@ impl OperatorCache {
             if let Some(slot) = c.map.get_mut(key) {
                 slot.last_used = tick;
                 let ops = Arc::clone(&slot.ops);
+                let (bytes, resident) = (slot.bytes, c.used_bytes);
                 c.hits += 1;
+                drop(c);
+                self.record_cache(EventKind::CacheHit, bytes, resident);
                 return ops;
             }
             c.misses += 1;
@@ -471,6 +534,8 @@ impl OperatorCache {
                 last_used: tick,
             },
         );
+        let miss_resident = c.used_bytes;
+        let mut evicted: Vec<(usize, usize)> = Vec::new();
         while c.used_bytes > self.budget_bytes && c.map.len() > 1 {
             let victim = c
                 .map
@@ -483,10 +548,16 @@ impl OperatorCache {
                     if let Some(slot) = c.map.remove(&v) {
                         c.used_bytes -= slot.bytes;
                         c.evictions += 1;
+                        evicted.push((slot.bytes, c.used_bytes));
                     }
                 }
                 None => break,
             }
+        }
+        drop(c);
+        self.record_cache(EventKind::CacheMiss, bytes, miss_resident);
+        for (freed, resident) in evicted {
+            self.record_cache(EventKind::CacheEvict, freed, resident);
         }
         built
     }
@@ -537,6 +608,9 @@ pub enum JobSpec {
 /// A finished job: its output vector and per-stage timings.
 #[derive(Clone, Debug)]
 pub struct JobResult {
+    /// Engine-assigned job id — the same id the flight recorder and the
+    /// Perfetto flow arrows carry for this job.
+    pub job: u64,
     /// MVM output (`nrows_total`) or MDD solution (`ncols_total`).
     pub output: Vec<C32>,
     /// Submission → dequeue, ns.
@@ -581,19 +655,26 @@ impl JobHandle {
 }
 
 struct Job {
+    id: u64,
     spec: JobSpec,
     submitted: Instant,
     slot: Arc<ResultSlot>,
 }
 
 /// Scheduler sizing and limits.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads.
     pub workers: usize,
     /// Total queued jobs (across all worker deques) beyond which
     /// [`Engine::submit`] blocks and [`Engine::try_submit`] refuses.
     pub queue_depth: usize,
+    /// Optional flight recorder: worker `w` stamps its events on ring
+    /// `w`, submissions and queue-depth samples land on the external
+    /// ring. Build it with at least `workers` rings
+    /// (`FlightRecorder::new(workers, capacity)`); events addressed to
+    /// missing rings are dropped, never an error.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for EngineConfig {
@@ -601,6 +682,7 @@ impl Default for EngineConfig {
         Self {
             workers: 2,
             queue_depth: 64,
+            recorder: None,
         }
     }
 }
@@ -616,6 +698,16 @@ pub struct EngineStats {
     pub rejected: u64,
     /// Jobs an idle worker stole from a peer's deque.
     pub stolen: u64,
+}
+
+/// Instantaneous scheduler gauges, sampled by [`Engine::gauges`] and
+/// exported as `engine_queue_depth` / `engine_workers_busy`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineGauges {
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub queue_depth: u64,
+    /// Workers currently executing a job.
+    pub workers_busy: u64,
 }
 
 struct SchedState {
@@ -638,6 +730,12 @@ struct Shared {
     completed: AtomicU64,
     rejected: AtomicU64,
     stolen: AtomicU64,
+    /// Workers currently inside `execute` (the `engine_workers_busy`
+    /// gauge).
+    busy: AtomicU64,
+    /// Monotone job-id source shared by `submit` and `try_submit`.
+    next_job: AtomicU64,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Work-stealing scheduler for concurrent MVM/MDD jobs.
@@ -675,6 +773,9 @@ impl Engine {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            recorder: cfg.recorder,
         });
         let workers = (0..workers_n)
             .map(|id| {
@@ -688,7 +789,8 @@ impl Engine {
     /// Submit a job, blocking while the queues are at depth
     /// (backpressure). Returns a handle to wait on.
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
-        let job = make_job(spec);
+        let id = self.shared.next_job.fetch_add(1, AtomicOrdering::Relaxed);
+        let job = make_job(id, spec);
         let handle = JobHandle {
             slot: Arc::clone(&job.slot),
         };
@@ -701,8 +803,10 @@ impl Engine {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         enqueue(&mut st, job);
+        let depth = st.queued;
         self.shared.submitted.fetch_add(1, AtomicOrdering::Relaxed);
         drop(st);
+        record_submitted(&self.shared, id, depth);
         self.shared.work.notify_one();
         handle
     }
@@ -716,13 +820,16 @@ impl Engine {
             self.shared.rejected.fetch_add(1, AtomicOrdering::Relaxed);
             return Err(spec);
         }
-        let job = make_job(spec);
+        let id = self.shared.next_job.fetch_add(1, AtomicOrdering::Relaxed);
+        let job = make_job(id, spec);
         let handle = JobHandle {
             slot: Arc::clone(&job.slot),
         };
         enqueue(&mut st, job);
+        let depth = st.queued;
         self.shared.submitted.fetch_add(1, AtomicOrdering::Relaxed);
         drop(st);
+        record_submitted(&self.shared, id, depth);
         self.shared.work.notify_one();
         Ok(handle)
     }
@@ -730,6 +837,16 @@ impl Engine {
     /// Jobs currently queued (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
         lock_recover(&self.shared.state).queued
+    }
+
+    /// Instantaneous gauges: current queue depth and busy workers —
+    /// the scrape targets behind `engine_queue_depth` /
+    /// `engine_workers_busy`.
+    pub fn gauges(&self) -> EngineGauges {
+        EngineGauges {
+            queue_depth: u64::try_from(lock_recover(&self.shared.state).queued).unwrap_or(u64::MAX),
+            workers_busy: self.shared.busy.load(AtomicOrdering::Relaxed),
+        }
     }
 
     /// Snapshot of the scheduler counters.
@@ -763,14 +880,28 @@ impl Drop for Engine {
     }
 }
 
-fn make_job(spec: JobSpec) -> Job {
+fn make_job(id: u64, spec: JobSpec) -> Job {
     Job {
+        id,
         spec,
         submitted: Instant::now(),
         slot: Arc::new(ResultSlot {
             done: Mutex::new(None),
             cv: Condvar::new(),
         }),
+    }
+}
+
+/// Stamp a `JobSubmitted` event on the recorder's external ring
+/// (`a` = job id, `b` = queue depth right after the enqueue).
+fn record_submitted(shared: &Shared, id: u64, depth: usize) {
+    if let Some(rec) = &shared.recorder {
+        rec.record(
+            rec.external_ring(),
+            EventKind::JobSubmitted,
+            id,
+            u64::try_from(depth).unwrap_or(u64::MAX),
+        );
     }
 }
 
@@ -795,6 +926,14 @@ fn take_job(st: &mut SchedState, id: usize, shared: &Shared) -> Option<Job> {
     let job = st.deques[victim].pop_back()?;
     st.queued -= 1;
     shared.stolen.fetch_add(1, AtomicOrdering::Relaxed);
+    if let Some(rec) = &shared.recorder {
+        rec.record(
+            id,
+            EventKind::JobStolen,
+            job.id,
+            u64::try_from(victim).unwrap_or(u64::MAX),
+        );
+    }
     Some(job)
 }
 
@@ -821,13 +960,27 @@ fn worker_loop(id: usize, shared: &Shared) {
         shared.room.notify_one();
         let queue_ns = duration_ns(job.submitted.elapsed());
         trace::record_duration("engine.queue_wait", queue_ns);
+        if let Some(rec) = &shared.recorder {
+            rec.record(id, EventKind::JobStarted, job.id, queue_ns);
+        }
+        shared.busy.fetch_add(1, AtomicOrdering::Relaxed);
         let exec_start = Instant::now();
-        let output = execute(job.spec);
+        let shard_rec = shared.recorder.as_deref().map(|recorder| ShardRecorder {
+            recorder,
+            ring: id,
+            job: job.id,
+        });
+        let output = execute(job.spec, shard_rec);
         let exec_ns = duration_ns(exec_start.elapsed());
+        shared.busy.fetch_sub(1, AtomicOrdering::Relaxed);
+        if let Some(rec) = &shared.recorder {
+            rec.record(id, EventKind::JobFinished, job.id, exec_ns);
+        }
         let total_ns = duration_ns(job.submitted.elapsed());
         trace::record_duration("engine.job_total", total_ns);
         shared.completed.fetch_add(1, AtomicOrdering::Relaxed);
         let result = JobResult {
+            job: job.id,
             output,
             queue_ns,
             exec_ns,
@@ -839,17 +992,94 @@ fn worker_loop(id: usize, shared: &Shared) {
     }
 }
 
-fn execute(spec: JobSpec) -> Vec<C32> {
+fn execute(spec: JobSpec, rec: Option<ShardRecorder<'_>>) -> Vec<C32> {
     match spec {
         JobSpec::Mvm { ops, x } => {
             let _span = trace::span("engine.exec_mvm");
-            ops.apply_all_frequencies(&x)
+            let mut y = vec![CZERO; ops.nrows_total()];
+            ops.apply_all_frequencies_recorded(&x, &mut y, rec);
+            y
         }
         JobSpec::Mdd { ops, y, opts } => {
+            // LSQR runs many sweeps per job; per-shard events would
+            // dominate the ring, so MDD jobs record only the job-level
+            // lifecycle.
             let _span = trace::span("engine.exec_mdd");
             lsqr(&*ops, &y, opts).x
         }
     }
+}
+
+/// Render the serving-side counters — scheduler gauges,
+/// [`EngineStats`] and [`CacheStats`] — as OpenMetrics families. The
+/// trace-histogram half of a full scrape comes from
+/// [`tlr_mvm::telemetry::trace_metric_families`]; `repro metrics`
+/// concatenates both.
+pub fn engine_metric_families(
+    gauges: &EngineGauges,
+    stats: &EngineStats,
+    cache: &CacheStats,
+) -> Vec<MetricFamily> {
+    let mut depth = MetricFamily::new(
+        "engine_queue_depth",
+        "Jobs queued across all worker deques.",
+        MetricKind::Gauge,
+    );
+    depth.push(&[], MetricValue::from_u64(gauges.queue_depth));
+    let mut busy = MetricFamily::new(
+        "engine_workers_busy",
+        "Workers currently executing a job.",
+        MetricKind::Gauge,
+    );
+    busy.push(&[], MetricValue::from_u64(gauges.workers_busy));
+    let mut jobs = MetricFamily::new(
+        "engine_jobs",
+        "Scheduler job counters by state.",
+        MetricKind::Counter,
+    );
+    jobs.push(
+        &[("state", "submitted")],
+        MetricValue::from_u64(stats.submitted),
+    );
+    jobs.push(
+        &[("state", "completed")],
+        MetricValue::from_u64(stats.completed),
+    );
+    jobs.push(
+        &[("state", "rejected")],
+        MetricValue::from_u64(stats.rejected),
+    );
+    jobs.push(&[("state", "stolen")], MetricValue::from_u64(stats.stolen));
+    let mut resident = MetricFamily::new(
+        "cache_resident_bytes",
+        "Bytes of compressed operators held by the cache.",
+        MetricKind::Gauge,
+    );
+    resident.push(
+        &[],
+        MetricValue::from_u64(u64::try_from(cache.used_bytes).unwrap_or(u64::MAX)),
+    );
+    let mut entries = MetricFamily::new(
+        "cache_entries",
+        "Operator stacks currently resident.",
+        MetricKind::Gauge,
+    );
+    entries.push(
+        &[],
+        MetricValue::from_u64(u64::try_from(cache.entries).unwrap_or(u64::MAX)),
+    );
+    let mut events = MetricFamily::new(
+        "cache_events",
+        "Operator-cache lookup outcomes by kind.",
+        MetricKind::Counter,
+    );
+    events.push(&[("kind", "hit")], MetricValue::from_u64(cache.hits));
+    events.push(&[("kind", "miss")], MetricValue::from_u64(cache.misses));
+    events.push(
+        &[("kind", "eviction")],
+        MetricValue::from_u64(cache.evictions),
+    );
+    vec![depth, busy, jobs, resident, entries, events]
 }
 
 fn duration_ns(d: std::time::Duration) -> u64 {
@@ -978,6 +1208,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 3,
             queue_depth: 16,
+            recorder: None,
         });
         let handles: Vec<JobHandle> = (0..8)
             .map(|_| {
@@ -1030,6 +1261,7 @@ mod tests {
         let engine = Engine::start(EngineConfig {
             workers: 1,
             queue_depth: 1,
+            recorder: None,
         });
         let mut accepted = 0u64;
         let mut rejected = 0u64;
@@ -1067,6 +1299,7 @@ mod tests {
         let mut engine = Engine::start(EngineConfig {
             workers: 2,
             queue_depth: 64,
+            recorder: None,
         });
         let handles: Vec<JobHandle> = (0..16)
             .map(|_| {
@@ -1118,5 +1351,156 @@ mod tests {
         }
         assert!(rep.latency_for("engine.exec_mvm").is_some());
         trace::reset();
+    }
+
+    fn count_kind(events: &[tlr_mvm::telemetry::FlightEvent], kind: EventKind) -> u64 {
+        u64::try_from(events.iter().filter(|e| e.kind == kind).count()).unwrap()
+    }
+
+    #[test]
+    fn flight_recorder_captures_every_job_lifecycle_event() {
+        let tlr = stack(3, 24, 20, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr).with_shards(2));
+        let recorder = Arc::new(FlightRecorder::new(2, 4096));
+        let mut engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+            recorder: Some(Arc::clone(&recorder)),
+        });
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|_| {
+                engine.submit(JobSpec::Mvm {
+                    ops: Arc::clone(&ops),
+                    x: test_x(3 * 20),
+                })
+            })
+            .collect();
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.wait().job).collect();
+        engine.shutdown();
+        let stats = engine.stats();
+        let events = recorder.snapshot_events();
+
+        assert_eq!(
+            count_kind(&events, EventKind::JobSubmitted),
+            stats.submitted
+        );
+        assert_eq!(count_kind(&events, EventKind::JobStarted), stats.completed);
+        assert_eq!(count_kind(&events, EventKind::JobFinished), stats.completed);
+        assert_eq!(count_kind(&events, EventKind::JobStolen), stats.stolen);
+        // 2 shards per MVM job, one Begin/End pair each.
+        assert_eq!(
+            count_kind(&events, EventKind::ShardBegin),
+            2 * stats.completed
+        );
+        assert_eq!(
+            count_kind(&events, EventKind::ShardEnd),
+            2 * stats.completed
+        );
+        // Submissions land on the external ring; worker events on 0/1.
+        let ext = u64::try_from(recorder.external_ring()).unwrap();
+        for e in &events {
+            match e.kind {
+                EventKind::JobSubmitted => assert_eq!(e.ring, ext),
+                EventKind::JobStarted | EventKind::JobFinished => assert!(e.ring < ext),
+                _ => {}
+            }
+        }
+        // Every handle's job id shows up as a submitted + finished event.
+        for id in ids {
+            assert!(events
+                .iter()
+                .any(|e| e.kind == EventKind::JobSubmitted && e.a == id));
+            assert!(events
+                .iter()
+                .any(|e| e.kind == EventKind::JobFinished && e.a == id));
+        }
+    }
+
+    /// The ISSUE's induced-overload shape: a heavy rung of slow MDD jobs
+    /// against a single worker and a tiny queue bound keeps the queue
+    /// pinned at depth, the watchdog's stall detector fires, and the
+    /// anomaly dump's events reconcile with the engine counters.
+    #[test]
+    fn watchdog_fires_on_induced_overload_and_dump_reconciles() {
+        use tlr_mvm::telemetry::{SloThresholds, Watchdog, WatchdogConfig};
+
+        let tlr = stack(2, 24, 20, 8);
+        let ops = Arc::new(FrequencyOperators::build(&tlr).with_shards(2));
+        let recorder = Arc::new(FlightRecorder::new(1, 8192));
+        let engine = Arc::new(Engine::start(EngineConfig {
+            workers: 1,
+            queue_depth: 2,
+            recorder: Some(Arc::clone(&recorder)),
+        }));
+        let dir = std::env::temp_dir().join(format!("anomaly-overload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dog = {
+            let eng = Arc::clone(&engine);
+            Watchdog::start(
+                WatchdogConfig {
+                    poll: std::time::Duration::from_millis(1),
+                    thresholds: SloThresholds {
+                        stage_p99_ns: Vec::new(),
+                        queue_depth_limit: 1,
+                        queue_stall_polls: 2,
+                    },
+                    out_dir: dir.clone(),
+                },
+                Arc::clone(&recorder),
+                move || u64::try_from(eng.queued()).unwrap_or(u64::MAX),
+            )
+        };
+        // Blocking submits of slow jobs: the producer keeps the queue at
+        // its bound while the single worker grinds through LSQR.
+        let producer = {
+            let eng = Arc::clone(&engine);
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || {
+                let handles: Vec<JobHandle> = (0..10)
+                    .map(|_| {
+                        eng.submit(JobSpec::Mdd {
+                            ops: Arc::clone(&ops),
+                            y: test_x(2 * 24),
+                            opts: LsqrOptions {
+                                max_iters: 400,
+                                rel_tol: 0.0,
+                                damp: 0.0,
+                            },
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let _ = h.wait();
+                }
+            })
+        };
+        let t0 = Instant::now();
+        while dog.breaches() == 0 && t0.elapsed() < std::time::Duration::from_secs(60) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        producer.join().expect("producer thread");
+        let breaches = dog.stop();
+        assert!(breaches >= 1, "overload must trip the stall detector");
+
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 10);
+        let dump = std::fs::read_to_string(dir.join("anomaly_0.json")).expect("anomaly dump");
+        assert!(!dump.is_empty());
+        assert!(dump.contains("\"reason\": \"queue_stall\""));
+        assert!(dump.contains("\"kind\":\"QueueDepth\""));
+        // The dump is a mid-run ring snapshot: every job event it holds
+        // must be one the engine actually counted.
+        let submitted_in_dump =
+            u64::try_from(dump.matches("\"kind\":\"JobSubmitted\"").count()).unwrap();
+        assert!(submitted_in_dump >= 1, "dump carries submit events");
+        assert!(submitted_in_dump <= stats.submitted);
+        // The final ring state reconciles exactly with the counters.
+        let events = recorder.snapshot_events();
+        assert_eq!(
+            count_kind(&events, EventKind::JobSubmitted),
+            stats.submitted
+        );
+        assert_eq!(count_kind(&events, EventKind::JobFinished), stats.completed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,8 +40,8 @@ pub use driver::{
     MddConfig, MddRun,
 };
 pub use engine::{
-    CacheStats, Engine, EngineConfig, EngineStats, FrequencyOperators, JobHandle, JobResult,
-    JobSpec, OperatorCache, OperatorKey,
+    engine_metric_families, CacheStats, Engine, EngineConfig, EngineGauges, EngineStats,
+    FrequencyOperators, JobHandle, JobResult, JobSpec, OperatorCache, OperatorKey, ShardRecorder,
 };
 pub use lsqr::{lsqr, LsqrOptions, LsqrResult};
 pub use mdc::{freq_vectors_to_time_traces, MdcOperator};

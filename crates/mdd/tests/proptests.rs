@@ -171,7 +171,11 @@ proptest! {
         let ops = Arc::new(FrequencyOperators::build(&tlr).with_shards(shards));
         let x = rand_vec(nf * n, seed + 80);
         let want = ops.apply_all_frequencies(&x);
-        let engine = Engine::start(EngineConfig { workers, queue_depth: 8 });
+        let engine = Engine::start(EngineConfig {
+            workers,
+            queue_depth: 8,
+            recorder: None,
+        });
         let got = engine
             .submit(JobSpec::Mvm { ops: Arc::clone(&ops), x: x.clone() })
             .wait()

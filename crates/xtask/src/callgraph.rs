@@ -21,17 +21,65 @@
 //!
 //! `PF01` then runs BFS from the exported hot entry points and reports
 //! every reachable panic-family token with a witness path
-//! (entry → … → panic site). Sanctioned sinks — `lint.toml` `[[allow]]`
-//! entries with `rule = "PF01"` — stop traversal at a named callee
-//! (e.g. `precision::checked_cast`, whose `panic!` is unreachable for
-//! range-checked inputs by construction).
+//! (entry → … → panic site). Sanctioned sinks stop traversal at a named
+//! callee (e.g. `precision::checked_cast`, whose `panic!` is
+//! unreachable for range-checked inputs by construction). A sink is
+//! sanctioned **at its definition site** by an inline
+//! `// SANCTION(PF01): reason` comment on the `fn` line or the line
+//! directly above (collected by [`collect_pf01_sanctions`]); `lint.toml`
+//! `[[allow]]` entries with `rule = "PF01"` remain supported for
+//! sanctions that genuinely have no single site, but the file is kept
+//! empty — every current exception lives at its definition.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use wse_sim::verify::{Diagnostic, Severity};
 
 use crate::lexer::{Tok, TokKind, STMT_KEYWORDS};
-use crate::lint::{AllowEntry, LoadedFile, PANIC_MACROS, PANIC_METHODS};
+use crate::lint::{collect_sanctions, AllowEntry, LoadedFile, PANIC_MACROS, PANIC_METHODS};
+
+/// One site-scoped PF01 sanction: `// SANCTION(PF01): reason` on (or
+/// directly above) a `fn` definition line. BFS does not traverse into
+/// the sanctioned function; its panic arm is the documented loud-failure
+/// contract, unreachable for the values hot callers feed it.
+#[derive(Clone, Debug)]
+pub struct Pf01Sanction {
+    /// Workspace-relative path of the file holding the sanction.
+    pub file: String,
+    /// 1-based line of the sanction comment; covers a definition on
+    /// this line or the line directly below.
+    pub line: usize,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+impl Pf01Sanction {
+    /// Whether this sanction covers a function defined at
+    /// `file:def_line`.
+    pub fn covers(&self, file: &str, def_line: usize) -> bool {
+        self.file == file && (self.line == def_line || self.line + 1 == def_line)
+    }
+}
+
+/// Collect every inline PF01 sanction in the workspace (their token-rule
+/// liveness check is skipped by `run_lints`; [`prove_panic_free`] owns
+/// it instead).
+pub fn collect_pf01_sanctions(files: &[LoadedFile]) -> Vec<Pf01Sanction> {
+    let mut out = Vec::new();
+    for f in files {
+        let (sanctions, _) = collect_sanctions(f);
+        for s in sanctions {
+            if s.rule == "PF01" {
+                out.push(Pf01Sanction {
+                    file: f.rel.clone(),
+                    line: s.line,
+                    reason: s.reason,
+                });
+            }
+        }
+    }
+    out
+}
 
 /// The exported hot entry points whose closure must be panic-free:
 /// the three-phase and comm-avoiding TLR-MVM drivers, the TLR-MMM
@@ -551,14 +599,22 @@ pub struct Pf01Report {
     pub sanctioned: usize,
 }
 
-/// Prove no panic-family token is reachable from `entries`. `allows`
-/// entries with `rule = "PF01"` sanction sinks: a callee whose file
-/// starts with the entry's `path` and whose qualified name contains its
-/// `contains` needle is not traversed into (`hits` records the use, so
-/// LT02 keeps the sanction honest).
+/// Prove no panic-family token is reachable from `entries`. Two
+/// sanction channels stop traversal at a sink, and both are
+/// liveness-checked:
+///
+/// * `sanctions` — site-scoped `// SANCTION(PF01)` comments at a
+///   callee's definition ([`Pf01Sanction::covers`]); a sanction that
+///   stops zero traversals earns an LT02 diagnostic here (the token
+///   pass skips PF01 staleness).
+/// * `allows` — `lint.toml` entries with `rule = "PF01"`: a callee
+///   whose file starts with the entry's `path` and whose qualified name
+///   contains its `contains` needle (`hits` records the use, so the
+///   caller's LT02 pass keeps the entry honest).
 pub fn prove_panic_free(
     graph: &CallGraph,
     entries: &[&str],
+    sanctions: &[Pf01Sanction],
     allows: &[AllowEntry],
     hits: &mut [usize],
 ) -> Pf01Report {
@@ -569,6 +625,7 @@ pub fn prove_panic_free(
     // parent[id] = caller id (for witness paths); entries map to None.
     let mut parent: HashMap<usize, Option<usize>> = HashMap::new();
     let mut sanctioned = 0usize;
+    let mut sanction_hits = vec![0usize; sanctions.len()];
 
     for spec in entries {
         let ids = graph.find_entries(spec);
@@ -628,6 +685,14 @@ pub fn prove_panic_free(
                 }
                 let target = &graph.items[cand];
                 let qualified = target.qualified();
+                if let Some(si) = sanctions
+                    .iter()
+                    .position(|s| s.covers(&target.file, target.line))
+                {
+                    sanction_hits[si] += 1;
+                    sanctioned += 1;
+                    continue 'cand;
+                }
                 for (ai, a) in allows.iter().enumerate() {
                     if a.rule == "PF01"
                         && target.file.starts_with(&a.path)
@@ -644,6 +709,20 @@ pub fn prove_panic_free(
                 parent.insert(cand, Some(id));
                 queue.push_back(cand);
             }
+        }
+    }
+
+    for (s, h) in sanctions.iter().zip(&sanction_hits) {
+        if *h == 0 {
+            diagnostics.push(Diagnostic {
+                rule: "LT02",
+                severity: Severity::Error,
+                location: format!("{}:{}", s.file, s.line),
+                message: format!(
+                    "stale inline sanction `// SANCTION(PF01): {}` stops zero                      call-graph traversals — delete the comment",
+                    s.reason
+                ),
+            });
         }
     }
 
@@ -669,7 +748,7 @@ mod tests {
     fn prove(files: &[(&str, &str)], entries: &[&str]) -> Pf01Report {
         let loaded = load(files);
         let graph = build(&loaded);
-        prove_panic_free(&graph, entries, &[], &mut [])
+        prove_panic_free(&graph, entries, &[], &[], &mut [])
     }
 
     #[test]
@@ -847,7 +926,7 @@ mod tests {
             reason: "range-proved by construction".to_string(),
         }];
         let mut hits = vec![0usize];
-        let report = prove_panic_free(&graph, &["entry"], &allows, &mut hits);
+        let report = prove_panic_free(&graph, &["entry"], &[], &allows, &mut hits);
         assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
         assert_eq!(hits[0], 1, "sanction use recorded for LT02");
         assert_eq!(report.sanctioned, 1);

@@ -185,7 +185,14 @@ fn analyze(args: &[String]) -> ExitCode {
 
     // Pass 2: PF01 panic-freedom proof over the call graph.
     let graph = callgraph::build(&files);
-    let pf01 = callgraph::prove_panic_free(&graph, callgraph::HOT_ENTRY_POINTS, &allows, &mut hits);
+    let pf01_sanctions = callgraph::collect_pf01_sanctions(&files);
+    let pf01 = callgraph::prove_panic_free(
+        &graph,
+        callgraph::HOT_ENTRY_POINTS,
+        &pf01_sanctions,
+        &allows,
+        &mut hits,
+    );
     let pf01_clean = pf01.diagnostics.is_empty();
     let (pf01_entries, pf01_reachable, pf01_sanctioned) =
         (pf01.entries_found, pf01.reachable, pf01.sanctioned);
@@ -327,7 +334,8 @@ fn analyze(args: &[String]) -> ExitCode {
         }
         println!(
             "analyze: {n_files} files linted, {plans_checked} plans verified, \
-             {errors} errors, {warnings} warnings, {allowed} allowed by lint.toml ({} entries)",
+             {errors} errors, {warnings} warnings, {allowed} allowed by inline \
+             sanctions + lint.toml ({} entries)",
             allows.len()
         );
     }

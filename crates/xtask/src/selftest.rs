@@ -145,7 +145,9 @@ fn bd01_checks() -> Vec<Check> {
     let prove = Check {
         rule: "BD01",
         ok: proven.diagnostics.is_empty()
-            && proven.proved.contains("gather@crates/core/src/selftest_bd01.rs"),
+            && proven
+                .proved
+                .contains("gather@crates/core/src/selftest_bd01.rs"),
         detail: format!(
             "hoisted guards prove both unchecked sites ({} diags, proved={:?})",
             proven.diagnostics.len(),
@@ -169,10 +171,8 @@ fn bd01_checks() -> Vec<Check> {
 
     // Fail path 2: missing guard — the forall fact on dst is deleted, so
     // the write site is UNPROVEN and the missing fact is named.
-    let missing = run(&BD01_PROVEN_FIXTURE.replace(
-        "    assert!(idx.iter().all(|&q| q < dst.len()));\n",
-        "",
-    ));
+    let missing =
+        run(&BD01_PROVEN_FIXTURE.replace("    assert!(idx.iter().all(|&q| q < dst.len()));\n", ""));
     let named = missing
         .diagnostics
         .iter()
@@ -224,11 +224,9 @@ fn us01_checks() -> Vec<Check> {
     };
 
     // Stale: guards deleted → the referenced proof no longer holds.
-    let stale = run(
-        &BD01_PROVEN_FIXTURE
-            .replace("    assert!(idx.len() <= src.len());\n", "")
-            .replace("    assert!(idx.iter().all(|&q| q < dst.len()));\n", ""),
-    );
+    let stale = run(&BD01_PROVEN_FIXTURE
+        .replace("    assert!(idx.len() <= src.len());\n", "")
+        .replace("    assert!(idx.iter().all(|&q| q < dst.len()));\n", ""));
     let b = Check {
         rule: "US01",
         ok: stale
@@ -255,10 +253,43 @@ fn us01_checks() -> Vec<Check> {
     vec![a, b, c]
 }
 
+/// PF01 site-sanction fixture: the same planted panic, but the sink
+/// carries an inline `// SANCTION(PF01)` on its definition line — the
+/// proof must stop there (zero diagnostics, one sanctioned stop), and a
+/// sanction that stops nothing must come back as LT02.
+fn pf01_sanction_check() -> Check {
+    let fixture = "\
+pub fn hot_entry(x: u32) -> u32 { stage_one(x) }\n\
+fn stage_one(x: u32) -> u32 { stage_two(x) }\n\
+// SANCTION(PF01): fixture — the panic is the documented contract\n\
+fn stage_two(x: u32) -> u32 { if x > 3 { panic!(\"planted\") } else { x } }\n";
+    let f = LoadedFile::new("crates/core/src/selftest_pf01s.rs", fixture.to_string());
+    let graph = build(std::slice::from_ref(&f));
+    let sanctions = crate::callgraph::collect_pf01_sanctions(std::slice::from_ref(&f));
+    let report = prove_panic_free(&graph, &["hot_entry"], &sanctions, &[], &mut []);
+    let live_ok = report.diagnostics.is_empty() && report.sanctioned == 1;
+
+    let stale = crate::callgraph::Pf01Sanction {
+        file: "crates/core/src/selftest_pf01s.rs".to_string(),
+        line: 999,
+        reason: "fixture — covers nothing".to_string(),
+    };
+    let stale_report = prove_panic_free(&graph, &["hot_entry"], &[stale], &[], &mut []);
+    let stale_ok = stale_report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "LT02" && d.message.contains("stale inline sanction"));
+    Check {
+        rule: "PF01/LT02",
+        ok: live_ok && stale_ok,
+        detail: "site sanction stops traversal; a dead sanction is LT02".to_string(),
+    }
+}
+
 fn pf01_check() -> (Check, Option<String>) {
     let f = LoadedFile::new("crates/core/src/selftest_pf01.rs", PF01_FIXTURE.to_string());
     let graph = build(std::slice::from_ref(&f));
-    let report = prove_panic_free(&graph, &["hot_entry"], &[], &mut []);
+    let report = prove_panic_free(&graph, &["hot_entry"], &[], &[], &mut []);
     let witness = report.diagnostics.first().map(|d| d.message.clone());
     let ok = report.diagnostics.len() == 1
         && witness
@@ -283,6 +314,7 @@ pub fn run() -> ExitCode {
     checks.extend(allowlist_checks());
     let (pf, witness) = pf01_check();
     checks.push(pf);
+    checks.push(pf01_sanction_check());
 
     let mut failed = 0usize;
     for c in &checks {
@@ -323,13 +355,14 @@ mod tests {
         checks.extend(allowlist_checks());
         let (pf, witness) = pf01_check();
         checks.push(pf);
+        checks.push(pf01_sanction_check());
         for c in &checks {
             assert!(c.ok, "rule {} fixture broken: {}", c.rule, c.detail);
         }
         assert_eq!(
             checks.len(),
-            16,
-            "all analyze rules covered: 4 token + 2 attr + 4 BD01 + 3 US01 + 2 allowlist + PF01"
+            17,
+            "all analyze rules covered: 4 token + 2 attr + 4 BD01 + 3 US01 + 2 allowlist + 2 PF01"
         );
         assert!(witness.expect("witness emitted").contains("panic!"));
     }
