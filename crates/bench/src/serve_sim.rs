@@ -305,19 +305,24 @@ pub fn run_serve_sim_full(jobs_per_rung: usize, ladder: &[f64]) -> ServeSimArtif
                 }
             })
             .collect();
+        // Per-rung movement via the snapshot-delta helpers: each
+        // endpoint is one consistent mutex-held snapshot, so a delta
+        // can never mix counters from different instants.
+        let cs_delta = cs_after.delta(&cs_before);
+        let es_delta = es_after.delta(&es_before);
         rungs.push(Rung {
             offered_qps,
             jobs: jobs_per_rung as u64,
             wall_s,
             achieved_qps: jobs_per_rung as f64 / wall_s.max(1e-9),
             stages,
-            cache_hits: cs_after.hits - cs_before.hits,
-            cache_misses: cs_after.misses - cs_before.misses,
-            cache_evictions: cs_after.evictions - cs_before.evictions,
-            submitted: es_after.submitted - es_before.submitted,
-            completed: es_after.completed - es_before.completed,
-            rejected: es_after.rejected - es_before.rejected,
-            stolen: es_after.stolen - es_before.stolen,
+            cache_hits: cs_delta.hits,
+            cache_misses: cs_delta.misses,
+            cache_evictions: cs_delta.evictions,
+            submitted: es_delta.submitted,
+            completed: es_delta.completed,
+            rejected: es_delta.rejected,
+            stolen: es_delta.stolen,
         });
         // The once-per-rung scrape: trace histograms + engine gauges.
         let mut fams = trace_metric_families(&rep);

@@ -8,8 +8,8 @@
 //! opposite direction: the kernel leaves the bandwidth-bound regime, but
 //! per-PE SRAM must now hold `s` input and output panels.
 
-use rayon::prelude::*;
 use crate::fastpath::gemv_acc_fast;
+use rayon::prelude::*;
 use seismic_la::scalar::C32;
 use seismic_la::Matrix;
 

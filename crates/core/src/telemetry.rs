@@ -236,11 +236,20 @@ impl FlightRecorder {
 
     /// Record an event with an explicit timestamp (deterministic
     /// tests). Out-of-range rings are ignored.
+    //
+    // CC-PROTOCOL(seqlock-flight-recorder): seqlock writer=FlightRecorder::record_at reader=FlightRecorder::snapshot_events
+    // Per-slot sequence word: odd = writer active, even = published.
+    // The writer brackets the payload stores with Release stores of
+    // `2t+1` / `2t+2`; the reader validates with two Acquire loads.
     pub fn record_at(&self, ring: usize, ts_ns: u64, kind: EventKind, a: u64, b: u64) {
         crate::telemetry::hot_path("telemetry.record");
         let Some(head) = self.heads.get(ring) else {
             return;
         };
+        // The ticket picks the slot (an index); racing writers may
+        // share a slot, but the sequence discipline below makes any
+        // collision detectable by the reader, never a torn read.
+        // SANCTION(CC01: seqlock-flight-recorder): indexed ticket, protected by the seq words
         let ticket = head.fetch_add(1, Ordering::Relaxed);
         let cap = u64::try_from(self.capacity).unwrap_or(u64::MAX);
         let slot = usize::try_from(ticket % cap).unwrap_or(0);
@@ -1102,8 +1111,14 @@ impl Watchdog {
         let breaches = Arc::new(AtomicU64::new(0));
         let t_stop = Arc::clone(&stop);
         let t_breaches = Arc::clone(&breaches);
+        // CC-PROTOCOL(watchdog-stop-flag): flag
+        // Monotonic stop gate: `halt` stores true once, the sampler
+        // polls it. Relaxed is sound — the flag only decides when the
+        // loop notices shutdown, never which data it may touch, and
+        // `JoinHandle::join` supplies the final happens-before edge.
         let handle = std::thread::spawn(move || {
             let mut monitor = SloMonitor::new(cfg.thresholds.clone());
+            // SANCTION(CC01: watchdog-stop-flag): poll of the monotonic stop gate
             while !t_stop.load(Ordering::Relaxed) {
                 std::thread::sleep(cfg.poll);
                 let depth = queue_depth();

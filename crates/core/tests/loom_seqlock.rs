@@ -1,0 +1,79 @@
+//! loom model of the flight-recorder seqlock slot (CC02's dynamic
+//! backing): a writer publishes two generations through the odd/even
+//! Release sequence discipline while a reader snapshots concurrently —
+//! any accepted read must be one of the two consistent payload tuples,
+//! never a torn mix. Runs only under `RUSTFLAGS="--cfg loom"` (the CI
+//! loom job); a plain `cargo test` compiles this file to nothing.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+const WORDS: usize = 3;
+
+/// One ring slot: a sequence word bracketing a relaxed payload, exactly
+/// the shape `FlightRecorder::record_at` / `snapshot_events` use.
+struct Slot {
+    seq: AtomicU64,
+    payload: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            payload: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+
+    /// Writer: odd (Release) -> relaxed payload stores -> even (Release).
+    fn write(&self, ticket: u64, vals: [u64; WORDS]) {
+        self.seq.store(ticket * 2 + 1, Ordering::Release);
+        for (w, v) in self.payload.iter().zip(vals) {
+            w.store(v, Ordering::Relaxed);
+        }
+        self.seq.store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// Reader: Acquire load -> relaxed payload reads -> Acquire re-load;
+    /// discard on odd/zero or mismatch.
+    fn read(&self) -> Option<[u64; WORDS]> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 % 2 == 1 {
+            return None;
+        }
+        let mut out = [0u64; WORDS];
+        for (o, w) in out.iter_mut().zip(&self.payload) {
+            *o = w.load(Ordering::Relaxed);
+        }
+        let s2 = self.seq.load(Ordering::Acquire);
+        if s1 != s2 {
+            return None;
+        }
+        Some(out)
+    }
+}
+
+#[test]
+fn seqlock_reader_never_observes_torn_write() {
+    loom::model(|| {
+        let slot = Arc::new(Slot::new());
+        let w = Arc::clone(&slot);
+        let writer = thread::spawn(move || {
+            w.write(0, [1, 2, 3]);
+            w.write(1, [10, 20, 30]);
+        });
+        // Reader races the writer on the model's root thread; every
+        // accepted snapshot must be one full generation.
+        for _ in 0..2 {
+            if let Some(vals) = slot.read() {
+                assert!(
+                    vals == [1, 2, 3] || vals == [10, 20, 30],
+                    "torn read escaped the seqlock: {vals:?}"
+                );
+            }
+        }
+        writer.join().unwrap();
+    });
+}

@@ -396,6 +396,25 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// Counter movement between two snapshots: monotone counters are
+    /// subtracted (saturating, so a reset-between-snapshots can't
+    /// underflow), instantaneous gauges (`used_bytes`, `entries`) keep
+    /// the newer value. The one sanctioned way to build per-rung delta
+    /// tables — both snapshots come from a single lock acquisition
+    /// each, so a delta can never mix mid-update counter states.
+    #[must_use]
+    pub fn delta(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            evictions: self.evictions.saturating_sub(before.evictions),
+            used_bytes: self.used_bytes,
+            entries: self.entries,
+        }
+    }
+}
+
 struct CacheSlot {
     ops: Arc<FrequencyOperators>,
     bytes: usize,
@@ -700,6 +719,22 @@ pub struct EngineStats {
     pub stolen: u64,
 }
 
+impl EngineStats {
+    /// Counter movement between two [`Engine::stats`] snapshots
+    /// (saturating, so restarts can't underflow). Because each snapshot
+    /// is taken under one scheduler-mutex acquisition, the delta is a
+    /// consistent interval — `completed <= submitted` holds within it.
+    #[must_use]
+    pub fn delta(&self, before: &EngineStats) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.saturating_sub(before.submitted),
+            completed: self.completed.saturating_sub(before.completed),
+            rejected: self.rejected.saturating_sub(before.rejected),
+            stolen: self.stolen.saturating_sub(before.stolen),
+        }
+    }
+}
+
 /// Instantaneous scheduler gauges, sampled by [`Engine::gauges`] and
 /// exported as `engine_queue_depth` / `engine_workers_busy`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -717,6 +752,14 @@ struct SchedState {
     queued: usize,
     next: usize,
     shutdown: bool,
+    /// Lifetime counters, kept under the scheduler mutex so
+    /// [`Engine::stats`] snapshots them consistently — a reader can
+    /// never observe `completed > submitted` mid-update (CC01 proves
+    /// the remaining atomics counter-only).
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    stolen: u64,
 }
 
 struct Shared {
@@ -726,10 +769,6 @@ struct Shared {
     /// Blocked submitters wait here for queue room.
     room: Condvar,
     queue_depth: usize,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    stolen: AtomicU64,
     /// Workers currently inside `execute` (the `engine_workers_busy`
     /// gauge).
     busy: AtomicU64,
@@ -765,14 +804,14 @@ impl Engine {
                 queued: 0,
                 next: 0,
                 shutdown: false,
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+                stolen: 0,
             }),
             work: Condvar::new(),
             room: Condvar::new(),
             queue_depth: cfg.queue_depth.max(1),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            stolen: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             next_job: AtomicU64::new(0),
             recorder: cfg.recorder,
@@ -804,7 +843,7 @@ impl Engine {
         }
         enqueue(&mut st, job);
         let depth = st.queued;
-        self.shared.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+        st.submitted += 1;
         drop(st);
         record_submitted(&self.shared, id, depth);
         self.shared.work.notify_one();
@@ -816,8 +855,8 @@ impl Engine {
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, JobSpec> {
         let mut st = lock_recover(&self.shared.state);
         if st.queued >= self.shared.queue_depth {
+            st.rejected += 1;
             drop(st);
-            self.shared.rejected.fetch_add(1, AtomicOrdering::Relaxed);
             return Err(spec);
         }
         let id = self.shared.next_job.fetch_add(1, AtomicOrdering::Relaxed);
@@ -827,7 +866,7 @@ impl Engine {
         };
         enqueue(&mut st, job);
         let depth = st.queued;
-        self.shared.submitted.fetch_add(1, AtomicOrdering::Relaxed);
+        st.submitted += 1;
         drop(st);
         record_submitted(&self.shared, id, depth);
         self.shared.work.notify_one();
@@ -849,13 +888,17 @@ impl Engine {
         }
     }
 
-    /// Snapshot of the scheduler counters.
+    /// Consistent snapshot of the scheduler counters: all four are read
+    /// under one acquisition of the scheduler mutex, so the returned
+    /// struct reflects a single instant (`completed <= submitted`
+    /// always holds within a snapshot).
     pub fn stats(&self) -> EngineStats {
+        let st = lock_recover(&self.shared.state);
         EngineStats {
-            submitted: self.shared.submitted.load(AtomicOrdering::Relaxed),
-            completed: self.shared.completed.load(AtomicOrdering::Relaxed),
-            rejected: self.shared.rejected.load(AtomicOrdering::Relaxed),
-            stolen: self.shared.stolen.load(AtomicOrdering::Relaxed),
+            submitted: st.submitted,
+            completed: st.completed,
+            rejected: st.rejected,
+            stolen: st.stolen,
         }
     }
 
@@ -925,7 +968,7 @@ fn take_job(st: &mut SchedState, id: usize, shared: &Shared) -> Option<Job> {
         .max_by_key(|&w| st.deques[w].len())?;
     let job = st.deques[victim].pop_back()?;
     st.queued -= 1;
-    shared.stolen.fetch_add(1, AtomicOrdering::Relaxed);
+    st.stolen += 1;
     if let Some(rec) = &shared.recorder {
         rec.record(
             id,
@@ -978,7 +1021,7 @@ fn worker_loop(id: usize, shared: &Shared) {
         }
         let total_ns = duration_ns(job.submitted.elapsed());
         trace::record_duration("engine.job_total", total_ns);
-        shared.completed.fetch_add(1, AtomicOrdering::Relaxed);
+        lock_recover(&shared.state).completed += 1;
         let result = JobResult {
             job: job.id,
             output,
@@ -1089,6 +1132,7 @@ fn duration_ns(d: std::time::Duration) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use tlr_mvm::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
 
     fn kernel(m: usize, n: usize, f: usize) -> seismic_la::Matrix<C32> {
@@ -1502,5 +1546,81 @@ mod tests {
         );
         assert_eq!(count_kind(&events, EventKind::JobFinished), stats.completed);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One operator stack shared by every storm case — compression cost
+    /// is paid once, the scheduler machinery is what the storm stresses.
+    fn storm_ops() -> Arc<FrequencyOperators> {
+        static OPS: std::sync::OnceLock<Arc<FrequencyOperators>> = std::sync::OnceLock::new();
+        Arc::clone(OPS.get_or_init(|| Arc::new(FrequencyOperators::build(&stack(2, 12, 10, 4)))))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Concurrent submit/steal/drain storm: three submitter threads
+        /// push blocking submits through a tiny queue while a reader
+        /// drains the flight recorder mid-flight. Every storm must end
+        /// with jobs-completed == jobs-submitted and every JobId exactly
+        /// once in the recorder's drain — lost or double-executed jobs
+        /// (the loom deque model's property, here at full scale) fail.
+        #[test]
+        fn submit_steal_drain_storm(
+            workers in 1usize..4,
+            depth in 1usize..6,
+            jobs in 1usize..13,
+        ) {
+            let ops = storm_ops();
+            // `workers + 1` rings: the external ring (JobSubmitted) is
+            // not shared with any worker, so submit events can't be
+            // overwritten by per-shard worker events.
+            let recorder = Arc::new(FlightRecorder::new(workers + 1, 256));
+            let engine = Arc::new(Engine::start(EngineConfig {
+                workers,
+                queue_depth: depth,
+                recorder: Some(Arc::clone(&recorder)),
+            }));
+            let handles: Vec<JobHandle> = std::thread::scope(|s| {
+                let submitters: Vec<_> = (0..3)
+                    .map(|_| {
+                        let eng = Arc::clone(&engine);
+                        let ops = Arc::clone(&ops);
+                        s.spawn(move || {
+                            (0..jobs)
+                                .map(|_| {
+                                    eng.submit(JobSpec::Mvm {
+                                        ops: Arc::clone(&ops),
+                                        x: test_x(ops.ncols_total()),
+                                    })
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // Mid-storm concurrent drain: must coexist with racing
+                // writers (torn slots are skipped, never corrupted).
+                let _ = recorder.snapshot_events();
+                submitters
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("submitter"))
+                    .collect()
+            });
+            for h in handles {
+                let _ = h.wait();
+            }
+            let stats = engine.stats();
+            prop_assert_eq!(stats.submitted, (3 * jobs) as u64);
+            prop_assert_eq!(stats.completed, stats.submitted);
+            prop_assert_eq!(stats.rejected, 0);
+            let mut ids: Vec<u64> = recorder
+                .snapshot_events()
+                .iter()
+                .filter(|e| e.kind == EventKind::JobSubmitted)
+                .map(|e| e.a)
+                .collect();
+            ids.sort_unstable();
+            let expect: Vec<u64> = (0..(3 * jobs) as u64).collect();
+            prop_assert_eq!(ids, expect);
+        }
     }
 }

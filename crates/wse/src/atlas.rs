@@ -409,8 +409,7 @@ pub fn collect_atlas(
             for sp in &shapes {
                 let share = shard_share(sp.count, shard, shards);
                 for _ in 0..share {
-                    for si in sp.slot_lo..sp.slot_hi {
-                        let s = slots[si];
+                    for s in &slots[sp.slot_lo..sp.slot_hi] {
                         let idx = cursor % usable_pes;
                         cursor += 1;
                         let gr = (idx % usable_rows) / group_rows;

@@ -215,8 +215,7 @@ fn analyze_file(f: &LoadedFile, report: &mut BoundsReport) {
                 let rb = close.get(&lb).copied().unwrap_or(code.len() - 1);
                 let self_ty = impls
                     .iter()
-                    .filter(|(range, _)| range.0 < i && i < range.1)
-                    .next_back()
+                    .rfind(|(range, _)| range.0 < i && i < range.1)
                     .map(|(_, ty)| ty.clone());
                 let qualified = match self_ty {
                     Some(ty) => format!("{ty}::{name}"),
@@ -422,7 +421,9 @@ fn prove_site(s: &PendingSite, edges: &[&Edge]) -> (bool, String) {
     if let Some(why) = &s.opaque {
         return (
             false,
-            format!("index expression `{why}` is outside the affine fragment BD01 can reason about"),
+            format!(
+                "index expression `{why}` is outside the affine fragment BD01 can reason about"
+            ),
         );
     }
     let len = Base::Len(s.recv.clone());
@@ -540,8 +541,7 @@ fn collect_facts(
                                 src,
                                 code,
                                 comma + 1,
-                                top_level(src, code, comma + 1, args_end, ",")
-                                    .unwrap_or(args_end),
+                                top_level(src, code, comma + 1, args_end, ",").unwrap_or(args_end),
                             ),
                         ) {
                             push_cmp(&mut edges, &a, "==", &b);
@@ -549,8 +549,7 @@ fn collect_facts(
                     }
                 } else {
                     // Message part (after a top-level comma) is ignored.
-                    let cond_end =
-                        top_level(src, code, i + 3, args_end, ",").unwrap_or(args_end);
+                    let cond_end = top_level(src, code, i + 3, args_end, ",").unwrap_or(args_end);
                     harvest_condition(src, code, i + 3, cond_end, &mut edges);
                 }
                 if !edges.is_empty() {
@@ -636,8 +635,7 @@ fn harvest_condition(src: &str, code: &[Tok], s: usize, e: usize, edges: &mut Ve
     loop {
         // `&&` lexes as two `&` puncts.
         let amp = top_level_pred(src, code, start, e, |i| {
-            code[i].text(src) == "&"
-                && code.get(i + 1).is_some_and(|x| x.text(src) == "&")
+            code[i].text(src) == "&" && code.get(i + 1).is_some_and(|x| x.text(src) == "&")
         });
         let end = amp.unwrap_or(e);
         harvest_conjunct(src, code, start, end, edges);
@@ -756,7 +754,7 @@ fn parse_forall(
         .filter(|x| x.kind == TokKind::Ident)?
         .text(src)
         .to_string();
-    if !code.get(j + 1).is_some_and(|x| x.text(src) == "|") {
+    if code.get(j + 1).is_none_or(|x| x.text(src) != "|") {
         return None;
     }
     Some((path, q, j + 2, all_close))
@@ -775,9 +773,9 @@ fn for_header_facts(src: &str, code: &[Tok], i: usize, rb: usize) -> Option<(Vec
 
     // Pattern side: `v`, `(p, q)`, `(p, &q)`, `&q`.
     let mut pat: Vec<String> = Vec::new();
-    for k in i + 1..in_at {
-        if code[k].kind == TokKind::Ident {
-            pat.push(code[k].text(src).to_string());
+    for t in &code[i + 1..in_at] {
+        if t.kind == TokKind::Ident {
+            pat.push(t.text(src).to_string());
         }
     }
 
@@ -862,9 +860,9 @@ fn top_level_pred(
     pred: impl Fn(usize) -> bool,
 ) -> Option<usize> {
     let mut depth = 0i64;
-    for i in s..e.min(code.len()) {
-        let t = code[i].text(src);
-        if code[i].kind == TokKind::Punct {
+    for (i, tok) in code.iter().enumerate().take(e.min(code.len())).skip(s) {
+        let t = tok.text(src);
+        if tok.kind == TokKind::Punct {
             match t {
                 "(" | "[" | "{" => {
                     depth += 1;
@@ -913,7 +911,7 @@ fn parse_path(src: &str, code: &[Tok], s: usize) -> Option<(String, usize)> {
     let mut j = s + 1;
     while code.get(j).is_some_and(|x| x.text(src) == ".")
         && code.get(j + 1).is_some_and(|x| x.kind == TokKind::Ident)
-        && !code.get(j + 2).is_some_and(|x| x.text(src) == "(")
+        && code.get(j + 2).is_none_or(|x| x.text(src) != "(")
     {
         parts.push(code[j + 1].text(src).to_string());
         j += 2;
@@ -947,19 +945,10 @@ fn parse_term_exact_elem(src: &str, code: &[Tok], s: usize, e: usize) -> Option<
     }
 }
 
-fn parse_term_with(
-    src: &str,
-    code: &[Tok],
-    s: usize,
-    allow_elem: bool,
-) -> Option<(Term, usize)> {
+fn parse_term_with(src: &str, code: &[Tok], s: usize, allow_elem: bool) -> Option<(Term, usize)> {
     let lit = |i: usize| -> Option<(i64, usize)> {
         let t = code.get(i)?;
         if t.kind == TokKind::Num {
-            let txt = t.text(src).replace('_', "");
-            let txt = txt
-                .trim_end_matches(|c: char| c.is_ascii_alphabetic())
-                .trim_end_matches(|c: char| c.is_ascii_digit() && false);
             // strip integer suffixes like usize/u64 conservatively
             let digits: String = t
                 .text(src)
@@ -967,7 +956,6 @@ fn parse_term_with(
                 .take_while(|c| c.is_ascii_digit() || *c == '_')
                 .filter(|c| *c != '_')
                 .collect();
-            let _ = txt;
             digits.parse::<i64>().ok().map(|n| (n, i + 1))
         } else {
             None
@@ -1023,7 +1011,7 @@ fn parse_term_with(
                 j = k;
             } else if sign == "+" && term.base == Base::Zero {
                 if let Some((path, k)) = parse_path(src, code, j + 1) {
-                    if !code.get(k).is_some_and(|x| x.text(src) == ".") {
+                    if code.get(k).is_none_or(|x| x.text(src) != ".") {
                         term.base = Base::Var(path);
                         j = k;
                     }
@@ -1075,32 +1063,30 @@ fn collect_sites(src: &str, code: &[Tok], lb: usize, rb: usize) -> Vec<PendingSi
         // Safe indexing: `path [ expr ]` where the previous token ends a
         // dotted identifier path (excludes `#[…]`, `vec![…]`, `[T; N]`,
         // and slicing of call results, which stay safe anyway).
-        if code[i].kind == TokKind::Punct && text(i) == "[" {
-            if code
+        if code[i].kind == TokKind::Punct
+            && text(i) == "["
+            && code
                 .get(i.wrapping_sub(1))
                 .is_some_and(|p| p.kind == TokKind::Ident)
-            {
-                let Some((recv, recv_start)) = path_ending_at(src, code, i - 1) else {
-                    continue;
-                };
-                // Exclude attribute/macro brackets and the receiver
-                // being a bare keyword position.
-                if recv_start > 0
-                    && matches!(code[recv_start - 1].text(src), "#" | "!")
-                {
-                    continue;
-                }
-                if matches!(
-                    recv.as_str(),
-                    "mut" | "ref" | "let" | "in" | "as" | "dyn" | "return"
-                ) {
-                    continue;
-                }
-                let Some(cl) = bracket_close(src, code, i) else {
-                    continue;
-                };
-                out.push(classify_index(src, code, i, &recv, i + 1, cl, false));
+        {
+            let Some((recv, recv_start)) = path_ending_at(src, code, i - 1) else {
+                continue;
+            };
+            // Exclude attribute/macro brackets and the receiver
+            // being a bare keyword position.
+            if recv_start > 0 && matches!(code[recv_start - 1].text(src), "#" | "!") {
+                continue;
             }
+            if matches!(
+                recv.as_str(),
+                "mut" | "ref" | "let" | "in" | "as" | "dyn" | "return"
+            ) {
+                continue;
+            }
+            let Some(cl) = bracket_close(src, code, i) else {
+                continue;
+            };
+            out.push(classify_index(src, code, i, &recv, i + 1, cl, false));
         }
         // Unchecked: `. get_unchecked[_mut] ( expr )`.
         if code[i].kind == TokKind::Ident
@@ -1116,11 +1102,7 @@ fn collect_sites(src: &str, code: &[Tok], lb: usize, rb: usize) -> Vec<PendingSi
                 continue;
             };
             let mut site = classify_index(src, code, i, &recv, i + 2, cl, true);
-            site.what = format!(
-                "{recv}.{}({})",
-                text(i),
-                range_text(src, code, i + 2, cl)
-            );
+            site.what = format!("{recv}.{}({})", text(i), range_text(src, code, i + 2, cl));
             out.push(site);
         }
     }
@@ -1182,10 +1164,7 @@ fn path_ending_at(src: &str, code: &[Tok], end_i: usize) -> Option<(String, usiz
     let last = code.get(end_i).filter(|t| t.kind == TokKind::Ident)?;
     let mut parts = vec![last.text(src).to_string()];
     let mut start = end_i;
-    while start >= 2
-        && code[start - 1].text(src) == "."
-        && code[start - 2].kind == TokKind::Ident
-    {
+    while start >= 2 && code[start - 1].text(src) == "." && code[start - 2].kind == TokKind::Ident {
         start -= 2;
         parts.push(code[start].text(src).to_string());
     }
@@ -1217,10 +1196,7 @@ fn bracket_close(src: &str, code: &[Tok], open: usize) -> Option<usize> {
 fn range_text(src: &str, code: &[Tok], s: usize, e: usize) -> String {
     let mut out = String::new();
     for t in code.iter().take(e.min(code.len())).skip(s) {
-        if !out.is_empty()
-            && !matches!(t.text(src), "." | "," | ")" | "]")
-            && !out.ends_with('.')
-        {
+        if !out.is_empty() && !matches!(t.text(src), "." | "," | ")" | "]") && !out.ends_with('.') {
             out.push(' ');
         }
         out.push_str(t.text(src));

@@ -698,7 +698,7 @@ pub fn prove_panic_free(
                         && target.file.starts_with(&a.path)
                         && a.contains
                             .as_ref()
-                            .map_or(true, |needle| qualified.contains(needle))
+                            .is_none_or(|needle| qualified.contains(needle))
                     {
                         hits[ai] += 1;
                         sanctioned += 1;

@@ -675,8 +675,10 @@ pub fn run_lints(
         for (s, h) in sanctions.iter().zip(&sanction_hits) {
             // PF01 sanctions suppress call-graph traversal, not token
             // findings — their liveness is checked by the PF01 pass
-            // itself (`callgraph::prove_panic_free`), not here.
-            if *h == 0 && s.rule != "PF01" {
+            // itself (`callgraph::prove_panic_free`), not here. CC01
+            // sanctions likewise cover atomic-ordering sites, whose
+            // liveness the concurrency pass owns.
+            if *h == 0 && s.rule != "PF01" && !s.rule.starts_with("CC01") {
                 diagnostics.push(Diagnostic {
                     rule: "LT02",
                     severity: Severity::Error,

@@ -19,14 +19,21 @@
 //!    `// SAFETY(BD01: <fn>@<file>)` comment whose referenced function
 //!    BD01 actually proved *this run*; unsanctioned unsafe, forged
 //!    references, and stale proofs are hard errors.
-//! 4. **Panic-freedom proof** ([`callgraph`]): `PF01` — BFS over the
+//! 4. **Concurrency proofs** ([`concurrency`]): `CC01` — every
+//!    `Ordering::Relaxed`/`SeqCst` site is proven counter-only by
+//!    dataflow or carries a live `// SANCTION(CC01: <protocol>)` tied
+//!    to a declared `CC-PROTOCOL` block; `CC02` — the seqlock flight
+//!    recorder's odd/even Release/Acquire discipline is verified
+//!    structurally; `CC03` — the Mutex/Condvar acquisition graph must
+//!    be acyclic with no lock pinned across a blocking wait.
+//! 5. **Panic-freedom proof** ([`callgraph`]): `PF01` — BFS over the
 //!    approximate workspace call graph proves no panic-family token is
 //!    reachable from the hot TLR-MVM/MMM/solver entry points, printing
 //!    a witness call path for every violation.
-//! 5. **Static plan verification** ([`plan`]): the paper's Table 1
+//! 6. **Static plan verification** ([`plan`]): the paper's Table 1
 //!    configurations must pass the `WV..` rules of
 //!    [`wse_sim::verify::verify_plan`] without being placed or run.
-//! 6. **Allowlist hygiene**: malformed entries are `LT01`; entries that
+//! 7. **Allowlist hygiene**: malformed entries are `LT01`; entries that
 //!    matched nothing this run are `LT02` (stale — delete them).
 //!
 //! Flags: `--sarif <path>` writes a SARIF 2.1.0 report ([`sarif`]),
@@ -44,6 +51,7 @@
 
 mod bounds;
 mod callgraph;
+mod concurrency;
 mod lexer;
 mod lint;
 mod perfgate;
@@ -82,8 +90,10 @@ fn print_usage() {
          commands:\n  \
          analyze   run the static-analysis suite: token lints (NA01/NP01/AT01/AT02/\n            \
          HP01/FE01), bounds proof (BD01), unsafe-sanction ledger (US01),\n            \
-         call-graph panic-freedom proof (PF01), lint.toml allowlist\n            \
-         hygiene (LT01/LT02), static WSE plan verification (WV01..WV07)\n            \
+         concurrency proofs (CC01 atomic-ordering ledger, CC02 seqlock\n            \
+         verifier, CC03 lock-order lint), call-graph panic-freedom\n            \
+         proof (PF01), lint.toml allowlist hygiene (LT01/LT02), static\n            \
+         WSE plan verification (WV01..WV07)\n            \
          [--sarif <path>  write a SARIF 2.1.0 report]\n            \
          [--json          machine-readable output on stdout]\n            \
          [--self-test     prove every rule fires on embedded fixtures]\n  \
@@ -182,6 +192,12 @@ fn analyze(args: &[String]) -> ExitCode {
     let us01_clean = us01.diagnostics.is_empty();
     let (us01_blocks, us01_sanctioned) = (us01.unsafe_blocks, us01.sanctioned);
     all.extend(us01.diagnostics);
+
+    // Pass 1d: CC concurrency proofs — atomic-ordering ledger (CC01),
+    // seqlock-protocol verifier (CC02), lock-acquisition-order (CC03).
+    let cc = concurrency::check(&files, &bd01);
+    let cc_clean = cc.diagnostics.is_empty();
+    all.extend(cc.diagnostics);
 
     // Pass 2: PF01 panic-freedom proof over the call graph.
     let graph = callgraph::build(&files);
@@ -307,6 +323,26 @@ fn analyze(args: &[String]) -> ExitCode {
                     ("sanctioned".to_string(), Json::u64(us01_sanctioned as u64)),
                 ]),
             ),
+            (
+                "cc".to_string(),
+                Json::Obj(vec![
+                    ("clean".to_string(), Json::Bool(cc_clean)),
+                    (
+                        "atomic_sites".to_string(),
+                        Json::u64(cc.atomic_sites as u64),
+                    ),
+                    ("benign".to_string(), Json::u64(cc.benign as u64)),
+                    ("sanctioned".to_string(), Json::u64(cc.sanctioned as u64)),
+                    ("protocols".to_string(), Json::u64(cc.protocols as u64)),
+                    (
+                        "seqlocks_verified".to_string(),
+                        Json::u64(cc.seqlocks_verified as u64),
+                    ),
+                    ("locks".to_string(), Json::u64(cc.locks as u64)),
+                    ("lock_edges".to_string(), Json::u64(cc.lock_edges as u64)),
+                    ("wait_sites".to_string(), Json::u64(cc.wait_sites as u64)),
+                ]),
+            ),
             ("diagnostics".to_string(), Json::Arr(diags)),
         ]);
         print!("{}", doc.to_pretty());
@@ -330,6 +366,20 @@ fn analyze(args: &[String]) -> ExitCode {
             println!(
                 "analyze: US01 ledger clean — {us01_sanctioned}/{us01_blocks} unsafe \
                  blocks carry a live BD01 sanction"
+            );
+        }
+        if cc_clean {
+            println!(
+                "analyze: CC ledger clean — {} atomic sites ({} proven counter-only, \
+                 {} protocol-sanctioned), {} seqlock protocol(s) verified, {} locks / \
+                 {} order edges acyclic, {} wait sites disciplined",
+                cc.atomic_sites,
+                cc.benign,
+                cc.sanctioned,
+                cc.seqlocks_verified,
+                cc.locks,
+                cc.lock_edges,
+                cc.wait_sites
             );
         }
         println!(

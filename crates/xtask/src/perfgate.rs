@@ -181,7 +181,10 @@ fn bless(cfg: &GateConfig, root: &Path) -> ExitCode {
     match read_bench_json(&cfg.baseline) {
         Ok(old) => {
             // Informational: what the re-baseline changes.
-            print_outcome(&compare_reports(&old, &current, cfg.thresholds), cfg.thresholds);
+            print_outcome(
+                &compare_reports(&old, &current, cfg.thresholds),
+                cfg.thresholds,
+            );
         }
         Err(e) => println!("perfgate --bless: no prior baseline ({e}) — first bless"),
     }

@@ -44,6 +44,18 @@ pub const RULES: &[(&str, &str)] = &[
         "no ==/!= between float-typed operands in library code",
     ),
     (
+        "CC01",
+        "every Ordering::Relaxed/SeqCst site is proven counter-only or carries a live protocol sanction",
+    ),
+    (
+        "CC02",
+        "seqlock protocols keep the odd/even Release/Acquire sequence discipline",
+    ),
+    (
+        "CC03",
+        "the Mutex/Condvar acquisition graph is acyclic; no lock pinned across a blocking wait",
+    ),
+    (
         "PF01",
         "no panic-family token reachable from hot entry points",
     ),

@@ -211,13 +211,13 @@ fn block_end_line(src: &str, toks: &[Tok], from: usize, depth: usize) -> usize {
     for t in &toks[from..] {
         match (t.kind, t.text(src)) {
             (TokKind::Punct, "{") => d += 1,
-            (TokKind::Punct, "}") => {
-                if d == 0 || {
+            (TokKind::Punct, "}")
+                if (d == 0 || {
                     d -= 1;
                     d < depth
-                } {
-                    return t.line;
-                }
+                }) =>
+            {
+                return t.line;
             }
             _ => {}
         }
