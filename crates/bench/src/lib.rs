@@ -25,10 +25,15 @@
 //! * [`atlas_experiments`] — the fabric atlas: per-PE-group heatmap
 //!   frames with exact cross-layer reconciliation
 //!   (`repro <exp> --atlas`, `repro atlas-sweep`).
+//! * [`acc_experiments`] — the accuracy observatory: the `repro
+//!   acc-report` NMSE-vs-compression sweep, its self-verifying
+//!   `acc_report.json` artifact, and the `xtask accgate` comparison
+//!   against the committed `BENCH_accuracy.json` (DESIGN.md §16).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod acc_experiments;
 pub mod atlas_experiments;
 pub mod cli;
 pub mod jsonio;

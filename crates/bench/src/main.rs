@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use seismic_bench::acc_experiments as accx;
 use seismic_bench::atlas_experiments as atlasx;
 use seismic_bench::cli;
 use seismic_bench::mdd_experiments as mddx;
@@ -74,6 +75,7 @@ fn handler_for(name: &str) -> Option<Handler> {
         "atlas-sweep" => |_c: &Ctx| atlas_sweep(),
         "serve-sim" => |c: &Ctx| serve_sim_cmd(c.json, c.timeline),
         "metrics" => |_c: &Ctx| metrics_cmd(),
+        "acc-report" => |c: &Ctx| acc_report(c.json),
         _ => return None,
     })
 }
@@ -708,6 +710,8 @@ fn recon(json: bool) -> RunResult {
                 format!("{:.0}%", r.pct_of_attainable),
                 format!("{:.1}", r.pj_per_flop),
                 format!("{:.2}", r.total_energy_pj as f64 / 1e12),
+                format!("{:.2e}", r.nmse),
+                format!("{:.2}x", r.compression_ratio),
             ]
         })
         .collect();
@@ -725,7 +729,9 @@ fn recon(json: bool) -> RunResult {
                 "flops %peak",
                 "% of roofline",
                 "pJ/flop",
-                "total J"
+                "total J",
+                "op NMSE",
+                "ratio"
             ],
             &rows
         )
@@ -736,7 +742,10 @@ fn recon(json: bool) -> RunResult {
          cluster that hosts the row; '% of roofline' compares the flop rate\n  \
          against min(peak_flops, intensity x peak_bw) at the row's intensity;\n  \
          the §7.6 energy columns use the integer-picojoule path the fabric\n  \
-         atlas distributes, so they reconcile with `tab2wse --atlas` exactly."
+         atlas distributes, so they reconcile with `tab2wse --atlas` exactly;\n  \
+         'op NMSE' and 'ratio' are the measured laptop-scale operator quality\n  \
+         of the row's (nb, acc) config (the accuracy observatory's exact\n  \
+         operator NMSE and dense-to-compressed ratio — `repro acc-report`)."
     );
     if json {
         write_json("recon", &rows_data)?;
@@ -873,7 +882,71 @@ fn perfbench(json: bool) -> RunResult {
         let path = std::path::Path::new("target/perf/BENCH_table2.json");
         perf::write_bench_json(path, &report)?;
         println!("  bench report written to {}", path.display());
+        let history = std::path::Path::new("BENCH_history.jsonl");
+        perf::append_bench_history(history, &report)?;
+        println!("  one-line record appended to {}", history.display());
         println!("  gate it with: cargo run -p xtask -- perfgate --compare-only");
+        println!("  trend check:  cargo run -p xtask -- perfgate --compare-only --trend");
+    }
+    Ok(())
+}
+
+fn acc_report(json: bool) -> RunResult {
+    println!("\n[acc-report] accuracy observatory: NMSE vs compression ratio (Fig. 12 axes)");
+    let ds = mddx::default_dataset();
+    let rows_data = accx::acc_report(&ds)?;
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.nb.to_string(),
+                format!("{:.0e}", r.acc),
+                format!("{:.4e}", r.nmse_inverse),
+                format!("{:.3e}", r.operator_nmse),
+                format!("{:.3e}", r.probe_nmse),
+                format!("{:.2}x", r.compression_ratio),
+                fmt_bytes(r.compressed_bytes),
+                format!("{:#018x}", r.rank_checksum),
+                format!("{}/{}", fmt_bytes(r.sram_bytes_per_pe), r.stack_width),
+                if r.sram_fits {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "NMSE vs compression ratio, with projected per-PE SRAM (strategy 1)",
+            &[
+                "nb",
+                "acc",
+                "MDD NMSE",
+                "op NMSE",
+                "probe NMSE",
+                "ratio",
+                "bytes",
+                "rank checksum",
+                "SRAM/PE / w",
+                "fits"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "  every row is self-verified before printing: the compressor's per-tile\n  \
+         rank/byte grids reconcile exactly (==) with the TlrMatrix they describe,\n  \
+         and the sampled-probe NMSE agrees with the exact operator NMSE within a\n  \
+         {}x band; the checksum folds every per-tile rank, all frequencies",
+        accx::PROBE_AGREEMENT_FACTOR
+    );
+    if json {
+        let path = std::path::Path::new("target/repro/acc_report.json");
+        accx::write_acc_json(path, &rows_data)?;
+        println!("  accuracy report written to {}", path.display());
+        println!("  gate it with: cargo run -p xtask -- accgate --compare-only");
     }
     Ok(())
 }

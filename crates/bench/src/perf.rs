@@ -785,6 +785,143 @@ pub fn compare_reports(
     out
 }
 
+// ---------------------------------------------------------------------
+// BENCH_history.jsonl — the append-only perf trend ledger.
+// ---------------------------------------------------------------------
+
+/// Minimal JSON string escape for history records (names here are plain
+/// identifiers, but a ledger writer must never emit malformed lines).
+fn jsonl_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The short commit id of `HEAD`, or `"unknown"` outside a git checkout
+/// — history records carry provenance without requiring one.
+fn head_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One single-line JSON record of a perfbench run: schema, commit,
+/// profile, and every kernel's median. `jsonio`'s pretty writer is
+/// multi-line by design, so the ledger line is composed here — the
+/// parser side reuses [`Json::parse`], which accepts any whitespace.
+pub fn bench_history_line(report: &BenchReport) -> String {
+    let mut line = format!(
+        "{{\"schema\":{},\"commit\":\"{}\",\"experiment\":\"{}\",\"profile\":\"{}\",\"medians\":{{",
+        report.schema_version,
+        jsonl_escape(&head_commit()),
+        jsonl_escape(&report.experiment),
+        jsonl_escape(&report.host.profile),
+    );
+    for (i, k) in report.kernels.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{}\":{}", jsonl_escape(&k.name), k.median_ns));
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Append one [`bench_history_line`] record to the append-only ledger
+/// (`BENCH_history.jsonl` at the workspace root), creating it on first
+/// use. Existing lines are never rewritten — the file is the raw input
+/// of `xtask perfgate --trend`.
+pub fn append_bench_history(path: &Path, report: &BenchReport) -> io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", bench_history_line(report))
+}
+
+/// Parse one history line into `(commit, profile, kernel medians)`.
+/// Unknown fields are ignored so the record format can grow.
+pub fn parse_history_line(line: &str) -> Result<(String, String, Vec<(String, u64)>), String> {
+    let doc = Json::parse(line).map_err(|e| format!("history line: {e}"))?;
+    let commit = jstr(&doc, "commit").unwrap_or_else(|_| "unknown".to_string());
+    let profile = jstr(&doc, "profile").unwrap_or_else(|_| "unknown".to_string());
+    let medians = match doc.get("medians") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|m| (k.clone(), m)))
+            .collect(),
+        _ => return Err("history line: missing medians object".to_string()),
+    };
+    Ok((commit, profile, medians))
+}
+
+/// Scan the history ledger for cumulative drift: for every kernel
+/// present in both the first and the last same-profile record, report
+/// the first→last median change when it exceeds `warn_pct` — slow creep
+/// that no single perfgate run is large enough to flag. Returns the
+/// warning strings (empty = no drift worth reporting); unparseable
+/// lines are skipped, fewer than two comparable records is not an
+/// error.
+pub fn history_trend(path: &Path, warn_pct: f64) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let records: Vec<(String, String, Vec<(String, u64)>)> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| parse_history_line(l).ok())
+        .collect();
+    let mut out = Vec::new();
+    let Some(last) = records.last() else {
+        return Ok(out);
+    };
+    let Some(first) = records.iter().find(|r| r.1 == last.1) else {
+        return Ok(out);
+    };
+    if std::ptr::eq(first, last) {
+        return Ok(out);
+    }
+    let span = records.iter().filter(|r| r.1 == last.1).count();
+    for (name, base) in &first.2 {
+        let Some((_, cur)) = last.2.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *base == 0 {
+            continue;
+        }
+        let drift = 100.0 * (*cur as f64 - *base as f64) / *base as f64;
+        if drift >= warn_pct {
+            out.push(format!(
+                "{name}: median drifted +{drift:.1}% over {span} runs \
+                 ({base} -> {cur} ns/op, {} -> {})",
+                first.0, last.0
+            ));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -996,5 +1133,63 @@ mod tests {
         }
         let back = BenchReport::parse(&a.to_json().to_pretty()).expect("roundtrip");
         assert_eq!(a, back);
+    }
+
+    fn history_report(median: u64) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "table2_kernels".to_string(),
+            host: HostInfo::current(),
+            kernels: vec![KernelResult {
+                name: "gemv.acc".to_string(),
+                reps: 1,
+                median_ns: median,
+                min_ns: median,
+                relative_bytes_per_op: 10,
+                flops_per_op: 10,
+                derived_gbps: 1.0,
+                trace_checksum: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn history_line_is_single_line_and_parses_back() {
+        let line = bench_history_line(&history_report(1234));
+        assert!(!line.contains('\n'), "must be one line: {line}");
+        let (_, profile, medians) = parse_history_line(&line).expect("parses");
+        assert_eq!(profile, HostInfo::current().profile);
+        assert_eq!(medians, vec![("gemv.acc".to_string(), 1234)]);
+    }
+
+    #[test]
+    fn history_trend_warns_on_cumulative_drift_only() {
+        let dir = std::env::temp_dir().join(format!(
+            "bench_history_test_{}_{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // Three runs creeping 2% each: no single step trips perfgate,
+        // but first -> last is ~6%.
+        for m in [1000u64, 1020, 1061] {
+            append_bench_history(&path, &history_report(m)).expect("append");
+        }
+        let warnings = history_trend(&path, 5.0).expect("trend");
+        assert_eq!(warnings.len(), 1, "cumulative 6.1% must warn: {warnings:?}");
+        assert!(warnings[0].contains("gemv.acc"));
+        // A flat ledger stays quiet.
+        let flat = dir.join("flat.jsonl");
+        let _ = std::fs::remove_file(&flat);
+        for _ in 0..3 {
+            append_bench_history(&flat, &history_report(1000)).expect("append");
+        }
+        assert!(history_trend(&flat, 5.0).expect("trend").is_empty());
+        // Appending never truncates: the ledger keeps all lines.
+        let text = std::fs::read_to_string(&path).expect("ledger");
+        assert_eq!(text.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

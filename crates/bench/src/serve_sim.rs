@@ -246,6 +246,7 @@ pub fn run_serve_sim_full(jobs_per_rung: usize, ladder: &[f64]) -> ServeSimArtif
                     stage_p99_ns: Vec::new(),
                     queue_depth_limit: u64::try_from(queue_depth).unwrap_or(u64::MAX),
                     queue_stall_polls: 40,
+                    ..SloThresholds::default()
                 },
                 out_dir: PathBuf::from("target/trace"),
             },

@@ -522,6 +522,13 @@ pub struct ReconRow {
     /// Total energy of one TLR-MVM invocation, integer picojoules
     /// ([`energy_total_pj`] — the same arithmetic path the atlas uses).
     pub total_energy_pj: u64,
+    /// Measured laptop-scale exact operator NMSE of this `(nb, acc)`
+    /// config ([`crate::acc_experiments::operator_quality`]) — the
+    /// accuracy the bandwidth was bought at.
+    pub nmse: f64,
+    /// Measured laptop-scale dense-to-compressed storage ratio of the
+    /// same config.
+    pub compression_ratio: f64,
 }
 
 fn recon_row(
@@ -535,6 +542,7 @@ fn recon_row(
     let intensity = report.flops as f64 / (report.relative_bytes as f64).max(1.0);
     let attainable = machine.attainable(intensity);
     let total_energy_pj = energy_total_pj(report, cluster);
+    let (nmse, compression_ratio) = crate::acc_experiments::operator_quality(nb, acc);
     ReconRow {
         setting: setting.to_string(),
         machine: machine.name.clone(),
@@ -555,6 +563,8 @@ fn recon_row(
         },
         pj_per_flop: total_energy_pj as f64 / (report.flops as f64).max(1.0),
         total_energy_pj,
+        nmse,
+        compression_ratio,
     }
 }
 

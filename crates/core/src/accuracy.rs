@@ -1,0 +1,472 @@
+//! Numerical-quality observability: the accuracy observatory.
+//!
+//! Every other observability layer in this workspace (trace spans, the
+//! fabric atlas, the flight recorder, OpenMetrics) measures time, bytes,
+//! and flops. This module observes the quantity the paper's entire
+//! argument rests on — *numerical quality under algebraic compression* —
+//! from the live pipeline:
+//!
+//! * **Per-tile compression grids.** While tracing is enabled,
+//!   [`crate::compress::compress`] records three accuracy grids (one
+//!   cell per tile, row-major `mt × nt`):
+//!   [`GRID_TILE_RANK`] (truncation rank), [`GRID_TILE_STORED_BYTES`]
+//!   (bytes of the stored `U`/`V` factors), and [`GRID_TILE_TAIL_PPB`]
+//!   (the truncation backward error `‖A_t − U Vᴴ‖_F / ‖A_t‖_F` in parts
+//!   per billion — for the SVD backend this equals the discarded
+//!   singular-value tail `sqrt(Σ_{i≥k} σᵢ²)` by Eckart–Young). The rank
+//!   and byte grids reconcile **exactly** (`==`, atlas-style) with the
+//!   [`TlrMatrix`] they describe — [`verify_compression_grids`] is the
+//!   checked form of that contract.
+//! * **Sampled-probe NMSE estimator.** [`probe_nmse`] measures the
+//!   whole-operator relative error `‖A − Ã‖²_F / ‖A‖²_F` from `k`
+//!   sampled tiles and a handful of random probe vectors per tile
+//!   (`E‖M x‖² = c·‖M‖²_F` for isotropic complex Gaussian `x`; the
+//!   constant cancels in the ratio), H2OPUS-TLR-style — no dense
+//!   operator is ever materialized beyond the sampled tile blocks.
+//! * **Convergence-stall detection.** [`log_residual_slope`] fits a
+//!   least-squares slope to `ln(residual)` over a rolling window of
+//!   solver iterations; [`convergence_check`] turns it into a
+//!   [`Convergence`] verdict (converging / stalled / diverging) that the
+//!   SLO watchdog surfaces as a `solver_stall` breach
+//!   (see [`crate::telemetry::SloThresholds`]).
+//!
+//! Estimator math, threshold rationale, and the accgate methodology are
+//! documented in `DESIGN.md` §16.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seismic_la::blas::gemv;
+use seismic_la::scalar::C32;
+use seismic_la::{LowRank, Matrix};
+
+use crate::matrix::TlrMatrix;
+use crate::precision::{f64_to_u64, to_u64};
+use crate::tiling::Tiling;
+use crate::trace::{self, TraceReport};
+
+/// Grid name: per-tile truncation rank (`total() == TlrMatrix::total_rank`).
+pub const GRID_TILE_RANK: &str = "accuracy.tile_rank";
+/// Grid name: per-tile stored factor bytes
+/// (`total() == TlrMatrix::compressed_bytes`).
+pub const GRID_TILE_STORED_BYTES: &str = "accuracy.tile_stored_bytes";
+/// Grid name: per-tile relative truncation backward error, parts per
+/// billion (`round(1e9 · ‖A_t − U Vᴴ‖_F / ‖A_t‖_F)`).
+pub const GRID_TILE_TAIL_PPB: &str = "accuracy.tile_tail_ppb";
+
+/// Relative truncation backward error of one compressed tile, in parts
+/// per billion: `round(1e9 · ‖A_t − U Vᴴ‖_F / ‖A_t‖_F)`, saturating.
+/// A zero-norm tile has nothing to get wrong and reports 0.
+pub fn tile_tail_ppb(tile: &Matrix<C32>, lr: &LowRank<C32>) -> u64 {
+    let norm = f64::from(tile.fro_norm());
+    if norm <= 0.0 {
+        return 0;
+    }
+    let err = f64::from(lr.to_dense().sub(tile).fro_norm());
+    let rel = (err / norm).min(u64::MAX as f64 / 1e10);
+    f64_to_u64((rel * 1e9).round())
+}
+
+/// Bytes one tile's stored factors occupy (`stored_elements · 8` for
+/// interleaved FP32 complex).
+fn tile_stored_bytes(lr: &LowRank<C32>) -> u64 {
+    to_u64(lr.stored_elements().saturating_mul(std::mem::size_of::<C32>()))
+}
+
+/// Record the three per-tile accuracy grids for one compressed matrix.
+/// `tiles` is tile-column-major (`idx = j·mt + i`, the
+/// [`crate::compress::compress`] layout); the grids are row-major
+/// `mt × nt` like every other trace grid. `tail_ppb` carries the
+/// pre-measured backward-error cells in the same tile-column-major
+/// order. No-op while tracing is disabled.
+pub fn record_compression_grids(tiling: &Tiling, tiles: &[LowRank<C32>], tail_ppb: &[u64]) {
+    if !trace::is_enabled() {
+        return;
+    }
+    let mt = tiling.tile_rows();
+    let nt = tiling.tile_cols();
+    if tiles.len() != mt * nt || tail_ppb.len() != tiles.len() {
+        return;
+    }
+    let mut rank_cells = vec![0u64; mt * nt];
+    let mut byte_cells = vec![0u64; mt * nt];
+    let mut tail_cells = vec![0u64; mt * nt];
+    for i in 0..mt {
+        for j in 0..nt {
+            let idx = j * mt + i;
+            let cell = i * nt + j;
+            rank_cells[cell] = to_u64(tiles[idx].rank());
+            byte_cells[cell] = tile_stored_bytes(&tiles[idx]);
+            tail_cells[cell] = tail_ppb[idx];
+        }
+    }
+    trace::add_grid(GRID_TILE_RANK, mt, nt, &rank_cells);
+    trace::add_grid(GRID_TILE_STORED_BYTES, mt, nt, &byte_cells);
+    trace::add_grid(GRID_TILE_TAIL_PPB, mt, nt, &tail_cells);
+}
+
+/// Verify the exact (`==`) reconciliation between the accuracy grids in
+/// a trace snapshot and the [`TlrMatrix`] they were recorded for: the
+/// rank grid must total `total_rank()`, the stored-bytes grid
+/// `compressed_bytes()`, and every rank cell must equal `rank(i, j)`.
+/// Errors name the first discrepancy. Intended for a trace window that
+/// observed exactly one compression of `tlr` (grids are cumulative).
+pub fn verify_compression_grids(tlr: &TlrMatrix, report: &TraceReport) -> Result<(), String> {
+    let rank_grid = report
+        .grid_for(GRID_TILE_RANK)
+        .ok_or_else(|| format!("missing grid {GRID_TILE_RANK}"))?;
+    let byte_grid = report
+        .grid_for(GRID_TILE_STORED_BYTES)
+        .ok_or_else(|| format!("missing grid {GRID_TILE_STORED_BYTES}"))?;
+    let mt = tlr.tiling().tile_rows();
+    let nt = tlr.tiling().tile_cols();
+    if (rank_grid.rows, rank_grid.cols) != (to_u64(mt), to_u64(nt)) {
+        return Err(format!(
+            "{GRID_TILE_RANK}: grid is {}x{}, matrix tiling is {mt}x{nt}",
+            rank_grid.rows, rank_grid.cols
+        ));
+    }
+    if rank_grid.total() != to_u64(tlr.total_rank()) {
+        return Err(format!(
+            "{GRID_TILE_RANK}: grid total {} != total_rank {}",
+            rank_grid.total(),
+            tlr.total_rank()
+        ));
+    }
+    if byte_grid.total() != to_u64(tlr.compressed_bytes()) {
+        return Err(format!(
+            "{GRID_TILE_STORED_BYTES}: grid total {} != compressed_bytes {}",
+            byte_grid.total(),
+            tlr.compressed_bytes()
+        ));
+    }
+    for i in 0..mt {
+        for j in 0..nt {
+            let cell = rank_grid.cells.get(i * nt + j).copied().unwrap_or(0);
+            if cell != to_u64(tlr.rank(i, j)) {
+                return Err(format!(
+                    "{GRID_TILE_RANK}: cell ({i},{j}) is {cell}, tile rank is {}",
+                    tlr.rank(i, j)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result of one sampled-probe NMSE estimation.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeEstimate {
+    /// Estimated `‖A − Ã‖²_F / ‖A‖²_F`.
+    pub nmse: f64,
+    /// Tiles actually sampled (≤ requested, capped at the tile count).
+    pub sampled_tiles: usize,
+    /// Probe vectors applied per sampled tile.
+    pub probes_per_tile: usize,
+}
+
+/// Estimate the whole-operator compression NMSE
+/// `‖A − Ã‖²_F / ‖A‖²_F` by probing `sampled_tiles` uniformly sampled
+/// tiles with `probes` random complex Gaussian vectors each
+/// (H2OPUS-TLR-style): for isotropic `x`, `E‖M x‖² ∝ ‖M‖²_F`, and the
+/// proportionality constant cancels in the error/reference ratio. Fully
+/// deterministic for a given `seed`. The dense matrix is only touched
+/// through the sampled tile blocks — nothing operator-sized is formed.
+pub fn probe_nmse(
+    dense: &Matrix<C32>,
+    tlr: &TlrMatrix,
+    sampled_tiles: usize,
+    probes: usize,
+    seed: u64,
+) -> ProbeEstimate {
+    let tiling = tlr.tiling();
+    let mt = tiling.tile_rows();
+    let nt = tiling.tile_cols();
+    let total = mt * nt;
+    let k = sampled_tiles.clamp(1, total.max(1));
+    let probes = probes.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xacc0_b5e7);
+
+    // Partial Fisher–Yates over the tile indices: the first k slots are
+    // a uniform sample without replacement (modulo bias over a u64 draw
+    // is immaterial at tile-grid cardinalities).
+    let mut order: Vec<usize> = (0..total).collect();
+    for t in 0..k.min(total.saturating_sub(1)) {
+        let span = to_u64(total - t);
+        let r = t + crate::precision::to_usize(rand::RngCore::next_u64(&mut rng) % span);
+        order.swap(t, r);
+    }
+
+    let mut err2 = 0.0f64;
+    let mut ref2 = 0.0f64;
+    for &idx in order.iter().take(k) {
+        let i = idx % mt;
+        let j = idx / mt;
+        let (r0, rl) = tiling.row_range(i);
+        let (c0, cl) = tiling.col_range(j);
+        let tile = dense.block(r0, c0, rl, cl);
+        let lr = tlr.tile(i, j);
+        let x_probes = Matrix::<C32>::random_normal(cl, probes, &mut rng);
+        let mut y_ref = vec![C32::new(0.0, 0.0); rl];
+        let mut y_tlr = vec![C32::new(0.0, 0.0); rl];
+        for p in 0..probes {
+            let x = x_probes.col(p);
+            gemv(&tile, x, &mut y_ref);
+            for y in &mut y_tlr {
+                *y = C32::new(0.0, 0.0);
+            }
+            lr.apply_acc(x, &mut y_tlr);
+            for (r, t) in y_ref.iter().zip(&y_tlr) {
+                err2 += f64::from((*r - *t).norm_sqr());
+                ref2 += f64::from(r.norm_sqr());
+            }
+        }
+    }
+    ProbeEstimate {
+        nmse: if ref2 > 0.0 { err2 / ref2 } else { 0.0 },
+        sampled_tiles: k,
+        probes_per_tile: probes,
+    }
+}
+
+/// Convergence verdict over a rolling residual window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Convergence {
+    /// Residuals shrink at or above the required rate.
+    Converging,
+    /// Residuals shrink slower than the required rate (or not at all).
+    Stalled,
+    /// Residuals grow: the fitted `ln(residual)` slope is positive.
+    Diverging,
+}
+
+/// One evaluated convergence check.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceCheck {
+    /// The verdict.
+    pub verdict: Convergence,
+    /// Fitted per-iteration slope of `ln(residual)` (negative =
+    /// shrinking).
+    pub slope: f64,
+    /// Per-iteration residual decay in parts per million:
+    /// `round(1e6 · (1 − e^slope))`, clamped at 0 for growth — the
+    /// integer the SLO breach record carries as `observed`.
+    pub decay_ppm: u64,
+}
+
+/// Least-squares slope of `ln(residual)` per iteration over the last
+/// `window` entries. Returns `None` when fewer than `window` (or 2)
+/// residuals exist, or when any windowed residual is non-positive
+/// (an exact solve — there is no log-linear trend to fit).
+pub fn log_residual_slope(residuals: &[f32], window: usize) -> Option<f64> {
+    let window = window.max(2);
+    if residuals.len() < window {
+        return None;
+    }
+    let tail = &residuals[residuals.len() - window..];
+    if tail.iter().any(|&r| r <= 0.0) {
+        return None;
+    }
+    // Least squares of y = ln(r) against x = 0..window.
+    let n = window as f64;
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut sxx = 0.0f64;
+    let mut sxy = 0.0f64;
+    for (i, &r) in tail.iter().enumerate() {
+        let x = i as f64;
+        let y = f64::from(r).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom <= 0.0 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Evaluate a residual trajectory against a stall threshold: fit the
+/// windowed log-residual slope and compare the implied per-iteration
+/// decay against `min_decay_ppm` (parts per million per iteration).
+/// `None` when the window has not filled yet or the solve already hit
+/// an exact zero residual.
+pub fn convergence_check(
+    residuals: &[f32],
+    window: usize,
+    min_decay_ppm: u64,
+) -> Option<ConvergenceCheck> {
+    let slope = log_residual_slope(residuals, window)?;
+    let decay = 1.0 - slope.exp();
+    let decay_ppm = if decay > 0.0 {
+        f64_to_u64((decay * 1e6).round().min(1e6))
+    } else {
+        0
+    };
+    let verdict = if slope > 0.0 {
+        Convergence::Diverging
+    } else if decay_ppm < min_decay_ppm {
+        Convergence::Stalled
+    } else {
+        Convergence::Converging
+    };
+    Some(ConvergenceCheck {
+        verdict,
+        slope,
+        decay_ppm,
+    })
+}
+
+/// The relative residual trajectory of one solver in a trace snapshot,
+/// in record order — the scale-free series the stall detector feeds on.
+pub fn relative_residuals(report: &TraceReport, solver: &str) -> Vec<f32> {
+    report
+        .solver_iterations
+        .iter()
+        .filter(|r| r.solver == solver)
+        .map(|r| r.relative_residual())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress, CompressionConfig, CompressionMethod, ToleranceMode};
+    use std::sync::Mutex as StdMutex;
+
+    /// Serializes tests that flip the global trace flag (same contract
+    /// as the `trace` module's own tests, which run in this process).
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn smooth_kernel(m: usize, n: usize) -> Matrix<C32> {
+        Matrix::from_fn(m, n, |i, j| {
+            let x = i as f32 / m as f32;
+            let y = j as f32 / n as f32;
+            let d = ((x - y) * (x - y) + 0.01).sqrt();
+            C32::from_polar(1.0 / (1.0 + 4.0 * d), -12.0 * d)
+        })
+    }
+
+    #[test]
+    fn compression_grids_reconcile_exactly() {
+        let _g = locked();
+        let a = smooth_kernel(96, 80);
+        let cfg = CompressionConfig {
+            nb: 16,
+            acc: 1e-3,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        };
+        crate::trace::reset();
+        crate::trace::set_enabled(true);
+        let tlr = compress(&a, cfg);
+        crate::trace::set_enabled(false);
+        let report = crate::trace::snapshot();
+        verify_compression_grids(&tlr, &report).unwrap();
+        // The tail grid exists and stays inside the tolerance: every
+        // tile's relative error is ≤ acc (RelativeTile mode), i.e.
+        // ≤ 1e-3 · 1e9 = 1e6 ppb per cell (small float slack).
+        let tail = report.grid_for(GRID_TILE_TAIL_PPB).expect("tail grid");
+        assert_eq!(tail.cells.len(), 30);
+        assert!(tail.cells.iter().all(|&c| c <= 1_100_000), "{:?}", tail.cells);
+        // A non-trivial compression truncates something somewhere.
+        assert!(tail.total() > 0);
+    }
+
+    #[test]
+    fn grids_are_not_recorded_while_disabled() {
+        let _g = locked();
+        let a = smooth_kernel(32, 32);
+        crate::trace::reset();
+        crate::trace::set_enabled(false);
+        let _tlr = compress(&a, CompressionConfig::paper_default().with_nb(8));
+        let report = crate::trace::snapshot();
+        assert!(report.grid_for(GRID_TILE_RANK).is_none());
+        assert!(report.grid_for(GRID_TILE_STORED_BYTES).is_none());
+        assert!(report.grid_for(GRID_TILE_TAIL_PPB).is_none());
+    }
+
+    #[test]
+    fn probe_estimator_tracks_exact_nmse() {
+        let a = smooth_kernel(96, 80);
+        let cfg = CompressionConfig {
+            nb: 16,
+            acc: 5e-3,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        };
+        let tlr = compress(&a, cfg);
+        let diff = tlr.reconstruct().sub(&a);
+        let exact = (f64::from(diff.fro_norm()) / f64::from(a.fro_norm())).powi(2);
+        // Full tile coverage, several probes: the estimator must land
+        // within a small factor of the exact NMSE.
+        let est = probe_nmse(&a, &tlr, 36, 8, 7);
+        assert_eq!(est.sampled_tiles, 30);
+        assert!(est.nmse > 0.0);
+        assert!(
+            est.nmse < exact * 4.0 + 1e-12 && est.nmse > exact / 4.0,
+            "probe {} vs exact {exact}",
+            est.nmse
+        );
+        // Deterministic for a fixed seed.
+        let est2 = probe_nmse(&a, &tlr, 36, 8, 7);
+        assert!((est.nmse - est2.nmse).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probe_estimator_is_zero_for_lossless_compression() {
+        let a = smooth_kernel(40, 40);
+        let cfg = CompressionConfig {
+            nb: 10,
+            acc: 1e-9,
+            method: CompressionMethod::Svd,
+            mode: ToleranceMode::RelativeTile,
+        };
+        let tlr = compress(&a, cfg);
+        let est = probe_nmse(&a, &tlr, 16, 4, 3);
+        assert!(est.nmse < 1e-10, "nmse {}", est.nmse);
+    }
+
+    #[test]
+    fn stall_detector_classifies_trajectories() {
+        // Healthy geometric convergence: 5 % decay per iteration.
+        let healthy: Vec<f32> = (0..12).map(|i| 0.95f32.powi(i)).collect();
+        let c = convergence_check(&healthy, 8, 10_000).expect("window filled");
+        assert_eq!(c.verdict, Convergence::Converging);
+        assert!(c.decay_ppm > 40_000 && c.decay_ppm < 60_000);
+
+        // Stalled: residual frozen.
+        let stalled = vec![0.5f32; 12];
+        let c = convergence_check(&stalled, 8, 10_000).expect("window filled");
+        assert_eq!(c.verdict, Convergence::Stalled);
+        assert_eq!(c.decay_ppm, 0);
+
+        // Diverging: residual growing.
+        let diverging: Vec<f32> = (0..12).map(|i| 1.05f32.powi(i)).collect();
+        let c = convergence_check(&diverging, 8, 10_000).expect("window filled");
+        assert_eq!(c.verdict, Convergence::Diverging);
+
+        // Window not filled yet.
+        assert!(convergence_check(&healthy[..4], 8, 10_000).is_none());
+        // Exact solve: a zero residual has no log-linear trend.
+        let exact = [0.5f32, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert!(convergence_check(&exact, 8, 10_000).is_none());
+    }
+
+    #[test]
+    fn slope_fit_matches_known_geometry() {
+        let rate = 0.9f32;
+        let series: Vec<f32> = (0..20).map(|i| rate.powi(i)).collect();
+        let slope = log_residual_slope(&series, 10).expect("fit");
+        assert!(
+            (slope - f64::from(rate).ln()).abs() < 1e-4,
+            "slope {slope} vs ln(0.9) {}",
+            f64::from(rate).ln()
+        );
+    }
+}

@@ -11,6 +11,7 @@ use seismic_la::svd::svd_compress;
 use seismic_la::{LowRank, Matrix};
 use serde::{Deserialize, Serialize};
 
+use crate::accuracy;
 use crate::matrix::TlrMatrix;
 use crate::tiling::Tiling;
 use crate::trace;
@@ -90,34 +91,58 @@ impl CompressionConfig {
 /// Compress a dense matrix to TLR form. Tiles are compressed independently
 /// and in parallel; any tile that fails to compress below full rank is
 /// stored exactly (dense-as-low-rank), so the tolerance always holds.
+///
+/// While tracing is enabled the compression observatory also records,
+/// per tile, the rank histogram plus three accuracy grids (rank, stored
+/// bytes, and the truncation backward error — see [`crate::accuracy`]);
+/// the grid totals reconcile *exactly* with the returned matrix's
+/// [`TlrMatrix::total_rank`] / [`TlrMatrix::compressed_bytes`].
 pub fn compress(dense: &Matrix<C32>, config: CompressionConfig) -> TlrMatrix {
     let tiling = Tiling::new(dense.nrows(), dense.ncols(), config.nb);
     let mt = tiling.tile_rows();
     let nt = tiling.tile_cols();
     let global_norm = dense.fro_norm();
     let tile_count = tiling.tile_count() as f32;
+    let observe = trace::is_enabled();
 
-    // Tile slots are allocated (as empty rank-0 factors) before the span
-    // opens: the traced region is pure per-tile compression (HP01).
+    // Tile slots (empty rank-0 factors) and the per-tile backward-error
+    // staging buffer are allocated before the span opens: the traced
+    // region is pure per-tile compression (HP01).
     let mut tiles: Vec<LowRank<C32>> = (0..mt * nt)
         .map(|_| LowRank::new(Matrix::zeros(0, 0), Matrix::zeros(0, 0)))
         .collect();
-    let _span = trace::span("compress.tiles");
-    tiles.par_iter_mut().enumerate().for_each(|(idx, slot)| {
-        // idx is column-major: idx = j*mt + i.
-        let i = idx % mt;
-        let j = idx / mt;
-        let (r0, rl) = tiling.row_range(i);
-        let (c0, cl) = tiling.col_range(j);
-        let tile = dense.block(r0, c0, rl, cl);
-        let tol = match config.mode {
-            ToleranceMode::RelativeTile => config.acc * tile.fro_norm(),
-            ToleranceMode::RelativeGlobal => config.acc * global_norm / tile_count.sqrt(),
-        };
-        *slot = compress_tile(&tile, tol, config.method, crate::precision::to_u64(idx));
-    });
+    let mut tail_ppb: Vec<u64> = vec![0; if observe { mt * nt } else { 0 }];
+    {
+        let _span = trace::span("compress.tiles");
+        tiles.par_iter_mut().enumerate().for_each(|(idx, slot)| {
+            // idx is column-major: idx = j*mt + i.
+            let i = idx % mt;
+            let j = idx / mt;
+            let (r0, rl) = tiling.row_range(i);
+            let (c0, cl) = tiling.col_range(j);
+            let tile = dense.block(r0, c0, rl, cl);
+            let tol = match config.mode {
+                ToleranceMode::RelativeTile => config.acc * tile.fro_norm(),
+                ToleranceMode::RelativeGlobal => config.acc * global_norm / tile_count.sqrt(),
+            };
+            *slot = compress_tile(&tile, tol, config.method, crate::precision::to_u64(idx));
+        });
+    }
 
-    if trace::is_enabled() {
+    if observe {
+        // Second pass for the backward-error grid only: the per-tile
+        // truncation error is measured against the dense tile outside
+        // the timed span, so the observatory never perturbs the traced
+        // compression kernel itself.
+        tail_ppb.par_iter_mut().enumerate().for_each(|(idx, cell)| {
+            let i = idx % mt;
+            let j = idx / mt;
+            let (r0, rl) = tiling.row_range(i);
+            let (c0, cl) = tiling.col_range(j);
+            let tile = dense.block(r0, c0, rl, cl);
+            *cell = accuracy::tile_tail_ppb(&tile, &tiles[idx]);
+        });
+        accuracy::record_compression_grids(&tiling, &tiles, &tail_ppb);
         for t in &tiles {
             trace::record_tile_rank(t.rank());
         }

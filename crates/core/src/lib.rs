@@ -22,6 +22,10 @@
 //! * [`telemetry`] — serving-grade observability: the lock-free flight
 //!   recorder, OpenMetrics exposition, and the SLO watchdog
 //!   (DESIGN.md §14).
+//! * [`accuracy`] — the accuracy observatory: per-tile compression
+//!   grids with exact byte/rank reconciliation, a sampled-probe NMSE
+//!   estimator, and the solver convergence-stall detector
+//!   (DESIGN.md §16).
 //!
 //! ## Quick start
 //!
@@ -55,6 +59,7 @@
 #![deny(missing_docs)]
 
 pub mod accounting;
+pub mod accuracy;
 pub mod compress;
 pub mod fastpath;
 pub mod invariant;
@@ -71,6 +76,10 @@ pub mod trace;
 pub use accounting::{
     absolute_bytes, dense_mvm_cost, mvm_flops, relative_bytes, three_phase_cost, tlr_mvm_cost,
     ThreePhaseCost, TlrMvmCost,
+};
+pub use accuracy::{
+    convergence_check, log_residual_slope, probe_nmse, verify_compression_grids, Convergence,
+    ConvergenceCheck, ProbeEstimate,
 };
 pub use compress::{compress, compress_tile, CompressionConfig, CompressionMethod, ToleranceMode};
 pub use fastpath::{dotc_fast, gather, gemv_acc_fast, gemv_conj_transpose_fast};

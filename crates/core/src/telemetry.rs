@@ -872,8 +872,13 @@ pub fn check_openmetrics(text: &str) -> Result<usize, String> {
 }
 
 /// Derive metric families from a trace report: per-phase call/nanosecond
-/// counters and one `stage_latency_ns` histogram per latency stage
-/// (log2 bucket floors become `le = 2·floor` upper bounds).
+/// counters, one `stage_latency_ns` histogram per latency stage
+/// (log2 bucket floors become `le = 2·floor` upper bounds), and — when
+/// the accuracy observatory recorded anything — `accuracy_grid_total`
+/// gauges (one per `accuracy.*` grid), an `accuracy_tile_rank`
+/// histogram over the compression rank histogram, and a
+/// `solver_relative_residual` gauge carrying each solver's latest
+/// scale-free residual.
 pub fn trace_metric_families(report: &TraceReport) -> Vec<MetricFamily> {
     let mut calls = MetricFamily::new(
         "trace_phase_calls",
@@ -920,6 +925,63 @@ pub fn trace_metric_families(report: &TraceReport) -> Vec<MetricFamily> {
     if !lat.samples.is_empty() {
         out.push(lat);
     }
+
+    let mut grid_totals = MetricFamily::new(
+        "accuracy_grid_total",
+        "Total of each accuracy-observatory grid (ranks, stored bytes, tail ppb).",
+        MetricKind::Gauge,
+    );
+    for g in &report.grids {
+        if g.name.starts_with("accuracy.") {
+            grid_totals.push(&[("grid", &g.name)], MetricValue::from_u64(g.total()));
+        }
+    }
+    if !grid_totals.samples.is_empty() {
+        out.push(grid_totals);
+    }
+
+    if !report.rank_histogram.is_empty() {
+        let mut ranks = MetricFamily::new(
+            "accuracy_tile_rank",
+            "Distribution of per-tile truncation ranks across compressed tiles.",
+            MetricKind::Histogram,
+        );
+        let mut cum = 0u64;
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut buckets = Vec::new();
+        for b in &report.rank_histogram {
+            cum = cum.saturating_add(b.tiles);
+            count = count.saturating_add(b.tiles);
+            sum += b.rank as f64 * b.tiles as f64;
+            buckets.push((b.rank as f64, cum));
+        }
+        ranks.push(
+            &[],
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            },
+        );
+        out.push(ranks);
+    }
+
+    let mut residuals = MetricFamily::new(
+        "solver_relative_residual",
+        "Latest scale-free relative residual per iterative solver.",
+        MetricKind::Gauge,
+    );
+    let mut last: BTreeMap<&str, f32> = BTreeMap::new();
+    for row in &report.solver_iterations {
+        last.insert(&row.solver, row.relative_residual());
+    }
+    for (solver, rel) in last {
+        residuals.push(&[("solver", solver)], MetricValue::Scalar(f64::from(rel)));
+    }
+    if !residuals.samples.is_empty() {
+        out.push(residuals);
+    }
     out
 }
 
@@ -933,6 +995,13 @@ pub struct SloThresholds {
     pub queue_depth_limit: u64,
     /// Consecutive saturated polls that constitute a stall.
     pub queue_stall_polls: u32,
+    /// Rolling window (iterations) for the solver convergence-stall
+    /// detector (0 disables it). See
+    /// [`crate::accuracy::convergence_check`].
+    pub solver_stall_window: usize,
+    /// Minimum per-iteration residual decay, parts per million, below
+    /// which a filled window counts as stalled.
+    pub solver_stall_min_decay_ppm: u64,
 }
 
 impl Default for SloThresholds {
@@ -941,6 +1010,8 @@ impl Default for SloThresholds {
             stage_p99_ns: Vec::new(),
             queue_depth_limit: 0,
             queue_stall_polls: 3,
+            solver_stall_window: 0,
+            solver_stall_min_decay_ppm: 1_000,
         }
     }
 }
@@ -948,11 +1019,12 @@ impl Default for SloThresholds {
 /// One SLO breach verdict.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SloBreach {
-    /// `"stage_p99"` or `"queue_stall"`.
+    /// `"stage_p99"`, `"queue_stall"`, or `"solver_stall"`.
     pub reason: &'static str,
-    /// Offending stage (empty for queue stalls).
+    /// Offending stage (empty for queue stalls; the solver name for
+    /// solver stalls).
     pub stage: String,
-    /// Observed p99 nanoseconds, or queue depth.
+    /// Observed p99 nanoseconds, queue depth, or residual decay ppm.
     pub observed: u64,
     /// The configured limit that was crossed.
     pub limit: u64,
@@ -967,6 +1039,7 @@ pub struct SloMonitor {
     thresholds: SloThresholds,
     prev: BTreeMap<String, BTreeMap<u64, u64>>,
     stall_polls: u32,
+    solver_rows: BTreeMap<String, usize>,
 }
 
 impl SloMonitor {
@@ -976,6 +1049,7 @@ impl SloMonitor {
             thresholds,
             prev: BTreeMap::new(),
             stall_polls: 0,
+            solver_rows: BTreeMap::new(),
         }
     }
 
@@ -1036,6 +1110,43 @@ impl SloMonitor {
             }
         } else {
             self.stall_polls = 0;
+        }
+
+        // Convergence-stall detector: a solver whose windowed relative
+        // residual stops decaying (or grows) breaches once per poll in
+        // which new iterations actually arrived — a solver that merely
+        // sits idle between polls never re-triggers on stale rows.
+        let window = self.thresholds.solver_stall_window;
+        if window > 0 {
+            let mut solvers: Vec<&str> = report
+                .solver_iterations
+                .iter()
+                .map(|r| r.solver.as_str())
+                .collect();
+            solvers.sort_unstable();
+            solvers.dedup();
+            for solver in solvers {
+                let residuals = crate::accuracy::relative_residuals(report, solver);
+                let seen = self.solver_rows.entry(solver.to_string()).or_insert(0);
+                if residuals.len() <= *seen {
+                    continue;
+                }
+                *seen = residuals.len();
+                if let Some(check) = crate::accuracy::convergence_check(
+                    &residuals,
+                    window,
+                    self.thresholds.solver_stall_min_decay_ppm,
+                ) {
+                    if check.verdict != crate::accuracy::Convergence::Converging {
+                        out.push(SloBreach {
+                            reason: "solver_stall",
+                            stage: solver.to_string(),
+                            observed: check.decay_ppm,
+                            limit: self.thresholds.solver_stall_min_decay_ppm,
+                        });
+                    }
+                }
+            }
         }
         out
     }
@@ -1504,6 +1615,122 @@ mod tests {
         assert_eq!(b[0].reason, "queue_stall");
         assert_eq!(b[0].observed, 9);
         assert_eq!(b[0].limit, 4);
+    }
+
+    fn report_with_solver_rows(solver: &str, residuals: &[f32]) -> TraceReport {
+        TraceReport {
+            solver_iterations: residuals
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| crate::trace::SolverIteration {
+                    solver: solver.to_string(),
+                    iteration: i as u64 + 1,
+                    residual: r,
+                    initial_residual: 1.0,
+                    nanos: 0,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slo_monitor_flags_a_stalled_solver_once_per_batch_of_new_rows() {
+        let mut mon = SloMonitor::new(SloThresholds {
+            solver_stall_window: 4,
+            solver_stall_min_decay_ppm: 10_000,
+            ..Default::default()
+        });
+        // Healthy convergence: no breach.
+        let healthy: Vec<f32> = (0..8).map(|i| 0.8f32.powi(i)).collect();
+        assert!(mon
+            .observe(&report_with_solver_rows("lsqr", &healthy), 0)
+            .is_empty());
+
+        // A frozen residual trips the detector...
+        let mut frozen = healthy.clone();
+        frozen.extend(std::iter::repeat(frozen[7]).take(6));
+        let b = mon.observe(&report_with_solver_rows("lsqr", &frozen), 0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].reason, "solver_stall");
+        assert_eq!(b[0].stage, "lsqr");
+        assert_eq!(b[0].observed, 0);
+        assert_eq!(b[0].limit, 10_000);
+        // ...but re-observing the identical snapshot (no new rows) does
+        // not re-breach on stale history.
+        assert!(mon
+            .observe(&report_with_solver_rows("lsqr", &frozen), 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn slo_monitor_flags_a_diverging_solver() {
+        let mut mon = SloMonitor::new(SloThresholds {
+            solver_stall_window: 4,
+            solver_stall_min_decay_ppm: 1_000,
+            ..Default::default()
+        });
+        let diverging: Vec<f32> = (0..8).map(|i| 1.2f32.powi(i)).collect();
+        let b = mon.observe(&report_with_solver_rows("cgls", &diverging), 0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].reason, "solver_stall");
+        assert_eq!(b[0].stage, "cgls");
+    }
+
+    #[test]
+    fn solver_stall_detector_disabled_by_default() {
+        let mut mon = SloMonitor::new(SloThresholds::default());
+        let frozen = vec![0.5f32; 16];
+        assert!(mon
+            .observe(&report_with_solver_rows("lsqr", &frozen), 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn trace_metric_families_expose_accuracy_gauges() {
+        let report = TraceReport {
+            solver_iterations: vec![crate::trace::SolverIteration {
+                solver: "lsqr".to_string(),
+                iteration: 1,
+                residual: 0.25,
+                initial_residual: 1.0,
+                nanos: 3,
+            }],
+            rank_histogram: vec![
+                crate::trace::RankBucket { rank: 2, tiles: 3 },
+                crate::trace::RankBucket { rank: 5, tiles: 1 },
+            ],
+            grids: vec![crate::trace::GridEntry {
+                name: "accuracy.tile_rank".to_string(),
+                rows: 1,
+                cols: 2,
+                cells: vec![2, 5],
+            }],
+            ..Default::default()
+        };
+        let fams = trace_metric_families(&report);
+        let grid = fams
+            .iter()
+            .find(|f| f.name == "accuracy_grid_total")
+            .expect("grid gauge family");
+        assert_eq!(grid.samples.len(), 1);
+        assert!(matches!(grid.samples[0].value, MetricValue::Scalar(v) if v == 7.0));
+        let ranks = fams
+            .iter()
+            .find(|f| f.name == "accuracy_tile_rank")
+            .expect("rank histogram family");
+        assert!(matches!(
+            &ranks.samples[0].value,
+            MetricValue::Histogram { count: 4, .. }
+        ));
+        let resid = fams
+            .iter()
+            .find(|f| f.name == "solver_relative_residual")
+            .expect("residual gauge family");
+        assert!(matches!(resid.samples[0].value, MetricValue::Scalar(v) if v == 0.25));
+        // The whole set still renders as valid OpenMetrics.
+        let text = render_openmetrics(&fams);
+        check_openmetrics(&text).expect("valid exposition");
     }
 
     #[test]

@@ -46,8 +46,11 @@
 //!   the phase shares in a trace report reconcile with the static cost
 //!   model.
 //! * [`record_solver_iteration`] appends one `(solver, iteration,
-//!   residual, nanos)` row per iterative-solver step (LSQR / CGLS), and
-//!   [`record_tile_rank`] grows the compression rank histogram.
+//!   residual, initial_residual, nanos)` row per iterative-solver step
+//!   (LSQR / CGLS) — carrying the starting residual makes
+//!   [`SolverIteration::relative_residual`] scale-free, so convergence
+//!   curves compare across datasets — and [`record_tile_rank`] grows
+//!   the compression rank histogram.
 //! * [`add_grid`] accumulates named **2-D grid counters** (element-wise
 //!   saturating adds over a row-major `u64` grid) — the fabric-atlas
 //!   heatmaps. The first call for a name fixes the grid's dimensions;
@@ -249,8 +252,28 @@ pub struct SolverIteration {
     /// Residual estimate after the iteration (LSQR's `φ̄`, CGLS's
     /// exact `‖r‖`).
     pub residual: f32,
+    /// Residual of the starting iterate (`‖b‖` for a zero initial
+    /// guess) — the scale [`Self::relative_residual`] divides by.
+    /// `default` so pre-accuracy trace JSON still deserializes (as 0,
+    /// which reads back as "scale unknown").
+    #[serde(default)]
+    pub initial_residual: f32,
     /// Wall-clock nanoseconds the iteration took.
     pub nanos: u64,
+}
+
+impl SolverIteration {
+    /// Scale-free relative residual `residual / initial_residual`.
+    /// Rows recorded without a starting residual (deserialized
+    /// pre-accuracy traces, or a degenerate `‖b‖ = 0` solve) return the
+    /// raw residual unchanged — there is no scale to divide by.
+    pub fn relative_residual(&self) -> f32 {
+        if self.initial_residual > 0.0 {
+            self.residual / self.initial_residual
+        } else {
+            self.residual
+        }
+    }
 }
 
 /// One bucket of the compression rank histogram.
@@ -596,9 +619,17 @@ pub fn add_iterations(name: &str, iterations: u64) {
 }
 
 /// Append one per-iteration solver row (and bump the solver phase's
-/// iteration counter).
+/// iteration counter). `initial_residual` is the residual of the
+/// starting iterate (`‖b‖` for a zero initial guess), recorded on every
+/// row so any subsequence of the trace stays self-scaling.
 #[inline]
-pub fn record_solver_iteration(solver: &'static str, iteration: u64, residual: f32, nanos: u64) {
+pub fn record_solver_iteration(
+    solver: &'static str,
+    iteration: u64,
+    residual: f32,
+    initial_residual: f32,
+    nanos: u64,
+) {
     if !is_enabled() {
         return;
     }
@@ -607,6 +638,7 @@ pub fn record_solver_iteration(solver: &'static str, iteration: u64, residual: f
         solver: solver.to_string(),
         iteration,
         residual,
+        initial_residual,
         nanos,
     });
     let p = c.phase_mut(solver);
@@ -740,7 +772,7 @@ mod tests {
             add_flops("test.trace.disabled", 10);
             add_bytes("test.trace.disabled", 1, 2);
             record_tile_rank(3);
-            record_solver_iteration("test.trace.disabled", 1, 0.5, 7);
+            record_solver_iteration("test.trace.disabled", 1, 0.5, 2.0, 7);
         }
         let rep = snapshot();
         assert!(rep.phase("test.trace.disabled").is_none());
@@ -826,6 +858,38 @@ mod tests {
         let rep = snapshot();
         assert!(rep.phase("test.dur.off").is_none());
         assert!(rep.latency_for("test.dur.off").is_none());
+    }
+
+    /// Satellite regression test: solver rows carry the starting
+    /// residual, so [`SolverIteration::relative_residual`] is
+    /// scale-free; rows without one (pre-accuracy traces) fall back to
+    /// the raw residual.
+    #[test]
+    fn solver_rows_expose_relative_residual() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        record_solver_iteration("test.solver.rel", 1, 5.0, 20.0, 3);
+        record_solver_iteration("test.solver.rel", 2, 2.0, 20.0, 4);
+        set_enabled(false);
+        let rep = snapshot();
+        let rows: Vec<_> = rep
+            .solver_iterations
+            .iter()
+            .filter(|r| r.solver == "test.solver.rel")
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].relative_residual() - 0.25).abs() < 1e-7);
+        assert!((rows[1].relative_residual() - 0.10).abs() < 1e-7);
+        // A legacy row deserialized without the field scales by nothing.
+        let legacy = SolverIteration {
+            solver: "legacy".to_string(),
+            iteration: 1,
+            residual: 0.5,
+            initial_residual: 0.0,
+            nanos: 0,
+        };
+        assert!((legacy.relative_residual() - 0.5).abs() < 1e-7);
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub use lowrank::LowRank;
 pub use qr::{pivoted_qr, qr, PivotedQr, Qr};
 pub use rsvd::{randomized_svd, rsvd_compress_adaptive, RsvdOptions};
 pub use scalar::{c32, c64, exactly_zero_f32, exactly_zero_f64, Complex, Real, Scalar, C32, C64};
-pub use svd::{jacobi_svd, svd_compress, Svd};
+pub use svd::{jacobi_svd, svd_compress, svd_compress_with_tail, Svd};

@@ -55,6 +55,21 @@ impl<S: Scalar> Svd<S> {
         k
     }
 
+    /// Frobenius norm of the tail discarded by a rank-`k` truncation:
+    /// `sqrt(Σ_{i≥k} σᵢ²)` — by the Eckart–Young theorem this is the
+    /// *exact* backward error `‖A − A_k‖_F` of [`Self::truncate`], so it
+    /// is what the accuracy observatory records per tile.
+    pub fn tail_energy(&self, k: usize) -> f64 {
+        self.s[k.min(self.s.len())..]
+            .iter()
+            .map(|s| {
+                let v = s.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
     /// Truncate to rank `k`, folding the singular values into `U`
     /// (`U_k Σ_k`, `V_k`) so the result is a plain [`LowRank`] pair.
     pub fn truncate(&self, k: usize) -> LowRank<S> {
@@ -172,9 +187,17 @@ pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Svd<S> {
 
 /// Truncated SVD compression at absolute Frobenius tolerance `tol`.
 pub fn svd_compress<S: Scalar>(a: &Matrix<S>, tol: S::Real) -> LowRank<S> {
+    svd_compress_with_tail(a, tol).0
+}
+
+/// [`svd_compress`] that also returns the exact truncation backward
+/// error `‖A − U Vᴴ‖_F = sqrt(Σ_{i≥k} σᵢ²)` of the discarded tail —
+/// free once the SVD is computed, and the per-tile accuracy signal the
+/// compression observatory records.
+pub fn svd_compress_with_tail<S: Scalar>(a: &Matrix<S>, tol: S::Real) -> (LowRank<S>, f64) {
     let svd = jacobi_svd(a);
     let k = svd.rank_for_tolerance(tol);
-    svd.truncate(k)
+    (svd.truncate(k), svd.tail_energy(k))
 }
 
 fn col_norm_sq<S: Scalar>(w: &Matrix<S>, j: usize) -> f64 {
@@ -311,6 +334,38 @@ mod tests {
         let err = lr.to_dense().sub(&a).fro_norm();
         assert!(err <= tol * 1.05, "err {err} > tol {tol}");
         assert!(lr.rank() < 40);
+    }
+
+    #[test]
+    fn tail_energy_matches_measured_truncation_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(47);
+        let a = Matrix::<C64>::random_normal(20, 14, &mut rng);
+        let svd = jacobi_svd(&a);
+        for k in [0usize, 3, 7, 14, 99] {
+            let lr = svd.truncate(k);
+            let measured = lr.to_dense().sub(&a).fro_norm();
+            let predicted = svd.tail_energy(k);
+            assert!(
+                (measured - predicted).abs() <= 1e-10 * a.fro_norm(),
+                "k={k}: measured {measured} vs tail {predicted}"
+            );
+        }
+        // Full rank keeps everything: no discarded energy.
+        assert!(svd.tail_energy(14) < 1e-12);
+    }
+
+    #[test]
+    fn svd_compress_with_tail_reports_the_error_it_made() {
+        let mut rng = ChaCha8Rng::seed_from_u64(48);
+        let a = Matrix::<C32>::random_normal(32, 32, &mut rng);
+        let tol = 0.2f32 * a.fro_norm();
+        let (lr, tail) = svd_compress_with_tail(&a, tol);
+        let measured = f64::from(lr.to_dense().sub(&a).fro_norm());
+        assert!(tail <= f64::from(tol) * 1.001, "tail {tail} > tol {tol}");
+        assert!(
+            (measured - tail).abs() <= 1e-3 * f64::from(a.fro_norm()),
+            "measured {measured} vs tail {tail}"
+        );
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn cgls<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         history.push(res);
         if let Some(t0) = iter_start {
             let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            trace::record_solver_iteration("cgls", to_u64(iterations), res, ns);
+            trace::record_solver_iteration("cgls", to_u64(iterations), res, b_norm, ns);
         }
         if opts.rel_tol > 0.0 && res <= opts.rel_tol * b_norm {
             break;

@@ -1487,6 +1487,7 @@ mod tests {
                         stage_p99_ns: Vec::new(),
                         queue_depth_limit: 1,
                         queue_stall_polls: 2,
+                        ..SloThresholds::default()
                     },
                     out_dir: dir.clone(),
                 },

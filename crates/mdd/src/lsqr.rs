@@ -151,7 +151,7 @@ pub fn lsqr<A: LinearOperator + ?Sized>(a: &A, b: &[C32], opts: LsqrOptions) -> 
         history.push(phibar);
         if let Some(t0) = iter_start {
             let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            trace::record_solver_iteration("lsqr", to_u64(iterations), phibar, ns);
+            trace::record_solver_iteration("lsqr", to_u64(iterations), phibar, b_norm, ns);
         }
         if opts.rel_tol > 0.0 && phibar <= opts.rel_tol * b_norm {
             break;

@@ -1,0 +1,293 @@
+//! `cargo run -p xtask -- accgate` — the CI accuracy gate.
+//!
+//! Compares a fresh (or pre-existing, with `--compare-only`) `repro
+//! acc-report --json` run against the committed `BENCH_accuracy.json`
+//! baseline at the workspace root, using
+//! [`seismic_bench::acc_experiments::compare_acc`]: inversion/operator
+//! NMSE drift beyond the fail threshold (default 25 %), compression
+//! ratio drift beyond 10 %, any rank-structure checksum change, or a
+//! config whose SRAM plan stops fitting exits nonzero with the sweep
+//! point named. Baseline points missing from a reduced
+//! (`ACC_REPORT_POINTS`) run are informational, so a CI smoke sweep
+//! still gates the points it measured.
+//!
+//! `--bless` re-baselines: it runs (or, with `--compare-only`, reuses)
+//! a current sweep, prints the delta against the old baseline, and
+//! copies the artifact byte-for-byte over `BENCH_accuracy.json` — the
+//! one sanctioned way to move the accuracy baseline.
+//!
+//! `--self-test` proves the gate can actually fail: it loads the
+//! baseline, doubles every NMSE and inflates every compression ratio by
+//! 50 % in memory, and exits 0 **iff** the gate rejects both synthetic
+//! drifts with at least one named sweep point each — and additionally
+//! that a flipped rank checksum alone is rejected.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use seismic_bench::acc_experiments::{
+    compare_acc, read_acc_json, AccGateThresholds, AccOutcome, AccRow,
+};
+use seismic_bench::perf::GateLevel;
+
+/// Parsed command line + environment for one accuracy-gate run.
+struct GateConfig {
+    baseline: PathBuf,
+    current: PathBuf,
+    thresholds: AccGateThresholds,
+    compare_only: bool,
+    self_test: bool,
+    bless: bool,
+}
+
+fn parse_config(root: &Path, args: &[String]) -> Result<GateConfig, String> {
+    let mut cfg = GateConfig {
+        baseline: root.join("BENCH_accuracy.json"),
+        current: root.join("target/repro/acc_report.json"),
+        thresholds: AccGateThresholds::default(),
+        compare_only: false,
+        self_test: false,
+        bless: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--compare-only" => cfg.compare_only = true,
+            "--self-test" => cfg.self_test = true,
+            "--bless" => cfg.bless = true,
+            "--baseline" => cfg.baseline = PathBuf::from(value("--baseline")?),
+            "--current" => cfg.current = PathBuf::from(value("--current")?),
+            "--nmse-fail-pct" => {
+                cfg.thresholds.nmse_fail_pct = value("--nmse-fail-pct")?
+                    .parse()
+                    .map_err(|e| format!("--nmse-fail-pct: {e}"))?
+            }
+            "--ratio-fail-pct" => {
+                cfg.thresholds.ratio_fail_pct = value("--ratio-fail-pct")?
+                    .parse()
+                    .map_err(|e| format!("--ratio-fail-pct: {e}"))?
+            }
+            other => return Err(format!("unknown accgate flag: {other}")),
+        }
+    }
+    let env_f64 = |key: &str| -> Result<Option<f64>, String> {
+        match std::env::var(key) {
+            Ok(v) => v
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|e| format!("{key}={v}: {e}")),
+            Err(_) => Ok(None),
+        }
+    };
+    if let Some(p) = env_f64("ACCGATE_NMSE_FAIL_PCT")? {
+        cfg.thresholds.nmse_fail_pct = p;
+    }
+    if let Some(p) = env_f64("ACCGATE_RATIO_FAIL_PCT")? {
+        cfg.thresholds.ratio_fail_pct = p;
+    }
+    Ok(cfg)
+}
+
+fn print_outcome(outcome: &AccOutcome, t: AccGateThresholds) -> ExitCode {
+    for f in &outcome.findings {
+        let tag = match f.level {
+            GateLevel::Fail => "FAIL",
+            GateLevel::Warn => "warn",
+            GateLevel::Info => "info",
+        };
+        println!("accgate [{tag}] {}: {}", f.point, f.message);
+    }
+    if outcome.failed() {
+        println!(
+            "accgate: FAILED (NMSE drift > {:.0}%, ratio drift > {:.0}%, or \
+             rank-structure drift) — points: {}",
+            t.nmse_fail_pct,
+            t.ratio_fail_pct,
+            outcome.failing_points().join(", ")
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "accgate: ok ({} findings, NMSE fail > {:.0}%, ratio fail > {:.0}%)",
+            outcome.findings.len(),
+            t.nmse_fail_pct,
+            t.ratio_fail_pct
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Spawn `repro acc-report --json` (release) in `root`; the run writes
+/// `target/repro/acc_report.json`.
+fn spawn_acc_report(root: &Path) -> Result<(), ExitCode> {
+    println!("accgate: running `repro acc-report --json` (release)...");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "seismic-bench",
+            "--bin",
+            "repro",
+            "--",
+            "acc-report",
+            "--json",
+        ])
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => {
+            eprintln!("accgate: acc-report run failed with {s}");
+            Err(ExitCode::FAILURE)
+        }
+        Err(e) => {
+            eprintln!("accgate: could not spawn cargo: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `--bless`: measure (or reuse) a current sweep, show the delta
+/// against the old baseline, and install the artifact as the new
+/// committed baseline.
+fn bless(cfg: &GateConfig, root: &Path) -> ExitCode {
+    if !cfg.compare_only {
+        if let Err(code) = spawn_acc_report(root) {
+            return code;
+        }
+    }
+    let (current, cur_scale) = match read_acc_json(&cfg.current) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("accgate --bless: no current run ({e})");
+            return ExitCode::FAILURE;
+        }
+    };
+    match read_acc_json(&cfg.baseline) {
+        Ok((old, old_scale)) => {
+            // Informational: what the re-baseline changes.
+            print_outcome(
+                &compare_acc(&old, old_scale, &current, cur_scale, cfg.thresholds),
+                cfg.thresholds,
+            );
+        }
+        Err(e) => println!("accgate --bless: no prior baseline ({e}) — first bless"),
+    }
+    // Byte-for-byte copy of the deterministic writer's output, so the
+    // committed file never depends on a second serialization pass.
+    if let Err(e) = std::fs::copy(&cfg.current, &cfg.baseline) {
+        eprintln!(
+            "accgate --bless: copying {} -> {} failed: {e}",
+            cfg.current.display(),
+            cfg.baseline.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "accgate --bless: {} sweep points written to {}",
+        current.len(),
+        cfg.baseline.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Synthetic drift for `--self-test`.
+fn degrade(rows: &mut [AccRow], nmse_mult: f64, ratio_mult: f64) {
+    for r in rows {
+        r.nmse_inverse *= nmse_mult;
+        r.operator_nmse *= nmse_mult;
+        r.compression_ratio *= ratio_mult;
+    }
+}
+
+fn self_test(baseline: &[AccRow], scale: u64, t: AccGateThresholds) -> ExitCode {
+    // 1. Doubled NMSE + 1.5x ratio must fail with named points.
+    let mut worse = baseline.to_vec();
+    degrade(&mut worse, 2.0, 1.5);
+    let drifted = compare_acc(baseline, scale, &worse, scale, t);
+    // 2. A single flipped rank checksum must fail on its own.
+    let mut forged = baseline.to_vec();
+    if let Some(first) = forged.first_mut() {
+        first.rank_checksum ^= 1;
+    }
+    let checksummed = compare_acc(baseline, scale, &forged, scale, t);
+    // 3. The unmodified baseline must pass against itself.
+    let identity = compare_acc(baseline, scale, baseline, scale, t);
+    let drift_ok = drifted.failed() && !drifted.failing_points().is_empty();
+    let checksum_ok = checksummed.failed();
+    let identity_ok = !identity.failed();
+    if drift_ok && checksum_ok && identity_ok {
+        println!(
+            "accgate --self-test: ok — synthetic 2x NMSE / 1.5x ratio drift fails \
+             the gate ({} points), a flipped rank checksum fails on its own, and \
+             the baseline passes against itself",
+            drifted.failing_points().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "accgate --self-test: BROKEN — drift rejected: {drift_ok}, checksum \
+         rejected: {checksum_ok}, identity passes: {identity_ok}"
+    );
+    ExitCode::FAILURE
+}
+
+/// Entry point for `cargo run -p xtask -- accgate [flags]`.
+pub fn run(root: &Path, args: &[String]) -> ExitCode {
+    let cfg = match parse_config(root, args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("accgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cfg.bless {
+        return bless(&cfg, root);
+    }
+
+    let (baseline, base_scale) = match read_acc_json(&cfg.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "accgate: no usable baseline ({e})\n\
+                 generate one with `cargo run --release -p seismic-bench --bin repro -- \
+                 acc-report --json`, review it, and bless it with \
+                 `cargo run -p xtask -- accgate --compare-only --bless`"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cfg.self_test {
+        return self_test(&baseline, base_scale, cfg.thresholds);
+    }
+
+    if !cfg.compare_only {
+        if let Err(code) = spawn_acc_report(root) {
+            return code;
+        }
+    }
+
+    let (current, cur_scale) = match read_acc_json(&cfg.current) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "accgate: no current run ({e})\n\
+                 run `repro acc-report --json` first, or drop --compare-only"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print_outcome(
+        &compare_acc(&baseline, base_scale, &current, cur_scale, cfg.thresholds),
+        cfg.thresholds,
+    )
+}

@@ -45,10 +45,15 @@
 //! allowlist, `1` otherwise — suitable as a blocking CI step.
 //!
 //! `cargo run -p xtask -- perfgate` ([`perfgate`]) is the companion
-//! perf-regression gate over the committed `BENCH_table2.json` baseline.
+//! perf-regression gate over the committed `BENCH_table2.json` baseline
+//! (with `--trend` scanning `BENCH_history.jsonl` for cumulative creep),
+//! and `cargo run -p xtask -- accgate` ([`accgate`]) is the accuracy
+//! gate over the committed `BENCH_accuracy.json` baseline (DESIGN.md
+//! §16).
 
 #![forbid(unsafe_code)]
 
+mod accgate;
 mod bounds;
 mod callgraph;
 mod concurrency;
@@ -72,6 +77,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("perfgate") => perfgate::run(&workspace_root(), &args[1..]),
+        Some("accgate") => accgate::run(&workspace_root(), &args[1..]),
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -100,8 +106,14 @@ fn print_usage() {
          perfgate  compare a `repro perfbench --json` run against the committed\n            \
          BENCH_table2.json baseline; fails (>15% median regression or\n            \
          trace-checksum drift) with the offending kernel named\n            \
-         [--compare-only --self-test --bless --baseline P --current P\n             \
+         [--compare-only --self-test --bless --trend --baseline P --current P\n             \
          --fail-pct F --warn-pct F]\n  \
+         accgate   compare a `repro acc-report --json` run against the committed\n            \
+         BENCH_accuracy.json baseline; fails (NMSE/ratio drift beyond\n            \
+         thresholds, any rank-structure checksum change, or an SRAM\n            \
+         plan regression) with the sweep point named\n            \
+         [--compare-only --self-test --bless --baseline P --current P\n             \
+         --nmse-fail-pct F --ratio-fail-pct F]\n  \
          help      show this message"
     );
 }

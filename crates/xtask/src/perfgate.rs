@@ -20,6 +20,12 @@
 //! gate rejects that synthetic 2× slowdown with at least one named
 //! kernel. `PERFGATE_INJECT_SLOWDOWN=<mult>` does the same to a real
 //! current run, for end-to-end rehearsals of the failure path.
+//!
+//! `--trend` additionally scans the append-only `BENCH_history.jsonl`
+//! ledger (`repro perfbench --json` appends one line per run) and warns
+//! on kernels whose cumulative first→last median drift reaches 5 % —
+//! the slow creep each individual gate run is too coarse to see.
+//! Advisory only; trend warnings never flip the exit code.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -36,6 +42,7 @@ struct GateConfig {
     compare_only: bool,
     self_test: bool,
     bless: bool,
+    trend: bool,
     inject_slowdown: Option<f64>,
 }
 
@@ -47,6 +54,7 @@ fn parse_config(root: &Path, args: &[String]) -> Result<GateConfig, String> {
         compare_only: false,
         self_test: false,
         bless: false,
+        trend: false,
         inject_slowdown: None,
     };
     let mut it = args.iter();
@@ -60,6 +68,7 @@ fn parse_config(root: &Path, args: &[String]) -> Result<GateConfig, String> {
             "--compare-only" => cfg.compare_only = true,
             "--self-test" => cfg.self_test = true,
             "--bless" => cfg.bless = true,
+            "--trend" => cfg.trend = true,
             "--baseline" => cfg.baseline = PathBuf::from(value("--baseline")?),
             "--current" => cfg.current = PathBuf::from(value("--current")?),
             "--fail-pct" => {
@@ -277,8 +286,42 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
         cfg.baseline.display(),
         cfg.current.display()
     );
+    if cfg.trend {
+        print_trend(root);
+    }
     print_outcome(
         &compare_reports(&baseline, &current, cfg.thresholds),
         cfg.thresholds,
     )
 }
+
+/// `--trend`: scan the append-only `BENCH_history.jsonl` ledger for
+/// slow creep — kernels whose first→last median drift across recorded
+/// same-profile runs reaches [`TREND_WARN_PCT`], each step of which was
+/// too small for the single-run gate to flag. Advisory only: trend
+/// warnings never fail the gate (the committed baseline does that), so
+/// a missing or short ledger is fine.
+fn print_trend(root: &Path) {
+    let path = root.join("BENCH_history.jsonl");
+    if !path.exists() {
+        println!(
+            "perfgate --trend: no {} yet (repro perfbench --json appends one line per run)",
+            path.display()
+        );
+        return;
+    }
+    match seismic_bench::perf::history_trend(&path, TREND_WARN_PCT) {
+        Ok(warnings) if warnings.is_empty() => {
+            println!("perfgate --trend: no kernel drifted >= {TREND_WARN_PCT:.0}% cumulatively");
+        }
+        Ok(warnings) => {
+            for w in &warnings {
+                println!("perfgate --trend [warn] {w}");
+            }
+        }
+        Err(e) => println!("perfgate --trend: {e}"),
+    }
+}
+
+/// Cumulative first→last median drift that `--trend` reports.
+const TREND_WARN_PCT: f64 = 5.0;

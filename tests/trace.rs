@@ -202,7 +202,7 @@ fn trace_report_roundtrips_through_json() {
         trace::add_cycles("it.roundtrip", 77);
         trace::record_tile_rank(4);
         trace::record_tile_rank(4);
-        trace::record_solver_iteration("lsqr", 1, 0.25, 9000);
+        trace::record_solver_iteration("lsqr", 1, 0.25, 1.0, 9000);
     }
     trace::set_enabled(false);
     let report = trace::snapshot();
